@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation: HBM-like what-if. The paper focuses on DDR and notes that
+ * "our modeling approach and benchmarks should be easily extensible
+ * to High Bandwidth Memory ... although conclusions about which PIM
+ * architecture is best might change with HBM" (Section III). This
+ * bench explores exactly that with the existing configuration knobs:
+ * an HBM-like stack has many more, narrower banks per device, a wider
+ * internal datapath (GDL), and far more interface bandwidth.
+ *
+ * Configurations:
+ *   DDR4 (paper Table II): 32 ranks x 128 banks, 8192-bit rows,
+ *     128-bit GDL, 25.6 GB/s per rank.
+ *   HBM-like: 8 stacks ("ranks") x 512 banks, 2048-bit rows,
+ *     512-bit GDL, 100 GB/s per stack-channel group.
+ */
+
+#include "bench_common.h"
+
+#include "core/perf_energy_model.h"
+
+using namespace pimbench;
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+ddrConfig(PimDeviceEnum device)
+{
+    return benchConfig(device, 32);
+}
+
+PimDeviceConfig
+hbmConfig(PimDeviceEnum device)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = 8;             // stacks
+    config.num_banks_per_rank = 512;  // pseudo-channels x banks
+    config.num_subarrays_per_bank = 32;
+    config.num_rows_per_subarray = 1024;
+    config.num_cols_per_row = 2048;   // narrower rows
+    config.gdl_bits = 512;            // wide internal datapath
+    config.dram.rank_bw_gbps = 100.0; // interface bandwidth
+    return config;
+}
+
+constexpr uint64_t kNumElements = 1024ull << 20; // 1G int32
+
+double
+kernelMs(const PimDeviceConfig &config, PimCmdEnum cmd)
+{
+    const auto model = PerfEnergyModel::create(config);
+    PimOpProfile profile;
+    profile.cmd = cmd;
+    profile.bits = 32;
+    profile.num_elements = kNumElements;
+    const uint64_t cores = config.numCores();
+    profile.cores_used = cores;
+    profile.max_elems_per_core = (kNumElements + cores - 1) / cores;
+    return model->costOp(profile).runtime_sec * 1e3;
+}
+
+double
+copyMs(const PimDeviceConfig &config)
+{
+    const auto model = PerfEnergyModel::create(config);
+    return model
+        ->costCopy(PimCopyEnum::PIM_COPY_H2D, kNumElements * 4)
+        .runtime_sec * 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    quietLogs();
+    printConfigBanner("Ablation -- DDR4 vs HBM-like configuration "
+                      "(1G int32, kernel and transfer)");
+
+    TableWriter table(
+        "Kernel latency (ms) and H2D transfer (ms)",
+        {"Arch / Metric", "DDR4", "HBM-like", "HBM/DDR"});
+    for (const auto &[device, name] : pimTargets()) {
+        for (const auto &[cmd, op] :
+             std::vector<std::pair<PimCmdEnum, std::string>>{
+                 {PimCmdEnum::kAdd, "Add"},
+                 {PimCmdEnum::kMul, "Mul"}}) {
+            const double ddr = kernelMs(ddrConfig(device), cmd);
+            const double hbm = kernelMs(hbmConfig(device), cmd);
+            table.addNumericRow(name + " " + op,
+                                {ddr, hbm, hbm / ddr}, 4);
+        }
+    }
+    {
+        const double ddr =
+            copyMs(ddrConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM));
+        const double hbm =
+            copyMs(hbmConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM));
+        table.addNumericRow("H2D 1GB transfer", {ddr, hbm, hbm / ddr},
+                            4);
+    }
+    emitTable(table);
+
+    std::cout
+        << "\nReading: the HBM-like stack shifts the balance exactly "
+           "as the paper anticipates — bank-level PIM gains (the 4x "
+           "wider GDL attacks its DDR bottleneck), while bit-serial "
+           "loses row-buffer width (2048 vs 8192 columns) and slows "
+           "down once inputs exceed one chunk per core; the "
+           "best-architecture conclusion is configuration-"
+           "dependent.\n";
+    return 0;
+}

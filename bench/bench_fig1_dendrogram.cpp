@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig. 1: the benchmark-similarity dendrogram. Collects
+ * per-benchmark characterizations (operation mix, access pattern,
+ * execution type, arithmetic intensity), refines them with PCA, and
+ * clusters hierarchically — the paper's methodology (Section VIII).
+ */
+
+#include "bench_common.h"
+
+#include "analysis/hclust.h"
+
+using namespace pimbench;
+using pimeval::BenchmarkFeatures;
+using pimeval::HierarchicalClustering;
+using pimeval::Matrix;
+using pimeval::Pca;
+
+int
+main()
+{
+    quietLogs();
+    printConfigBanner("Figure 1 -- Benchmark Similarity Dendrogram");
+
+    // Operation mixes are architecture-independent (same API calls);
+    // use the bit-serial target at smoke scale.
+    const auto results =
+        runSuiteOnTarget(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP, 4,
+                         SuiteScale::kTiny, /*extensions=*/true);
+    if (results.empty())
+        return 1;
+
+    std::vector<BenchmarkFeatures> features;
+    for (const auto &r : results)
+        features.push_back(r.features);
+
+    std::vector<std::string> names;
+    const Matrix feature_matrix =
+        pimeval::buildFeatureMatrix(features, names);
+
+    // PCA refinement, then average-linkage clustering.
+    const size_t components = std::min<size_t>(6, feature_matrix.cols());
+    Pca pca(feature_matrix, components);
+
+    std::cout << "\nPCA explained variance: ";
+    for (double ev : pca.explainedVariance())
+        std::cout << pimeval::formatFixed(ev * 100.0, 1) << "% ";
+    std::cout << "\n\n";
+
+    HierarchicalClustering hc(pca.projected());
+    std::cout << hc.render(names) << "\n";
+
+    std::cout << "Leaf order (similar benchmarks adjacent):\n";
+    for (size_t leaf : hc.leafOrder())
+        std::cout << "  " << names[leaf] << "\n";
+
+    std::cout << "\nExpected shape vs. paper Fig. 1: VGG variants "
+                 "cluster together, AES encryption/decryption pair "
+                 "up, and simple element-wise kernels (vector add / "
+                 "brightness / downsampling) sit near each other.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Fig. 8: PIM operation frequency distribution — for each
+ * benchmark, the percentage each operation class contributes to its
+ * total PIM operations. Mixes are architecture-independent (the same
+ * portable API calls execute everywhere).
+ */
+
+#include "bench_common.h"
+
+#include <map>
+#include <set>
+
+using namespace pimbench;
+using pimeval::TableWriter;
+
+namespace {
+
+/** Fold scalar variants into base classes as the paper's figure does. */
+std::string
+opClass(const std::string &mnemonic)
+{
+    const auto pos = mnemonic.find("_scalar");
+    std::string base = (pos == std::string::npos)
+        ? mnemonic : mnemonic.substr(0, pos);
+    if (base == "shift_bits_l" || base == "shift_bits_r")
+        return "shift";
+    if (base == "scaled_add")
+        return "mul+add";
+    if (base == "copy_d2d")
+        return "copy";
+    return base;
+}
+
+} // namespace
+
+int
+main()
+{
+    quietLogs();
+    printConfigBanner("Figure 8 -- PIM Operation Frequency "
+                      "Distribution (%)");
+
+    const auto results = runSuiteOnTarget(
+        PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP, 8, SuiteScale::kTiny);
+    if (results.empty())
+        return 1;
+
+    // Union of op classes across the suite.
+    std::set<std::string> classes;
+    std::vector<std::map<std::string, double>> fractions;
+    for (const auto &r : results) {
+        uint64_t total = 0;
+        for (const auto &[op, count] : r.features.op_mix)
+            total += count;
+        std::map<std::string, double> f;
+        for (const auto &[op, count] : r.features.op_mix) {
+            const std::string cls = opClass(op);
+            classes.insert(cls);
+            f[cls] += total ? 100.0 * static_cast<double>(count) /
+                    static_cast<double>(total)
+                            : 0.0;
+        }
+        fractions.push_back(std::move(f));
+    }
+
+    std::vector<std::string> headers = {"Benchmark"};
+    headers.insert(headers.end(), classes.begin(), classes.end());
+    TableWriter table("Fig. 8: operation mix (% of PIM ops)", headers);
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::vector<double> row;
+        for (const auto &cls : classes) {
+            const auto it = fractions[i].find(cls);
+            row.push_back(it == fractions[i].end() ? 0.0 : it->second);
+        }
+        table.addNumericRow(results[i].name, row, 1);
+    }
+    emitTable(table);
+
+    std::cout << "\nExpected shapes vs. paper Fig. 8: AES is "
+                 "logic/eq heavy; histogram and radix sort are "
+                 "eq+reduction; GEMV/GEMM/VGG are mul+add heavy; "
+                 "triangle count mixes and/popcount/reduction.\n";
+    return 0;
+}

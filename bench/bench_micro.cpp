@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself:
+ * allocation, host<->device copies, command dispatch, microprogram
+ * generation, and the bit-serial VM — the simulator-overhead side of
+ * the artifact (the paper notes multi-day artifact runtimes are
+ * dominated by functional simulation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bitserial/analog_microprograms.h"
+#include "bitserial/analog_vm.h"
+#include "bitserial/bitserial_vm.h"
+#include "dram/dram_channel.h"
+#include "dram/transfer_model.h"
+#include "bitserial/microprograms.h"
+#include "core/pim_api.h"
+#include "util/logging.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+microConfig()
+{
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    config.num_ranks = 2;
+    config.num_banks_per_rank = 16;
+    config.num_subarrays_per_bank = 16;
+    return config;
+}
+
+/** Fixture creating/destroying the device around each benchmark. */
+class SimFixture : public benchmark::Fixture
+{
+  public:
+    void
+    SetUp(const benchmark::State &) override
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        pimCreateDeviceFromConfig(microConfig());
+    }
+
+    void
+    TearDown(const benchmark::State &) override
+    {
+        pimDeleteDevice();
+    }
+};
+
+BENCHMARK_F(SimFixture, AllocFree)(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const PimObjId obj = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO,
+                                      1u << 16, 32,
+                                      PimDataType::PIM_INT32);
+        pimFree(obj);
+    }
+}
+
+BENCHMARK_F(SimFixture, CopyHostToDevice1M)(benchmark::State &state)
+{
+    const uint64_t n = 1u << 20;
+    std::vector<int> data(n, 7);
+    const PimObjId obj = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                  PimDataType::PIM_INT32);
+    for (auto _ : state)
+        pimCopyHostToDevice(data.data(), obj);
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * n * sizeof(int));
+    pimFree(obj);
+}
+
+BENCHMARK_F(SimFixture, CommandDispatchAdd64K)(benchmark::State &state)
+{
+    const uint64_t n = 1u << 16;
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId b =
+        pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    pimBroadcastInt(a, 3);
+    pimBroadcastInt(b, 4);
+    for (auto _ : state)
+        pimAdd(a, b, b);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * n);
+    pimFree(a);
+    pimFree(b);
+}
+
+BENCHMARK_F(SimFixture, RedSum64K)(benchmark::State &state)
+{
+    const uint64_t n = 1u << 16;
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    pimBroadcastInt(a, 2);
+    int64_t sum = 0;
+    for (auto _ : state) {
+        pimRedSum(a, &sum);
+        benchmark::DoNotOptimize(sum);
+    }
+    pimFree(a);
+}
+
+void
+BM_MicroprogramGenMul32(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto prog = MicroPrograms::mul(0, 32, 64, 32);
+        benchmark::DoNotOptimize(prog.ops.data());
+    }
+}
+BENCHMARK(BM_MicroprogramGenMul32);
+
+void
+BM_BitSerialVmAdd32(benchmark::State &state)
+{
+    BitSerialVm vm(128, 8192);
+    Prng rng(1);
+    for (uint32_t c = 0; c < 8192; c += 64)
+        vm.writeVertical(c, 0, 32, rng.next());
+    const MicroProgram prog = MicroPrograms::add(0, 32, 64, 32);
+    for (auto _ : state)
+        vm.run(prog);
+    // One run processes a full 8192-wide bit slice.
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_BitSerialVmAdd32);
+
+void
+BM_AnalogVmAdd16(benchmark::State &state)
+{
+    AnalogVm vm(AnalogRowGroup::kNumRows + 64, 8192);
+    Prng rng(2);
+    const uint32_t base = AnalogRowGroup::kNumRows;
+    for (uint32_t c = 0; c < 8192; c += 64) {
+        vm.writeVertical(c, base, 16, rng.next() & 0xffff);
+        vm.writeVertical(c, base + 16, 16, rng.next() & 0xffff);
+    }
+    const AnalogProgram prog =
+        AnalogMicroPrograms::add(base, base + 16, base + 32, 16);
+    for (auto _ : state)
+        vm.run(prog);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_AnalogVmAdd16);
+
+void
+BM_DramChannelStream(benchmark::State &state)
+{
+    const DramTiming timing;
+    std::vector<DramRequest> requests;
+    for (uint32_t i = 0; i < 4096; ++i) {
+        DramRequest request;
+        request.bank = i % 16;
+        request.row = i / 256;
+        requests.push_back(request);
+    }
+    for (auto _ : state) {
+        DramChannel channel(timing, 1, 16);
+        benchmark::DoNotOptimize(channel.drain(requests));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DramChannelStream);
+
+void
+BM_TransferModel64MB(benchmark::State &state)
+{
+    const DramTiming timing;
+    for (auto _ : state) {
+        // Fresh model so the memo cache does not trivialize the run.
+        TransferModel model(timing, 4, 8, 16, 1024);
+        benchmark::DoNotOptimize(
+            model.transfer(64ull << 20, false).seconds);
+    }
+}
+BENCHMARK(BM_TransferModel64MB);
+
+} // namespace
+
+BENCHMARK_MAIN();

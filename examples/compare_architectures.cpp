@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Example: portability across PIM architectures — the core promise of
+ * the PIM API (paper Section V-B). The same K-means program runs on
+ * all three simulated targets without modification; the example
+ * prints per-target modeled kernel time and energy side by side.
+ *
+ *   ./compare_architectures [num_points] [k] [iterations]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/kmeans.h"
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pimbench;
+
+    KmeansParams params;
+    params.num_points =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 15);
+    params.k = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+    params.iterations =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 3;
+
+    quietLogs();
+    std::cout << "K-means on every PIM target: " << params.num_points
+              << " points, k=" << params.k << ", "
+              << params.iterations << " iterations\n";
+
+    pimeval::TableWriter table(
+        "Same program, three architectures",
+        {"Architecture", "Kernel(ms)", "DataMove(ms)", "Host(ms)",
+         "Energy(mJ)", "Verified"});
+
+    for (const auto &[device, name] : pimTargets()) {
+        DeviceSession session(benchConfig(device, 8));
+        if (!session.ok())
+            return 1;
+        const AppResult result = runKmeans(params);
+        table.addRow({
+            name,
+            pimeval::formatFixed(result.stats.kernel_sec * 1e3, 3),
+            pimeval::formatFixed(result.stats.copy_sec * 1e3, 3),
+            pimeval::formatFixed(result.stats.host_sec * 1e3, 3),
+            pimeval::formatFixed(
+                (result.stats.kernel_j + result.stats.copy_j) * 1e3,
+                3),
+            result.verified ? "yes" : "NO",
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe identical source executed on all three "
+                 "targets; only the modeled cost changed — the "
+                 "portability the PIM API provides.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: database analytics with PIM — the paper's motivating
+ * filter-by-key scenario (Section VIII, Database).
+ *
+ * Scans a column of 32-bit keys for records below a threshold: the
+ * predicate evaluation runs in memory (one pimLTScalar over the whole
+ * column), the bitmap returns to the host, and the host gathers the
+ * matching records. Prints the phase breakdown showing the gather
+ * bottleneck the paper highlights.
+ *
+ *   ./database_filter [num_records] [selectivity_percent]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "host/host_kernels.h"
+#include "util/prng.h"
+#include "util/string_utils.h"
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t n =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 21);
+    const double selectivity =
+        (argc > 2 ? std::atof(argv[2]) : 1.0) / 100.0;
+
+    std::cout << "Filter-By-Key: " << n << " records, target "
+              << selectivity * 100 << "% selectivity\n\n";
+
+    if (pimCreateDevice(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP, 8) !=
+        PimStatus::PIM_OK)
+        return 1;
+
+    pimeval::Prng rng(2024);
+    std::vector<uint32_t> column(n);
+    for (auto &v : column)
+        v = static_cast<uint32_t>(rng.next() & 0x7fffffff);
+    const uint32_t key =
+        static_cast<uint32_t>(selectivity * 0x7fffffff);
+
+    const PimObjId obj_col = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n,
+                                      32, PimDataType::PIM_UINT32);
+    const PimObjId obj_mask =
+        pimAllocAssociated(32, obj_col, PimDataType::PIM_UINT32);
+
+    pimCopyHostToDevice(column.data(), obj_col);
+    pimLTScalar(obj_col, obj_mask, key);
+
+    std::vector<uint32_t> bitmap32(n);
+    pimCopyDeviceToHost(obj_mask, bitmap32.data());
+
+    pimStartHostTimer();
+    std::vector<uint8_t> bitmap(n);
+    for (uint64_t i = 0; i < n; ++i)
+        bitmap[i] = static_cast<uint8_t>(bitmap32[i]);
+    const std::vector<uint32_t> selected =
+        pimeval::gatherByBitmap(column, bitmap);
+    pimStopHostTimer();
+
+    pimFree(obj_col);
+    pimFree(obj_mask);
+
+    const auto stats = pimGetStats();
+    const double total = stats.totalSec();
+    std::cout << "Selected " << selected.size() << " of " << n
+              << " records ("
+              << pimeval::formatFixed(
+                     100.0 * static_cast<double>(selected.size()) /
+                         static_cast<double>(n),
+                     2)
+              << "%)\n\n";
+    std::cout << "Phase breakdown (PIM side):\n";
+    std::cout << "  PIM scan (modeled)  : "
+              << pimeval::formatTime(stats.kernel_sec) << "\n";
+    std::cout << "  Data movement       : "
+              << pimeval::formatTime(stats.copy_sec) << "\n";
+    std::cout << "  Host gather (meas.) : "
+              << pimeval::formatTime(stats.host_sec) << "  ("
+              << pimeval::formatFixed(
+                     100.0 * stats.host_sec / total, 1)
+              << "% of total -- the bottleneck, as in the paper)\n";
+
+    pimShowStats(std::cout);
+    pimDeleteDevice();
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Example: an image-processing pipeline on PIM — brightness
+ * adjustment followed by 2x box-filter downsampling, the two
+ * SIMDRAM-style image kernels of PIMbench chained on one device.
+ *
+ * Writes before/after BMP files so the result is visually
+ * inspectable.
+ *
+ *   ./image_pipeline [width] [height] [brightness_delta] [outdir]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "util/bmp_image.h"
+#include "util/string_utils.h"
+
+using pimeval::BmpImage;
+
+namespace {
+
+/** Brightness: saturating add on one channel plane (int16 working). */
+std::vector<int16_t>
+brightenPlane(const std::vector<uint8_t> &plane, int delta)
+{
+    const uint64_t n = plane.size();
+    const PimObjId obj = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 16,
+                                  PimDataType::PIM_INT16);
+    std::vector<int16_t> staging(n);
+    for (uint64_t i = 0; i < n; ++i)
+        staging[i] = plane[i];
+    pimCopyHostToDevice(staging.data(), obj);
+    pimAddScalar(obj, obj,
+                 static_cast<uint64_t>(static_cast<int64_t>(delta)));
+    pimMinScalar(obj, obj, 255);
+    pimMaxScalar(obj, obj, 0);
+    pimCopyDeviceToHost(obj, staging.data());
+    pimFree(obj);
+    return staging;
+}
+
+/** 2x box downsample of one channel plane. */
+std::vector<int16_t>
+downsamplePlane(const std::vector<int16_t> &plane, uint32_t w,
+                uint32_t h)
+{
+    const uint32_t ow = w / 2, oh = h / 2;
+    const uint64_t out_n = static_cast<uint64_t>(ow) * oh;
+    std::vector<std::vector<int16_t>> corners(
+        4, std::vector<int16_t>(out_n));
+    for (uint32_t y = 0; y < oh; ++y) {
+        for (uint32_t x = 0; x < ow; ++x) {
+            const uint64_t o = static_cast<uint64_t>(y) * ow + x;
+            const uint64_t base =
+                static_cast<uint64_t>(2 * y) * w + 2 * x;
+            corners[0][o] = plane[base];
+            corners[1][o] = plane[base + 1];
+            corners[2][o] = plane[base + w];
+            corners[3][o] = plane[base + w + 1];
+        }
+    }
+    const PimObjId o0 = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, out_n,
+                                 16, PimDataType::PIM_INT16);
+    const PimObjId o1 =
+        pimAllocAssociated(16, o0, PimDataType::PIM_INT16);
+    const PimObjId o2 =
+        pimAllocAssociated(16, o0, PimDataType::PIM_INT16);
+    const PimObjId o3 =
+        pimAllocAssociated(16, o0, PimDataType::PIM_INT16);
+    pimCopyHostToDevice(corners[0].data(), o0);
+    pimCopyHostToDevice(corners[1].data(), o1);
+    pimCopyHostToDevice(corners[2].data(), o2);
+    pimCopyHostToDevice(corners[3].data(), o3);
+    pimAdd(o0, o1, o0);
+    pimAdd(o2, o3, o2);
+    pimAdd(o0, o2, o0);
+    pimShiftBitsRight(o0, o0, 2);
+    std::vector<int16_t> out(out_n);
+    pimCopyDeviceToHost(o0, out.data());
+    pimFree(o0);
+    pimFree(o1);
+    pimFree(o2);
+    pimFree(o3);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint32_t width =
+        argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 512;
+    const uint32_t height =
+        argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 512;
+    const int delta = argc > 3 ? std::atoi(argv[3]) : 60;
+    const std::string outdir = argc > 4 ? argv[4] : "/tmp";
+
+    std::cout << "Image pipeline: " << width << "x" << height
+              << ", brightness +" << delta << ", 2x downsample\n\n";
+
+    if (pimCreateDevice(PimDeviceEnum::PIM_DEVICE_FULCRUM, 8) !=
+        PimStatus::PIM_OK)
+        return 1;
+
+    const BmpImage input = BmpImage::synthetic(width, height, 11);
+    input.save(outdir + "/pim_input.bmp");
+
+    // Stage 1: brightness on all three channels.
+    const auto r1 = brightenPlane(input.red(), delta);
+    const auto g1 = brightenPlane(input.green(), delta);
+    const auto b1 = brightenPlane(input.blue(), delta);
+
+    BmpImage bright(width, height);
+    for (uint64_t i = 0; i < input.numPixels(); ++i) {
+        bright.red()[i] = static_cast<uint8_t>(r1[i]);
+        bright.green()[i] = static_cast<uint8_t>(g1[i]);
+        bright.blue()[i] = static_cast<uint8_t>(b1[i]);
+    }
+    bright.save(outdir + "/pim_bright.bmp");
+
+    // Stage 2: downsample.
+    const auto r2 = downsamplePlane(r1, width, height);
+    const auto g2 = downsamplePlane(g1, width, height);
+    const auto b2 = downsamplePlane(b1, width, height);
+
+    BmpImage small(width / 2, height / 2);
+    for (uint64_t i = 0; i < small.numPixels(); ++i) {
+        small.red()[i] = static_cast<uint8_t>(r2[i]);
+        small.green()[i] = static_cast<uint8_t>(g2[i]);
+        small.blue()[i] = static_cast<uint8_t>(b2[i]);
+    }
+    small.save(outdir + "/pim_downsampled.bmp");
+
+    std::cout << "Wrote " << outdir << "/pim_input.bmp, "
+              << outdir << "/pim_bright.bmp, " << outdir
+              << "/pim_downsampled.bmp\n";
+    pimShowStats(std::cout);
+    pimDeleteDevice();
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Command-line PIMbench runner — the analogue of the original
+ * artifact's per-benchmark executables (paper Listing 2/3 workflow).
+ *
+ *   pimbench_cli --list
+ *   pimbench_cli "Vector Addition" --device bitserial --ranks 32
+ *   pimbench_cli GEMV --device fulcrum --scale paper
+ *
+ * Runs one benchmark on one simulated PIM target and prints the
+ * Listing-3 style statistics report plus the verification status.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <cctype>
+
+#include "apps/suite.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace {
+
+using namespace pimbench;
+
+void
+printUsage()
+{
+    std::cout
+        << "usage: pimbench_cli <benchmark> [options]\n"
+        << "       pimbench_cli --list\n\n"
+        << "options:\n"
+        << "  --device bitserial|fulcrum|bank|simdram (default fulcrum)\n"
+        << "  --ranks N                          (default 32)\n"
+        << "  --scale tiny|small|paper           (default small)\n"
+        << "  --quiet                            suppress PIM-Info\n";
+}
+
+PimDeviceEnum
+parseDevice(const std::string &name)
+{
+    if (pimeval::iequals(name, "bitserial"))
+        return PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP;
+    if (pimeval::iequals(name, "fulcrum"))
+        return PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    if (pimeval::iequals(name, "bank") ||
+        pimeval::iequals(name, "banklevel"))
+        return PimDeviceEnum::PIM_DEVICE_BANK_LEVEL;
+    if (pimeval::iequals(name, "simdram") ||
+        pimeval::iequals(name, "analog"))
+        return PimDeviceEnum::PIM_DEVICE_SIMDRAM;
+    return PimDeviceEnum::PIM_DEVICE_NONE;
+}
+
+/** Case-insensitive benchmark name lookup with partial match. */
+std::string
+resolveBenchmark(const std::string &query)
+{
+    for (const auto &name : pimbenchSuiteNames()) {
+        if (pimeval::iequals(name, query))
+            return name;
+    }
+    // Prefix / substring convenience (e.g., "gemv", "vgg-13").
+    std::string lowered = query;
+    for (auto &ch : lowered)
+        ch = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(ch)));
+    for (const auto &name : pimbenchSuiteNames()) {
+        std::string ln = name;
+        for (auto &ch : ln)
+            ch = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(ch)));
+        if (ln.find(lowered) != std::string::npos)
+            return name;
+    }
+    if (pimeval::iequals(query, "prefix sum"))
+        return "Prefix Sum";
+    if (pimeval::iequals(query, "string match"))
+        return "String Match";
+    if (pimeval::iequals(query, "pca"))
+        return "PCA";
+    if (pimeval::iequals(query, "apriori"))
+        return "Apriori";
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage();
+        return 1;
+    }
+
+    std::string benchmark;
+    std::string device_name = "fulcrum";
+    uint64_t ranks = 32;
+    std::string scale_name = "small";
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto &name : pimbenchSuiteNames())
+                std::cout << name << "\n";
+            std::cout << "Prefix Sum\nString Match\nPCA\nApriori\n";
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        }
+        if (arg == "--device" && i + 1 < argc) {
+            device_name = argv[++i];
+        } else if (arg == "--ranks" && i + 1 < argc) {
+            ranks = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale_name = argv[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (benchmark.empty()) {
+            benchmark = arg;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            printUsage();
+            return 1;
+        }
+    }
+
+    const std::string resolved = resolveBenchmark(benchmark);
+    if (resolved.empty()) {
+        std::cerr << "unknown benchmark '" << benchmark
+                  << "' (try --list)\n";
+        return 1;
+    }
+    const PimDeviceEnum device = parseDevice(device_name);
+    if (device == PimDeviceEnum::PIM_DEVICE_NONE) {
+        std::cerr << "unknown device '" << device_name << "'\n";
+        return 1;
+    }
+    SuiteScale scale = SuiteScale::kSmall;
+    if (pimeval::iequals(scale_name, "tiny"))
+        scale = SuiteScale::kTiny;
+    else if (pimeval::iequals(scale_name, "paper"))
+        scale = SuiteScale::kPaper;
+
+    if (quiet)
+        pimeval::LogConfig::setThreshold(pimeval::LogLevel::Warning);
+
+    std::cout << "Running " << resolved << " on PIM ("
+              << device_name << ", " << ranks << " ranks, "
+              << scale_name << " scale)\n\n";
+    if (pimCreateDevice(device, ranks) != PimStatus::PIM_OK)
+        return 1;
+
+    const AppResult result = runBenchmarkByName(resolved, scale);
+
+    std::cout << "\nBenchmark          : " << result.name << "\n";
+    std::cout << "Functional check   : "
+              << (result.verified ? "PASSED" : "FAILED") << "\n";
+    std::cout << "PIM kernel time    : "
+              << pimeval::formatTime(result.stats.kernel_sec) << "\n";
+    std::cout << "Data movement time : "
+              << pimeval::formatTime(result.stats.copy_sec) << "\n";
+    std::cout << "Host time          : "
+              << pimeval::formatTime(result.stats.host_sec) << "\n";
+    std::cout << "PIM energy         : "
+              << pimeval::formatEnergy(result.stats.kernel_j +
+                                       result.stats.copy_j)
+              << "\n";
+    pimShowStats(std::cout);
+    pimDeleteDevice();
+    return result.verified ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: the paper's Listing 1 AXPY program, end to end.
+ *
+ * Demonstrates the canonical PIM API flow — device creation, object
+ * allocation, host->device copies, one fused compute call, copy-back,
+ * and the Listing-3 style statistics report. Pass a device name
+ * (bitserial | fulcrum | bank) and an optional vector length.
+ *
+ *   ./quickstart fulcrum 1048576
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "util/string_utils.h"
+
+namespace {
+
+PimDeviceEnum
+parseDevice(const std::string &name)
+{
+    if (pimeval::iequals(name, "bitserial"))
+        return PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP;
+    if (pimeval::iequals(name, "fulcrum"))
+        return PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    if (pimeval::iequals(name, "bank"))
+        return PimDeviceEnum::PIM_DEVICE_BANK_LEVEL;
+    if (pimeval::iequals(name, "simdram"))
+        return PimDeviceEnum::PIM_DEVICE_SIMDRAM;
+    return PimDeviceEnum::PIM_DEVICE_NONE;
+}
+
+/** AXPY exactly as in paper Listing 1. */
+bool
+axpy(uint64_t vector_length, const std::vector<int> &x,
+     std::vector<int> &y, int a)
+{
+    const unsigned bits_per_element = sizeof(int) * 8;
+    // Allocate device memory.
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, vector_length,
+                 bits_per_element, PimDataType::PIM_INT32);
+    const PimObjId obj_y = pimAllocAssociated(
+        bits_per_element, obj_x, PimDataType::PIM_INT32);
+    if (obj_x == -1 || obj_y == -1)
+        return false;
+    // Copy inputs, perform operations, copy back results.
+    pimCopyHostToDevice(x.data(), obj_x);
+    pimCopyHostToDevice(y.data(), obj_y);
+    pimScaledAdd(obj_x, obj_y, obj_y,
+                 static_cast<uint64_t>(static_cast<int64_t>(a)));
+    pimCopyDeviceToHost(obj_y, y.data());
+    // Free allocated memory.
+    pimFree(obj_x);
+    pimFree(obj_y);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string device_name = argc > 1 ? argv[1] : "fulcrum";
+    const uint64_t n =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : (1u << 20);
+    const int a = 5;
+
+    const PimDeviceEnum device = parseDevice(device_name);
+    if (device == PimDeviceEnum::PIM_DEVICE_NONE) {
+        std::cerr << "usage: quickstart [bitserial|fulcrum|bank|simdram] "
+                     "[vector_length]\n";
+        return 1;
+    }
+
+    std::cout << "Running AXPY on PIM for vector length: " << n
+              << "\n\n";
+    if (pimCreateDevice(device, 4) != PimStatus::PIM_OK)
+        return 1;
+
+    std::vector<int> x(n), y(n), y_expected(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        x[i] = static_cast<int>(i % 1000) - 500;
+        y[i] = static_cast<int>(i % 77);
+        y_expected[i] = a * x[i] + y[i];
+    }
+
+    if (!axpy(n, x, y, a)) {
+        std::cerr << "AXPY failed\n";
+        return 1;
+    }
+
+    uint64_t mismatches = 0;
+    for (uint64_t i = 0; i < n; ++i)
+        mismatches += (y[i] != y_expected[i]);
+    std::cout << (mismatches == 0 ? "PASSED" : "FAILED")
+              << " functional check (" << mismatches
+              << " mismatches)\n";
+
+    pimShowStats(std::cout);
+    pimDeleteDevice();
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Feature-matrix construction.
+ */
+
+#include "analysis/benchmark_features.h"
+
+#include <cmath>
+#include <set>
+
+namespace pimeval {
+
+Matrix
+buildFeatureMatrix(const std::vector<BenchmarkFeatures> &features,
+                   std::vector<std::string> &out_names)
+{
+    // Union of mnemonics across all benchmarks, in sorted order.
+    std::set<std::string> mnemonics;
+    for (const auto &f : features)
+        for (const auto &[op, count] : f.op_mix)
+            mnemonics.insert(op);
+
+    const size_t num_ops = mnemonics.size();
+    const size_t dims = num_ops + 4;
+    Matrix m(features.size(), dims);
+    out_names.clear();
+
+    for (size_t r = 0; r < features.size(); ++r) {
+        const auto &f = features[r];
+        out_names.push_back(f.name);
+
+        uint64_t total = 0;
+        for (const auto &[op, count] : f.op_mix)
+            total += count;
+
+        size_t c = 0;
+        for (const auto &op : mnemonics) {
+            const auto it = f.op_mix.find(op);
+            const double frac =
+                (it == f.op_mix.end() || total == 0)
+                    ? 0.0
+                    : static_cast<double>(it->second) /
+                        static_cast<double>(total);
+            m.at(r, c++) = frac;
+        }
+        m.at(r, c++) = f.sequential_access ? 1.0 : 0.0;
+        m.at(r, c++) = f.random_access ? 1.0 : 0.0;
+        m.at(r, c++) = f.uses_host ? 1.0 : 0.0;
+        m.at(r, c++) =
+            std::log10(1.0 + std::max(0.0, f.arithmetic_intensity));
+    }
+    return m;
+}
+
+} // namespace pimeval

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Benchmark feature extraction for the Fig. 1 similarity analysis.
+ *
+ * Features per benchmark (paper Section VIII): the PIM operation mix
+ * (fraction of each operation class), memory access pattern
+ * (sequential / random flags), execution type (PIM vs PIM+Host), and
+ * arithmetic intensity (ops per byte moved).
+ */
+
+#ifndef PIMEVAL_ANALYSIS_BENCHMARK_FEATURES_H_
+#define PIMEVAL_ANALYSIS_BENCHMARK_FEATURES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pca.h"
+
+namespace pimeval {
+
+/**
+ * Raw characterization of one benchmark run.
+ */
+struct BenchmarkFeatures
+{
+    std::string name;
+    /** PIM command mix: mnemonic -> invocation count. */
+    std::map<std::string, uint64_t> op_mix;
+    bool sequential_access = true;
+    bool random_access = false;
+    bool uses_host = false;
+    /** Arithmetic intensity: modeled ops per transferred byte. */
+    double arithmetic_intensity = 0.0;
+};
+
+/**
+ * Build the feature matrix from benchmark characterizations:
+ * normalized op-mix fractions over the union of mnemonics, the three
+ * access/exec flags, and log-scaled arithmetic intensity.
+ *
+ * @param features  per-benchmark characterizations.
+ * @param out_names filled with the benchmark names (row order).
+ */
+Matrix buildFeatureMatrix(const std::vector<BenchmarkFeatures> &features,
+                          std::vector<std::string> &out_names);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_ANALYSIS_BENCHMARK_FEATURES_H_

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * UPGMA implementation (O(n^3), fine for benchmark-suite sizes).
+ */
+
+#include "analysis/hclust.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace pimeval {
+
+HierarchicalClustering::HierarchicalClustering(const Matrix &points)
+    : num_leaves_(points.rows())
+{
+    const size_t n = num_leaves_;
+    if (n == 0)
+        return;
+
+    // Active clusters: id, size, and pairwise average-linkage
+    // distances maintained with the Lance-Williams update.
+    struct Cluster
+    {
+        size_t id;
+        size_t size;
+        bool active = true;
+    };
+    std::vector<Cluster> clusters;
+    clusters.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i)
+        clusters.push_back({i, 1, true});
+
+    // Distance matrix over cluster slots (grows as merges add slots).
+    std::vector<std::vector<double>> dist(
+        2 * n, std::vector<double>(2 * n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t c = 0; c < points.cols(); ++c) {
+                const double delta = points.at(i, c) - points.at(j, c);
+                acc += delta * delta;
+            }
+            dist[i][j] = dist[j][i] = std::sqrt(acc);
+        }
+    }
+
+    size_t next_id = n;
+    for (size_t step = 0; step + 1 < n; ++step) {
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::infinity();
+        size_t bi = 0, bj = 0;
+        for (size_t i = 0; i < clusters.size(); ++i) {
+            if (!clusters[i].active)
+                continue;
+            for (size_t j = i + 1; j < clusters.size(); ++j) {
+                if (!clusters[j].active)
+                    continue;
+                if (dist[i][j] < best) {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        const size_t merged_size =
+            clusters[bi].size + clusters[bj].size;
+        merges_.push_back({clusters[bi].id, clusters[bj].id, best,
+                           merged_size});
+
+        // New cluster slot with UPGMA distances.
+        const size_t slot = clusters.size();
+        clusters.push_back({next_id++, merged_size, true});
+        for (size_t k = 0; k < slot; ++k) {
+            if (!clusters[k].active || k == bi || k == bj)
+                continue;
+            const double wi = static_cast<double>(clusters[bi].size);
+            const double wj = static_cast<double>(clusters[bj].size);
+            dist[slot][k] = dist[k][slot] =
+                (wi * dist[bi][k] + wj * dist[bj][k]) / (wi + wj);
+        }
+        clusters[bi].active = false;
+        clusters[bj].active = false;
+    }
+}
+
+std::vector<size_t>
+HierarchicalClustering::leafOrder() const
+{
+    std::vector<size_t> order;
+    if (merges_.empty()) {
+        for (size_t i = 0; i < num_leaves_; ++i)
+            order.push_back(i);
+        return order;
+    }
+    // In-order walk from the final merge.
+    const size_t root = num_leaves_ + merges_.size() - 1;
+    std::vector<size_t> stack{root};
+    while (!stack.empty()) {
+        const size_t node = stack.back();
+        stack.pop_back();
+        if (node < num_leaves_) {
+            order.push_back(node);
+        } else {
+            const auto &m = merges_[node - num_leaves_];
+            stack.push_back(m.right);
+            stack.push_back(m.left);
+        }
+    }
+    return order;
+}
+
+std::string
+HierarchicalClustering::render(
+    const std::vector<std::string> &labels) const
+{
+    std::ostringstream oss;
+    oss << "Dendrogram (average linkage; merges by increasing "
+           "distance):\n";
+    auto name = [&](size_t id) -> std::string {
+        if (id < num_leaves_)
+            return id < labels.size() ? labels[id]
+                                      : ("leaf" + std::to_string(id));
+        return "cluster#" + std::to_string(id - num_leaves_);
+    };
+    for (size_t k = 0; k < merges_.size(); ++k) {
+        const auto &m = merges_[k];
+        oss << "  merge " << padLeft(std::to_string(k), 3) << ": "
+            << padRight(name(m.left), 28) << " + "
+            << padRight(name(m.right), 28)
+            << "  dist=" << formatSci(m.distance, 3)
+            << "  size=" << m.size << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace pimeval

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering with average linkage (UPGMA),
+ * used to build the paper's Fig. 1 benchmark-similarity dendrogram.
+ */
+
+#ifndef PIMEVAL_ANALYSIS_HCLUST_H_
+#define PIMEVAL_ANALYSIS_HCLUST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/pca.h"
+
+namespace pimeval {
+
+/**
+ * One merge step of the dendrogram. Cluster ids: 0..n-1 are leaves;
+ * n+k is the cluster created by merge k.
+ */
+struct DendrogramMerge
+{
+    size_t left;
+    size_t right;
+    double distance; ///< linkage distance at the merge
+    size_t size;     ///< leaves under the merged cluster
+};
+
+/**
+ * Average-linkage agglomerative clustering on row vectors.
+ */
+class HierarchicalClustering
+{
+  public:
+    /** Cluster the rows of @p points (Euclidean metric). */
+    explicit HierarchicalClustering(const Matrix &points);
+
+    /** Merge list in order of increasing linkage distance. */
+    const std::vector<DendrogramMerge> &merges() const
+    {
+        return merges_;
+    }
+
+    /**
+     * ASCII dendrogram with leaf labels, ordered like the merge tree;
+     * linkage distances printed per merge (log-scale axis is left to
+     * the reader, matching the figure).
+     */
+    std::string render(const std::vector<std::string> &labels) const;
+
+    /** Leaf order obtained by an in-order walk of the merge tree. */
+    std::vector<size_t> leafOrder() const;
+
+  private:
+    size_t num_leaves_;
+    std::vector<DendrogramMerge> merges_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_ANALYSIS_HCLUST_H_

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * PCA and Jacobi eigensolver implementation.
+ */
+
+#include "analysis/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pimeval {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::covariance(const Matrix &centered)
+{
+    const size_t n = centered.rows();
+    const size_t d = centered.cols();
+    Matrix cov(d, d);
+    const double scale = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) {
+            double acc = 0.0;
+            for (size_t r = 0; r < n; ++r)
+                acc += centered.at(r, i) * centered.at(r, j);
+            cov.at(i, j) = acc * scale;
+            cov.at(j, i) = cov.at(i, j);
+        }
+    }
+    return cov;
+}
+
+EigenResult
+jacobiEigen(const Matrix &input, unsigned max_sweeps)
+{
+    const size_t n = input.rows();
+    Matrix a = input;
+    Matrix v(n, n);
+    for (size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    for (unsigned sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < 1e-20)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-15)
+                    continue;
+                const double app = a.at(p, p);
+                const double aqq = a.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p);
+                    const double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k);
+                    const double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    EigenResult result;
+    result.values.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        result.values[i] = a.at(i, i);
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return result.values[x] > result.values[y];
+    });
+
+    EigenResult sorted;
+    sorted.values.resize(n);
+    sorted.vectors = Matrix(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        sorted.values[c] = result.values[order[c]];
+        for (size_t r = 0; r < n; ++r)
+            sorted.vectors.at(r, c) = v.at(r, order[c]);
+    }
+    return sorted;
+}
+
+Pca::Pca(const Matrix &samples, size_t num_components)
+{
+    const size_t n = samples.rows();
+    const size_t d = samples.cols();
+    num_components = std::min(num_components, d);
+
+    // Standardize columns.
+    Matrix centered(n, d);
+    for (size_t c = 0; c < d; ++c) {
+        double mean = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            mean += samples.at(r, c);
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            const double delta = samples.at(r, c) - mean;
+            var += delta * delta;
+        }
+        const double stddev =
+            std::sqrt(var / std::max<size_t>(1, n - 1));
+        const double inv = stddev > 1e-12 ? 1.0 / stddev : 0.0;
+        for (size_t r = 0; r < n; ++r)
+            centered.at(r, c) = (samples.at(r, c) - mean) * inv;
+    }
+
+    const Matrix cov = Matrix::covariance(centered);
+    const EigenResult eig = jacobiEigen(cov);
+
+    double total_var = 0.0;
+    for (double ev : eig.values)
+        total_var += std::max(0.0, ev);
+
+    projected_ = Matrix(n, num_components);
+    explained_.resize(num_components);
+    for (size_t c = 0; c < num_components; ++c) {
+        explained_[c] = total_var > 0
+            ? std::max(0.0, eig.values[c]) / total_var : 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double acc = 0.0;
+            for (size_t k = 0; k < d; ++k)
+                acc += centered.at(r, k) * eig.vectors.at(k, c);
+            projected_.at(r, c) = acc;
+        }
+    }
+}
+
+} // namespace pimeval

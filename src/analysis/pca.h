@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Principal Component Analysis for benchmark characterization.
+ *
+ * The paper's Fig. 1 dendrogram is built by refining per-benchmark
+ * feature vectors (instruction mix, memory access pattern, execution
+ * type, arithmetic intensity) with PCA followed by hierarchical
+ * clustering. This module provides the PCA step: standardization,
+ * covariance, a cyclic Jacobi symmetric eigensolver, and projection.
+ */
+
+#ifndef PIMEVAL_ANALYSIS_PCA_H_
+#define PIMEVAL_ANALYSIS_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pimeval {
+
+/** Row-major dense matrix, minimal interface for the analysis. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** C = A^T * A scaled by 1/(rows-1): sample covariance of
+     *  centered data. */
+    static Matrix covariance(const Matrix &centered);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Result of an eigendecomposition of a symmetric matrix.
+ * Eigenpairs are sorted by descending eigenvalue.
+ */
+struct EigenResult
+{
+    std::vector<double> values;
+    Matrix vectors; ///< column c = eigenvector for values[c]
+};
+
+/**
+ * Cyclic Jacobi eigensolver for symmetric matrices.
+ * @param a         symmetric input.
+ * @param max_sweeps iteration bound (convergence is quadratic).
+ */
+EigenResult jacobiEigen(const Matrix &a, unsigned max_sweeps = 64);
+
+/**
+ * PCA: standardize columns (z-score), compute covariance, decompose,
+ * and project onto the top @p num_components components.
+ */
+class Pca
+{
+  public:
+    /** Fit on samples (rows = observations, cols = features). */
+    Pca(const Matrix &samples, size_t num_components);
+
+    /** Projected samples (rows x num_components). */
+    const Matrix &projected() const { return projected_; }
+
+    /** Fraction of variance captured by each kept component. */
+    const std::vector<double> &explainedVariance() const
+    {
+        return explained_;
+    }
+
+  private:
+    Matrix projected_;
+    std::vector<double> explained_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_ANALYSIS_PCA_H_

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * AES-256 ECB on PIM, fully bitsliced.
+ *
+ * The state is held as 16 x 8 one-bit planes (position x bit), so
+ * every AES step maps to row-wide Boolean micro-operations — the
+ * "look-up table realized using logic gates" formulation the paper
+ * adopts from Hajihassani et al.:
+ *  - AddRoundKey: conditional plane inversions (XNOR with constants);
+ *  - ShiftRows: pure plane renaming at the controller;
+ *  - MixColumns / InvMixColumns: xtime chains = plane renames + XORs;
+ *  - SubBytes: a Shannon-factored two-level circuit over the 16 high-
+ *    and 16 low-nibble minterms (AND/OR network), generated from the
+ *    S-box truth table, so correctness is by construction.
+ */
+
+#include "apps/aes_app.h"
+
+#include <array>
+
+#include "util/aes_ref.h"
+#include "util/prng.h"
+
+namespace pimbench {
+
+namespace {
+
+using pimeval::Aes256;
+
+/** FIPS-197 key expansion for AES-256 (Nk = 8, 15 round keys). */
+std::vector<std::array<uint8_t, 16>>
+expandKey(const std::array<uint8_t, 32> &key)
+{
+    std::vector<std::array<uint8_t, 16>> round_keys(15);
+    uint8_t w[60][4];
+    std::copy(key.begin(), key.end(), &w[0][0]);
+    static const uint8_t rcon[8] = {0x01, 0x02, 0x04, 0x08,
+                                    0x10, 0x20, 0x40, 0x80};
+    for (int i = 8; i < 60; ++i) {
+        uint8_t t[4];
+        std::copy(w[i - 1], w[i - 1] + 4, t);
+        if (i % 8 == 0) {
+            const uint8_t t0 = t[0];
+            t[0] = static_cast<uint8_t>(Aes256::sbox(t[1]) ^
+                                        rcon[i / 8 - 1]);
+            t[1] = Aes256::sbox(t[2]);
+            t[2] = Aes256::sbox(t[3]);
+            t[3] = Aes256::sbox(t0);
+        } else if (i % 8 == 4) {
+            for (auto &x : t)
+                x = Aes256::sbox(x);
+        }
+        for (int b = 0; b < 4; ++b)
+            w[i][b] = static_cast<uint8_t>(w[i - 8][b] ^ t[b]);
+    }
+    for (int r = 0; r < 15; ++r)
+        std::copy(&w[4 * r][0], &w[4 * r][0] + 16,
+                  round_keys[r].begin());
+    return round_keys;
+}
+
+/** One byte position as eight one-bit planes. */
+using BytePlanes = std::array<PimObjId, 8>;
+
+/**
+ * All PIM objects of the bitsliced AES state plus reusable scratch.
+ * Everything is associated with one reference object so element-wise
+ * ops pair up.
+ */
+struct AesPimState
+{
+    std::array<BytePlanes, 16> pos; ///< state planes [position][bit]
+    std::array<PimObjId, 8> not_p;  ///< complemented input planes
+    std::array<PimObjId, 16> lo_min; ///< low-nibble minterms
+    std::array<PimObjId, 16> hi_min; ///< high-nibble minterms
+    std::array<PimObjId, 8> sub_out; ///< SubBytes output planes
+    std::array<PimObjId, 8> tall;    ///< MixColumns s0^s1^s2^s3
+    std::array<PimObjId, 8> u;       ///< MixColumns pair XOR
+    std::array<PimObjId, 8> xtu;     ///< xtime result
+    std::array<std::array<PimObjId, 8>, 4> col_out; ///< column outputs
+    std::array<PimObjId, 8> x2, x4, x8; ///< InvMixColumns powers
+    PimObjId g = -1; ///< Shannon subtree accumulator
+    PimObjId t = -1; ///< generic temporary
+    std::vector<PimObjId> all;
+
+    PimObjId
+    assoc(PimObjId ref)
+    {
+        const PimObjId id =
+            pimAllocAssociated(1, ref, PimDataType::PIM_BOOL);
+        all.push_back(id);
+        return id;
+    }
+
+    bool
+    allocate(uint64_t num_blocks)
+    {
+        pos[0][0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, num_blocks,
+                             1, PimDataType::PIM_BOOL);
+        all.push_back(pos[0][0]);
+        if (pos[0][0] < 0)
+            return false;
+        const PimObjId ref = pos[0][0];
+        for (int i = 0; i < 16; ++i)
+            for (int k = 0; k < 8; ++k)
+                if (i != 0 || k != 0)
+                    pos[i][k] = assoc(ref);
+        for (auto &id : not_p)
+            id = assoc(ref);
+        for (auto &id : lo_min)
+            id = assoc(ref);
+        for (auto &id : hi_min)
+            id = assoc(ref);
+        for (auto &id : sub_out)
+            id = assoc(ref);
+        for (auto &id : tall)
+            id = assoc(ref);
+        for (auto &id : u)
+            id = assoc(ref);
+        for (auto &id : xtu)
+            id = assoc(ref);
+        for (auto &col : col_out)
+            for (auto &id : col)
+                id = assoc(ref);
+        for (auto &id : x2)
+            id = assoc(ref);
+        for (auto &id : x4)
+            id = assoc(ref);
+        for (auto &id : x8)
+            id = assoc(ref);
+        g = assoc(ref);
+        t = assoc(ref);
+        for (PimObjId id : all)
+            if (id < 0)
+                return false;
+        return true;
+    }
+
+    void
+    release()
+    {
+        for (PimObjId id : all)
+            if (id >= 0)
+                pimFree(id);
+        all.clear();
+    }
+};
+
+/** XOR a round-key byte into a position: invert planes of set bits. */
+void
+pimAddRoundKeyByte(BytePlanes &planes, uint8_t rk)
+{
+    for (int k = 0; k < 8; ++k) {
+        if ((rk >> k) & 1)
+            pimXorScalar(planes[k], planes[k], 1);
+    }
+}
+
+/**
+ * SubBytes on one position via the Shannon-factored circuit:
+ *   out_k = OR_h [ hiMin_h AND (OR_{l in T(h,k)} loMin_l) ]
+ * where T(h,k) = { l : bit k of table[16h + l] }.
+ */
+void
+pimSubBytesPosition(AesPimState &st, BytePlanes &planes, bool inverse)
+{
+    // Complemented literals.
+    for (int k = 0; k < 8; ++k)
+        pimXorScalar(planes[k], st.not_p[k], 1);
+
+    // Nibble minterms: AND of four literals each.
+    for (int m = 0; m < 16; ++m) {
+        auto lit = [&](int bit, bool lo) {
+            const int k = lo ? bit : bit + 4;
+            return ((m >> bit) & 1) ? planes[k] : st.not_p[k];
+        };
+        pimAnd(lit(0, true), lit(1, true), st.lo_min[m]);
+        pimAnd(st.lo_min[m], lit(2, true), st.lo_min[m]);
+        pimAnd(st.lo_min[m], lit(3, true), st.lo_min[m]);
+        pimAnd(lit(0, false), lit(1, false), st.hi_min[m]);
+        pimAnd(st.hi_min[m], lit(2, false), st.hi_min[m]);
+        pimAnd(st.hi_min[m], lit(3, false), st.hi_min[m]);
+    }
+
+    // Two-level network per output bit.
+    for (int k = 0; k < 8; ++k) {
+        pimBroadcastInt(st.sub_out[k], 0);
+        for (int h = 0; h < 16; ++h) {
+            // Gather the low nibbles whose table entry has bit k.
+            std::array<int, 16> set{};
+            int count = 0;
+            for (int l = 0; l < 16; ++l) {
+                const auto v = static_cast<uint8_t>(16 * h + l);
+                const uint8_t s = inverse ? Aes256::invSbox(v)
+                                          : Aes256::sbox(v);
+                if ((s >> k) & 1)
+                    set[count++] = l;
+            }
+            if (count == 0)
+                continue;
+            if (count == 16) {
+                // Subtree is constant 1: the minterm passes through.
+                pimOr(st.sub_out[k], st.hi_min[h], st.sub_out[k]);
+                continue;
+            }
+            pimCopyDeviceToDevice(st.lo_min[set[0]], st.g);
+            for (int idx = 1; idx < count; ++idx)
+                pimOr(st.g, st.lo_min[set[idx]], st.g);
+            pimAnd(st.hi_min[h], st.g, st.t);
+            pimOr(st.sub_out[k], st.t, st.sub_out[k]);
+        }
+    }
+    for (int k = 0; k < 8; ++k)
+        pimCopyDeviceToDevice(st.sub_out[k], planes[k]);
+}
+
+/** In-place ShiftRows: plane renaming at the controller. */
+void
+applyShiftRows(std::array<BytePlanes, 16> &pos, bool inverse)
+{
+    std::array<BytePlanes, 16> next;
+    for (int c = 0; c < 4; ++c) {
+        for (int r = 0; r < 4; ++r) {
+            if (!inverse)
+                next[4 * c + r] = pos[4 * ((c + r) % 4) + r];
+            else
+                next[4 * ((c + r) % 4) + r] = pos[4 * c + r];
+        }
+    }
+    pos = next;
+}
+
+/**
+ * dst = xtime(src) on planes: left rotate through the reduction
+ * polynomial 0x1b — renames plus three XORs.
+ */
+void
+pimXtimePlanes(const BytePlanes &src,
+               const std::array<PimObjId, 8> &dst)
+{
+    // Bits without reduction: dst[k] = src[k-1] for k in {2,5,6,7}
+    // and dst[0] = src[7]; bits 1, 3, 4 additionally XOR src[7].
+    pimCopyDeviceToDevice(src[7], dst[0]);
+    pimXor(src[0], src[7], dst[1]);
+    pimCopyDeviceToDevice(src[1], dst[2]);
+    pimXor(src[2], src[7], dst[3]);
+    pimXor(src[3], src[7], dst[4]);
+    pimCopyDeviceToDevice(src[4], dst[5]);
+    pimCopyDeviceToDevice(src[5], dst[6]);
+    pimCopyDeviceToDevice(src[6], dst[7]);
+}
+
+/** MixColumns over the four byte positions of each column. */
+void
+pimMixColumns(AesPimState &st)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::array<BytePlanes *, 4> s = {
+            &st.pos[4 * c + 0], &st.pos[4 * c + 1],
+            &st.pos[4 * c + 2], &st.pos[4 * c + 3]};
+
+        for (int k = 0; k < 8; ++k) {
+            pimXor((*s[0])[k], (*s[1])[k], st.tall[k]);
+            pimXor(st.tall[k], (*s[2])[k], st.tall[k]);
+            pimXor(st.tall[k], (*s[3])[k], st.tall[k]);
+        }
+        for (int i = 0; i < 4; ++i) {
+            // u = s_i ^ s_{i+1}; out_i = s_i ^ tall ^ xtime(u).
+            for (int k = 0; k < 8; ++k)
+                pimXor((*s[i])[k], (*s[(i + 1) % 4])[k], st.u[k]);
+            pimXtimePlanes({st.u[0], st.u[1], st.u[2], st.u[3],
+                            st.u[4], st.u[5], st.u[6], st.u[7]},
+                           st.xtu);
+            for (int k = 0; k < 8; ++k) {
+                pimXor((*s[i])[k], st.tall[k], st.col_out[i][k]);
+                pimXor(st.col_out[i][k], st.xtu[k],
+                       st.col_out[i][k]);
+            }
+        }
+        for (int i = 0; i < 4; ++i)
+            for (int k = 0; k < 8; ++k)
+                pimCopyDeviceToDevice(st.col_out[i][k], (*s[i])[k]);
+    }
+}
+
+/** Inverse MixColumns: multipliers 9, 11, 13, 14 via xtime chains. */
+void
+pimInvMixColumns(AesPimState &st)
+{
+    static const int kInvMatrix[4][4] = {{14, 11, 13, 9},
+                                         {9, 14, 11, 13},
+                                         {13, 9, 14, 11},
+                                         {11, 13, 9, 14}};
+    for (int c = 0; c < 4; ++c) {
+        std::array<BytePlanes *, 4> s = {
+            &st.pos[4 * c + 0], &st.pos[4 * c + 1],
+            &st.pos[4 * c + 2], &st.pos[4 * c + 3]};
+
+        for (int i = 0; i < 4; ++i)
+            for (int k = 0; k < 8; ++k)
+                pimBroadcastInt(st.col_out[i][k], 0);
+
+        for (int i = 0; i < 4; ++i) {
+            pimXtimePlanes(*s[i], st.x2);
+            pimXtimePlanes({st.x2[0], st.x2[1], st.x2[2], st.x2[3],
+                            st.x2[4], st.x2[5], st.x2[6], st.x2[7]},
+                           st.x4);
+            pimXtimePlanes({st.x4[0], st.x4[1], st.x4[2], st.x4[3],
+                            st.x4[4], st.x4[5], st.x4[6], st.x4[7]},
+                           st.x8);
+            for (int r = 0; r < 4; ++r) {
+                const int factor = kInvMatrix[r][i];
+                for (int k = 0; k < 8; ++k) {
+                    // Accumulate x8 (always) plus x4/x2/x1 by factor.
+                    pimXor(st.col_out[r][k], st.x8[k],
+                           st.col_out[r][k]);
+                    if (factor == 13 || factor == 14)
+                        pimXor(st.col_out[r][k], st.x4[k],
+                               st.col_out[r][k]);
+                    if (factor == 11 || factor == 14)
+                        pimXor(st.col_out[r][k], st.x2[k],
+                               st.col_out[r][k]);
+                    if (factor == 9 || factor == 11 || factor == 13)
+                        pimXor(st.col_out[r][k], (*s[i])[k],
+                               st.col_out[r][k]);
+                }
+            }
+        }
+        for (int i = 0; i < 4; ++i)
+            for (int k = 0; k < 8; ++k)
+                pimCopyDeviceToDevice(st.col_out[i][k], (*s[i])[k]);
+    }
+}
+
+AppResult
+runAes(const AesParams &params, bool decrypt)
+{
+    AppResult result;
+    result.name = decrypt ? "AES-Decryption" : "AES-Encryption";
+    pimResetStats();
+
+    const uint64_t num_blocks = params.num_blocks;
+    const uint64_t num_bytes = num_blocks * 16;
+    pimeval::Prng rng(params.seed);
+    const std::vector<uint8_t> plaintext = rng.byteVector(num_bytes);
+
+    std::array<uint8_t, 32> key;
+    for (auto &k : key)
+        k = static_cast<uint8_t>(rng.next());
+    const Aes256 cipher(key);
+    const std::vector<uint8_t> ciphertext = cipher.encryptEcb(plaintext);
+    const auto round_keys = expandKey(key);
+
+    const std::vector<uint8_t> &input =
+        decrypt ? ciphertext : plaintext;
+    AesPimState st;
+    if (!st.allocate(num_blocks)) {
+        st.release();
+        return result;
+    }
+
+    // Load position-major bit planes.
+    std::vector<uint8_t> plane(num_blocks);
+    for (int i = 0; i < 16; ++i) {
+        for (int k = 0; k < 8; ++k) {
+            for (uint64_t b = 0; b < num_blocks; ++b)
+                plane[b] = (input[b * 16 + i] >> k) & 1;
+            pimCopyHostToDevice(plane.data(), st.pos[i][k]);
+        }
+    }
+
+    constexpr int kRounds = Aes256::kNumRounds;
+    auto addRoundKey = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            pimAddRoundKeyByte(st.pos[i], round_keys[round][i]);
+    };
+    auto subBytesAll = [&](bool inverse) {
+        for (int i = 0; i < 16; ++i)
+            pimSubBytesPosition(st, st.pos[i], inverse);
+    };
+
+    if (!decrypt) {
+        addRoundKey(0);
+        for (int round = 1; round < kRounds; ++round) {
+            subBytesAll(false);
+            applyShiftRows(st.pos, false);
+            pimMixColumns(st);
+            addRoundKey(round);
+        }
+        subBytesAll(false);
+        applyShiftRows(st.pos, false);
+        addRoundKey(kRounds);
+    } else {
+        addRoundKey(kRounds);
+        for (int round = kRounds - 1; round >= 1; --round) {
+            applyShiftRows(st.pos, true);
+            subBytesAll(true);
+            addRoundKey(round);
+            pimInvMixColumns(st);
+        }
+        applyShiftRows(st.pos, true);
+        subBytesAll(true);
+        addRoundKey(0);
+    }
+
+    // Read back, recompose bytes, verify.
+    std::vector<uint8_t> output(num_bytes, 0);
+    for (int i = 0; i < 16; ++i) {
+        for (int k = 0; k < 8; ++k) {
+            pimCopyDeviceToHost(st.pos[i][k], plane.data());
+            for (uint64_t b = 0; b < num_blocks; ++b)
+                output[b * 16 + i] |=
+                    static_cast<uint8_t>((plane[b] & 1) << k);
+        }
+    }
+    st.release();
+
+    const std::vector<uint8_t> &expected =
+        decrypt ? plaintext : ciphertext;
+    result.verified = (output == expected);
+
+    // CPU baseline: AES-NI-class pipeline, ~20 ops/byte equivalent.
+    result.cpu_work.bytes = 2 * num_bytes;
+    result.cpu_work.ops = num_bytes * 20;
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+    result.features.random_access = true; // table lookups
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace
+
+AppResult
+runAesEncrypt(const AesParams &params)
+{
+    return runAes(params, false);
+}
+
+AppResult
+runAesDecrypt(const AesParams &params)
+{
+    return runAes(params, true);
+}
+
+} // namespace pimbench

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * PIMbench: AES-256 encryption/decryption in ECB mode (Table I,
+ * Cryptography).
+ *
+ * Blocks are processed in bitsliced-by-position fashion: the 16 state
+ * byte positions become 16 PIM objects, each holding that position's
+ * byte for every block. ShiftRows is then pure object renaming;
+ * AddRoundKey is a scalar XOR; MixColumns composes xtime chains from
+ * shift/compare/xor; and SubBytes — the "look-up table realized using
+ * logic gates" of the paper — is an associative match-update sweep
+ * (256 equality matches + selective accumulate), the DRAM-CAM style
+ * operation DRAM-AP natively supports.
+ */
+
+#ifndef PIMEVAL_APPS_AES_APP_H_
+#define PIMEVAL_APPS_AES_APP_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct AesParams
+{
+    /** Number of 16-byte blocks (bytes = 16 x blocks). */
+    uint64_t num_blocks = 128;
+    uint64_t seed = 6;
+};
+
+/** AES-256 ECB encryption on PIM, verified against the reference. */
+AppResult runAesEncrypt(const AesParams &params);
+
+/** AES-256 ECB decryption on PIM (decrypts the reference ciphertext). */
+AppResult runAesDecrypt(const AesParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_AES_APP_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Common harness implementation.
+ */
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+void
+finalizeResult(AppResult &result)
+{
+    result.stats = pimGetStats();
+    // Paper-size what-if: the CPU/GPU baselines see the same scaled
+    // input the PIM cost model was charged for.
+    const double scale = pimGetModelingScale();
+    if (scale > 1.0) {
+        auto scaleWork = [scale](WorkloadProfile &work) {
+            work.bytes = static_cast<uint64_t>(
+                static_cast<double>(work.bytes) * scale);
+            work.ops = static_cast<uint64_t>(
+                static_cast<double>(work.ops) * scale);
+        };
+        scaleWork(result.cpu_work);
+        scaleWork(result.gpu_work);
+    }
+    result.features.name = result.name;
+    result.features.op_mix = pimGetOpMix();
+    const uint64_t moved = result.stats.bytes_h2d +
+        result.stats.bytes_d2h + result.stats.bytes_d2d;
+    result.features.arithmetic_intensity = moved
+        ? static_cast<double>(result.cpu_work.ops) /
+            static_cast<double>(moved)
+        : 0.0;
+    result.features.uses_host = result.stats.host_sec > 0.0;
+}
+
+const std::vector<std::string> &
+pimbenchSuiteNames()
+{
+    static const std::vector<std::string> names = {
+        "Vector Addition",
+        "AXPY",
+        "GEMV",
+        "GEMM",
+        "Radix Sort",
+        "AES-Encryption",
+        "AES-Decryption",
+        "Triangle Count",
+        "Filter-By-Key",
+        "Histogram",
+        "Brightness",
+        "Image Downsampling",
+        "KNN",
+        "Linear Regression",
+        "K-means",
+        "VGG-13",
+        "VGG-16",
+        "VGG-19",
+    };
+    return names;
+}
+
+} // namespace pimbench

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Common harness types for the PIMbench applications.
+ *
+ * Every benchmark implements:
+ *   - a PIM version written against the portable PIM API;
+ *   - a CPU reference used for functional verification;
+ *   - a workload characterization feeding the roofline CPU/GPU
+ *     baselines and the Fig. 1 feature analysis.
+ *
+ * Apps run against the active device (created by the caller), so the
+ * same implementation executes unmodified on all three PIM targets.
+ */
+
+#ifndef PIMEVAL_APPS_APP_COMMON_H_
+#define PIMEVAL_APPS_APP_COMMON_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "analysis/benchmark_features.h"
+#include "core/pim_api.h"
+#include "host/baseline_models.h"
+
+namespace pimbench {
+
+using pimeval::BenchmarkFeatures;
+using pimeval::PimRunStats;
+using pimeval::WorkloadProfile;
+
+/**
+ * Outcome of one benchmark run on one PIM target.
+ */
+struct AppResult
+{
+    std::string name;
+    bool verified = false;       ///< PIM output matched CPU reference
+    PimRunStats stats;           ///< modeled PIM + measured host stats
+    WorkloadProfile cpu_work;    ///< characterization for baselines
+    WorkloadProfile gpu_work;    ///< ditto (usually identical)
+    BenchmarkFeatures features;  ///< Fig. 1 characterization
+
+    /** Total PIM-side time, kernel + data movement + host. */
+    double pimTotalSec() const { return stats.totalSec(); }
+    /** Kernel + host (the paper's GPU-comparison time). */
+    double pimKernelHostSec() const
+    {
+        return stats.kernel_sec + stats.host_sec;
+    }
+    /** PIM energy including transfers. */
+    double pimTotalJoules() const { return stats.kernel_j + stats.copy_j; }
+};
+
+/**
+ * RAII device session: creates the device on construction, resets
+ * stats, and deletes the device on destruction.
+ */
+class DeviceSession
+{
+  public:
+    explicit DeviceSession(PimDeviceEnum device, uint64_t num_ranks = 0)
+    {
+        ok_ = pimCreateDevice(device, num_ranks) == PimStatus::PIM_OK;
+    }
+    explicit DeviceSession(const pimeval::PimDeviceConfig &config)
+    {
+        ok_ = pimCreateDeviceFromConfig(config) == PimStatus::PIM_OK;
+    }
+    ~DeviceSession()
+    {
+        if (ok_)
+            pimDeleteDevice();
+    }
+    DeviceSession(const DeviceSession &) = delete;
+    DeviceSession &operator=(const DeviceSession &) = delete;
+
+    bool ok() const { return ok_; }
+
+  private:
+    bool ok_ = false;
+};
+
+/**
+ * Scoped host-phase timer feeding the active device's stats, used by
+ * the PIM+Host benchmarks around their host-executed kernels.
+ */
+class HostPhaseTimer
+{
+  public:
+    HostPhaseTimer() { pimStartHostTimer(); }
+    ~HostPhaseTimer() { pimStopHostTimer(); }
+    HostPhaseTimer(const HostPhaseTimer &) = delete;
+    HostPhaseTimer &operator=(const HostPhaseTimer &) = delete;
+};
+
+/** Finalize an AppResult: snapshot stats and op mix into features. */
+void finalizeResult(AppResult &result);
+
+/** All PIMbench benchmark names in Table I order. */
+const std::vector<std::string> &pimbenchSuiteNames();
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_APP_COMMON_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PIMbench extension: Apriori frequent-itemset mining (from DRAM-CAM,
+ * the associative-processing work DRAM-AP builds on; listed in the
+ * paper's in-progress kernel additions).
+ *
+ * The transaction database is a Boolean matrix held as one bool
+ * vector per item (bit t set when transaction t contains the item).
+ * Support counting is pure associative processing: itemset support =
+ * reduction sum of the AND of its item vectors. The host generates
+ * candidate itemsets level by level (tiny combinatorial work).
+ */
+
+#ifndef PIMEVAL_APPS_APRIORI_H_
+#define PIMEVAL_APPS_APRIORI_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct AprioriParams
+{
+    uint64_t num_transactions = 1u << 14;
+    unsigned num_items = 24;
+    /** Minimum support as a fraction of transactions. */
+    double min_support = 0.2;
+    /** Mine itemsets up to this size. */
+    unsigned max_itemset_size = 3;
+    uint64_t seed = 19;
+};
+
+AppResult runApriori(const AprioriParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_APRIORI_H_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AXPY implementation (paper Listing 1).
+ */
+
+#include "apps/axpy.h"
+
+#include "util/prng.h"
+
+namespace pimbench {
+
+AppResult
+runAxpy(const AxpyParams &params)
+{
+    AppResult result;
+    result.name = "AXPY";
+    pimResetStats();
+
+    const uint64_t n = params.vector_length;
+    pimeval::Prng rng(params.seed);
+    const std::vector<int> x = rng.intVector(n, -10000, 10000);
+    std::vector<int> y = rng.intVector(n, -10000, 10000);
+    const std::vector<int> y_in = y;
+
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    const PimObjId obj_y =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    if (obj_x < 0 || obj_y < 0)
+        return result;
+
+    pimCopyHostToDevice(x.data(), obj_x);
+    pimCopyHostToDevice(y.data(), obj_y);
+    pimScaledAdd(obj_x, obj_y, obj_y,
+                 static_cast<uint64_t>(static_cast<int64_t>(params.scale)));
+    pimCopyDeviceToHost(obj_y, y.data());
+
+    pimFree(obj_x);
+    pimFree(obj_y);
+
+    result.verified = true;
+    for (uint64_t i = 0; i < n; ++i) {
+        if (y[i] != params.scale * x[i] + y_in[i]) {
+            result.verified = false;
+            break;
+        }
+    }
+
+    result.cpu_work.bytes = 3 * n * sizeof(int);
+    result.cpu_work.ops = 2 * n; // mul + add per element
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

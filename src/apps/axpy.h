@@ -1,0 +1,30 @@
+/**
+ * @file
+ * PIMbench: AXPY (Table I, Linear Algebra; from InSituBench).
+ *
+ * y = A*x + y over 32-bit integers using the fused pimScaledAdd —
+ * the paper's Listing 1 example. Multiplication-heavy relative to
+ * vector addition, so Fulcrum leads here (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_AXPY_H_
+#define PIMEVAL_APPS_AXPY_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct AxpyParams
+{
+    uint64_t vector_length = 1u << 20;
+    int scale = 7;
+    uint64_t seed = 2;
+};
+
+AppResult runAxpy(const AxpyParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_AXPY_H_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Brightness: saturating add over channel planes.
+ */
+
+#include "apps/brightness.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/bmp_image.h"
+
+namespace pimbench {
+
+AppResult
+runBrightness(const BrightnessParams &params)
+{
+    AppResult result;
+    result.name = "Brightness";
+    pimResetStats();
+
+    const pimeval::BmpImage img = pimeval::BmpImage::synthetic(
+        params.width, params.height, params.seed);
+    const uint64_t n = img.numPixels();
+
+    const std::array<const std::vector<uint8_t> *, 3> planes = {
+        &img.red(), &img.green(), &img.blue()};
+
+    // int16 working type so the saturation window is visible.
+    const PimObjId obj_chan =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 16,
+                 PimDataType::PIM_INT16);
+    if (obj_chan < 0)
+        return result;
+
+    std::array<std::vector<int16_t>, 3> out_planes;
+    std::vector<int16_t> staging(n);
+    for (int c = 0; c < 3; ++c) {
+        for (uint64_t i = 0; i < n; ++i)
+            staging[i] = static_cast<int16_t>((*planes[c])[i]);
+        pimCopyHostToDevice(staging.data(), obj_chan);
+        pimAddScalar(obj_chan, obj_chan,
+                     static_cast<uint64_t>(
+                         static_cast<int64_t>(params.delta)));
+        pimMinScalar(obj_chan, obj_chan, 255);
+        pimMaxScalar(obj_chan, obj_chan, 0);
+        out_planes[c].resize(n);
+        pimCopyDeviceToHost(obj_chan, out_planes[c].data());
+    }
+    pimFree(obj_chan);
+
+    // Verify.
+    result.verified = true;
+    for (int c = 0; c < 3 && result.verified; ++c) {
+        for (uint64_t i = 0; i < n; ++i) {
+            const int expected = std::clamp(
+                static_cast<int>((*planes[c])[i]) + params.delta, 0,
+                255);
+            if (out_planes[c][i] != expected) {
+                result.verified = false;
+                break;
+            }
+        }
+    }
+
+    result.cpu_work.bytes = 2 * 3 * n;
+    result.cpu_work.ops = 3 * n * 3; // add, min, max
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

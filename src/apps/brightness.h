@@ -1,0 +1,31 @@
+/**
+ * @file
+ * PIMbench: Brightness (Table I, Image Processing; from SIMDRAM).
+ *
+ * Adds a coefficient to every RGB value with saturation to [0, 255]
+ * via min/max — all simple element-wise ops, so every PIM variant
+ * beats both CPU and GPU (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_BRIGHTNESS_H_
+#define PIMEVAL_APPS_BRIGHTNESS_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct BrightnessParams
+{
+    uint32_t width = 512;
+    uint32_t height = 512;
+    int delta = 40; ///< brightness increment (may be negative)
+    uint64_t seed = 10;
+};
+
+AppResult runBrightness(const BrightnessParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_BRIGHTNESS_H_

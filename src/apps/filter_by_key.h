@@ -1,0 +1,33 @@
+/**
+ * @file
+ * PIMbench: Filter-By-Key (Table I, Database; PIM + Host).
+ *
+ * Scans a column for records matching a predicate (value < key tuned
+ * for ~1% selectivity). PIM produces the match bitmap at high speed;
+ * the host must then fetch the bitmap and gather the selected
+ * records — the gather is the bottleneck (99% of PIM-side runtime in
+ * the paper).
+ */
+
+#ifndef PIMEVAL_APPS_FILTER_BY_KEY_H_
+#define PIMEVAL_APPS_FILTER_BY_KEY_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct FilterByKeyParams
+{
+    uint64_t num_records = 1u << 20;
+    /** Selectivity target (default 1%, as in the paper). */
+    double selectivity = 0.01;
+    uint64_t seed = 8;
+};
+
+AppResult runFilterByKey(const FilterByKeyParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_FILTER_BY_KEY_H_

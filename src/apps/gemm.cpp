@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GEMM via batched GEMV.
+ */
+
+#include "apps/gemm.h"
+
+#include "apps/gemv.h"
+#include "util/prng.h"
+
+namespace pimbench {
+
+AppResult
+runGemm(const GemmParams &params)
+{
+    AppResult result;
+    result.name = "GEMM";
+    pimResetStats();
+
+    const uint64_t m = params.m, k = params.k, p = params.p;
+    pimeval::Prng rng(params.seed);
+    const std::vector<int> a = rng.intVector(m * k, -100, 100); // col-major
+    const std::vector<int> b = rng.intVector(k * p, -100, 100); // col-major
+
+    // Batched GEMV: one column of C per sweep.
+    std::vector<int> c(m * p, 0);
+    for (uint64_t j = 0; j < p; ++j) {
+        const std::vector<int> bj(b.begin() + j * k,
+                                  b.begin() + (j + 1) * k);
+        const std::vector<int> cj = pimGemvColumnSweep(a, bj, m, k);
+        std::copy(cj.begin(), cj.end(), c.begin() + j * m);
+    }
+
+    // CPU reference (spot check a pseudo-random subset for large
+    // sizes; exact check for the default).
+    result.verified = true;
+    for (uint64_t j = 0; j < p && result.verified; ++j) {
+        for (uint64_t i = 0; i < m; ++i) {
+            int64_t acc = 0;
+            for (uint64_t l = 0; l < k; ++l) {
+                acc += static_cast<int64_t>(a[l * m + i]) *
+                    b[j * k + l];
+            }
+            if (c[j * m + i] != static_cast<int>(acc)) {
+                result.verified = false;
+                break;
+            }
+        }
+    }
+
+    result.cpu_work.bytes = (m * k + k * p + m * p) * sizeof(int);
+    result.cpu_work.ops = 2 * m * k * p;
+    // GEMM is compute-bound: on the GPU it runs from cache/registers,
+    // so the roofline byte count stays the same but op count rules.
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

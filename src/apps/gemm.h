@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PIMbench: Matrix-Matrix Multiplication / GEMM (Table I).
+ *
+ * C = A * B implemented as batched GEMV over the columns of B
+ * (paper Section VIII). Compute-intensive, so no PIM variant wins
+ * outright — the expected shape is modest Fulcrum kernel-only
+ * speedup and data movement dominating end-to-end.
+ */
+
+#ifndef PIMEVAL_APPS_GEMM_H_
+#define PIMEVAL_APPS_GEMM_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct GemmParams
+{
+    uint64_t m = 512; ///< rows of A / C
+    uint64_t k = 64;  ///< cols of A = rows of B
+    uint64_t p = 16;  ///< cols of B / C
+    uint64_t seed = 4;
+};
+
+AppResult runGemm(const GemmParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_GEMM_H_

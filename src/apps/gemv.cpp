@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GEMV implementation.
+ */
+
+#include "apps/gemv.h"
+
+#include "util/prng.h"
+
+namespace pimbench {
+
+std::vector<int>
+pimGemvColumnSweep(const std::vector<int> &matrix,
+                   const std::vector<int> &v, uint64_t m, uint64_t n)
+{
+    const PimObjId obj_col =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
+                 PimDataType::PIM_INT32);
+    const PimObjId obj_acc =
+        pimAllocAssociated(32, obj_col, PimDataType::PIM_INT32);
+    std::vector<int> y(m, 0);
+    if (obj_col < 0 || obj_acc < 0)
+        return y;
+
+    pimBroadcastInt(obj_acc, 0);
+    for (uint64_t j = 0; j < n; ++j) {
+        pimCopyHostToDevice(matrix.data() + j * m, obj_col);
+        pimScaledAdd(obj_col, obj_acc, obj_acc,
+                     static_cast<uint64_t>(static_cast<int64_t>(v[j])));
+    }
+    pimCopyDeviceToHost(obj_acc, y.data());
+
+    pimFree(obj_col);
+    pimFree(obj_acc);
+    return y;
+}
+
+AppResult
+runGemv(const GemvParams &params)
+{
+    AppResult result;
+    result.name = "GEMV";
+    pimResetStats();
+
+    const uint64_t m = params.rows;
+    const uint64_t n = params.cols;
+    pimeval::Prng rng(params.seed);
+    const std::vector<int> matrix =
+        rng.intVector(m * n, -1000, 1000); // column-major
+    const std::vector<int> v = rng.intVector(n, -1000, 1000);
+
+    const std::vector<int> y = pimGemvColumnSweep(matrix, v, m, n);
+
+    // CPU reference.
+    result.verified = true;
+    for (uint64_t i = 0; i < m && result.verified; ++i) {
+        int64_t acc = 0;
+        for (uint64_t j = 0; j < n; ++j)
+            acc += static_cast<int64_t>(matrix[j * m + i]) * v[j];
+        if (y[i] != static_cast<int>(acc))
+            result.verified = false;
+    }
+
+    result.cpu_work.bytes = (m * n + n + m) * sizeof(int);
+    result.cpu_work.ops = 2 * m * n;
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PIMbench: Histogram (Table I, Image Processing; from Phoenix).
+ *
+ * Computes the 256-bin distribution of each RGB channel of a 24-bit
+ * bitmap. To avoid random access on PIM, channels are extracted into
+ * planes and each bin is counted with an equality match + reduction
+ * sweep over the key range — reduction is the limiting factor,
+ * especially for bit-serial (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_HISTOGRAM_H_
+#define PIMEVAL_APPS_HISTOGRAM_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct HistogramParams
+{
+    uint32_t width = 256;
+    uint32_t height = 256;
+    uint64_t seed = 9;
+};
+
+AppResult runHistogram(const HistogramParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_HISTOGRAM_H_

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * PIMbench: Image Downsampling (Table I, Image Processing).
+ *
+ * 2x box filter: each output pixel is the average of a 2x2 input
+ * block, computed with additions and a bit shift — both optimal on
+ * PIM, so all three variants beat CPU and GPU (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_IMAGE_DOWNSAMPLE_H_
+#define PIMEVAL_APPS_IMAGE_DOWNSAMPLE_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct ImageDownsampleParams
+{
+    uint32_t width = 512;  ///< must be even
+    uint32_t height = 512; ///< must be even
+    uint64_t seed = 11;
+};
+
+AppResult runImageDownsample(const ImageDownsampleParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_IMAGE_DOWNSAMPLE_H_

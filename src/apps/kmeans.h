@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PIMbench: K-means (Table I, Unsupervised Learning; from Phoenix).
+ *
+ * Lloyd iterations over 2-D integer points. The random-access
+ * assignment step is restructured for PIM with bitmasks: per-centroid
+ * Manhattan distances, a running minimum, equality masks to group the
+ * points of each centroid, and masked reductions for the new means
+ * (division on the host). Simple subtract/add/eq ops, so all PIM
+ * variants do well (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_KMEANS_H_
+#define PIMEVAL_APPS_KMEANS_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct KmeansParams
+{
+    uint64_t num_points = 1u << 16;
+    unsigned k = 8;
+    unsigned iterations = 4;
+    uint64_t seed = 14;
+};
+
+AppResult runKmeans(const KmeansParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_KMEANS_H_

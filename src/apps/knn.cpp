@@ -1,0 +1,96 @@
+/**
+ * @file
+ * KNN: PIM distance computation + host sort/classify.
+ */
+
+#include "apps/knn.h"
+
+#include <cmath>
+
+#include "host/host_kernels.h"
+#include "util/prng.h"
+
+namespace pimbench {
+
+AppResult
+runKnn(const KnnParams &params)
+{
+    AppResult result;
+    result.name = "KNN";
+    pimResetStats();
+
+    const uint64_t n = params.num_points;
+    pimeval::Prng rng(params.seed);
+    const std::vector<int> xs = rng.intVector(n, -10000, 10000);
+    const std::vector<int> ys = rng.intVector(n, -10000, 10000);
+    std::vector<int> labels(n);
+    for (auto &l : labels)
+        l = static_cast<int>(rng.nextInt(0, params.num_classes - 1));
+
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    const PimObjId obj_y =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    const PimObjId obj_dx =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    const PimObjId obj_dy =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    if (obj_x < 0 || obj_y < 0 || obj_dx < 0 || obj_dy < 0)
+        return result;
+
+    pimCopyHostToDevice(xs.data(), obj_x);
+    pimCopyHostToDevice(ys.data(), obj_y);
+
+    std::vector<int> predictions;
+    std::vector<int> expected;
+    std::vector<int> dist(n);
+    result.verified = true;
+
+    for (uint32_t q = 0; q < params.num_queries; ++q) {
+        const int qx = static_cast<int>(rng.nextInt(-10000, 10000));
+        const int qy = static_cast<int>(rng.nextInt(-10000, 10000));
+
+        // PIM: |x - qx| + |y - qy| per training point.
+        pimSubScalar(obj_x, obj_dx,
+                     static_cast<uint64_t>(static_cast<int64_t>(qx)));
+        pimAbs(obj_dx, obj_dx);
+        pimSubScalar(obj_y, obj_dy,
+                     static_cast<uint64_t>(static_cast<int64_t>(qy)));
+        pimAbs(obj_dy, obj_dy);
+        pimAdd(obj_dx, obj_dy, obj_dx);
+        pimCopyDeviceToHost(obj_dx, dist.data());
+
+        // Host: k-selection + vote (costed on the host model).
+        const int label = pimeval::knnClassify(dist, labels, params.k);
+        pimAddHostWork(2 * n * sizeof(int), 2 * n);
+        predictions.push_back(label);
+
+        // Reference.
+        std::vector<int> ref_dist(n);
+        for (uint64_t i = 0; i < n; ++i)
+            ref_dist[i] = std::abs(xs[i] - qx) + std::abs(ys[i] - qy);
+        expected.push_back(
+            pimeval::knnClassify(ref_dist, labels, params.k));
+    }
+    result.verified = (predictions == expected);
+
+    pimFree(obj_x);
+    pimFree(obj_y);
+    pimFree(obj_dx);
+    pimFree(obj_dy);
+
+    result.cpu_work.bytes =
+        params.num_queries * 2 * n * sizeof(int);
+    result.cpu_work.ops = params.num_queries * n * 5;
+    result.cpu_work.serial_fraction = 0.1; // partial sort
+    result.gpu_work = result.cpu_work;
+    result.gpu_work.serial_fraction = 0.0; // GPU top-k is parallel
+    result.features.sequential_access = true;
+    result.features.random_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PIMbench: K-Nearest Neighbors (Table I, Supervised Learning;
+ * PIM + Host).
+ *
+ * Batched inference over 2-D points with Manhattan distance: distance
+ * computation runs on PIM (subtract / abs / add per query), while the
+ * k-selection sort and majority-vote classification — which need
+ * shuffles PIM lacks — run on the host (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_KNN_H_
+#define PIMEVAL_APPS_KNN_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct KnnParams
+{
+    uint64_t num_points = 1u << 16;
+    uint32_t num_queries = 8;
+    unsigned k = 5;
+    unsigned num_classes = 4;
+    uint64_t seed = 12;
+};
+
+AppResult runKnn(const KnnParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_KNN_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Linear regression: PIM reductions + closed-form host solve.
+ */
+
+#include "apps/linear_regression.h"
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace pimbench {
+
+AppResult
+runLinearRegression(const LinearRegressionParams &params)
+{
+    AppResult result;
+    result.name = "Linear Regression";
+    pimResetStats();
+
+    const uint64_t n = params.num_points;
+    pimeval::Prng rng(params.seed);
+    // Points around a known line with noise, small enough that the
+    // int32 product reductions cannot overflow int64.
+    std::vector<int> xs(n), ys(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        xs[i] = static_cast<int>(rng.nextInt(-1000, 1000));
+        ys[i] = 3 * xs[i] + 17 +
+            static_cast<int>(rng.nextInt(-50, 50));
+    }
+
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    const PimObjId obj_y =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    const PimObjId obj_t =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    if (obj_x < 0 || obj_y < 0 || obj_t < 0)
+        return result;
+
+    pimCopyHostToDevice(xs.data(), obj_x);
+    pimCopyHostToDevice(ys.data(), obj_y);
+
+    int64_t sum_x = 0, sum_y = 0, sum_xy = 0, sum_xx = 0;
+    pimRedSum(obj_x, &sum_x);
+    pimRedSum(obj_y, &sum_y);
+    pimMul(obj_x, obj_y, obj_t);
+    pimRedSum(obj_t, &sum_xy);
+    pimMul(obj_x, obj_x, obj_t);
+    pimRedSum(obj_t, &sum_xx);
+
+    pimFree(obj_x);
+    pimFree(obj_y);
+    pimFree(obj_t);
+
+    // Host epilogue: least-squares solve.
+    const double dn = static_cast<double>(n);
+    const double denom =
+        dn * static_cast<double>(sum_xx) -
+        static_cast<double>(sum_x) * static_cast<double>(sum_x);
+    const double b1 =
+        (dn * static_cast<double>(sum_xy) -
+         static_cast<double>(sum_x) * static_cast<double>(sum_y)) /
+        denom;
+    const double b0 =
+        (static_cast<double>(sum_y) - b1 * static_cast<double>(sum_x)) /
+        dn;
+
+    // Verify reductions exactly and the fit loosely.
+    int64_t ref_x = 0, ref_y = 0, ref_xy = 0, ref_xx = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        ref_x += xs[i];
+        ref_y += ys[i];
+        ref_xy += static_cast<int64_t>(xs[i]) * ys[i];
+        ref_xx += static_cast<int64_t>(xs[i]) * xs[i];
+    }
+    result.verified = (sum_x == ref_x) && (sum_y == ref_y) &&
+        (sum_xy == ref_xy) && (sum_xx == ref_xx) &&
+        std::fabs(b1 - 3.0) < 0.1 && std::fabs(b0 - 17.0) < 5.0;
+
+    result.cpu_work.bytes = 2 * n * sizeof(int);
+    result.cpu_work.ops = 6 * n;
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PIMbench: Linear Regression (Table I, Supervised Learning; from
+ * Phoenix).
+ *
+ * 2-D least squares y = b0 + b1*x: PIM computes the four reductions
+ * (sum x, sum y, sum x*y, sum x^2); the closed-form slope/intercept
+ * solve is a constant-time host epilogue. Reduction-heavy relative to
+ * multiplication, so bit-serial and Fulcrum land close together
+ * (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_LINEAR_REGRESSION_H_
+#define PIMEVAL_APPS_LINEAR_REGRESSION_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct LinearRegressionParams
+{
+    uint64_t num_points = 1u << 20;
+    uint64_t seed = 13;
+};
+
+AppResult runLinearRegression(const LinearRegressionParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_LINEAR_REGRESSION_H_

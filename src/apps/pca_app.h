@@ -1,0 +1,33 @@
+/**
+ * @file
+ * PIMbench extension: Principal Component Analysis (from Phoenix;
+ * listed among the paper's in-progress kernel additions).
+ *
+ * PIM computes the feature means and the covariance matrix — per
+ * feature pair, one element-wise multiply plus a reduction sum — and
+ * the tiny d x d eigendecomposition runs on the host (float Jacobi,
+ * which PIM's integer ops cannot express). Reduction/mul heavy, like
+ * linear regression but with a quadratic number of reductions.
+ */
+
+#ifndef PIMEVAL_APPS_PCA_APP_H_
+#define PIMEVAL_APPS_PCA_APP_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct PcaParams
+{
+    uint64_t num_samples = 1u << 16;
+    unsigned num_features = 4;
+    uint64_t seed = 18;
+};
+
+AppResult runPca(const PcaParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_PCA_APP_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PIMbench extension: Prefix Sum (paper Section II "we are continuing
+ * to extend PIMbench with additional kernels, such as prefix sum").
+ *
+ * Inclusive scan via the Hillis-Steele doubling scheme: log2(n)
+ * rounds of shifted-element addition. Element shifting is not a
+ * native PIM op in these architectures, so each round stages the
+ * shifted vector through the host (PIM + Host execution type), which
+ * also demonstrates why scan is listed as future work.
+ */
+
+#ifndef PIMEVAL_APPS_PREFIX_SUM_H_
+#define PIMEVAL_APPS_PREFIX_SUM_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct PrefixSumParams
+{
+    uint64_t vector_length = 1u << 16;
+    uint64_t seed = 16;
+};
+
+AppResult runPrefixSum(const PrefixSumParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_PREFIX_SUM_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PIMbench: Radix Sort (Table I, Sort; PIM + Host).
+ *
+ * Digit-by-digit counting sort: the counting phase runs on PIM
+ * (digit extraction via shift/mask, per-bucket equality match +
+ * reduction), while the data-reshuffling scatter phase — unsupported
+ * by these PIM architectures — runs on the host and dominates,
+ * matching the paper's finding of only slight speedup over CPU.
+ */
+
+#ifndef PIMEVAL_APPS_RADIX_SORT_H_
+#define PIMEVAL_APPS_RADIX_SORT_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct RadixSortParams
+{
+    uint64_t num_keys = 1u << 16;
+    unsigned radix_bits = 8; ///< digit width (32 must divide cleanly)
+    uint64_t seed = 5;
+};
+
+AppResult runRadixSort(const RadixSortParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_RADIX_SORT_H_

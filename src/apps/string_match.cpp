@@ -1,0 +1,85 @@
+/**
+ * @file
+ * String match via shifted equality masks.
+ */
+
+#include "apps/string_match.h"
+
+#include "util/prng.h"
+
+namespace pimbench {
+
+AppResult
+runStringMatch(const StringMatchParams &params)
+{
+    AppResult result;
+    result.name = "String Match";
+    pimResetStats();
+
+    const uint64_t n = params.text_length;
+    const std::string &pat = params.pattern;
+    const uint64_t plen = pat.size();
+    if (plen == 0 || plen > n)
+        return result;
+
+    // Lowercase text with the pattern planted at deterministic spots.
+    pimeval::Prng rng(params.seed);
+    std::vector<uint8_t> text(n);
+    for (auto &ch : text)
+        ch = static_cast<uint8_t>('a' + rng.nextInt(0, 25));
+    for (uint64_t pos = 64; pos + plen < n; pos += 4099) {
+        for (uint64_t j = 0; j < plen; ++j)
+            text[pos + j] = static_cast<uint8_t>(pat[j]);
+    }
+
+    const uint64_t positions = n - plen + 1;
+    const PimObjId obj_text =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, positions, 8,
+                 PimDataType::PIM_UINT8);
+    const PimObjId obj_eq =
+        pimAllocAssociated(8, obj_text, PimDataType::PIM_UINT8);
+    const PimObjId obj_acc =
+        pimAllocAssociated(8, obj_text, PimDataType::PIM_UINT8);
+    if (obj_text < 0 || obj_eq < 0 || obj_acc < 0)
+        return result;
+
+    pimBroadcastInt(obj_acc, 1);
+    for (uint64_t j = 0; j < plen; ++j) {
+        // Host: stage the text shifted by j (element movement),
+        // costed on the host model.
+        std::vector<uint8_t> shifted(positions);
+        for (uint64_t i = 0; i < positions; ++i)
+            shifted[i] = text[i + j];
+        pimAddHostWork(2 * positions, positions);
+        pimCopyHostToDevice(shifted.data(), obj_text);
+        pimEQScalar(obj_text, obj_eq,
+                    static_cast<uint8_t>(pat[j]));
+        pimAnd(obj_acc, obj_eq, obj_acc);
+    }
+    int64_t matches = 0;
+    pimRedSum(obj_acc, &matches);
+
+    pimFree(obj_text);
+    pimFree(obj_eq);
+    pimFree(obj_acc);
+
+    // Reference scan.
+    int64_t expected = 0;
+    for (uint64_t i = 0; i < positions; ++i) {
+        bool hit = true;
+        for (uint64_t j = 0; j < plen && hit; ++j)
+            hit = (text[i + j] == static_cast<uint8_t>(pat[j]));
+        expected += hit;
+    }
+    result.verified = (matches == expected) && expected > 0;
+
+    result.cpu_work.bytes = n;
+    result.cpu_work.ops = n * 2;
+    result.gpu_work = result.cpu_work;
+    result.features.sequential_access = true;
+
+    finalizeResult(result);
+    return result;
+}
+
+} // namespace pimbench

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * PIMbench extension: String Match (from Phoenix; listed in the
+ * paper's in-progress kernel additions).
+ *
+ * Counts occurrences of a fixed pattern in a byte string with the
+ * associative-processing idiom: per pattern offset, an equality match
+ * against the shifted text ANDed into a running match mask — the
+ * DRAM-CAM exact-pattern-matching style DRAM-AP supports natively.
+ */
+
+#ifndef PIMEVAL_APPS_STRING_MATCH_H_
+#define PIMEVAL_APPS_STRING_MATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct StringMatchParams
+{
+    uint64_t text_length = 1u << 18;
+    std::string pattern = "pimeval";
+    uint64_t seed = 17;
+};
+
+AppResult runStringMatch(const StringMatchParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_STRING_MATCH_H_

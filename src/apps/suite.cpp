@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Suite runner implementation.
+ */
+
+#include "apps/suite.h"
+
+#include "apps/aes_app.h"
+#include "apps/apriori.h"
+#include "apps/axpy.h"
+#include "apps/brightness.h"
+#include "apps/filter_by_key.h"
+#include "apps/gemm.h"
+#include "apps/gemv.h"
+#include "apps/histogram.h"
+#include "apps/image_downsample.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/linear_regression.h"
+#include "apps/pca_app.h"
+#include "apps/prefix_sum.h"
+#include "apps/radix_sort.h"
+#include "apps/string_match.h"
+#include "apps/triangle_count.h"
+#include "apps/vec_add.h"
+#include "apps/vgg.h"
+
+namespace pimbench {
+
+namespace {
+
+bool
+tiny(SuiteScale scale)
+{
+    return scale == SuiteScale::kTiny;
+}
+
+/** Dispatch to the per-app runner at kSmall/kTiny sizes. */
+AppResult runAtFunctionalScale(const std::string &name, bool t);
+
+} // namespace
+
+PaperScale
+paperScale(const std::string &name)
+{
+    // Decomposition of (paper Table I size) / (kSmall size) into a
+    // per-call element ratio and a call-count ratio. Derivations in
+    // EXPERIMENTS.md.
+    PaperScale s;
+    if (name == "Vector Addition") {
+        s.elem_ratio = 2.035e9 / (1u << 20); // 2,035,544,320 int32
+    } else if (name == "AXPY") {
+        s.elem_ratio = 16.777e6 / (1u << 20); // 16,777,216 int32
+    } else if (name == "GEMV") {
+        // 2,352,160 x 8192 vs 2048 x 64: longer columns per call,
+        // more column sweeps.
+        s.elem_ratio = 2352160.0 / 2048.0;
+        s.call_ratio = 8192.0 / 64.0;
+    } else if (name == "GEMM") {
+        // (23521x4096)*(4096x512) vs (512x64)*(64x16).
+        s.elem_ratio = 23521.0 / 512.0;
+        s.call_ratio = (4096.0 * 512.0) / (64.0 * 16.0);
+    } else if (name == "Radix Sort") {
+        s.elem_ratio = 67.1e6 / (1u << 16); // 67,108,864 keys
+    } else if (name == "AES-Encryption" ||
+               name == "AES-Decryption") {
+        s.elem_ratio = 1.035e9 / (128.0 * 16.0); // bytes
+    } else if (name == "Triangle Count") {
+        // Bitmap width scales with nodes; edge sweep with edges.
+        s.elem_ratio = 227320.0 / 512.0;
+        s.call_ratio = 1628268.0 / 3000.0;
+    } else if (name == "Filter-By-Key") {
+        s.elem_ratio = 1.074e9 / (1u << 20); // 2^30 records
+    } else if (name == "Histogram") {
+        s.elem_ratio = 1.4e9 / (256.0 * 256.0);
+    } else if (name == "Brightness" ||
+               name == "Image Downsampling") {
+        s.elem_ratio = 1.4e9 / (512.0 * 512.0);
+    } else if (name == "KNN") {
+        s.elem_ratio = 6.71e6 / (1u << 16); // 6,710,886 points
+    } else if (name == "Linear Regression") {
+        s.elem_ratio = 1.5e9 / (1u << 20);
+    } else if (name == "K-means") {
+        s.elem_ratio = 67.1e6 / (1u << 16);
+        s.call_ratio = 20.0 / 8.0; // paper k=20 vs kSmall k=8
+    } else if (name == "VGG-13" || name == "VGG-16" ||
+               name == "VGG-19") {
+        // 224x224, full channels, batch 64 vs 32x32 at 1/8 channels:
+        // per-call vectors grow 49x spatial x 64 batch; channel-pair
+        // count grows 64x.
+        s.elem_ratio = 49.0 * 64.0;
+        s.call_ratio = 64.0;
+    } else if (name == "Prefix Sum" || name == "String Match" ||
+               name == "PCA" || name == "Apriori") {
+        s.elem_ratio = 1024.0;
+    }
+    return s;
+}
+
+AppResult
+runBenchmarkByName(const std::string &name, SuiteScale scale)
+{
+    if (scale == SuiteScale::kPaper) {
+        const PaperScale ps = paperScale(name);
+        pimSetModelingScale(ps.elem_ratio);
+        AppResult result = runAtFunctionalScale(name, false);
+        pimSetModelingScale(1.0);
+        // The paper issues call_ratio-times more calls of the same
+        // shape; every aggregate metric scales linearly with it.
+        if (ps.call_ratio > 1.0) {
+            auto scaleBy = [&](double &v) { v *= ps.call_ratio; };
+            scaleBy(result.stats.kernel_sec);
+            scaleBy(result.stats.kernel_j);
+            scaleBy(result.stats.copy_sec);
+            scaleBy(result.stats.copy_j);
+            scaleBy(result.stats.host_sec);
+            auto scaleBytes = [&](uint64_t &v) {
+                v = static_cast<uint64_t>(static_cast<double>(v) *
+                                          ps.call_ratio);
+            };
+            scaleBytes(result.stats.bytes_h2d);
+            scaleBytes(result.stats.bytes_d2h);
+            scaleBytes(result.stats.bytes_d2d);
+            auto scaleWork = [&](WorkloadProfile &w) {
+                w.bytes = static_cast<uint64_t>(
+                    static_cast<double>(w.bytes) * ps.call_ratio);
+                w.ops = static_cast<uint64_t>(
+                    static_cast<double>(w.ops) * ps.call_ratio);
+            };
+            scaleWork(result.cpu_work);
+            scaleWork(result.gpu_work);
+        }
+        return result;
+    }
+    return runAtFunctionalScale(name, tiny(scale));
+}
+
+namespace {
+
+AppResult
+runAtFunctionalScale(const std::string &name, bool t)
+{
+    if (name == "Vector Addition") {
+        VecAddParams p;
+        p.vector_length = t ? (1u << 12) : (1u << 20);
+        return runVecAdd(p);
+    }
+    if (name == "AXPY") {
+        AxpyParams p;
+        p.vector_length = t ? (1u << 12) : (1u << 20);
+        return runAxpy(p);
+    }
+    if (name == "GEMV") {
+        GemvParams p;
+        p.rows = t ? 256 : 2048;
+        p.cols = t ? 16 : 64;
+        return runGemv(p);
+    }
+    if (name == "GEMM") {
+        GemmParams p;
+        p.m = t ? 64 : 512;
+        p.k = t ? 16 : 64;
+        p.p = t ? 8 : 16;
+        return runGemm(p);
+    }
+    if (name == "Radix Sort") {
+        RadixSortParams p;
+        p.num_keys = t ? (1u << 10) : (1u << 16);
+        p.radix_bits = t ? 4 : 8;
+        return runRadixSort(p);
+    }
+    if (name == "AES-Encryption") {
+        AesParams p;
+        p.num_blocks = t ? 16 : 128;
+        return runAesEncrypt(p);
+    }
+    if (name == "AES-Decryption") {
+        AesParams p;
+        p.num_blocks = t ? 16 : 128;
+        return runAesDecrypt(p);
+    }
+    if (name == "Triangle Count") {
+        TriangleCountParams p;
+        p.scale = t ? 7 : 9;
+        return runTriangleCount(p);
+    }
+    if (name == "Filter-By-Key") {
+        FilterByKeyParams p;
+        p.num_records = t ? (1u << 12) : (1u << 20);
+        return runFilterByKey(p);
+    }
+    if (name == "Histogram") {
+        HistogramParams p;
+        p.width = t ? 64 : 256;
+        p.height = t ? 64 : 256;
+        return runHistogram(p);
+    }
+    if (name == "Brightness") {
+        BrightnessParams p;
+        p.width = t ? 64 : 512;
+        p.height = t ? 64 : 512;
+        return runBrightness(p);
+    }
+    if (name == "Image Downsampling") {
+        ImageDownsampleParams p;
+        p.width = t ? 64 : 512;
+        p.height = t ? 64 : 512;
+        return runImageDownsample(p);
+    }
+    if (name == "KNN") {
+        KnnParams p;
+        p.num_points = t ? (1u << 10) : (1u << 16);
+        p.num_queries = t ? 2 : 8;
+        return runKnn(p);
+    }
+    if (name == "Linear Regression") {
+        LinearRegressionParams p;
+        p.num_points = t ? (1u << 12) : (1u << 20);
+        return runLinearRegression(p);
+    }
+    if (name == "K-means") {
+        KmeansParams p;
+        p.num_points = t ? (1u << 10) : (1u << 16);
+        p.k = t ? 4 : 8;
+        p.iterations = t ? 2 : 4;
+        return runKmeans(p);
+    }
+    if (name == "VGG-13" || name == "VGG-16" || name == "VGG-19") {
+        VggParams p;
+        p.variant = (name == "VGG-13") ? VggVariant::kVgg13
+            : (name == "VGG-16") ? VggVariant::kVgg16
+                                 : VggVariant::kVgg19;
+        p.image_size = 32; // five pools require at least 32x32
+        p.channel_scale = t ? 16 : 8;
+        return runVgg(p);
+    }
+    if (name == "Prefix Sum") {
+        PrefixSumParams p;
+        p.vector_length = t ? (1u << 10) : (1u << 16);
+        return runPrefixSum(p);
+    }
+    if (name == "String Match") {
+        StringMatchParams p;
+        p.text_length = t ? (1u << 12) : (1u << 18);
+        return runStringMatch(p);
+    }
+    if (name == "PCA") {
+        PcaParams p;
+        p.num_samples = t ? (1u << 10) : (1u << 16);
+        return runPca(p);
+    }
+    if (name == "Apriori") {
+        AprioriParams p;
+        p.num_transactions = t ? (1u << 10) : (1u << 14);
+        p.max_itemset_size = t ? 2 : 3;
+        return runApriori(p);
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<AppResult>
+runSuite(SuiteScale scale, bool include_extensions)
+{
+    std::vector<AppResult> results;
+    for (const auto &name : pimbenchSuiteNames())
+        results.push_back(runBenchmarkByName(name, scale));
+    if (include_extensions) {
+        results.push_back(runBenchmarkByName("Prefix Sum", scale));
+        results.push_back(runBenchmarkByName("String Match", scale));
+        results.push_back(runBenchmarkByName("PCA", scale));
+        results.push_back(runBenchmarkByName("Apriori", scale));
+    }
+    return results;
+}
+
+} // namespace pimbench

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Suite runner: executes all PIMbench applications (Table I) on one
+ * PIM target and collects their results — the engine behind the
+ * figure-regeneration benches.
+ */
+
+#ifndef PIMEVAL_APPS_SUITE_H_
+#define PIMEVAL_APPS_SUITE_H_
+
+#include <vector>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+/**
+ * Input-size preset. The paper's Table I sizes need a 256 GB server
+ * and multi-day runs; these presets keep the same workloads at
+ * laptop scale (the models are analytic in problem size).
+ */
+enum class SuiteScale {
+    kTiny,  ///< seconds-scale smoke runs (tests)
+    kSmall, ///< default bench scale
+    /**
+     * Paper-figure mode: runs the kSmall workloads functionally but
+     * costs every command/transfer/host phase at the paper's Table I
+     * input sizes via the modeling scale (pimSetModelingScale). This
+     * is how the speedup/energy figures reproduce the paper's shapes
+     * on a laptop; see DESIGN.md and EXPERIMENTS.md.
+     */
+    kPaper,
+};
+
+/**
+ * How a benchmark's paper-scale input maps onto the kSmall run.
+ *
+ * The paper's inputs are larger along two independent axes:
+ *  - elem_ratio: each PIM call touches proportionally more elements
+ *    (applied as the device modeling scale, which re-costs every
+ *    call/transfer/host phase);
+ *  - call_ratio: the paper issues proportionally more calls of the
+ *    same shape (e.g., more matrix columns, more graph edges), which
+ *    multiplies the aggregate modeled statistics after the run.
+ */
+struct PaperScale
+{
+    double call_ratio = 1.0;
+    double elem_ratio = 1.0;
+
+    double total() const { return call_ratio * elem_ratio; }
+};
+
+/** Paper-to-kSmall scale decomposition for a Table I benchmark. */
+PaperScale paperScale(const std::string &name);
+
+/**
+ * Run the full Table I suite on the active device.
+ * @param scale input-size preset.
+ * @param include_extensions also run prefix-sum / string-match.
+ */
+std::vector<AppResult> runSuite(SuiteScale scale,
+                                bool include_extensions = false);
+
+/**
+ * Run one benchmark by Table I name on the active device; returns a
+ * default-constructed result for unknown names.
+ */
+AppResult runBenchmarkByName(const std::string &name, SuiteScale scale);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_SUITE_H_

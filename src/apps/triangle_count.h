@@ -1,0 +1,33 @@
+/**
+ * @file
+ * PIMbench: Triangle Count (Table I, Graph).
+ *
+ * Counts triangles with the in-memory mapping of Wang et al.: for
+ * each edge (u, v), AND the packed adjacency bitmaps of u and v,
+ * popcount the result, and reduce — each triangle is seen once per
+ * edge, so the total divides by three. AND is native on bit-serial
+ * PIM (best kernel latency), while popcount/reduction temper the net
+ * gain (paper Section VIII).
+ */
+
+#ifndef PIMEVAL_APPS_TRIANGLE_COUNT_H_
+#define PIMEVAL_APPS_TRIANGLE_COUNT_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct TriangleCountParams
+{
+    uint32_t scale = 9;       ///< 2^scale nodes (R-MAT)
+    uint32_t avg_degree = 12; ///< average degree before dedup
+    uint64_t seed = 7;
+};
+
+AppResult runTriangleCount(const TriangleCountParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_TRIANGLE_COUNT_H_

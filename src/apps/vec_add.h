@@ -1,0 +1,30 @@
+/**
+ * @file
+ * PIMbench: Vector Addition (Table I, Linear Algebra).
+ *
+ * Element-wise c = a + b over 32-bit integers; sequential access,
+ * pure PIM execution. The ideal bit-serial candidate (paper
+ * Section VIII) since addition is linear in bit width.
+ */
+
+#ifndef PIMEVAL_APPS_VEC_ADD_H_
+#define PIMEVAL_APPS_VEC_ADD_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+struct VecAddParams
+{
+    uint64_t vector_length = 1u << 20;
+    uint64_t seed = 1;
+};
+
+/** Run on the active device; verifies against the CPU reference. */
+AppResult runVecAdd(const VecAddParams &params);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_VEC_ADD_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PIMbench: VGG-13 / VGG-16 / VGG-19 (Table I, Neural Network;
+ * PIM + Host).
+ *
+ * Fixed-point integer VGG inference decomposed into per-layer kernels
+ * (paper Section VIII): convolutions run on PIM as scaled-add sweeps
+ * over host-prepared shifted planes (padding / strided patch
+ * extraction is host work), ReLU and max-pooling run on PIM, dense
+ * layers are column-sweep GEMVs, and the float softmax runs on the
+ * host (PIM has no FP support). The three variants differ only in
+ * convolution depth, exactly as in the paper.
+ *
+ * Scaled-down substitution (DESIGN.md): 32x32 inputs and channel
+ * counts divided by 8 keep the laptop-scale functional simulation
+ * tractable while preserving the operation mix and the PIM<->host
+ * decomposition.
+ */
+
+#ifndef PIMEVAL_APPS_VGG_H_
+#define PIMEVAL_APPS_VGG_H_
+
+#include <cstdint>
+
+#include "apps/app_common.h"
+
+namespace pimbench {
+
+enum class VggVariant {
+    kVgg13,
+    kVgg16,
+    kVgg19,
+};
+
+struct VggParams
+{
+    VggVariant variant = VggVariant::kVgg13;
+    uint32_t image_size = 32; ///< square input, 3 channels
+    /** Channel scale divisor vs. the full VGG configuration. */
+    unsigned channel_scale = 8;
+    uint64_t seed = 15;
+};
+
+AppResult runVgg(const VggParams &params);
+
+/** Convenience wrappers matching the Table I names. */
+AppResult runVgg13(uint64_t seed = 15);
+AppResult runVgg16(uint64_t seed = 15);
+AppResult runVgg19(uint64_t seed = 15);
+
+} // namespace pimbench
+
+#endif // PIMEVAL_APPS_VGG_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BankCore implementation.
+ */
+
+#include "banklevel/bank_core.h"
+
+namespace pimeval {
+
+BankCore::BankCore(uint32_t num_rows, uint32_t row_bits, unsigned alu_bits,
+                   unsigned gdl_bits)
+    : core_(num_rows, row_bits, alu_bits), gdl_bits_(gdl_bits)
+{
+}
+
+void
+BankCore::loadWalker(unsigned walker, uint32_t row)
+{
+    core_.loadWalker(walker, row);
+    gdl_beats_ += gdlBeatsPerRow();
+}
+
+void
+BankCore::storeWalker(unsigned walker, uint32_t row)
+{
+    core_.storeWalker(walker, row);
+    gdl_beats_ += gdlBeatsPerRow();
+}
+
+void
+BankCore::processElements(AlpuOp op, unsigned elem_bits,
+                          uint32_t num_elements, bool is_signed,
+                          bool use_scalar, uint64_t scalar)
+{
+    core_.processElements(op, elem_bits, num_elements, is_signed,
+                          use_scalar, scalar);
+}
+
+uint64_t
+BankCore::simdAluCycles() const
+{
+    // FulcrumCore counts one op-cost per element; the bank PE retires
+    // (alu_bits / elem_bits) lanes per cycle. The division is applied
+    // here so FulcrumCore stays lane-agnostic. Lanes are computed for
+    // 32-bit elements as the common case; callers needing other
+    // widths use the perf model directly.
+    return core_.aluCycles();
+}
+
+void
+BankCore::resetCounters()
+{
+    core_.resetCounters();
+    gdl_beats_ = 0;
+}
+
+} // namespace pimeval

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional model of the bank-level PIM processing element.
+ *
+ * The bank-level variant (paper Section IV, option (2) in Fig. 2)
+ * places a 128-bit Fulcrum-style ALPU with three walkers at the bank
+ * interface. Unlike the subarray-level Fulcrum, every row it touches
+ * must cross the narrow global data lines (GDL): a full 8192-bit row
+ * takes row_bits / gdl_bits GDL beats each way. Datatypes narrower
+ * than the ALPU width are processed SIMD-fashion (e.g., four 32-bit
+ * lanes per 128-bit ALU cycle), and popcount is single-cycle.
+ *
+ * The model wraps FulcrumCore and adds GDL beat accounting.
+ */
+
+#ifndef PIMEVAL_BANKLEVEL_BANK_CORE_H_
+#define PIMEVAL_BANKLEVEL_BANK_CORE_H_
+
+#include <cstdint>
+
+#include "fulcrum/fulcrum_core.h"
+
+namespace pimeval {
+
+/**
+ * Bank-level PE: FulcrumCore behind a GDL.
+ */
+class BankCore
+{
+  public:
+    /**
+     * @param num_rows rows addressable by the bank PE (all subarrays).
+     * @param row_bits bits per row.
+     * @param alu_bits PE width (128 in the paper).
+     * @param gdl_bits GDL width (128 in the paper).
+     */
+    BankCore(uint32_t num_rows, uint32_t row_bits, unsigned alu_bits,
+             unsigned gdl_bits);
+
+    FulcrumCore &core() { return core_; }
+    const FulcrumCore &core() const { return core_; }
+
+    unsigned gdlBits() const { return gdl_bits_; }
+
+    /** GDL beats needed to move one full row one way. */
+    uint64_t gdlBeatsPerRow() const
+    {
+        return (core_.rowBits() + gdl_bits_ - 1) / gdl_bits_;
+    }
+
+    /** Load a row into a walker: row read + GDL transfer. */
+    void loadWalker(unsigned walker, uint32_t row);
+
+    /** Store a walker to a row: GDL transfer + row write. */
+    void storeWalker(unsigned walker, uint32_t row);
+
+    /**
+     * SIMD element processing: lanes = alu_bits / elem_bits elements
+     * retire per ALU cycle.
+     */
+    void processElements(AlpuOp op, unsigned elem_bits,
+                         uint32_t num_elements, bool is_signed,
+                         bool use_scalar = false, uint64_t scalar = 0);
+
+    /** Total GDL beats issued (both directions). */
+    uint64_t gdlBeats() const { return gdl_beats_; }
+
+    /** SIMD-corrected ALU cycles (FulcrumCore counts per element). */
+    uint64_t simdAluCycles() const;
+
+    void resetCounters();
+
+  private:
+    FulcrumCore core_;
+    unsigned gdl_bits_;
+    uint64_t gdl_beats_ = 0;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BANKLEVEL_BANK_CORE_H_

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Analog microprogram generator implementations.
+ *
+ * Scratch-row conventions (within AnalogRowGroup):
+ *   S0 = kScratch + 0 : generic temporary
+ *   S1 = kScratch + 1 : running carry / borrow / accumulator
+ *   S2 = kScratch + 2 : saved carry-out
+ *   S3 = kScratch + 3 : complement temporaries
+ *   S4 = kScratch + 4 : second operand staging (sub / mul masking)
+ *   S5 = kScratch + 5 : condition bits (mul multiplier bit)
+ */
+
+#include "bitserial/analog_microprograms.h"
+
+#include <cassert>
+
+namespace pimeval {
+
+namespace {
+
+using G = AnalogRowGroup;
+
+constexpr uint32_t kS0 = G::kScratch + 0;
+constexpr uint32_t kS1 = G::kScratch + 1;
+constexpr uint32_t kS2 = G::kScratch + 2;
+constexpr uint32_t kS3 = G::kScratch + 3;
+constexpr uint32_t kS4 = G::kScratch + 4;
+constexpr uint32_t kS5 = G::kScratch + 5;
+
+/** dest = MAJ(x, y, const_row) with operands staged into T rows. */
+void
+emitMaj(AnalogProgram &p, uint32_t x, uint32_t y, uint32_t const_row,
+        uint32_t dest)
+{
+    p.append(AnalogOp::aap(x, G::kT0));
+    p.append(AnalogOp::aap(y, G::kT1));
+    p.append(AnalogOp::aap(const_row, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    p.append(AnalogOp::aap(G::kT0, dest));
+}
+
+/** dest = x XOR y = AND(~AND(x,y), OR(x,y)). */
+void
+emitXor(AnalogProgram &p, uint32_t x, uint32_t y, uint32_t dest)
+{
+    // ~AND(x,y) -> S3.
+    p.append(AnalogOp::aap(x, G::kT0));
+    p.append(AnalogOp::aap(y, G::kT1));
+    p.append(AnalogOp::aap(G::kC0, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    p.append(AnalogOp::aapNot(G::kT0, kS3));
+    // OR(x,y) in T0.
+    p.append(AnalogOp::aap(x, G::kT0));
+    p.append(AnalogOp::aap(y, G::kT1));
+    p.append(AnalogOp::aap(G::kC1, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    // AND(T0, S3) -> dest.
+    p.append(AnalogOp::aap(kS3, G::kT1));
+    p.append(AnalogOp::aap(G::kC0, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    p.append(AnalogOp::aap(G::kT0, dest));
+}
+
+} // namespace
+
+void
+AnalogMicroPrograms::emitFullAdder(AnalogProgram &p, uint32_t a_row,
+                                   uint32_t b_row, uint32_t dest_row)
+{
+    // carry_out = MAJ(a, b, carry) with carry in S1.
+    p.append(AnalogOp::aap(a_row, G::kT0));
+    p.append(AnalogOp::aap(b_row, G::kT1));
+    p.append(AnalogOp::aap(kS1, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    p.append(AnalogOp::aap(G::kT0, kS2)); // save carry_out
+
+    // inner = MAJ(a, b, ~carry_in).
+    p.append(AnalogOp::aapNot(kS1, kS3));
+    p.append(AnalogOp::aap(a_row, G::kT0));
+    p.append(AnalogOp::aap(b_row, G::kT1));
+    p.append(AnalogOp::aap(kS3, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+
+    // sum = MAJ(~carry_out, inner, carry_in).
+    p.append(AnalogOp::aapNot(kS2, G::kT1));
+    p.append(AnalogOp::aap(kS1, G::kT2));
+    p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+    p.append(AnalogOp::aap(G::kT0, dest_row));
+
+    // carry <- carry_out.
+    p.append(AnalogOp::aap(kS2, kS1));
+}
+
+AnalogProgram
+AnalogMicroPrograms::add(uint32_t a, uint32_t b, uint32_t dest,
+                         unsigned n)
+{
+    assert(a >= G::kNumRows && b >= G::kNumRows && dest >= G::kNumRows);
+    AnalogProgram p;
+    p.append(AnalogOp::aap(G::kC0, kS1)); // carry = 0
+    for (unsigned i = 0; i < n; ++i)
+        emitFullAdder(p, a + i, b + i, dest + i);
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::sub(uint32_t a, uint32_t b, uint32_t dest,
+                         unsigned n)
+{
+    // a - b = a + ~b + 1.
+    AnalogProgram p;
+    p.append(AnalogOp::aap(G::kC1, kS1)); // carry = 1
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(AnalogOp::aapNot(b + i, kS4));
+        emitFullAdder(p, a + i, kS4, dest + i);
+    }
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::mul(uint32_t a, uint32_t b, uint32_t dest,
+                         unsigned n)
+{
+    assert(dest + n <= a || a + n <= dest);
+    assert(dest + n <= b || b + n <= dest);
+    AnalogProgram p;
+    // Clear accumulator.
+    for (unsigned i = 0; i < n; ++i)
+        p.append(AnalogOp::aap(G::kC0, dest + i));
+    // Shift-add with the multiplier bit masking the addend:
+    // addend_i = a_i AND b_j.
+    for (unsigned j = 0; j < n; ++j) {
+        p.append(AnalogOp::aap(b + j, kS5)); // condition row
+        p.append(AnalogOp::aap(G::kC0, kS1)); // carry = 0
+        for (unsigned i = 0; i + j < n; ++i) {
+            // masked = a_i & cond -> S4.
+            p.append(AnalogOp::aap(a + i, G::kT0));
+            p.append(AnalogOp::aap(kS5, G::kT1));
+            p.append(AnalogOp::aap(G::kC0, G::kT2));
+            p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+            p.append(AnalogOp::aap(G::kT0, kS4));
+            emitFullAdder(p, kS4, dest + i + j, dest + i + j);
+        }
+    }
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::andOp(uint32_t a, uint32_t b, uint32_t dest,
+                           unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i)
+        emitMaj(p, a + i, b + i, G::kC0, dest + i);
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::orOp(uint32_t a, uint32_t b, uint32_t dest,
+                          unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i)
+        emitMaj(p, a + i, b + i, G::kC1, dest + i);
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::xorOp(uint32_t a, uint32_t b, uint32_t dest,
+                           unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i)
+        emitXor(p, a + i, b + i, dest + i);
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::xnorOp(uint32_t a, uint32_t b, uint32_t dest,
+                            unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        emitXor(p, a + i, b + i, kS0);
+        p.append(AnalogOp::aapNot(kS0, dest + i));
+    }
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::notOp(uint32_t a, uint32_t dest, unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i)
+        p.append(AnalogOp::aapNot(a + i, dest + i));
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::lessThan(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n, bool is_signed)
+{
+    // borrow' = MAJ(~a, b, borrow); final borrow = (a < b). Signed
+    // compare flips both MSB inputs (bias trick), i.e., uses
+    // MAJ(a, ~b, borrow) for the last bit.
+    AnalogProgram p;
+    p.append(AnalogOp::aap(G::kC0, kS1)); // borrow = 0
+    for (unsigned i = 0; i < n; ++i) {
+        const bool flip = is_signed && i == n - 1;
+        if (!flip) {
+            p.append(AnalogOp::aapNot(a + i, G::kT0));
+            p.append(AnalogOp::aap(b + i, G::kT1));
+        } else {
+            p.append(AnalogOp::aap(a + i, G::kT0));
+            p.append(AnalogOp::aapNot(b + i, G::kT1));
+        }
+        p.append(AnalogOp::aap(kS1, G::kT2));
+        p.append(AnalogOp::tra(G::kT0, G::kT1, G::kT2));
+        p.append(AnalogOp::aap(G::kT0, kS1));
+    }
+    p.append(AnalogOp::aap(kS1, dest));
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::equal(uint32_t a, uint32_t b, uint32_t dest,
+                           unsigned n)
+{
+    // diff = OR over XOR bits; dest = ~diff.
+    AnalogProgram p;
+    p.append(AnalogOp::aap(G::kC0, kS1)); // diff accumulator
+    for (unsigned i = 0; i < n; ++i) {
+        emitXor(p, a + i, b + i, kS0);
+        emitMaj(p, kS0, kS1, G::kC1, kS1); // diff |= xor
+    }
+    p.append(AnalogOp::aapNot(kS1, dest));
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::copy(uint32_t a, uint32_t dest, unsigned n)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i)
+        p.append(AnalogOp::aap(a + i, dest + i));
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::broadcast(uint32_t dest, unsigned n,
+                               uint64_t value)
+{
+    AnalogProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        const uint32_t const_row =
+            ((value >> i) & 1) ? G::kC1 : G::kC0;
+        p.append(AnalogOp::aap(const_row, dest + i));
+    }
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::shiftLeft(uint32_t a, uint32_t dest, unsigned n,
+                               unsigned amount)
+{
+    AnalogProgram p;
+    if (amount >= n) {
+        for (unsigned i = 0; i < n; ++i)
+            p.append(AnalogOp::aap(G::kC0, dest + i));
+        return p;
+    }
+    for (unsigned i = n; i-- > amount;)
+        p.append(AnalogOp::aap(a + i - amount, dest + i));
+    for (unsigned i = 0; i < amount; ++i)
+        p.append(AnalogOp::aap(G::kC0, dest + i));
+    return p;
+}
+
+AnalogProgram
+AnalogMicroPrograms::shiftRight(uint32_t a, uint32_t dest, unsigned n,
+                                unsigned amount, bool arithmetic)
+{
+    AnalogProgram p;
+    if (amount >= n)
+        amount = arithmetic ? n - 1 : n;
+    // Save the sign first so dest may alias a.
+    if (arithmetic)
+        p.append(AnalogOp::aap(a + n - 1, kS0));
+    for (unsigned i = 0; i + amount < n; ++i)
+        p.append(AnalogOp::aap(a + i + amount, dest + i));
+    for (unsigned i = n - amount; i < n; ++i) {
+        if (arithmetic)
+            p.append(AnalogOp::aap(kS0, dest + i));
+        else
+            p.append(AnalogOp::aap(G::kC0, dest + i));
+    }
+    return p;
+}
+
+} // namespace pimeval

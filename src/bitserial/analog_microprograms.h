@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Microprogram generators for analog bit-serial PIM.
+ *
+ * Every high-level operation is synthesized from the AAP / AAP-NOT /
+ * TRA primitives, with majority logic doing the computation:
+ *   AND(a,b) = MAJ(a,b,0)      OR(a,b)  = MAJ(a,b,1)
+ *   carry    = MAJ(a,b,c)      sum      = MAJ(~carry, MAJ(a,b,~c), c)
+ *   XOR(a,b) = AND(~AND(a,b), OR(a,b))
+ *
+ * Operands are vertically laid-out values occupying @c n data rows
+ * (base + i holds bit i) and must live at or above
+ * AnalogRowGroup::kNumRows; the generators route everything through
+ * the designated compute-row group, exposing the copy overhead that
+ * makes analog bit-serial costlier per micro-op than the digital
+ * DRAM-AP design (paper Section IV).
+ */
+
+#ifndef PIMEVAL_BITSERIAL_ANALOG_MICROPROGRAMS_H_
+#define PIMEVAL_BITSERIAL_ANALOG_MICROPROGRAMS_H_
+
+#include "bitserial/analog_ops.h"
+
+namespace pimeval {
+
+class AnalogMicroPrograms
+{
+  public:
+    // --- Arithmetic ---
+    /** dest = a + b (mod 2^n). */
+    static AnalogProgram add(uint32_t a, uint32_t b, uint32_t dest,
+                             unsigned n);
+    /** dest = a - b (mod 2^n). */
+    static AnalogProgram sub(uint32_t a, uint32_t b, uint32_t dest,
+                             unsigned n);
+    /** dest = a * b (mod 2^n); dest must not alias a or b. */
+    static AnalogProgram mul(uint32_t a, uint32_t b, uint32_t dest,
+                             unsigned n);
+
+    // --- Logic ---
+    static AnalogProgram andOp(uint32_t a, uint32_t b, uint32_t dest,
+                               unsigned n);
+    static AnalogProgram orOp(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n);
+    static AnalogProgram xorOp(uint32_t a, uint32_t b, uint32_t dest,
+                               unsigned n);
+    static AnalogProgram xnorOp(uint32_t a, uint32_t b, uint32_t dest,
+                                unsigned n);
+    static AnalogProgram notOp(uint32_t a, uint32_t dest, unsigned n);
+
+    // --- Comparisons (one result bit at dest) ---
+    static AnalogProgram lessThan(uint32_t a, uint32_t b,
+                                  uint32_t dest, unsigned n,
+                                  bool is_signed);
+    static AnalogProgram equal(uint32_t a, uint32_t b, uint32_t dest,
+                               unsigned n);
+
+    // --- Data movement / constants ---
+    static AnalogProgram copy(uint32_t a, uint32_t dest, unsigned n);
+    static AnalogProgram broadcast(uint32_t dest, unsigned n,
+                                   uint64_t value);
+    static AnalogProgram shiftLeft(uint32_t a, uint32_t dest,
+                                   unsigned n, unsigned amount);
+    static AnalogProgram shiftRight(uint32_t a, uint32_t dest,
+                                    unsigned n, unsigned amount,
+                                    bool arithmetic);
+
+  private:
+    /** Emit carry = MAJ into S1, sum into dest_row (FA step). */
+    static void emitFullAdder(AnalogProgram &p, uint32_t a_row,
+                              uint32_t b_row, uint32_t dest_row);
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_ANALOG_MICROPROGRAMS_H_

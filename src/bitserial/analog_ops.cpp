@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analog row-op constructors and profiling.
+ */
+
+#include "bitserial/analog_ops.h"
+
+#include <sstream>
+
+namespace pimeval {
+
+AnalogOp
+AnalogOp::aap(uint32_t src, uint32_t dst)
+{
+    AnalogOp op;
+    op.kind = AnalogOpKind::kAap;
+    op.src = src;
+    op.dst = dst;
+    return op;
+}
+
+AnalogOp
+AnalogOp::aapNot(uint32_t src, uint32_t dst)
+{
+    AnalogOp op;
+    op.kind = AnalogOpKind::kAapNot;
+    op.src = src;
+    op.dst = dst;
+    return op;
+}
+
+AnalogOp
+AnalogOp::tra(uint32_t r0, uint32_t r1, uint32_t r2)
+{
+    AnalogOp op;
+    op.kind = AnalogOpKind::kTra;
+    op.r0 = r0;
+    op.r1 = r1;
+    op.r2 = r2;
+    return op;
+}
+
+std::string
+AnalogOp::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case AnalogOpKind::kAap:
+        oss << "aap    row[" << dst << "] <- row[" << src << "]";
+        break;
+      case AnalogOpKind::kAapNot:
+        oss << "aap~   row[" << dst << "] <- ~row[" << src << "]";
+        break;
+      case AnalogOpKind::kTra:
+        oss << "tra    MAJ(row[" << r0 << "], row[" << r1 << "], row["
+            << r2 << "])";
+        break;
+    }
+    return oss.str();
+}
+
+uint64_t
+AnalogProgram::numAaps() const
+{
+    uint64_t n = 0;
+    for (const auto &op : ops)
+        n += (op.kind != AnalogOpKind::kTra);
+    return n;
+}
+
+uint64_t
+AnalogProgram::numTras() const
+{
+    uint64_t n = 0;
+    for (const auto &op : ops)
+        n += (op.kind == AnalogOpKind::kTra);
+    return n;
+}
+
+void
+AnalogProgram::append(const AnalogProgram &other)
+{
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+}
+
+std::string
+AnalogProgram::disassemble() const
+{
+    std::ostringstream oss;
+    for (const auto &op : ops)
+        oss << op.toString() << "\n";
+    return oss.str();
+}
+
+} // namespace pimeval

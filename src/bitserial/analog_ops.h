@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Row-operation ISA of analog bit-serial PIM (Ambit / SIMDRAM style).
+ *
+ * The paper lists analog bit-serial support as an in-progress PIMeval
+ * extension (Sections II, V-A, IX); this module provides it. Analog
+ * in-DRAM computation offers only three primitives, all at row
+ * granularity:
+ *
+ *  - AAP  (Activate-Activate-Precharge): copy one row into another
+ *    through the sense amplifiers (RowClone FPM).
+ *  - AAP-NOT: copy through a dual-contact cell (DCC) row, yielding
+ *    the bitwise complement — the only way to invert, and the reason
+ *    DCC rows are costly (paper Section IV).
+ *  - TRA  (Triple-Row Activation): simultaneously activate three
+ *    designated compute rows; charge sharing leaves the bitwise
+ *    MAJority of the three values in all three rows.
+ *
+ * Operands must first be copied into the small group of TRA-capable
+ * compute rows — the copy overhead the paper cites as a drawback of
+ * the analog approach versus digital bit-serial PIM.
+ */
+
+#ifndef PIMEVAL_BITSERIAL_ANALOG_OPS_H_
+#define PIMEVAL_BITSERIAL_ANALOG_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/** Compute-row group layout (indices into the reserved rows). */
+struct AnalogRowGroup
+{
+    /** TRA-capable rows (operands of every majority). */
+    static constexpr uint32_t kT0 = 0;
+    static constexpr uint32_t kT1 = 1;
+    static constexpr uint32_t kT2 = 2;
+    /** Dual-contact rows: writing via AAP-NOT lands the complement. */
+    static constexpr uint32_t kDcc0 = 3;
+    static constexpr uint32_t kDcc1 = 4;
+    /** Constant rows preset to all-0 / all-1. */
+    static constexpr uint32_t kC0 = 5;
+    static constexpr uint32_t kC1 = 6;
+    /** Scratch data rows usable as temporaries (six of them). */
+    static constexpr uint32_t kScratch = 7;
+    /** Total reserved compute rows (incl. 6 scratch). */
+    static constexpr uint32_t kNumRows = 13;
+};
+
+/** Analog row-operation kinds. */
+enum class AnalogOpKind : uint8_t {
+    kAap = 0, ///< dst row <- src row
+    kAapNot,  ///< dst row <- NOT src row (through a DCC)
+    kTra,     ///< rows r0,r1,r2 <- MAJ(r0, r1, r2)
+};
+
+/** One analog row operation. */
+struct AnalogOp
+{
+    AnalogOpKind kind;
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint32_t r0 = 0, r1 = 0, r2 = 0; ///< for kTra
+
+    static AnalogOp aap(uint32_t src, uint32_t dst);
+    static AnalogOp aapNot(uint32_t src, uint32_t dst);
+    static AnalogOp tra(uint32_t r0, uint32_t r1, uint32_t r2);
+
+    std::string toString() const;
+};
+
+/**
+ * A sequence of analog row operations plus its op-count profile —
+ * the costing basis of the analog performance model.
+ */
+struct AnalogProgram
+{
+    std::vector<AnalogOp> ops;
+
+    uint64_t numAaps() const;
+    uint64_t numTras() const;
+
+    void append(AnalogOp op) { ops.push_back(op); }
+    void append(const AnalogProgram &other);
+
+    std::string disassemble() const;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_ANALOG_OPS_H_

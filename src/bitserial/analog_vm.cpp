@@ -1,0 +1,102 @@
+/**
+ * @file
+ * AnalogVm implementation.
+ */
+
+#include "bitserial/analog_vm.h"
+
+#include <cassert>
+
+namespace pimeval {
+
+AnalogVm::AnalogVm(uint32_t num_rows, uint32_t num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols),
+      words_per_row_((num_cols + 63) / 64),
+      memory_(num_rows, Row(words_per_row_, 0))
+{
+    assert(num_rows_ > AnalogRowGroup::kNumRows);
+    // Constant rows: C0 all zeros (default), C1 all ones.
+    for (auto &word : memory_[AnalogRowGroup::kC1])
+        word = ~0ull;
+}
+
+void
+AnalogVm::execute(const AnalogOp &op)
+{
+    ++ops_executed_;
+    switch (op.kind) {
+      case AnalogOpKind::kAap: {
+        assert(op.src < num_rows_ && op.dst < num_rows_);
+        memory_[op.dst] = memory_[op.src];
+        break;
+      }
+      case AnalogOpKind::kAapNot: {
+        assert(op.src < num_rows_ && op.dst < num_rows_);
+        for (uint32_t w = 0; w < words_per_row_; ++w)
+            memory_[op.dst][w] = ~memory_[op.src][w];
+        break;
+      }
+      case AnalogOpKind::kTra: {
+        assert(op.r0 < num_rows_ && op.r1 < num_rows_ &&
+               op.r2 < num_rows_);
+        Row &a = memory_[op.r0];
+        Row &b = memory_[op.r1];
+        Row &c = memory_[op.r2];
+        for (uint32_t w = 0; w < words_per_row_; ++w) {
+            const uint64_t maj =
+                (a[w] & b[w]) | (a[w] & c[w]) | (b[w] & c[w]);
+            a[w] = maj;
+            b[w] = maj;
+            c[w] = maj;
+        }
+        break;
+      }
+    }
+}
+
+void
+AnalogVm::run(const AnalogProgram &program)
+{
+    for (const auto &op : program.ops)
+        execute(op);
+}
+
+bool
+AnalogVm::getBit(uint32_t row, uint32_t col) const
+{
+    assert(row < num_rows_ && col < num_cols_);
+    return (memory_[row][col / 64] >> (col % 64)) & 1;
+}
+
+void
+AnalogVm::setBit(uint32_t row, uint32_t col, bool value)
+{
+    assert(row < num_rows_ && col < num_cols_);
+    const uint64_t mask = 1ull << (col % 64);
+    if (value)
+        memory_[row][col / 64] |= mask;
+    else
+        memory_[row][col / 64] &= ~mask;
+}
+
+void
+AnalogVm::writeVertical(uint32_t col, uint32_t base_row, unsigned n,
+                        uint64_t value)
+{
+    for (unsigned i = 0; i < n; ++i)
+        setBit(base_row + i, col, (value >> i) & 1);
+}
+
+uint64_t
+AnalogVm::readVertical(uint32_t col, uint32_t base_row,
+                       unsigned n) const
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (getBit(base_row + i, col))
+            value |= (1ull << i);
+    }
+    return value;
+}
+
+} // namespace pimeval

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Functional VM for analog bit-serial PIM (Ambit/SIMDRAM semantics).
+ *
+ * Models a subarray as a bit matrix whose first AnalogRowGroup rows
+ * are the designated compute group (TRA rows, DCC rows, constant
+ * rows, scratch). Executes AnalogPrograms: AAP row copies, AAP-NOT
+ * complementing copies, and triple-row activations computing the
+ * bitwise majority in place.
+ */
+
+#ifndef PIMEVAL_BITSERIAL_ANALOG_VM_H_
+#define PIMEVAL_BITSERIAL_ANALOG_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitserial/analog_ops.h"
+
+namespace pimeval {
+
+class AnalogVm
+{
+  public:
+    /**
+     * Create a subarray; rows [0, AnalogRowGroup::kNumRows) are the
+     * compute group, with the constant rows preset.
+     */
+    AnalogVm(uint32_t num_rows, uint32_t num_cols);
+
+    uint32_t numRows() const { return num_rows_; }
+    uint32_t numCols() const { return num_cols_; }
+
+    void execute(const AnalogOp &op);
+    void run(const AnalogProgram &program);
+
+    bool getBit(uint32_t row, uint32_t col) const;
+    void setBit(uint32_t row, uint32_t col, bool value);
+
+    /** Vertical element helpers (LSB first), as in BitSerialVm. */
+    void writeVertical(uint32_t col, uint32_t base_row, unsigned n,
+                       uint64_t value);
+    uint64_t readVertical(uint32_t col, uint32_t base_row,
+                          unsigned n) const;
+
+    uint64_t opsExecuted() const { return ops_executed_; }
+
+  private:
+    using Row = std::vector<uint64_t>;
+
+    uint32_t num_rows_;
+    uint32_t num_cols_;
+    uint32_t words_per_row_;
+    std::vector<Row> memory_;
+    uint64_t ops_executed_ = 0;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_ANALOG_VM_H_

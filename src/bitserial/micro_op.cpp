@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Micro-op constructors, profiling, and disassembly.
+ */
+
+#include "bitserial/micro_op.h"
+
+#include <sstream>
+
+namespace pimeval {
+
+namespace {
+
+const char *
+regName(BitReg r)
+{
+    switch (r) {
+      case BitReg::SA:
+        return "SA";
+      case BitReg::R1:
+        return "R1";
+      case BitReg::R2:
+        return "R2";
+      case BitReg::R3:
+        return "R3";
+      case BitReg::R4:
+        return "R4";
+    }
+    return "??";
+}
+
+} // namespace
+
+MicroOp
+MicroOp::readRow(uint32_t row)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kReadRow;
+    op.row = row;
+    return op;
+}
+
+MicroOp
+MicroOp::writeRow(uint32_t row)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kWriteRow;
+    op.row = row;
+    return op;
+}
+
+MicroOp
+MicroOp::mov(BitReg dst, BitReg src)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kMov;
+    op.dst = dst;
+    op.src_a = src;
+    return op;
+}
+
+MicroOp
+MicroOp::set(BitReg dst, uint8_t value)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kSet;
+    op.dst = dst;
+    op.imm = value;
+    return op;
+}
+
+MicroOp
+MicroOp::andOp(BitReg dst, BitReg a, BitReg b)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kAnd;
+    op.dst = dst;
+    op.src_a = a;
+    op.src_b = b;
+    return op;
+}
+
+MicroOp
+MicroOp::xnorOp(BitReg dst, BitReg a, BitReg b)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kXnor;
+    op.dst = dst;
+    op.src_a = a;
+    op.src_b = b;
+    return op;
+}
+
+MicroOp
+MicroOp::sel(BitReg dst, BitReg cond, BitReg a, BitReg b)
+{
+    MicroOp op;
+    op.kind = MicroOpKind::kSel;
+    op.dst = dst;
+    op.cond = cond;
+    op.src_a = a;
+    op.src_b = b;
+    return op;
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case MicroOpKind::kReadRow:
+        oss << "read   SA <- row[" << row << "]";
+        break;
+      case MicroOpKind::kWriteRow:
+        oss << "write  row[" << row << "] <- SA";
+        break;
+      case MicroOpKind::kMov:
+        oss << "mov    " << regName(dst) << " <- " << regName(src_a);
+        break;
+      case MicroOpKind::kSet:
+        oss << "set    " << regName(dst) << " <- " << int(imm);
+        break;
+      case MicroOpKind::kAnd:
+        oss << "and    " << regName(dst) << " <- " << regName(src_a)
+            << " & " << regName(src_b);
+        break;
+      case MicroOpKind::kXnor:
+        oss << "xnor   " << regName(dst) << " <- ~(" << regName(src_a)
+            << " ^ " << regName(src_b) << ")";
+        break;
+      case MicroOpKind::kSel:
+        oss << "sel    " << regName(dst) << " <- " << regName(cond)
+            << " ? " << regName(src_a) << " : " << regName(src_b);
+        break;
+    }
+    return oss.str();
+}
+
+uint64_t
+MicroProgram::numReads() const
+{
+    uint64_t n = 0;
+    for (const auto &op : ops)
+        n += (op.kind == MicroOpKind::kReadRow);
+    return n;
+}
+
+uint64_t
+MicroProgram::numWrites() const
+{
+    uint64_t n = 0;
+    for (const auto &op : ops)
+        n += (op.kind == MicroOpKind::kWriteRow);
+    return n;
+}
+
+uint64_t
+MicroProgram::numLogicOps() const
+{
+    uint64_t n = 0;
+    for (const auto &op : ops) {
+        n += (op.kind != MicroOpKind::kReadRow &&
+              op.kind != MicroOpKind::kWriteRow);
+    }
+    return n;
+}
+
+void
+MicroProgram::append(const MicroProgram &other)
+{
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+}
+
+std::string
+MicroProgram::disassemble() const
+{
+    std::ostringstream oss;
+    for (const auto &op : ops)
+        oss << op.toString() << "\n";
+    return oss.str();
+}
+
+} // namespace pimeval

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Micro-op ISA of the digital bit-serial PIM architecture ("DRAM-AP").
+ *
+ * The modeled architecture (paper Section IV, Fig. 3) attaches to every
+ * sense amplifier a tiny digital PE with four one-bit registers and the
+ * operations XNOR, AND, SEL (2:1 mux), plus register move and set.
+ * High-level operations are microprograms: sequences of these row-wide
+ * micro-ops broadcast by the memory controller to all subarrays.
+ *
+ * A micro-op operates simultaneously on every column of the subarray
+ * (a full bit-slice). Row reads latch a memory row into the sense-amp
+ * register; row writes drive the sense-amp register back into a row.
+ */
+
+#ifndef PIMEVAL_BITSERIAL_MICRO_OP_H_
+#define PIMEVAL_BITSERIAL_MICRO_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/** Per-column one-bit registers of the DRAM-AP processing element. */
+enum class BitReg : uint8_t {
+    SA = 0, ///< sense-amplifier latch
+    R1,     ///< general purpose (typically operand A)
+    R2,     ///< general purpose (typically carry/borrow/condition)
+    R3,     ///< general purpose (typically temporaries)
+    R4,     ///< general purpose (typically sum/condition bits)
+};
+
+/** Number of registers including the sense-amp latch. */
+constexpr unsigned kNumBitRegs = 5;
+
+/** Micro-op kinds supported by the DRAM-AP PE. */
+enum class MicroOpKind : uint8_t {
+    kReadRow = 0, ///< SA <- memory[row]
+    kWriteRow,    ///< memory[row] <- SA
+    kMov,         ///< dst <- src
+    kSet,         ///< dst <- 0/1 (row-wide broadcast)
+    kAnd,         ///< dst <- srcA & srcB
+    kXnor,        ///< dst <- ~(srcA ^ srcB)
+    kSel,         ///< dst <- cond ? srcA : srcB
+};
+
+/** One row-wide micro-op. */
+struct MicroOp
+{
+    MicroOpKind kind;
+    BitReg dst = BitReg::SA;
+    BitReg src_a = BitReg::SA;
+    BitReg src_b = BitReg::SA;
+    BitReg cond = BitReg::SA; ///< for kSel
+    uint32_t row = 0;         ///< for kReadRow / kWriteRow
+    uint8_t imm = 0;          ///< for kSet (0 or 1)
+
+    static MicroOp readRow(uint32_t row);
+    static MicroOp writeRow(uint32_t row);
+    static MicroOp mov(BitReg dst, BitReg src);
+    static MicroOp set(BitReg dst, uint8_t value);
+    static MicroOp andOp(BitReg dst, BitReg a, BitReg b);
+    static MicroOp xnorOp(BitReg dst, BitReg a, BitReg b);
+    static MicroOp sel(BitReg dst, BitReg cond, BitReg a, BitReg b);
+
+    /** Disassembly for debugging / dumps. */
+    std::string toString() const;
+};
+
+/**
+ * A microprogram plus its op-count profile.
+ *
+ * The profile is the single source of truth for bit-serial performance
+ * costing: runtime = reads*tR + writes*tW + logic*tL per chunk.
+ */
+struct MicroProgram
+{
+    std::vector<MicroOp> ops;
+
+    uint64_t numReads() const;
+    uint64_t numWrites() const;
+    uint64_t numLogicOps() const;
+
+    void append(MicroOp op) { ops.push_back(op); }
+    void append(const MicroProgram &other);
+
+    std::string disassemble() const;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_MICRO_OP_H_

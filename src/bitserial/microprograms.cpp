@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Microprogram generator implementations.
+ *
+ * Register conventions (per column):
+ *   SA — sense-amp latch; source/sink of row reads/writes.
+ *   R1 — operand A bit.
+ *   R2 — carry / borrow / comparison accumulator.
+ *   R3 — temporary (xnor results, constants).
+ *   R4 — condition bits, sums, or second temporary.
+ *
+ * Useful identities with the XNOR/AND/SEL gate set:
+ *   xnor(x, y)        = ~(x ^ y) = x ^ y ^ 1
+ *   xnor(xnor(a,b),c) = a ^ b ^ c            (full-adder sum)
+ *   sel(xnor(a,b), a, c) = majority(a, b, c) (full-adder carry)
+ *   xnor(x, 0)        = ~x                   (NOT via a Set-0 register)
+ */
+
+#include "bitserial/microprograms.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pimeval {
+
+using K = MicroOpKind;
+using R = BitReg;
+
+MicroProgram
+MicroPrograms::add(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0)); // carry = 0
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        // t = xnor(a, b); sum = xnor(t, c); carry' = t ? a : c.
+        p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA));
+        p.append(MicroOp::xnorOp(R::R4, R::R3, R::R2));
+        p.append(MicroOp::sel(R::R2, R::R3, R::R1, R::R2));
+        p.append(MicroOp::mov(R::SA, R::R4));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::sub(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    // diff = a ^ b ^ borrow; borrow' = t ? borrow : ~a, t = xnor(a,b).
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0)); // borrow = 0
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA)); // t
+        p.append(MicroOp::xnorOp(R::SA, R::R3, R::R2)); // diff
+        p.append(MicroOp::writeRow(dest + i));
+        p.append(MicroOp::set(R::R4, 0));
+        p.append(MicroOp::xnorOp(R::R4, R::R1, R::R4)); // ~a
+        p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::R4));
+    }
+    return p;
+}
+
+void
+MicroPrograms::emitAddInto(MicroProgram &p, uint32_t a_row,
+                           uint32_t dest_row, bool mask_with_r4)
+{
+    // dest += a (+ running carry in R2); optionally a &= R4 (cond).
+    p.append(MicroOp::readRow(a_row));
+    p.append(MicroOp::mov(R::R1, R::SA));
+    if (mask_with_r4)
+        p.append(MicroOp::andOp(R::R1, R::R1, R::R4));
+    p.append(MicroOp::readRow(dest_row));
+    p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA)); // t
+    p.append(MicroOp::xnorOp(R::SA, R::R3, R::R2)); // sum
+    p.append(MicroOp::sel(R::R2, R::R3, R::R1, R::R2)); // carry'
+    p.append(MicroOp::writeRow(dest_row));
+}
+
+MicroProgram
+MicroPrograms::mul(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    assert(dest + n <= a || a + n <= dest);
+    assert(dest + n <= b || b + n <= dest);
+    MicroProgram p;
+    // Clear the accumulator.
+    p.append(MicroOp::set(R::SA, 0));
+    for (unsigned i = 0; i < n; ++i)
+        p.append(MicroOp::writeRow(dest + i));
+    // Shift-add: for each multiplier bit j, conditionally add a<<j.
+    for (unsigned j = 0; j < n; ++j) {
+        p.append(MicroOp::readRow(b + j));
+        p.append(MicroOp::mov(R::R4, R::SA)); // condition bits
+        p.append(MicroOp::set(R::R2, 0));     // carry = 0
+        for (unsigned i = 0; i + j < n; ++i)
+            emitAddInto(p, a + i, dest + i + j, /*mask_with_r4=*/true);
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::divide(uint32_t a, uint32_t b, uint32_t dest,
+                      uint32_t scratch, unsigned n, bool is_signed)
+{
+    // Scratch layout: |a| at s_abs_a (n rows), |b| at s_abs_b (n),
+    // remainder R at s_rem (n+1 rows), quotient sign at s_sign (1).
+    const uint32_t s_abs_a = scratch;
+    const uint32_t s_abs_b = scratch + n;
+    const uint32_t s_rem = scratch + 2 * n;
+    const uint32_t s_sign = scratch + 3 * n + 1;
+
+    MicroProgram p;
+
+    uint32_t num = a;
+    uint32_t den = b;
+    if (is_signed) {
+        // sign_q = a_msb ^ b_msb, parked in a scratch row.
+        p.append(MicroOp::readRow(a + n - 1));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + n - 1));
+        p.append(MicroOp::xnorOp(R::R4, R::R1, R::SA));
+        p.append(MicroOp::set(R::R3, 0));
+        p.append(MicroOp::xnorOp(R::SA, R::R4, R::R3));
+        p.append(MicroOp::writeRow(s_sign));
+        // Magnitudes.
+        p.append(absOp(a, s_abs_a, n));
+        p.append(absOp(b, s_abs_b, n));
+        num = s_abs_a;
+        den = s_abs_b;
+    }
+
+    // Clear remainder and quotient.
+    p.append(MicroOp::set(R::SA, 0));
+    for (unsigned j = 0; j <= n; ++j)
+        p.append(MicroOp::writeRow(s_rem + j));
+    for (unsigned i = 0; i < n; ++i)
+        p.append(MicroOp::writeRow(dest + i));
+
+    // Restoring loop, MSB first: R = (R << 1) | num_i; if R >= den
+    // then { R -= den; Q_i = 1 }.
+    for (unsigned i = n; i-- > 0;) {
+        // Shift the remainder up one row and bring in num_i.
+        for (unsigned j = n; j >= 1; --j) {
+            p.append(MicroOp::readRow(s_rem + j - 1));
+            p.append(MicroOp::writeRow(s_rem + j));
+        }
+        p.append(MicroOp::readRow(num + i));
+        p.append(MicroOp::writeRow(s_rem));
+
+        // Compare R (n+1 bits) with den (zero-extended): final
+        // borrow of R - den means R < den.
+        p.append(MicroOp::set(R::R2, 0));
+        for (unsigned j = 0; j <= n; ++j) {
+            p.append(MicroOp::readRow(s_rem + j));
+            p.append(MicroOp::mov(R::R1, R::SA));
+            if (j < n) {
+                p.append(MicroOp::readRow(den + j));
+            } else {
+                p.append(MicroOp::set(R::SA, 0));
+            }
+            p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA)); // t
+            p.append(MicroOp::set(R::R4, 0));
+            p.append(MicroOp::xnorOp(R::R4, R::R1, R::R4)); // ~r
+            p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::R4));
+        }
+        // cond = (R >= den) = NOT borrow -> quotient bit + keep in R4.
+        p.append(MicroOp::set(R::R4, 0));
+        p.append(MicroOp::xnorOp(R::R4, R::R2, R::R4));
+        p.append(MicroOp::mov(R::SA, R::R4));
+        p.append(MicroOp::writeRow(dest + i));
+
+        // Conditional subtract: R = cond ? R - den : R.
+        p.append(MicroOp::set(R::R2, 0)); // borrow
+        for (unsigned j = 0; j <= n; ++j) {
+            p.append(MicroOp::readRow(s_rem + j));
+            p.append(MicroOp::mov(R::R1, R::SA));
+            if (j < n) {
+                p.append(MicroOp::readRow(den + j));
+            } else {
+                p.append(MicroOp::set(R::SA, 0));
+            }
+            p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA)); // t
+            p.append(MicroOp::xnorOp(R::SA, R::R3, R::R2)); // diff
+            p.append(MicroOp::sel(R::SA, R::R4, R::SA, R::R1));
+            p.append(MicroOp::writeRow(s_rem + j));
+            // borrow' = t ? borrow : ~r (runs unconditionally; the
+            // select above already discarded the diff when !cond).
+            p.append(MicroOp::set(R::SA, 0));
+            p.append(MicroOp::xnorOp(R::SA, R::R1, R::SA)); // ~r
+            p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::SA));
+        }
+    }
+
+    if (is_signed) {
+        // Conditionally negate the quotient when signs differ.
+        p.append(MicroOp::readRow(s_sign));
+        p.append(MicroOp::mov(R::R4, R::SA)); // cond
+        p.append(MicroOp::mov(R::R2, R::R4)); // carry-in = cond
+        for (unsigned i = 0; i < n; ++i) {
+            p.append(MicroOp::readRow(dest + i));
+            p.append(MicroOp::xnorOp(R::R3, R::SA, R::R2)); // neg bit
+            p.append(MicroOp::set(R::R1, 0));
+            p.append(MicroOp::xnorOp(R::R1, R::SA, R::R1)); // ~q
+            p.append(MicroOp::sel(R::SA, R::R4, R::R3, R::SA));
+            p.append(MicroOp::writeRow(dest + i));
+            p.append(MicroOp::andOp(R::R2, R::R1, R::R2)); // carry'
+        }
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::andOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::andOp(R::SA, R::R1, R::SA));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::orOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    // or(a, b) = a ? 1 : b.
+    MicroProgram p;
+    p.append(MicroOp::set(R::R3, 1));
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::sel(R::SA, R::R1, R::R3, R::SA));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::xorOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    // xor = not(xnor).
+    MicroProgram p;
+    p.append(MicroOp::set(R::R3, 0));
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::xnorOp(R::SA, R::R1, R::SA));
+        p.append(MicroOp::xnorOp(R::SA, R::SA, R::R3));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::xnorOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::xnorOp(R::SA, R::R1, R::SA));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::notOp(uint32_t a, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    p.append(MicroOp::set(R::R3, 0));
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::xnorOp(R::SA, R::SA, R::R3));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::lessThan(uint32_t a, uint32_t b, uint32_t dest, unsigned n,
+                        bool is_signed)
+{
+    // Run borrow propagation of a - b; the final borrow is (a < b)
+    // unsigned. For signed, flip the MSB inputs (bias trick).
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0)); // borrow
+    for (unsigned i = 0; i < n; ++i) {
+        const bool flip = is_signed && i == n - 1;
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        if (flip) {
+            // Invert both MSB inputs: xnor with 0.
+            p.append(MicroOp::set(R::R4, 0));
+            p.append(MicroOp::xnorOp(R::R1, R::R1, R::R4));
+            p.append(MicroOp::xnorOp(R::SA, R::SA, R::R4));
+        }
+        p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA)); // t
+        p.append(MicroOp::set(R::R4, 0));
+        p.append(MicroOp::xnorOp(R::R4, R::R1, R::R4)); // ~a
+        p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::R4));
+    }
+    p.append(MicroOp::mov(R::SA, R::R2));
+    p.append(MicroOp::writeRow(dest));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::equal(uint32_t a, uint32_t b, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 1));
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA));
+        p.append(MicroOp::andOp(R::R2, R::R2, R::R3));
+    }
+    p.append(MicroOp::mov(R::SA, R::R2));
+    p.append(MicroOp::writeRow(dest));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::minOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n,
+                     bool is_signed)
+{
+    // Pass 1: R2 = (a < b). Pass 2: dest = R2 ? a : b.
+    // The comparison pass writes its bit to dest row 0 as scratch, but
+    // we rebuild it here without the final write to keep R2 live.
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0));
+    for (unsigned i = 0; i < n; ++i) {
+        const bool flip = is_signed && i == n - 1;
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        if (flip) {
+            p.append(MicroOp::set(R::R4, 0));
+            p.append(MicroOp::xnorOp(R::R1, R::R1, R::R4));
+            p.append(MicroOp::xnorOp(R::SA, R::SA, R::R4));
+        }
+        p.append(MicroOp::xnorOp(R::R3, R::R1, R::SA));
+        p.append(MicroOp::set(R::R4, 0));
+        p.append(MicroOp::xnorOp(R::R4, R::R1, R::R4));
+        p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::R4));
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R1, R::SA));
+        p.append(MicroOp::readRow(b + i));
+        p.append(MicroOp::sel(R::SA, R::R2, R::R1, R::SA));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::maxOp(uint32_t a, uint32_t b, uint32_t dest, unsigned n,
+                     bool is_signed)
+{
+    // max(a, b) = (a < b) ? b : a — same as min with selector swapped.
+    MicroProgram p = minOp(a, b, dest, n, is_signed);
+    // Patch the selection pass: swap the sel operands. The selection
+    // pass is the last 5*n ops; each sel is at position 3 within each
+    // 5-op group.
+    const size_t sel_pass_begin = p.ops.size() - 5 * n;
+    for (unsigned i = 0; i < n; ++i) {
+        MicroOp &op = p.ops[sel_pass_begin + 5 * i + 3];
+        assert(op.kind == K::kSel);
+        std::swap(op.src_a, op.src_b);
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::absOp(uint32_t a, uint32_t dest, unsigned n)
+{
+    // abs(a) = sign ? (~a + 1) : a, computed as a single ripple pass
+    // with x = sel(sign, ~a, a) and carry seeded with the sign bit.
+    MicroProgram p;
+    p.append(MicroOp::readRow(a + n - 1));
+    p.append(MicroOp::mov(R::R4, R::SA)); // sign
+    p.append(MicroOp::mov(R::R2, R::SA)); // carry = sign
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::set(R::R3, 0));
+        p.append(MicroOp::xnorOp(R::R3, R::SA, R::R3)); // ~a
+        p.append(MicroOp::sel(R::R1, R::R4, R::R3, R::SA)); // x
+        p.append(MicroOp::xnorOp(R::SA, R::R1, R::R2));
+        p.append(MicroOp::set(R::R3, 0));
+        p.append(MicroOp::xnorOp(R::SA, R::SA, R::R3)); // sum = x ^ c
+        p.append(MicroOp::andOp(R::R2, R::R1, R::R2));  // carry out
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::addScalar(uint32_t a, uint32_t dest, unsigned n,
+                         uint64_t scalar)
+{
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0)); // carry
+    for (unsigned i = 0; i < n; ++i) {
+        const bool bit = (scalar >> i) & 1;
+        p.append(MicroOp::readRow(a + i));
+        if (bit) {
+            // sum = xnor(a, c); carry' = a | c = a ? 1 : c.
+            p.append(MicroOp::xnorOp(R::R4, R::SA, R::R2));
+            p.append(MicroOp::set(R::R3, 1));
+            p.append(MicroOp::sel(R::R2, R::SA, R::R3, R::R2));
+        } else {
+            // sum = a ^ c; carry' = a & c.
+            p.append(MicroOp::xnorOp(R::R4, R::SA, R::R2));
+            p.append(MicroOp::andOp(R::R2, R::SA, R::R2));
+            p.append(MicroOp::set(R::R3, 0));
+            p.append(MicroOp::xnorOp(R::R4, R::R4, R::R3));
+        }
+        p.append(MicroOp::mov(R::SA, R::R4));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::subScalar(uint32_t a, uint32_t dest, unsigned n,
+                         uint64_t scalar)
+{
+    const uint64_t mask = (n >= 64) ? ~0ull : ((1ull << n) - 1);
+    return addScalar(a, dest, n, (~scalar + 1) & mask);
+}
+
+MicroProgram
+MicroPrograms::mulScalar(uint32_t a, uint32_t dest, unsigned n,
+                         uint64_t scalar)
+{
+    assert(dest + n <= a || a + n <= dest);
+    const uint64_t mask = (n >= 64) ? ~0ull : ((1ull << n) - 1);
+    scalar &= mask;
+
+    // Dense multipliers (e.g., small negative constants) are cheaper
+    // through the two's complement: a*s = -(a * (2^n - s)) mod 2^n,
+    // trading partial products for one linear negation pass.
+    const bool complemented =
+        static_cast<unsigned>(std::popcount(scalar)) > n / 2;
+    const uint64_t eff_scalar =
+        complemented ? ((~scalar + 1) & mask) : scalar;
+
+    MicroProgram p;
+    p.append(MicroOp::set(R::SA, 0));
+    for (unsigned i = 0; i < n; ++i)
+        p.append(MicroOp::writeRow(dest + i));
+    for (unsigned j = 0; j < n; ++j) {
+        if (!((eff_scalar >> j) & 1))
+            continue;
+        p.append(MicroOp::set(R::R2, 0));
+        for (unsigned i = 0; i + j < n; ++i)
+            emitAddInto(p, a + i, dest + i + j, /*mask_with_r4=*/false);
+    }
+    if (complemented) {
+        // dest = ~dest + 1 via a half-adder ripple with carry-in 1.
+        p.append(MicroOp::set(R::R2, 1));
+        for (unsigned i = 0; i < n; ++i) {
+            p.append(MicroOp::readRow(dest + i));
+            p.append(MicroOp::set(R::R3, 0));
+            p.append(MicroOp::xnorOp(R::R1, R::SA, R::R3)); // ~d
+            p.append(MicroOp::xnorOp(R::R4, R::R1, R::R2));
+            p.append(MicroOp::xnorOp(R::R4, R::R4, R::R3)); // sum
+            p.append(MicroOp::andOp(R::R2, R::R1, R::R2));  // carry
+            p.append(MicroOp::mov(R::SA, R::R4));
+            p.append(MicroOp::writeRow(dest + i));
+        }
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::equalScalar(uint32_t a, uint32_t dest, unsigned n,
+                           uint64_t scalar)
+{
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 1));
+    for (unsigned i = 0; i < n; ++i) {
+        const bool bit = (scalar >> i) & 1;
+        p.append(MicroOp::readRow(a + i));
+        // match = bit ? a : ~a = xnor(a, bit).
+        p.append(MicroOp::set(R::R3, bit ? 1 : 0));
+        p.append(MicroOp::xnorOp(R::R3, R::SA, R::R3));
+        p.append(MicroOp::andOp(R::R2, R::R2, R::R3));
+    }
+    p.append(MicroOp::mov(R::SA, R::R2));
+    p.append(MicroOp::writeRow(dest));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::lessThanScalar(uint32_t a, uint32_t dest, unsigned n,
+                              uint64_t scalar, bool is_signed)
+{
+    // borrow' = t ? borrow : ~a with t = xnor(a, s_i); MSB flipped for
+    // signed compare.
+    MicroProgram p;
+    p.append(MicroOp::set(R::R2, 0));
+    for (unsigned i = 0; i < n; ++i) {
+        bool bit = (scalar >> i) & 1;
+        const bool flip = is_signed && i == n - 1;
+        p.append(MicroOp::readRow(a + i));
+        if (flip) {
+            p.append(MicroOp::set(R::R4, 0));
+            p.append(MicroOp::xnorOp(R::SA, R::SA, R::R4));
+            bit = !bit;
+        }
+        p.append(MicroOp::set(R::R3, bit ? 1 : 0));
+        p.append(MicroOp::xnorOp(R::R3, R::SA, R::R3)); // t
+        p.append(MicroOp::set(R::R4, 0));
+        p.append(MicroOp::xnorOp(R::R4, R::SA, R::R4)); // ~a
+        p.append(MicroOp::sel(R::R2, R::R3, R::R2, R::R4));
+    }
+    p.append(MicroOp::mov(R::SA, R::R2));
+    p.append(MicroOp::writeRow(dest));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::shiftLeft(uint32_t a, uint32_t dest, unsigned n,
+                         unsigned amount)
+{
+    MicroProgram p;
+    if (amount >= n) {
+        p.append(MicroOp::set(R::SA, 0));
+        for (unsigned i = 0; i < n; ++i)
+            p.append(MicroOp::writeRow(dest + i));
+        return p;
+    }
+    // High to low so dest may alias a.
+    for (unsigned i = n; i-- > amount;) {
+        p.append(MicroOp::readRow(a + i - amount));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    p.append(MicroOp::set(R::SA, 0));
+    for (unsigned i = 0; i < amount; ++i)
+        p.append(MicroOp::writeRow(dest + i));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::shiftRight(uint32_t a, uint32_t dest, unsigned n,
+                          unsigned amount, bool arithmetic)
+{
+    MicroProgram p;
+    if (amount >= n)
+        amount = arithmetic ? n - 1 : n;
+    if (arithmetic) {
+        p.append(MicroOp::readRow(a + n - 1));
+        p.append(MicroOp::mov(R::R1, R::SA)); // sign fill
+    }
+    for (unsigned i = 0; i + amount < n; ++i) {
+        p.append(MicroOp::readRow(a + i + amount));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    if (arithmetic)
+        p.append(MicroOp::mov(R::SA, R::R1));
+    else
+        p.append(MicroOp::set(R::SA, 0));
+    for (unsigned i = n - amount; i < n; ++i)
+        p.append(MicroOp::writeRow(dest + i));
+    return p;
+}
+
+MicroProgram
+MicroPrograms::popCount(uint32_t a, uint32_t dest, unsigned n,
+                        unsigned dest_bits)
+{
+    // Accumulator width: enough bits to hold n.
+    unsigned w = 1;
+    while ((1u << w) <= n)
+        ++w;
+    if (w > dest_bits)
+        w = dest_bits;
+    assert(dest + dest_bits <= a || a + n <= dest);
+
+    MicroProgram p;
+    p.append(MicroOp::set(R::SA, 0));
+    for (unsigned j = 0; j < dest_bits; ++j)
+        p.append(MicroOp::writeRow(dest + j));
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::mov(R::R2, R::SA)); // carry = input bit
+        for (unsigned j = 0; j < w; ++j) {
+            // Half-add carry into accumulator bit j.
+            p.append(MicroOp::readRow(dest + j));
+            p.append(MicroOp::xnorOp(R::R3, R::SA, R::R2));
+            p.append(MicroOp::set(R::R4, 0));
+            p.append(MicroOp::xnorOp(R::R3, R::R3, R::R4)); // sum
+            p.append(MicroOp::andOp(R::R2, R::SA, R::R2));  // carry
+            p.append(MicroOp::mov(R::SA, R::R3));
+            p.append(MicroOp::writeRow(dest + j));
+        }
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::broadcast(uint32_t dest, unsigned n, uint64_t value)
+{
+    MicroProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::set(R::SA, (value >> i) & 1));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+MicroProgram
+MicroPrograms::copy(uint32_t a, uint32_t dest, unsigned n)
+{
+    MicroProgram p;
+    for (unsigned i = 0; i < n; ++i) {
+        p.append(MicroOp::readRow(a + i));
+        p.append(MicroOp::writeRow(dest + i));
+    }
+    return p;
+}
+
+} // namespace pimeval

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Microprogram generators for the DRAM-AP bit-serial architecture.
+ *
+ * Each generator emits the exact row-wide micro-op sequence a memory
+ * controller would broadcast to execute one high-level PIM operation
+ * on vertically laid-out operands. Operands occupy @c n consecutive
+ * rows starting at a base row, least-significant bit first.
+ *
+ * These programs serve two purposes:
+ *  1. Functional ground truth — the BitSerialVm executes them and the
+ *     test suite checks them against scalar integer semantics.
+ *  2. Performance costing — the bit-serial performance model derives
+ *     row-read/row-write/logic-op counts directly from the generated
+ *     programs, so modeled latency always matches the microcode.
+ */
+
+#ifndef PIMEVAL_BITSERIAL_MICROPROGRAMS_H_
+#define PIMEVAL_BITSERIAL_MICROPROGRAMS_H_
+
+#include <cstdint>
+
+#include "bitserial/micro_op.h"
+
+namespace pimeval {
+
+/**
+ * Static generators for all supported bit-serial operations.
+ *
+ * Row-index parameters are base rows (bit i of an operand lives at
+ * base + i). @p n is the operand bit width.
+ */
+class MicroPrograms
+{
+  public:
+    // --- Arithmetic, two vector operands ---
+    /** dest = a + b (mod 2^n). Linear: 2 reads, 1 write, 5 logic/bit. */
+    static MicroProgram add(uint32_t a, uint32_t b, uint32_t dest,
+                            unsigned n);
+    /** dest = a - b (mod 2^n). */
+    static MicroProgram sub(uint32_t a, uint32_t b, uint32_t dest,
+                            unsigned n);
+    /** dest = a * b (mod 2^n), shift-add; quadratic in n.
+     *  dest rows must not alias a or b. */
+    static MicroProgram mul(uint32_t a, uint32_t b, uint32_t dest,
+                            unsigned n);
+    /**
+     * dest = a / b, restoring division; quadratic in n. Needs
+     * 3n + 2 scratch rows at @p scratch. Unsigned division when
+     * @p is_signed is false; two's-complement truncating division
+     * otherwise. Division by zero yields all-ones (unsigned
+     * semantics of the restoring loop). No row ranges may overlap.
+     */
+    static MicroProgram divide(uint32_t a, uint32_t b, uint32_t dest,
+                               uint32_t scratch, unsigned n,
+                               bool is_signed);
+
+    // --- Logical, two vector operands ---
+    static MicroProgram andOp(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n);
+    static MicroProgram orOp(uint32_t a, uint32_t b, uint32_t dest,
+                             unsigned n);
+    static MicroProgram xorOp(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n);
+    static MicroProgram xnorOp(uint32_t a, uint32_t b, uint32_t dest,
+                               unsigned n);
+    static MicroProgram notOp(uint32_t a, uint32_t dest, unsigned n);
+
+    // --- Comparisons: one result bit written to dest row ---
+    /** dest[0] = (a < b), signed or unsigned. */
+    static MicroProgram lessThan(uint32_t a, uint32_t b, uint32_t dest,
+                                 unsigned n, bool is_signed);
+    /** dest[0] = (a == b). Associative-processing style XNOR+AND. */
+    static MicroProgram equal(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n);
+
+    // --- Min / Max (comparison followed by selective copy) ---
+    static MicroProgram minOp(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n, bool is_signed);
+    static MicroProgram maxOp(uint32_t a, uint32_t b, uint32_t dest,
+                              unsigned n, bool is_signed);
+
+    // --- One-operand arithmetic ---
+    /** dest = |a| for signed two's-complement a. */
+    static MicroProgram absOp(uint32_t a, uint32_t dest, unsigned n);
+
+    // --- Scalar-operand variants (scalar known at the controller) ---
+    /** dest = a + scalar. Scalar bits specialize the microcode. */
+    static MicroProgram addScalar(uint32_t a, uint32_t dest, unsigned n,
+                                  uint64_t scalar);
+    /** dest = a - scalar (implemented as addScalar of -scalar). */
+    static MicroProgram subScalar(uint32_t a, uint32_t dest, unsigned n,
+                                  uint64_t scalar);
+    /** dest = a * scalar; cost scales with popcount(scalar).
+     *  dest rows must not alias a. */
+    static MicroProgram mulScalar(uint32_t a, uint32_t dest, unsigned n,
+                                  uint64_t scalar);
+    /** dest[0] = (a == scalar). */
+    static MicroProgram equalScalar(uint32_t a, uint32_t dest, unsigned n,
+                                    uint64_t scalar);
+    /** dest[0] = (a < scalar). */
+    static MicroProgram lessThanScalar(uint32_t a, uint32_t dest,
+                                       unsigned n, uint64_t scalar,
+                                       bool is_signed);
+
+    // --- Shifts by a constant (row renaming + fill) ---
+    static MicroProgram shiftLeft(uint32_t a, uint32_t dest, unsigned n,
+                                  unsigned amount);
+    static MicroProgram shiftRight(uint32_t a, uint32_t dest, unsigned n,
+                                   unsigned amount, bool arithmetic);
+
+    // --- Population count ---
+    /**
+     * dest = popcount(a): log-linear ripple accumulation into
+     * ceil(log2(n+1)) result rows; remaining dest rows zeroed up to
+     * @p dest_bits.
+     */
+    static MicroProgram popCount(uint32_t a, uint32_t dest, unsigned n,
+                                 unsigned dest_bits);
+
+    // --- Broadcast a constant to every element ---
+    static MicroProgram broadcast(uint32_t dest, unsigned n,
+                                  uint64_t value);
+
+    // --- Row-to-row copy (dest = a) ---
+    static MicroProgram copy(uint32_t a, uint32_t dest, unsigned n);
+
+  private:
+    /** Emit a full-adder step adding (masked) a-bit into dest-bit. */
+    static void emitAddInto(MicroProgram &prog, uint32_t a_row,
+                            uint32_t dest_row, bool mask_with_r4);
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_MICROPROGRAMS_H_

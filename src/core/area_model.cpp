@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AreaModel implementation.
+ */
+
+#include "core/area_model.h"
+
+#include <sstream>
+
+#include "bitserial/analog_ops.h"
+#include "util/string_utils.h"
+
+namespace pimeval {
+
+AreaModel::AreaModel(const PimDeviceConfig &config,
+                     const AreaParams &params)
+    : config_(config), params_(params)
+{
+}
+
+double
+AreaModel::peRowEquivalentsPerSubarray() const
+{
+    switch (config_.device) {
+      case PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP:
+        return params_.bitserial_pe_rows + params_.bitserial_ctrl_rows;
+      case PimDeviceEnum::PIM_DEVICE_FULCRUM:
+        // Three walkers plus the ALPU, shared between 2 subarrays.
+        return (3.0 * params_.walker_row_equiv +
+                params_.fulcrum_alpu_rows) / 2.0;
+      case PimDeviceEnum::PIM_DEVICE_BANK_LEVEL:
+        // One PE per bank, amortized over its subarrays.
+        return (3.0 * params_.walker_row_equiv +
+                params_.bank_alpu_rows) /
+            static_cast<double>(config_.num_subarrays_per_bank);
+      case PimDeviceEnum::PIM_DEVICE_SIMDRAM: {
+        // Reserved compute rows at cell pitch, DCC rows at double
+        // pitch, plus the TRA decoder widening.
+        const double plain_rows =
+            static_cast<double>(AnalogRowGroup::kNumRows) - 2.0;
+        return plain_rows + 2.0 * params_.dcc_row_equiv +
+            params_.analog_decoder_rows;
+      }
+      case PimDeviceEnum::PIM_DEVICE_NONE:
+        break;
+    }
+    return 0.0;
+}
+
+double
+AreaModel::overheadFraction() const
+{
+    return peRowEquivalentsPerSubarray() /
+        static_cast<double>(config_.num_rows_per_subarray);
+}
+
+std::string
+AreaModel::summary() const
+{
+    std::ostringstream oss;
+    oss << pimDeviceName(config_.device) << ": "
+        << formatFixed(peRowEquivalentsPerSubarray(), 1)
+        << " row-equivalents/subarray = "
+        << formatFixed(overheadPercent(), 2) << "% array overhead";
+    return oss.str();
+}
+
+} // namespace pimeval

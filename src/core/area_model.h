@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Area model for the simulated PIM architectures — the "flexible area
+ * modeling approach that supports diverse PIM architectures" the
+ * paper lists as future work (Section IX).
+ *
+ * Rather than absolute square millimeters (which need a process
+ * node), area is expressed in the currency DRAM designers use when
+ * arguing about in-array logic: **equivalent DRAM row heights** per
+ * subarray. A processing element that costs k row-equivalents on a
+ * 1024-row subarray is a k/1024 array-area overhead. The per-
+ * architecture row-equivalent constants are documented estimates
+ * anchored to the structures each design adds:
+ *
+ *  - digital bit-serial (DRAM-AP): per-column PE = 4 one-bit
+ *    registers + 3 gates next to each sense amp, about the height of
+ *    a few cell rows, plus the micro-op decode strip;
+ *  - Fulcrum: three row-wide walker latch rows plus a 32-bit ALPU +
+ *    instruction buffer shared per two subarrays;
+ *  - bank-level: one 128-bit ALPU + walkers per bank (amortized over
+ *    all the bank's subarrays) — the paper's "cheap but slow" point;
+ *  - analog (SIMDRAM): reserved compute rows, dual-contact rows at
+ *    twice the cell pitch, and a widened row decoder for TRA.
+ */
+
+#ifndef PIMEVAL_CORE_AREA_MODEL_H_
+#define PIMEVAL_CORE_AREA_MODEL_H_
+
+#include <string>
+
+#include "core/pim_params.h"
+
+namespace pimeval {
+
+/** Documented row-equivalent cost constants. */
+struct AreaParams
+{
+    /** Digital bit-serial: PE strip next to the sense amps. */
+    double bitserial_pe_rows = 24.0;
+    /** Micro-op decode/control strip per subarray. */
+    double bitserial_ctrl_rows = 4.0;
+
+    /** One walker latch row is denser than a cell row. */
+    double walker_row_equiv = 2.0;
+    /** Fulcrum 32-bit ALPU + instruction buffer (per 2 subarrays). */
+    double fulcrum_alpu_rows = 40.0;
+
+    /** Bank-level 128-bit ALPU + walkers (per bank). */
+    double bank_alpu_rows = 120.0;
+
+    /** Analog: each dual-contact row costs two row pitches. */
+    double dcc_row_equiv = 2.0;
+    /** TRA-capable row decoder widening, per subarray. */
+    double analog_decoder_rows = 6.0;
+};
+
+/**
+ * Per-architecture area accounting.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const PimDeviceConfig &config,
+                       const AreaParams &params = AreaParams{});
+
+    /** Row-equivalents of PE logic per subarray. */
+    double peRowEquivalentsPerSubarray() const;
+
+    /**
+     * Array-area overhead of the PIM logic: PE row-equivalents over
+     * the subarray's cell rows.
+     */
+    double overheadFraction() const;
+
+    /** Overhead as a percentage. */
+    double overheadPercent() const { return overheadFraction() * 100; }
+
+    /** One-line summary for reports. */
+    std::string summary() const;
+
+  private:
+    PimDeviceConfig config_;
+    AreaParams params_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_AREA_MODEL_H_

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Fulcrum and bank-level performance/energy model implementations.
+ */
+
+#include "core/perf_energy_fulcrum.h"
+
+#include <algorithm>
+
+#include "fulcrum/fulcrum_core.h"
+
+namespace pimeval {
+
+namespace {
+
+/** Map a PIM command to the shape of its per-row processing. */
+BitParallelOpShape
+shapeFor(PimCmdEnum cmd, bool native_popcount)
+{
+    BitParallelOpShape s;
+    switch (cmd) {
+      case PimCmdEnum::kAdd:
+      case PimCmdEnum::kSub:
+      case PimCmdEnum::kMin:
+      case PimCmdEnum::kMax:
+      case PimCmdEnum::kAnd:
+      case PimCmdEnum::kOr:
+      case PimCmdEnum::kXor:
+      case PimCmdEnum::kXnor:
+      case PimCmdEnum::kGT:
+      case PimCmdEnum::kLT:
+      case PimCmdEnum::kEQ:
+      case PimCmdEnum::kNE:
+        s.input_rows = 2;
+        s.cycles_per_elem = 1;
+        break;
+      case PimCmdEnum::kMul:
+        s.input_rows = 2;
+        s.cycles_per_elem =
+            alpuCyclesForOp(AlpuOp::kMul, native_popcount);
+        break;
+      case PimCmdEnum::kDiv:
+        s.input_rows = 2;
+        s.cycles_per_elem =
+            alpuCyclesForOp(AlpuOp::kDiv, native_popcount);
+        break;
+      case PimCmdEnum::kScaledAdd:
+        // mul by scalar then add second operand: two ALU ops fused.
+        s.input_rows = 2;
+        s.cycles_per_elem = 2;
+        break;
+      case PimCmdEnum::kAbs:
+      case PimCmdEnum::kNot:
+      case PimCmdEnum::kShiftBitsLeft:
+      case PimCmdEnum::kShiftBitsRight:
+        s.input_rows = 1;
+        s.cycles_per_elem = 1;
+        break;
+      case PimCmdEnum::kAddScalar:
+      case PimCmdEnum::kSubScalar:
+      case PimCmdEnum::kMinScalar:
+      case PimCmdEnum::kMaxScalar:
+      case PimCmdEnum::kAndScalar:
+      case PimCmdEnum::kOrScalar:
+      case PimCmdEnum::kXorScalar:
+      case PimCmdEnum::kGTScalar:
+      case PimCmdEnum::kLTScalar:
+      case PimCmdEnum::kEQScalar:
+        s.input_rows = 1;
+        s.cycles_per_elem = 1;
+        break;
+      case PimCmdEnum::kMulScalar:
+        s.input_rows = 1;
+        s.cycles_per_elem =
+            alpuCyclesForOp(AlpuOp::kMul, native_popcount);
+        break;
+      case PimCmdEnum::kDivScalar:
+        s.input_rows = 1;
+        s.cycles_per_elem =
+            alpuCyclesForOp(AlpuOp::kDiv, native_popcount);
+        break;
+      case PimCmdEnum::kPopCount:
+        s.input_rows = 1;
+        s.cycles_per_elem =
+            alpuCyclesForOp(AlpuOp::kPopCount, native_popcount);
+        break;
+      case PimCmdEnum::kRedSum:
+        s.input_rows = 1;
+        s.output_rows = 0;
+        s.cycles_per_elem = 1;
+        s.reduction = true;
+        break;
+      case PimCmdEnum::kBroadcast:
+        s.input_rows = 0;
+        s.cycles_per_elem = 1;
+        break;
+      case PimCmdEnum::kCopyD2D:
+        s.input_rows = 1;
+        s.cycles_per_elem = 0;
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+} // namespace
+
+PerfEnergyFulcrum::PerfEnergyFulcrum(const PimDeviceConfig &config)
+    : PerfEnergyModel(config)
+{
+}
+
+BitParallelOpShape
+PerfEnergyFulcrum::shapeForCmd(PimCmdEnum cmd, bool native_popcount) const
+{
+    return shapeFor(cmd, native_popcount);
+}
+
+PimOpCost
+PerfEnergyFulcrum::costOp(const PimOpProfile &profile) const
+{
+    const BitParallelOpShape s =
+        shapeFor(profile.cmd, /*native_popcount=*/false);
+    const auto &dram = config_.dram;
+
+    const uint64_t elems_per_row =
+        std::max<uint64_t>(1, config_.colsPerCore() / profile.bits);
+    const uint64_t rows_per_core =
+        (profile.max_elems_per_core + elems_per_row - 1) / elems_per_row;
+
+    // Per-core latency: walker fills/drains plus sequential ALU
+    // element streaming (additive; paper Section V-C ii). Datatypes
+    // narrower than the ALU run SIMD-fashion within the 32-bit word
+    // ("able to perform SIMD operations if needed", Section IV).
+    const uint64_t lanes =
+        std::max<uint64_t>(1, config_.fulcrum_alu_bits / profile.bits);
+    const double row_io_ns =
+        static_cast<double>(rows_per_core) *
+        (s.input_rows * dram.row_read_ns +
+         s.output_rows * dram.row_write_ns);
+    const uint64_t core_cycles =
+        (profile.max_elems_per_core + lanes - 1) / lanes *
+        s.cycles_per_elem;
+    const double alu_sec =
+        static_cast<double>(core_cycles) * config_.aluPeriodSec();
+
+    PimOpCost cost;
+    cost.runtime_sec = row_io_ns * 1e-9 + alu_sec;
+
+    // Energy: every active core contributes its own row ops + ALU ops.
+    const uint64_t total_rows =
+        (profile.num_elements + elems_per_row - 1) / elems_per_row;
+    const double row_energy =
+        static_cast<double>(total_rows) *
+        (s.input_rows + s.output_rows) * power_.rowActPreEnergy();
+    const uint64_t total_cycles =
+        (profile.num_elements + lanes - 1) / lanes * s.cycles_per_elem;
+    const double alu_energy =
+        static_cast<double>(total_cycles) *
+        power_.fulcrumAluEnergy();
+    cost.energy_j = row_energy + alu_energy;
+    // Each Fulcrum core spans two subarrays.
+    cost.energy_j += background(cost.runtime_sec, profile.cores_used * 2);
+    return cost;
+}
+
+PerfEnergyBankLevel::PerfEnergyBankLevel(const PimDeviceConfig &config)
+    : PerfEnergyModel(config)
+{
+}
+
+double
+PerfEnergyBankLevel::gdlRowTime() const
+{
+    const uint64_t beats =
+        (config_.colsPerCore() + config_.gdl_bits - 1) / config_.gdl_bits;
+    return static_cast<double>(beats) * config_.dram.tccd_ns * 1e-9;
+}
+
+PimOpCost
+PerfEnergyBankLevel::costOp(const PimOpProfile &profile) const
+{
+    const BitParallelOpShape s =
+        shapeFor(profile.cmd, /*native_popcount=*/true);
+    const auto &dram = config_.dram;
+
+    const uint64_t elems_per_row =
+        std::max<uint64_t>(1, config_.colsPerCore() / profile.bits);
+    const uint64_t rows_per_core =
+        (profile.max_elems_per_core + elems_per_row - 1) / elems_per_row;
+
+    // Every row in or out crosses the GDL.
+    const double gdl_sec = gdlRowTime();
+    const double row_io_sec =
+        static_cast<double>(rows_per_core) *
+        (s.input_rows * (dram.row_read_ns * 1e-9 + gdl_sec) +
+         s.output_rows * (dram.row_write_ns * 1e-9 + gdl_sec));
+
+    // SIMD lanes in the wide ALPU.
+    const uint64_t lanes =
+        std::max<uint64_t>(1, config_.bank_alu_bits / profile.bits);
+    const uint64_t elem_cycles =
+        (profile.max_elems_per_core + lanes - 1) / lanes *
+        s.cycles_per_elem;
+    const double alu_sec =
+        static_cast<double>(elem_cycles) * config_.aluPeriodSec();
+
+    PimOpCost cost;
+    cost.runtime_sec = row_io_sec + alu_sec;
+
+    const uint64_t total_rows =
+        (profile.num_elements + elems_per_row - 1) / elems_per_row;
+    const double row_energy =
+        static_cast<double>(total_rows) * (s.input_rows + s.output_rows) *
+        (power_.rowActPreEnergy() + power_.gdlRowTransferEnergy());
+    const uint64_t total_cycles =
+        (profile.num_elements + lanes - 1) / lanes * s.cycles_per_elem;
+    const double alu_energy =
+        static_cast<double>(total_cycles) * power_.bankAluEnergy();
+    cost.energy_j = row_energy + alu_energy;
+    // A bank PE keeps one subarray of its bank streaming at a time.
+    cost.energy_j += background(cost.runtime_sec, profile.cores_used);
+    return cost;
+}
+
+} // namespace pimeval

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Performance/energy models for the bit-parallel architectures:
+ * subarray-level Fulcrum and bank-level PIM.
+ *
+ * Fulcrum (paper Section IV / V-C): per processed row, operand rows
+ * are read into walkers, elements stream through the scalar ALU one
+ * per cycle (12-cycle SWAR popcount), and the result row is written
+ * back. Bank-level adds GDL serialization for every row crossing the
+ * bank interface and processes elements SIMD-fashion in a wider ALU
+ * with single-cycle popcount.
+ */
+
+#ifndef PIMEVAL_CORE_PERF_ENERGY_FULCRUM_H_
+#define PIMEVAL_CORE_PERF_ENERGY_FULCRUM_H_
+
+#include "core/perf_energy_model.h"
+
+namespace pimeval {
+
+/**
+ * Operation shape shared by the two bit-parallel models.
+ */
+struct BitParallelOpShape
+{
+    unsigned input_rows = 2;  ///< operand rows read per result row
+    unsigned output_rows = 1; ///< result rows written
+    unsigned cycles_per_elem = 1;
+    bool reduction = false;   ///< no result row, accumulate only
+};
+
+class PerfEnergyFulcrum : public PerfEnergyModel
+{
+  public:
+    explicit PerfEnergyFulcrum(const PimDeviceConfig &config);
+
+    PimOpCost costOp(const PimOpProfile &profile) const override;
+
+    /** Shape lookup (exposed for the model-validation tests). */
+    BitParallelOpShape shapeForCmd(PimCmdEnum cmd,
+                                   bool native_popcount) const;
+};
+
+class PerfEnergyBankLevel : public PerfEnergyModel
+{
+  public:
+    explicit PerfEnergyBankLevel(const PimDeviceConfig &config);
+
+    PimOpCost costOp(const PimOpProfile &profile) const override;
+
+    /** GDL time to move one full row one way, seconds. */
+    double gdlRowTime() const;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PERF_ENERGY_FULCRUM_H_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Performance and energy model interface (paper Sections V-C, V-D).
+ *
+ * Each PIM architecture provides a model that converts an operation
+ * profile (command, data type, element distribution) into estimated
+ * runtime and energy. Data movement is costed separately from kernel
+ * execution, mirroring the paper's breakdown (Fig. 7).
+ */
+
+#ifndef PIMEVAL_CORE_PERF_ENERGY_MODEL_H_
+#define PIMEVAL_CORE_PERF_ENERGY_MODEL_H_
+
+#include <memory>
+
+#include "core/pim_params.h"
+#include "core/pim_types.h"
+#include "dram/transfer_model.h"
+#include "energy/micron_power_model.h"
+
+namespace pimeval {
+
+/**
+ * Everything a model needs to cost one PIM command.
+ */
+struct PimOpProfile
+{
+    PimCmdEnum cmd = PimCmdEnum::kNone;
+    PimDataType data_type = PimDataType::PIM_INT32;
+    unsigned bits = 32;
+    uint64_t num_elements = 0;
+    /** Largest per-core element count — sets the critical path. */
+    uint64_t max_elems_per_core = 0;
+    /** Cores participating — sets total energy. */
+    uint64_t cores_used = 0;
+    /** Scalar operand when applicable (specializes bit-serial code). */
+    uint64_t scalar = 0;
+    /** Shift amount / broadcast payload reuse. */
+    unsigned aux = 0;
+};
+
+/**
+ * Estimated cost of one command or transfer.
+ */
+struct PimOpCost
+{
+    double runtime_sec = 0.0;
+    double energy_j = 0.0;
+
+    PimOpCost &operator+=(const PimOpCost &other)
+    {
+        runtime_sec += other.runtime_sec;
+        energy_j += other.energy_j;
+        return *this;
+    }
+};
+
+/**
+ * Abstract performance/energy model.
+ */
+class PerfEnergyModel
+{
+  public:
+    explicit PerfEnergyModel(const PimDeviceConfig &config);
+    virtual ~PerfEnergyModel() = default;
+
+    /** Cost one PIM command (kernel execution). */
+    virtual PimOpCost costOp(const PimOpProfile &profile) const = 0;
+
+    /**
+     * Cost a host<->device or device<->device transfer of @p bytes.
+     * H2D/D2H use the aggregate rank bandwidth (ranks modeled as
+     * independent channels, per the paper); D2D moves through row
+     * copies inside the cores.
+     */
+    virtual PimOpCost costCopy(PimCopyEnum direction,
+                               uint64_t bytes) const;
+
+    const PimDeviceConfig &config() const { return config_; }
+    const MicronPowerModel &power() const { return power_; }
+
+    /** Factory for the selected device type. */
+    static std::unique_ptr<PerfEnergyModel>
+    create(const PimDeviceConfig &config);
+
+  protected:
+    /** Background energy for a kernel span. */
+    double background(double seconds, uint64_t active_subarrays) const
+    {
+        return power_.backgroundEnergy(seconds, active_subarrays);
+    }
+
+    PimDeviceConfig config_;
+    MicronPowerModel power_;
+    /** Cycle-level transfer timing (set when use_dram_timing). */
+    std::unique_ptr<TransferModel> transfer_model_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PERF_ENERGY_MODEL_H_

@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Public PIM API implementation: thin dispatch onto the active device.
+ */
+
+#include "core/pim_api.h"
+
+#include "core/pim_sim.h"
+#include "util/logging.h"
+
+using pimeval::PimSim;
+using pimeval::PimDevice;
+
+namespace {
+
+/** Active device or nullptr with an error log. */
+PimDevice *
+activeDevice(const char *what)
+{
+    PimDevice *dev = PimSim::instance().device();
+    if (!dev)
+        pimeval::logError(std::string(what) + ": no active PIM device");
+    return dev;
+}
+
+} // namespace
+
+PimStatus
+pimCreateDevice(PimDeviceEnum device, uint64_t num_ranks,
+                uint64_t num_banks_per_rank,
+                uint64_t num_subarrays_per_bank,
+                uint64_t num_rows_per_subarray, uint64_t num_cols_per_row)
+{
+    pimeval::PimDeviceConfig config;
+    config.device = device;
+    if (num_ranks)
+        config.num_ranks = num_ranks;
+    if (num_banks_per_rank)
+        config.num_banks_per_rank = num_banks_per_rank;
+    if (num_subarrays_per_bank)
+        config.num_subarrays_per_bank = num_subarrays_per_bank;
+    if (num_rows_per_subarray)
+        config.num_rows_per_subarray = num_rows_per_subarray;
+    if (num_cols_per_row)
+        config.num_cols_per_row = num_cols_per_row;
+    return PimSim::instance().createDevice(config);
+}
+
+PimStatus
+pimCreateDeviceFromConfig(const pimeval::PimDeviceConfig &config)
+{
+    return PimSim::instance().createDevice(config);
+}
+
+PimStatus
+pimDeleteDevice()
+{
+    return PimSim::instance().deleteDevice();
+}
+
+bool
+pimIsDeviceActive()
+{
+    return PimSim::instance().hasDevice();
+}
+
+const pimeval::PimDeviceConfig &
+pimGetDeviceConfig()
+{
+    return PimSim::instance().device()->config();
+}
+
+PimObjId
+pimAlloc(PimAllocEnum alloc_type, uint64_t num_elements,
+         unsigned bits_per_element, PimDataType data_type)
+{
+    PimDevice *dev = activeDevice("pimAlloc");
+    if (!dev)
+        return -1;
+    if (bits_per_element != pimBitsOfDataType(data_type)) {
+        pimeval::logError("pimAlloc: bitsPerElement does not match type");
+        return -1;
+    }
+    return dev->alloc(alloc_type, num_elements, data_type);
+}
+
+PimObjId
+pimAllocAssociated(unsigned bits_per_element, PimObjId ref,
+                   PimDataType data_type)
+{
+    PimDevice *dev = activeDevice("pimAllocAssociated");
+    if (!dev)
+        return -1;
+    if (bits_per_element != pimBitsOfDataType(data_type)) {
+        pimeval::logError(
+            "pimAllocAssociated: bitsPerElement does not match type");
+        return -1;
+    }
+    return dev->allocAssociated(ref, data_type);
+}
+
+PimStatus
+pimFree(PimObjId obj)
+{
+    PimDevice *dev = activeDevice("pimFree");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->free(obj) ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+}
+
+PimStatus
+pimCopyHostToDevice(const void *src, PimObjId dest, uint64_t idx_begin,
+                    uint64_t idx_end)
+{
+    PimDevice *dev = activeDevice("pimCopyHostToDevice");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->copyHostToDevice(src, dest, idx_begin, idx_end);
+}
+
+PimStatus
+pimCopyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
+                    uint64_t idx_end)
+{
+    PimDevice *dev = activeDevice("pimCopyDeviceToHost");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->copyDeviceToHost(src, dest, idx_begin, idx_end);
+}
+
+PimStatus
+pimCopyDeviceToDevice(PimObjId src, PimObjId dest)
+{
+    PimDevice *dev = activeDevice("pimCopyDeviceToDevice");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->copyDeviceToDevice(src, dest);
+}
+
+// --- Binary ops -------------------------------------------------------------
+
+namespace {
+
+PimStatus
+binary(PimCmdEnum cmd, PimObjId a, PimObjId b, PimObjId dest,
+       const char *what)
+{
+    PimDevice *dev = activeDevice(what);
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeBinary(cmd, a, b, dest);
+}
+
+PimStatus
+unary(PimCmdEnum cmd, PimObjId a, PimObjId dest, const char *what)
+{
+    PimDevice *dev = activeDevice(what);
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeUnary(cmd, a, dest);
+}
+
+PimStatus
+scalarOp(PimCmdEnum cmd, PimObjId a, PimObjId dest, uint64_t scalar,
+         const char *what)
+{
+    PimDevice *dev = activeDevice(what);
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeScalar(cmd, a, dest, scalar);
+}
+
+} // namespace
+
+PimStatus
+pimAdd(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kAdd, a, b, dest, "pimAdd");
+}
+
+PimStatus
+pimSub(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kSub, a, b, dest, "pimSub");
+}
+
+PimStatus
+pimMul(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kMul, a, b, dest, "pimMul");
+}
+
+PimStatus
+pimDiv(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kDiv, a, b, dest, "pimDiv");
+}
+
+PimStatus
+pimMin(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kMin, a, b, dest, "pimMin");
+}
+
+PimStatus
+pimMax(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kMax, a, b, dest, "pimMax");
+}
+
+PimStatus
+pimAnd(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kAnd, a, b, dest, "pimAnd");
+}
+
+PimStatus
+pimOr(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kOr, a, b, dest, "pimOr");
+}
+
+PimStatus
+pimXor(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kXor, a, b, dest, "pimXor");
+}
+
+PimStatus
+pimXnor(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kXnor, a, b, dest, "pimXnor");
+}
+
+PimStatus
+pimGT(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kGT, a, b, dest, "pimGT");
+}
+
+PimStatus
+pimLT(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kLT, a, b, dest, "pimLT");
+}
+
+PimStatus
+pimEQ(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kEQ, a, b, dest, "pimEQ");
+}
+
+PimStatus
+pimNE(PimObjId a, PimObjId b, PimObjId dest)
+{
+    return binary(PimCmdEnum::kNE, a, b, dest, "pimNE");
+}
+
+// --- Unary ops --------------------------------------------------------------
+
+PimStatus
+pimAbs(PimObjId a, PimObjId dest)
+{
+    return unary(PimCmdEnum::kAbs, a, dest, "pimAbs");
+}
+
+PimStatus
+pimNot(PimObjId a, PimObjId dest)
+{
+    return unary(PimCmdEnum::kNot, a, dest, "pimNot");
+}
+
+PimStatus
+pimPopCount(PimObjId a, PimObjId dest)
+{
+    return unary(PimCmdEnum::kPopCount, a, dest, "pimPopCount");
+}
+
+// --- Scalar ops -------------------------------------------------------------
+
+PimStatus
+pimAddScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kAddScalar, a, dest, scalar,
+                    "pimAddScalar");
+}
+
+PimStatus
+pimSubScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kSubScalar, a, dest, scalar,
+                    "pimSubScalar");
+}
+
+PimStatus
+pimMulScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kMulScalar, a, dest, scalar,
+                    "pimMulScalar");
+}
+
+PimStatus
+pimDivScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kDivScalar, a, dest, scalar,
+                    "pimDivScalar");
+}
+
+PimStatus
+pimMinScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kMinScalar, a, dest, scalar,
+                    "pimMinScalar");
+}
+
+PimStatus
+pimMaxScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kMaxScalar, a, dest, scalar,
+                    "pimMaxScalar");
+}
+
+PimStatus
+pimAndScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kAndScalar, a, dest, scalar,
+                    "pimAndScalar");
+}
+
+PimStatus
+pimOrScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kOrScalar, a, dest, scalar,
+                    "pimOrScalar");
+}
+
+PimStatus
+pimXorScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kXorScalar, a, dest, scalar,
+                    "pimXorScalar");
+}
+
+PimStatus
+pimGTScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kGTScalar, a, dest, scalar,
+                    "pimGTScalar");
+}
+
+PimStatus
+pimLTScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kLTScalar, a, dest, scalar,
+                    "pimLTScalar");
+}
+
+PimStatus
+pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+{
+    return scalarOp(PimCmdEnum::kEQScalar, a, dest, scalar,
+                    "pimEQScalar");
+}
+
+PimStatus
+pimScaledAdd(PimObjId a, PimObjId b, PimObjId dest, uint64_t scalar)
+{
+    PimDevice *dev = activeDevice("pimScaledAdd");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeScaledAdd(a, b, dest, scalar);
+}
+
+PimStatus
+pimShiftBitsLeft(PimObjId a, PimObjId dest, unsigned amount)
+{
+    PimDevice *dev = activeDevice("pimShiftBitsLeft");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeShift(PimCmdEnum::kShiftBitsLeft, a, dest, amount);
+}
+
+PimStatus
+pimShiftBitsRight(PimObjId a, PimObjId dest, unsigned amount)
+{
+    PimDevice *dev = activeDevice("pimShiftBitsRight");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeShift(PimCmdEnum::kShiftBitsRight, a, dest, amount);
+}
+
+PimStatus
+pimShiftElementsLeft(PimObjId obj)
+{
+    PimDevice *dev = activeDevice("pimShiftElementsLeft");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeElementShift(PimCmdEnum::kShiftElementsLeft,
+                                    obj);
+}
+
+PimStatus
+pimShiftElementsRight(PimObjId obj)
+{
+    PimDevice *dev = activeDevice("pimShiftElementsRight");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeElementShift(PimCmdEnum::kShiftElementsRight,
+                                    obj);
+}
+
+PimStatus
+pimRotateElementsLeft(PimObjId obj)
+{
+    PimDevice *dev = activeDevice("pimRotateElementsLeft");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeElementShift(PimCmdEnum::kRotateElementsLeft,
+                                    obj);
+}
+
+PimStatus
+pimRotateElementsRight(PimObjId obj)
+{
+    PimDevice *dev = activeDevice("pimRotateElementsRight");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeElementShift(PimCmdEnum::kRotateElementsRight,
+                                    obj);
+}
+
+// --- Reductions -------------------------------------------------------------
+
+PimStatus
+pimRedSum(PimObjId a, int64_t *result)
+{
+    PimDevice *dev = activeDevice("pimRedSum");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeRedSum(a, 0, 0, result);
+}
+
+PimStatus
+pimRedSumRanged(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
+                int64_t *result)
+{
+    PimDevice *dev = activeDevice("pimRedSumRanged");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeRedSum(a, idx_begin, idx_end, result);
+}
+
+PimStatus
+pimBroadcastInt(PimObjId dest, uint64_t value)
+{
+    PimDevice *dev = activeDevice("pimBroadcastInt");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->executeBroadcast(dest, value);
+}
+
+// --- Statistics -------------------------------------------------------------
+
+PimStatus
+pimShowStats(std::ostream &os)
+{
+    PimDevice *dev = activeDevice("pimShowStats");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->stats().printReport(os);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimResetStats()
+{
+    PimDevice *dev = activeDevice("pimResetStats");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->stats().reset();
+    return PimStatus::PIM_OK;
+}
+
+pimeval::PimRunStats
+pimGetStats()
+{
+    PimDevice *dev = activeDevice("pimGetStats");
+    if (!dev)
+        return {};
+    return dev->stats().snapshot();
+}
+
+std::map<std::string, uint64_t>
+pimGetOpMix()
+{
+    PimDevice *dev = activeDevice("pimGetOpMix");
+    if (!dev)
+        return {};
+    return dev->stats().opMix();
+}
+
+PimStatus
+pimStartHostTimer()
+{
+    PimDevice *dev = activeDevice("pimStartHostTimer");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->stats().startHostTimer();
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimStopHostTimer()
+{
+    PimDevice *dev = activeDevice("pimStopHostTimer");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->stats().stopHostTimer();
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimAddHostTime(double seconds)
+{
+    PimDevice *dev = activeDevice("pimAddHostTime");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->stats().addHostTime(seconds);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimAddHostWork(uint64_t bytes, uint64_t ops)
+{
+    PimDevice *dev = activeDevice("pimAddHostWork");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->addHostWork(bytes, ops);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimSetModelingScale(double scale)
+{
+    PimDevice *dev = activeDevice("pimSetModelingScale");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->setModelingScale(scale);
+    return PimStatus::PIM_OK;
+}
+
+double
+pimGetModelingScale()
+{
+    PimDevice *dev = PimSim::instance().device();
+    return dev ? dev->modelingScale() : 1.0;
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The public PIM API (paper Section V-B).
+ *
+ * High-level, architecture-portable C-style calls. A benchmark written
+ * against these functions runs unmodified on every simulated PIM
+ * target (bit-serial DRAM-AP, Fulcrum, bank-level); see paper
+ * Listing 1 for the canonical AXPY example.
+ *
+ * All calls return PimStatus (or an object id where noted) and operate
+ * on the process-wide active device created by pimCreateDevice().
+ */
+
+#ifndef PIMEVAL_CORE_PIM_API_H_
+#define PIMEVAL_CORE_PIM_API_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/pim_params.h"
+#include "core/pim_stats.h"
+#include "core/pim_types.h"
+
+// ---------------------------------------------------------------------------
+// Device management
+// ---------------------------------------------------------------------------
+
+/**
+ * Create the active PIM device.
+ * @param device   simulation target.
+ * @param num_ranks / banks / subarrays / rows / cols  DRAM geometry;
+ *        pass 0 to keep the Table II default for that field.
+ */
+PimStatus pimCreateDevice(PimDeviceEnum device, uint64_t num_ranks = 0,
+                          uint64_t num_banks_per_rank = 0,
+                          uint64_t num_subarrays_per_bank = 0,
+                          uint64_t num_rows_per_subarray = 0,
+                          uint64_t num_cols_per_row = 0);
+
+/** Create a device from a full configuration struct. */
+PimStatus pimCreateDeviceFromConfig(const pimeval::PimDeviceConfig &config);
+
+/** Destroy the active device and all its objects. */
+PimStatus pimDeleteDevice();
+
+/** Whether a device is active. */
+bool pimIsDeviceActive();
+
+/** Configuration of the active device (must be active). */
+const pimeval::PimDeviceConfig &pimGetDeviceConfig();
+
+// ---------------------------------------------------------------------------
+// Resource management
+// ---------------------------------------------------------------------------
+
+/**
+ * Allocate a PIM data object.
+ * @param alloc_type layout strategy (AUTO picks the device native).
+ * @param num_elements element count.
+ * @param bits_per_element must match the data type width.
+ * @param data_type element type.
+ * @return object id, or -1 on failure.
+ */
+PimObjId pimAlloc(PimAllocEnum alloc_type, uint64_t num_elements,
+                  unsigned bits_per_element, PimDataType data_type);
+
+/**
+ * Allocate an object with the same element distribution as @p ref so
+ * element-wise commands pair corresponding elements within each core.
+ */
+PimObjId pimAllocAssociated(unsigned bits_per_element, PimObjId ref,
+                            PimDataType data_type);
+
+/** Free an object. */
+PimStatus pimFree(PimObjId obj);
+
+// ---------------------------------------------------------------------------
+// Data movement
+// ---------------------------------------------------------------------------
+
+/** Copy host memory into an object (full object, or [begin,end)). */
+PimStatus pimCopyHostToDevice(const void *src, PimObjId dest,
+                              uint64_t idx_begin = 0, uint64_t idx_end = 0);
+
+/** Copy an object back to host memory. */
+PimStatus pimCopyDeviceToHost(PimObjId src, void *dest,
+                              uint64_t idx_begin = 0, uint64_t idx_end = 0);
+
+/** Device-to-device copy between same-shape objects. */
+PimStatus pimCopyDeviceToDevice(PimObjId src, PimObjId dest);
+
+// ---------------------------------------------------------------------------
+// Element-wise computation (two vector operands)
+// ---------------------------------------------------------------------------
+
+PimStatus pimAdd(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimSub(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimMul(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimDiv(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimMin(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimMax(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimAnd(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimOr(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimXor(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimXnor(PimObjId a, PimObjId b, PimObjId dest);
+
+/** Comparisons write 0/1 per element into dest. */
+PimStatus pimGT(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimLT(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimEQ(PimObjId a, PimObjId b, PimObjId dest);
+PimStatus pimNE(PimObjId a, PimObjId b, PimObjId dest);
+
+// ---------------------------------------------------------------------------
+// Element-wise computation (one vector operand)
+// ---------------------------------------------------------------------------
+
+PimStatus pimAbs(PimObjId a, PimObjId dest);
+PimStatus pimNot(PimObjId a, PimObjId dest);
+PimStatus pimPopCount(PimObjId a, PimObjId dest);
+
+// ---------------------------------------------------------------------------
+// Scalar-operand computation
+// ---------------------------------------------------------------------------
+
+PimStatus pimAddScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimSubScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimMulScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimDivScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimMinScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimMaxScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimAndScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimOrScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimXorScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimGTScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimLTScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+PimStatus pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+
+/** dest = a * scalar + b (the AXPY inner operation). */
+PimStatus pimScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
+                       uint64_t scalar);
+
+/** Bit shifts by a constant amount (arithmetic right for signed). */
+PimStatus pimShiftBitsLeft(PimObjId a, PimObjId dest, unsigned amount);
+PimStatus pimShiftBitsRight(PimObjId a, PimObjId dest, unsigned amount);
+
+/**
+ * Shift every element one position toward lower/higher indices
+ * (vacated slot filled with zero), or rotate the whole vector by one.
+ * Inter-element movement crosses region boundaries, so the model
+ * charges a full object rewrite plus a host-assisted boundary fix —
+ * why kernels needing data reshuffling gravitate to the host (paper
+ * Section VIII, radix sort / KNN discussion).
+ */
+PimStatus pimShiftElementsLeft(PimObjId obj);
+PimStatus pimShiftElementsRight(PimObjId obj);
+PimStatus pimRotateElementsLeft(PimObjId obj);
+PimStatus pimRotateElementsRight(PimObjId obj);
+
+// ---------------------------------------------------------------------------
+// Reductions and broadcast
+// ---------------------------------------------------------------------------
+
+/** Sum all elements into @p result (sign-aware). */
+PimStatus pimRedSum(PimObjId a, int64_t *result);
+
+/** Sum elements in [idx_begin, idx_end). */
+PimStatus pimRedSumRanged(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
+                          int64_t *result);
+
+/** Broadcast a scalar to every element of dest. */
+PimStatus pimBroadcastInt(PimObjId dest, uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Statistics and host timing
+// ---------------------------------------------------------------------------
+
+/** Print the Listing-3 style report to the stream. */
+PimStatus pimShowStats(std::ostream &os);
+
+/** Reset all statistics of the active device. */
+PimStatus pimResetStats();
+
+/** Snapshot of the aggregate statistics. */
+pimeval::PimRunStats pimGetStats();
+
+/** Operation-mix counters (Fig. 8). */
+std::map<std::string, uint64_t> pimGetOpMix();
+
+/** Host-phase timing helpers for PIM+Host benchmarks. */
+PimStatus pimStartHostTimer();
+PimStatus pimStopHostTimer();
+PimStatus pimAddHostTime(double seconds);
+
+/**
+ * Account a host-executed phase by its work characterization instead
+ * of wall-clock time: the phase is costed on the same host parameters
+ * as the CPU baseline (single-core: max(bytes / per-core bandwidth,
+ * ops / clock)), so PIM-side host phases and the CPU baseline stay
+ * mutually consistent regardless of the machine running the
+ * simulation. Honors the modeling scale.
+ */
+PimStatus pimAddHostWork(uint64_t bytes, uint64_t ops);
+
+/**
+ * Paper-size what-if modeling: cost every subsequent command,
+ * transfer, and host phase as if inputs were @p scale times larger
+ * (functional execution stays at the allocated sizes). Used by the
+ * figure-regeneration benches; see DESIGN.md. Pass 1.0 to disable.
+ */
+PimStatus pimSetModelingScale(double scale);
+
+/** Current modeling scale of the active device (1.0 if none). */
+double pimGetModelingScale();
+
+#endif // PIMEVAL_CORE_PIM_API_H_

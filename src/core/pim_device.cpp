@@ -1,0 +1,630 @@
+/**
+ * @file
+ * PimDevice implementation: functional semantics plus costing.
+ */
+
+#include "core/pim_device.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "fulcrum/fulcrum_core.h"
+#include "util/logging.h"
+
+namespace pimeval {
+
+namespace {
+
+/** Map a two/one-operand PIM command to the shared ALU semantics. */
+bool
+cmdToAlpuOp(PimCmdEnum cmd, AlpuOp &op)
+{
+    switch (cmd) {
+      case PimCmdEnum::kAdd:
+      case PimCmdEnum::kAddScalar:
+        op = AlpuOp::kAdd;
+        return true;
+      case PimCmdEnum::kSub:
+      case PimCmdEnum::kSubScalar:
+        op = AlpuOp::kSub;
+        return true;
+      case PimCmdEnum::kMul:
+      case PimCmdEnum::kMulScalar:
+        op = AlpuOp::kMul;
+        return true;
+      case PimCmdEnum::kDiv:
+      case PimCmdEnum::kDivScalar:
+        op = AlpuOp::kDiv;
+        return true;
+      case PimCmdEnum::kMin:
+      case PimCmdEnum::kMinScalar:
+        op = AlpuOp::kMin;
+        return true;
+      case PimCmdEnum::kMax:
+      case PimCmdEnum::kMaxScalar:
+        op = AlpuOp::kMax;
+        return true;
+      case PimCmdEnum::kAnd:
+      case PimCmdEnum::kAndScalar:
+        op = AlpuOp::kAnd;
+        return true;
+      case PimCmdEnum::kOr:
+      case PimCmdEnum::kOrScalar:
+        op = AlpuOp::kOr;
+        return true;
+      case PimCmdEnum::kXor:
+      case PimCmdEnum::kXorScalar:
+        op = AlpuOp::kXor;
+        return true;
+      case PimCmdEnum::kXnor:
+        op = AlpuOp::kXnor;
+        return true;
+      case PimCmdEnum::kNot:
+        op = AlpuOp::kNot;
+        return true;
+      case PimCmdEnum::kAbs:
+        op = AlpuOp::kAbs;
+        return true;
+      case PimCmdEnum::kGT:
+      case PimCmdEnum::kGTScalar:
+        op = AlpuOp::kGT;
+        return true;
+      case PimCmdEnum::kLT:
+      case PimCmdEnum::kLTScalar:
+        op = AlpuOp::kLT;
+        return true;
+      case PimCmdEnum::kEQ:
+      case PimCmdEnum::kEQScalar:
+        op = AlpuOp::kEQ;
+        return true;
+      case PimCmdEnum::kShiftBitsLeft:
+        op = AlpuOp::kShiftL;
+        return true;
+      case PimCmdEnum::kShiftBitsRight:
+        op = AlpuOp::kShiftR;
+        return true;
+      case PimCmdEnum::kPopCount:
+        op = AlpuOp::kPopCount;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+PimDevice::PimDevice(const PimDeviceConfig &config)
+    : config_(config), resources_(config),
+      model_(PerfEnergyModel::create(config)),
+      pool_(0)
+{
+    logInfo(strCat("Current Device = PIM_FUNCTIONAL, Simulation Target = ",
+                   pimDeviceName(config_.device)));
+    logInfo(config_.summary());
+    if (config_.device == PimDeviceEnum::PIM_DEVICE_FULCRUM)
+        logInfo("Aggregate every two subarrays as a single core");
+    logInfo(strCat("Created PIM device with ", config_.numCores(),
+                   " cores of ", config_.rowsPerCore(), " rows and ",
+                   config_.colsPerCore(), " columns."));
+    logInfo(strCat("Created thread pool with ", pool_.size(),
+                   " threads."));
+}
+
+PimObjId
+PimDevice::alloc(PimAllocEnum alloc_type, uint64_t num_elements,
+                 PimDataType data_type)
+{
+    bool v_layout = deviceUsesVLayout();
+    if (alloc_type == PimAllocEnum::PIM_ALLOC_V)
+        v_layout = true;
+    else if (alloc_type == PimAllocEnum::PIM_ALLOC_H)
+        v_layout = false;
+    PimDataObject *obj =
+        resources_.alloc(num_elements, data_type, v_layout);
+    return obj ? obj->id() : -1;
+}
+
+PimObjId
+PimDevice::allocAssociated(PimObjId ref, PimDataType data_type)
+{
+    const PimDataObject *ref_obj = resources_.get(ref);
+    if (!ref_obj) {
+        logError("pimAllocAssociated: unknown reference object");
+        return -1;
+    }
+    PimDataObject *obj = resources_.allocAssociated(*ref_obj, data_type);
+    return obj ? obj->id() : -1;
+}
+
+bool
+PimDevice::free(PimObjId id)
+{
+    return resources_.free(id);
+}
+
+PimStatus
+PimDevice::copyHostToDevice(const void *src, PimObjId dest,
+                            uint64_t idx_begin, uint64_t idx_end)
+{
+    PimDataObject *obj = resources_.get(dest);
+    if (!obj || !src) {
+        logError("pimCopyHostToDevice: bad arguments");
+        return PimStatus::PIM_ERROR;
+    }
+    if (idx_end == 0)
+        idx_end = obj->numElements();
+    if (idx_begin >= idx_end || idx_end > obj->numElements()) {
+        logError("pimCopyHostToDevice: bad range");
+        return PimStatus::PIM_ERROR;
+    }
+
+    const unsigned bits = obj->bitsPerElement();
+    const uint64_t count = idx_end - idx_begin;
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    auto &raw = obj->raw();
+    const uint64_t mask = obj->elementMask();
+
+    auto convert = [&](size_t i) {
+        uint64_t v = 0;
+        switch (bits) {
+          case 1:
+          case 8:
+            v = bytes[i];
+            break;
+          case 16:
+            std::memcpy(&v, bytes + i * 2, 2);
+            break;
+          case 32:
+            std::memcpy(&v, bytes + i * 4, 4);
+            break;
+          case 64:
+            std::memcpy(&v, bytes + i * 8, 8);
+            break;
+          default:
+            break;
+        }
+        raw[idx_begin + i] = v & mask;
+    };
+    pool_.parallelFor(0, count, convert);
+
+    const uint64_t payload = modeledBytes(count * ((bits + 7) / 8));
+    const PimOpCost cost =
+        model_->costCopy(PimCopyEnum::PIM_COPY_H2D, payload);
+    stats_.recordCopy(PimCopyEnum::PIM_COPY_H2D, payload, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
+                            uint64_t idx_end)
+{
+    PimDataObject *obj = resources_.get(src);
+    if (!obj || !dest) {
+        logError("pimCopyDeviceToHost: bad arguments");
+        return PimStatus::PIM_ERROR;
+    }
+    if (idx_end == 0)
+        idx_end = obj->numElements();
+    if (idx_begin >= idx_end || idx_end > obj->numElements()) {
+        logError("pimCopyDeviceToHost: bad range");
+        return PimStatus::PIM_ERROR;
+    }
+
+    const unsigned bits = obj->bitsPerElement();
+    const uint64_t count = idx_end - idx_begin;
+    auto *bytes = static_cast<uint8_t *>(dest);
+    const auto &raw = obj->raw();
+
+    auto convert = [&](size_t i) {
+        const uint64_t v = raw[idx_begin + i];
+        switch (bits) {
+          case 1:
+          case 8:
+            bytes[i] = static_cast<uint8_t>(v);
+            break;
+          case 16:
+            std::memcpy(bytes + i * 2, &v, 2);
+            break;
+          case 32:
+            std::memcpy(bytes + i * 4, &v, 4);
+            break;
+          case 64:
+            std::memcpy(bytes + i * 8, &v, 8);
+            break;
+          default:
+            break;
+        }
+    };
+    pool_.parallelFor(0, count, convert);
+
+    const uint64_t payload = modeledBytes(count * ((bits + 7) / 8));
+    const PimOpCost cost =
+        model_->costCopy(PimCopyEnum::PIM_COPY_D2H, payload);
+    stats_.recordCopy(PimCopyEnum::PIM_COPY_D2H, payload, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::copyDeviceToDevice(PimObjId src, PimObjId dest)
+{
+    PimDataObject *s = resources_.get(src);
+    PimDataObject *d = resources_.get(dest);
+    if (!checkCompatible(s, nullptr, d, "pimCopyDeviceToDevice"))
+        return PimStatus::PIM_ERROR;
+    d->raw() = s->raw();
+
+    const uint64_t payload = modeledBytes(s->payloadBytes());
+    const PimOpCost cost =
+        model_->costCopy(PimCopyEnum::PIM_COPY_D2D, payload);
+    stats_.recordCopy(PimCopyEnum::PIM_COPY_D2D, payload, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
+{
+    PimDataObject *obj = resources_.get(obj_id);
+    if (!obj) {
+        logError("pimShift/RotateElements: unknown object id");
+        return PimStatus::PIM_ERROR;
+    }
+    auto &raw = obj->raw();
+    const size_t n = raw.size();
+    if (n == 0)
+        return PimStatus::PIM_OK;
+
+    switch (cmd) {
+      case PimCmdEnum::kShiftElementsRight: {
+        for (size_t i = n; i-- > 1;)
+            raw[i] = raw[i - 1];
+        raw[0] = 0;
+        break;
+      }
+      case PimCmdEnum::kShiftElementsLeft: {
+        for (size_t i = 0; i + 1 < n; ++i)
+            raw[i] = raw[i + 1];
+        raw[n - 1] = 0;
+        break;
+      }
+      case PimCmdEnum::kRotateElementsRight: {
+        const uint64_t last = raw[n - 1];
+        for (size_t i = n; i-- > 1;)
+            raw[i] = raw[i - 1];
+        raw[0] = last;
+        break;
+      }
+      case PimCmdEnum::kRotateElementsLeft: {
+        const uint64_t first = raw[0];
+        for (size_t i = 0; i + 1 < n; ++i)
+            raw[i] = raw[i + 1];
+        raw[n - 1] = first;
+        break;
+      }
+      default:
+        return PimStatus::PIM_ERROR;
+    }
+
+    // Cost: inter-element movement rewrites the whole object once in
+    // place (read + write of every row) and fixes one boundary
+    // element per region through the host interface.
+    const uint64_t payload = modeledBytes(obj->payloadBytes());
+    PimOpCost cost =
+        model_->costCopy(PimCopyEnum::PIM_COPY_D2D, payload);
+    const uint64_t boundary_bytes =
+        obj->numCoresUsed() * ((obj->bitsPerElement() + 7) / 8);
+    cost += model_->costCopy(PimCopyEnum::PIM_COPY_D2H,
+                             boundary_bytes);
+    cost += model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
+                             boundary_bytes);
+    record(cmd, *obj, cost);
+    return PimStatus::PIM_OK;
+}
+
+void
+PimDevice::addHostWork(uint64_t bytes, uint64_t ops)
+{
+    // Single-core host phase on the Table II CPU: the greater of the
+    // streaming time at the per-core share of peak bandwidth and the
+    // scalar op time at the core clock.
+    const HostParams host;
+    const double b =
+        static_cast<double>(bytes) * modeling_scale_;
+    const double o = static_cast<double>(ops) * modeling_scale_;
+    const double per_core_bw =
+        host.cpu_mem_bw_gbps * 1e9 / host.cpu_cores;
+    const double seconds = std::max(
+        b / per_core_bw, o / (host.cpu_freq_ghz * 1e9));
+    stats_.addHostTimeRaw(seconds);
+}
+
+uint64_t
+PimDevice::modeledBytes(uint64_t bytes) const
+{
+    if (modeling_scale_ <= 1.0)
+        return bytes;
+    return static_cast<uint64_t>(static_cast<double>(bytes) *
+                                 modeling_scale_);
+}
+
+void
+PimDevice::setModelingScale(double scale)
+{
+    modeling_scale_ = scale >= 1.0 ? scale : 1.0;
+    stats_.setHostScale(modeling_scale_);
+}
+
+PimOpProfile
+PimDevice::makeProfile(PimCmdEnum cmd, const PimDataObject &obj,
+                       uint64_t scalar, unsigned aux) const
+{
+    PimOpProfile profile;
+    profile.cmd = cmd;
+    profile.data_type = obj.dataType();
+    profile.bits = obj.bitsPerElement();
+    profile.num_elements = obj.numElements();
+    profile.max_elems_per_core = obj.maxElementsPerRegion();
+    profile.cores_used = obj.numCoresUsed();
+    profile.scalar = scalar;
+    profile.aux = aux;
+    if (modeling_scale_ > 1.0) {
+        // Paper-size what-if: cost the op as if the object held
+        // scale-times more elements, balanced across all cores.
+        const auto scaled = static_cast<uint64_t>(
+            static_cast<double>(obj.numElements()) * modeling_scale_);
+        const uint64_t cores = config_.numCores();
+        profile.num_elements = scaled;
+        profile.max_elems_per_core = (scaled + cores - 1) / cores;
+        profile.cores_used = std::min<uint64_t>(cores, scaled);
+    }
+    return profile;
+}
+
+void
+PimDevice::record(PimCmdEnum cmd, const PimDataObject &obj,
+                  const PimOpCost &cost)
+{
+    const std::string key = pimCmdName(cmd) + "." +
+        pimDataTypeName(obj.dataType()) +
+        (obj.isVLayout() ? ".v" : ".h");
+    stats_.recordCmd(key, cmd, cost);
+}
+
+bool
+PimDevice::checkCompatible(const PimDataObject *a, const PimDataObject *b,
+                           const PimDataObject *dest,
+                           const char *what) const
+{
+    if (!a || !dest) {
+        logError(strCat(what, ": unknown object id"));
+        return false;
+    }
+    if (b && b->numElements() != a->numElements()) {
+        logError(strCat(what, ": operand size mismatch"));
+        return false;
+    }
+    if (dest->numElements() != a->numElements()) {
+        logError(strCat(what, ": destination size mismatch"));
+        return false;
+    }
+    return true;
+}
+
+PimStatus
+PimDevice::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
+                         PimObjId dest)
+{
+    PimDataObject *oa = resources_.get(a);
+    PimDataObject *ob = resources_.get(b);
+    PimDataObject *od = resources_.get(dest);
+    if (!ob) {
+        logError("executeBinary: unknown object id");
+        return PimStatus::PIM_ERROR;
+    }
+    if (!checkCompatible(oa, ob, od, "executeBinary"))
+        return PimStatus::PIM_ERROR;
+
+    AlpuOp op;
+    const bool is_ne = (cmd == PimCmdEnum::kNE);
+    if (is_ne) {
+        op = AlpuOp::kEQ;
+    } else if (!cmdToAlpuOp(cmd, op)) {
+        logError("executeBinary: unsupported command");
+        return PimStatus::PIM_ERROR;
+    }
+
+    const unsigned bits = oa->bitsPerElement();
+    const bool sgn = oa->isSigned();
+    const auto &ra = oa->raw();
+    const auto &rb = ob->raw();
+    auto &rd = od->raw();
+    const uint64_t dmask = od->elementMask();
+
+    pool_.parallelFor(0, ra.size(), [&](size_t i) {
+        uint64_t r = alpuCompute(op, ra[i], rb[i], bits, sgn);
+        if (is_ne)
+            r ^= 1ull;
+        rd[i] = r & dmask;
+    });
+
+    const PimOpCost cost = model_->costOp(makeProfile(cmd, *oa, 0, 0));
+    record(cmd, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest)
+{
+    PimDataObject *oa = resources_.get(a);
+    PimDataObject *od = resources_.get(dest);
+    if (!checkCompatible(oa, nullptr, od, "executeUnary"))
+        return PimStatus::PIM_ERROR;
+
+    AlpuOp op;
+    if (!cmdToAlpuOp(cmd, op)) {
+        logError("executeUnary: unsupported command");
+        return PimStatus::PIM_ERROR;
+    }
+
+    const unsigned bits = oa->bitsPerElement();
+    const bool sgn = oa->isSigned();
+    const auto &ra = oa->raw();
+    auto &rd = od->raw();
+    const uint64_t dmask = od->elementMask();
+
+    pool_.parallelFor(0, ra.size(), [&](size_t i) {
+        rd[i] = alpuCompute(op, ra[i], 0, bits, sgn) & dmask;
+    });
+
+    const PimOpCost cost = model_->costOp(makeProfile(cmd, *oa, 0, 0));
+    record(cmd, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
+                         uint64_t scalar)
+{
+    PimDataObject *oa = resources_.get(a);
+    PimDataObject *od = resources_.get(dest);
+    if (!checkCompatible(oa, nullptr, od, "executeScalar"))
+        return PimStatus::PIM_ERROR;
+
+    AlpuOp op;
+    if (!cmdToAlpuOp(cmd, op)) {
+        logError("executeScalar: unsupported command");
+        return PimStatus::PIM_ERROR;
+    }
+
+    const unsigned bits = oa->bitsPerElement();
+    const bool sgn = oa->isSigned();
+    const uint64_t s = scalar & oa->elementMask();
+    const auto &ra = oa->raw();
+    auto &rd = od->raw();
+    const uint64_t dmask = od->elementMask();
+
+    pool_.parallelFor(0, ra.size(), [&](size_t i) {
+        rd[i] = alpuCompute(op, ra[i], s, bits, sgn) & dmask;
+    });
+
+    const PimOpCost cost =
+        model_->costOp(makeProfile(cmd, *oa, s, 0));
+    record(cmd, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
+                            uint64_t scalar)
+{
+    PimDataObject *oa = resources_.get(a);
+    PimDataObject *ob = resources_.get(b);
+    PimDataObject *od = resources_.get(dest);
+    if (!ob) {
+        logError("pimScaledAdd: unknown object id");
+        return PimStatus::PIM_ERROR;
+    }
+    if (!checkCompatible(oa, ob, od, "pimScaledAdd"))
+        return PimStatus::PIM_ERROR;
+
+    const unsigned bits = oa->bitsPerElement();
+    const bool sgn = oa->isSigned();
+    const uint64_t s = scalar & oa->elementMask();
+    const auto &ra = oa->raw();
+    const auto &rb = ob->raw();
+    auto &rd = od->raw();
+    const uint64_t dmask = od->elementMask();
+
+    pool_.parallelFor(0, ra.size(), [&](size_t i) {
+        const uint64_t prod =
+            alpuCompute(AlpuOp::kMul, ra[i], s, bits, sgn);
+        rd[i] = alpuCompute(AlpuOp::kAdd, prod, rb[i], bits, sgn) & dmask;
+    });
+
+    const PimOpCost cost =
+        model_->costOp(makeProfile(PimCmdEnum::kScaledAdd, *oa, s, 0));
+    record(PimCmdEnum::kScaledAdd, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeShift(PimCmdEnum cmd, PimObjId a, PimObjId dest,
+                        unsigned amount)
+{
+    PimDataObject *oa = resources_.get(a);
+    PimDataObject *od = resources_.get(dest);
+    if (!checkCompatible(oa, nullptr, od, "executeShift"))
+        return PimStatus::PIM_ERROR;
+
+    const AlpuOp op = (cmd == PimCmdEnum::kShiftBitsLeft)
+        ? AlpuOp::kShiftL : AlpuOp::kShiftR;
+    const unsigned bits = oa->bitsPerElement();
+    const bool sgn = oa->isSigned();
+    const auto &ra = oa->raw();
+    auto &rd = od->raw();
+    const uint64_t dmask = od->elementMask();
+
+    pool_.parallelFor(0, ra.size(), [&](size_t i) {
+        rd[i] = alpuCompute(op, ra[i], amount, bits, sgn) & dmask;
+    });
+
+    const PimOpCost cost =
+        model_->costOp(makeProfile(cmd, *oa, 0, amount));
+    record(cmd, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
+                         int64_t *result)
+{
+    PimDataObject *oa = resources_.get(a);
+    if (!oa || !result) {
+        logError("pimRedSum: bad arguments");
+        return PimStatus::PIM_ERROR;
+    }
+    if (idx_end == 0)
+        idx_end = oa->numElements();
+    if (idx_begin >= idx_end || idx_end > oa->numElements()) {
+        logError("pimRedSum: bad range");
+        return PimStatus::PIM_ERROR;
+    }
+
+    int64_t sum = 0;
+    for (uint64_t i = idx_begin; i < idx_end; ++i)
+        sum += oa->getSigned(i);
+    *result = sum;
+
+    // Cost the full-object reduction (a ranged sum still touches all
+    // rows that hold the range; approximate with the range fraction).
+    PimOpProfile profile = makeProfile(PimCmdEnum::kRedSum, *oa, 0, 0);
+    const double fraction =
+        static_cast<double>(idx_end - idx_begin) /
+        static_cast<double>(oa->numElements());
+    PimOpCost cost = model_->costOp(profile);
+    cost.runtime_sec *= fraction;
+    cost.energy_j *= fraction;
+    record(PimCmdEnum::kRedSum, *oa, cost);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
+{
+    PimDataObject *od = resources_.get(dest);
+    if (!od) {
+        logError("pimBroadcast: unknown object id");
+        return PimStatus::PIM_ERROR;
+    }
+    const uint64_t v = value & od->elementMask();
+    auto &rd = od->raw();
+    pool_.parallelFor(0, rd.size(), [&](size_t i) { rd[i] = v; });
+
+    const PimOpCost cost =
+        model_->costOp(makeProfile(PimCmdEnum::kBroadcast, *od, v, 0));
+    record(PimCmdEnum::kBroadcast, *od, cost);
+    return PimStatus::PIM_OK;
+}
+
+} // namespace pimeval

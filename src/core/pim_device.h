@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The simulated PIM device: functional execution of PIM commands plus
+ * performance/energy costing and statistics (paper Fig. 5).
+ *
+ * Functional results are exact (element-wise semantics shared with the
+ * ALPU reference), so benchmarks verify against CPU references, while
+ * runtime and energy are modeled per command by the architecture's
+ * PerfEnergyModel.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_DEVICE_H_
+#define PIMEVAL_CORE_PIM_DEVICE_H_
+
+#include <memory>
+
+#include "core/perf_energy_model.h"
+#include "core/pim_data_object.h"
+#include "core/pim_params.h"
+#include "core/pim_resource_mgr.h"
+#include "core/pim_stats.h"
+#include "util/thread_pool.h"
+
+namespace pimeval {
+
+class PimDevice
+{
+  public:
+    explicit PimDevice(const PimDeviceConfig &config);
+
+    const PimDeviceConfig &config() const { return config_; }
+
+    /**
+     * Modeling scale factor (paper-size what-if): functional
+     * execution stays at the allocated sizes while every command,
+     * transfer, and host phase is costed as if objects held
+     * scale-times more elements, analytically redistributed across
+     * all cores. Enables regenerating the paper's figures, whose
+     * input sizes exceed laptop memory (see DESIGN.md).
+     */
+    void setModelingScale(double scale);
+    double modelingScale() const { return modeling_scale_; }
+
+    PimStatsMgr &stats() { return stats_; }
+    const PimStatsMgr &stats() const { return stats_; }
+    PimResourceMgr &resources() { return resources_; }
+
+    // --- Resource management ---
+    PimObjId alloc(PimAllocEnum alloc_type, uint64_t num_elements,
+                   PimDataType data_type);
+    PimObjId allocAssociated(PimObjId ref, PimDataType data_type);
+    bool free(PimObjId id);
+    PimDataObject *object(PimObjId id) { return resources_.get(id); }
+
+    // --- Data movement ---
+    PimStatus copyHostToDevice(const void *src, PimObjId dest,
+                               uint64_t idx_begin, uint64_t idx_end);
+    PimStatus copyDeviceToHost(PimObjId src, void *dest,
+                               uint64_t idx_begin, uint64_t idx_end);
+    PimStatus copyDeviceToDevice(PimObjId src, PimObjId dest);
+
+    // --- Computation ---
+    PimStatus executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
+                            PimObjId dest);
+    PimStatus executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest);
+    PimStatus executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
+                            uint64_t scalar);
+    PimStatus executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
+                               uint64_t scalar);
+    PimStatus executeShift(PimCmdEnum cmd, PimObjId a, PimObjId dest,
+                           unsigned amount);
+    PimStatus executeRedSum(PimObjId a, uint64_t idx_begin,
+                            uint64_t idx_end, int64_t *result);
+    PimStatus executeBroadcast(PimObjId dest, uint64_t value);
+    PimStatus executeElementShift(PimCmdEnum cmd, PimObjId obj);
+
+    /** Model a host phase on the CPU-baseline host parameters. */
+    void addHostWork(uint64_t bytes, uint64_t ops);
+
+  private:
+    /** Native layout of this device type. */
+    bool deviceUsesVLayout() const
+    {
+        return config_.device ==
+            PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP ||
+            config_.device == PimDeviceEnum::PIM_DEVICE_SIMDRAM;
+    }
+
+    /** Build a cost profile for an op on @p shape_obj. */
+    PimOpProfile makeProfile(PimCmdEnum cmd, const PimDataObject &obj,
+                             uint64_t scalar, unsigned aux) const;
+
+    /** Transfer size under the modeling scale. */
+    uint64_t modeledBytes(uint64_t bytes) const;
+
+    /** Record the op in stats with the canonical key. */
+    void record(PimCmdEnum cmd, const PimDataObject &obj,
+                const PimOpCost &cost);
+
+    /** Validate operand compatibility; logs on failure. */
+    bool checkCompatible(const PimDataObject *a, const PimDataObject *b,
+                         const PimDataObject *dest,
+                         const char *what) const;
+
+    PimDeviceConfig config_;
+    PimResourceMgr resources_;
+    std::unique_ptr<PerfEnergyModel> model_;
+    PimStatsMgr stats_;
+    ThreadPool pool_;
+    double modeling_scale_ = 1.0;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_DEVICE_H_

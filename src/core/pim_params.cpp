@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parameter derivations: Micron power model equations and device
+ * geometry helpers.
+ */
+
+#include "core/pim_params.h"
+
+#include <sstream>
+
+namespace pimeval {
+
+uint64_t
+PimDeviceConfig::numCores() const
+{
+    switch (device) {
+      case PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP:
+      case PimDeviceEnum::PIM_DEVICE_SIMDRAM:
+        // One core per subarray.
+        return totalSubarrays();
+      case PimDeviceEnum::PIM_DEVICE_FULCRUM:
+        // One ALPU shared between every two consecutive subarrays.
+        return totalSubarrays() / 2;
+      case PimDeviceEnum::PIM_DEVICE_BANK_LEVEL:
+        // One processing element per bank.
+        return num_ranks * num_banks_per_rank;
+      case PimDeviceEnum::PIM_DEVICE_NONE:
+        break;
+    }
+    return 0;
+}
+
+uint64_t
+PimDeviceConfig::rowsPerCore() const
+{
+    switch (device) {
+      case PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP:
+      case PimDeviceEnum::PIM_DEVICE_SIMDRAM:
+        return num_rows_per_subarray;
+      case PimDeviceEnum::PIM_DEVICE_FULCRUM:
+        return num_rows_per_subarray * 2;
+      case PimDeviceEnum::PIM_DEVICE_BANK_LEVEL:
+        return num_rows_per_subarray * num_subarrays_per_bank;
+      case PimDeviceEnum::PIM_DEVICE_NONE:
+        break;
+    }
+    return 0;
+}
+
+std::string
+PimDeviceConfig::summary() const
+{
+    std::ostringstream oss;
+    oss << "Config: #ranks = " << num_ranks
+        << ", #bankPerRank = " << num_banks_per_rank
+        << ", #subarrayPerBank = " << num_subarrays_per_bank
+        << ", #rowsPerSubarray = " << num_rows_per_subarray
+        << ", #colsPerRow = " << num_cols_per_row;
+    return oss.str();
+}
+
+} // namespace pimeval

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Resource manager implementation.
+ */
+
+#include "core/pim_resource_mgr.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace pimeval {
+
+RowAllocator::RowAllocator(uint64_t num_rows) : num_rows_(num_rows)
+{
+    if (num_rows_ > 0)
+        free_[0] = num_rows_;
+}
+
+uint64_t
+RowAllocator::allocate(uint64_t count)
+{
+    if (count == 0)
+        return UINT64_MAX;
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second >= count) {
+            const uint64_t offset = it->first;
+            const uint64_t remaining = it->second - count;
+            free_.erase(it);
+            if (remaining > 0)
+                free_[offset + count] = remaining;
+            return offset;
+        }
+    }
+    return UINT64_MAX;
+}
+
+void
+RowAllocator::release(uint64_t offset, uint64_t count)
+{
+    if (count == 0)
+        return;
+    assert(offset + count <= num_rows_);
+    auto [it, inserted] = free_.emplace(offset, count);
+    assert(inserted);
+    // Merge with successor.
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_.erase(next);
+    }
+    // Merge with predecessor.
+    if (it != free_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_.erase(it);
+        }
+    }
+}
+
+uint64_t
+RowAllocator::freeRows() const
+{
+    uint64_t total = 0;
+    for (const auto &[offset, len] : free_)
+        total += len;
+    return total;
+}
+
+uint64_t
+RowAllocator::largestFreeExtent() const
+{
+    uint64_t largest = 0;
+    for (const auto &[offset, len] : free_)
+        largest = std::max(largest, len);
+    return largest;
+}
+
+PimResourceMgr::PimResourceMgr(const PimDeviceConfig &config)
+    : config_(config)
+{
+    const uint64_t num_cores = config_.numCores();
+    row_allocators_.reserve(num_cores);
+    for (uint64_t c = 0; c < num_cores; ++c)
+        row_allocators_.emplace_back(config_.rowsPerCore());
+}
+
+uint64_t
+PimResourceMgr::rowsForRegion(uint64_t elems, unsigned bits,
+                              bool v_layout) const
+{
+    if (elems == 0)
+        return 0;
+    if (v_layout) {
+        // Groups of `cols` elements stacked in `bits`-row chunks.
+        const uint64_t cols = config_.colsPerCore();
+        const uint64_t chunks = (elems + cols - 1) / cols;
+        return chunks * bits;
+    }
+    // Horizontal: whole rows of elems_per_row elements. The row is
+    // charged fully even when partially used (paper Section V-E).
+    const uint64_t elems_per_row =
+        std::max<uint64_t>(1, config_.colsPerCore() / bits);
+    return (elems + elems_per_row - 1) / elems_per_row;
+}
+
+std::vector<uint64_t>
+PimResourceMgr::balancedSplit(uint64_t num_elements) const
+{
+    const uint64_t num_cores = config_.numCores();
+    std::vector<uint64_t> counts(num_cores, 0);
+    const uint64_t base = num_elements / num_cores;
+    const uint64_t rem = num_elements % num_cores;
+    for (uint64_t c = 0; c < num_cores; ++c)
+        counts[c] = base + (c < rem ? 1 : 0);
+    return counts;
+}
+
+bool
+PimResourceMgr::placeRegions(
+    PimDataObject &obj,
+    const std::vector<std::pair<uint64_t, uint64_t>> &core_elem_counts)
+{
+    const unsigned bits = obj.bitsPerElement();
+    uint64_t elem_offset = 0;
+    std::vector<PimRegion> placed;
+    placed.reserve(core_elem_counts.size());
+
+    for (const auto &[core_id, elems] : core_elem_counts) {
+        const uint64_t rows = rowsForRegion(elems, bits, obj.isVLayout());
+        const uint64_t offset = row_allocators_[core_id].allocate(rows);
+        if (offset == UINT64_MAX) {
+            // Roll back everything placed so far.
+            for (const auto &region : placed) {
+                row_allocators_[region.core_id].release(region.row_offset,
+                                                        region.num_rows);
+            }
+            return false;
+        }
+        PimRegion region;
+        region.core_id = core_id;
+        region.row_offset = offset;
+        region.num_rows = rows;
+        region.elem_offset = elem_offset;
+        region.num_elements = elems;
+        placed.push_back(region);
+        elem_offset += elems;
+    }
+    obj.regions() = std::move(placed);
+    return true;
+}
+
+PimDataObject *
+PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
+                      bool v_layout)
+{
+    if (num_elements == 0) {
+        logError("pimAlloc: zero-element allocation rejected");
+        return nullptr;
+    }
+    auto obj = std::make_unique<PimDataObject>(next_id_, num_elements,
+                                               data_type, v_layout);
+    // Rotate the starting core per allocation so that many small
+    // objects spread across the device instead of piling onto the
+    // first cores.
+    const auto counts = balancedSplit(num_elements);
+    const uint64_t num_cores = counts.size();
+    std::vector<std::pair<uint64_t, uint64_t>> nonzero;
+    uint64_t used = 0;
+    for (uint64_t c = 0; c < num_cores; ++c) {
+        if (counts[c] > 0) {
+            nonzero.emplace_back((next_core_ + c) % num_cores,
+                                 counts[c]);
+            ++used;
+        }
+    }
+    next_core_ = (next_core_ + used) % num_cores;
+    if (!placeRegions(*obj, nonzero)) {
+        logError("pimAlloc: device capacity exhausted");
+        return nullptr;
+    }
+    PimDataObject *raw = obj.get();
+    objects_[next_id_] = std::move(obj);
+    ++next_id_;
+    return raw;
+}
+
+PimDataObject *
+PimResourceMgr::allocAssociated(const PimDataObject &ref,
+                                PimDataType data_type)
+{
+    auto obj = std::make_unique<PimDataObject>(
+        next_id_, ref.numElements(), data_type, ref.isVLayout());
+    std::vector<std::pair<uint64_t, uint64_t>> counts;
+    counts.reserve(ref.regions().size());
+    for (const auto &region : ref.regions())
+        counts.emplace_back(region.core_id, region.num_elements);
+    if (!placeRegions(*obj, counts)) {
+        logError("pimAllocAssociated: device capacity exhausted");
+        return nullptr;
+    }
+    PimDataObject *raw = obj.get();
+    objects_[next_id_] = std::move(obj);
+    ++next_id_;
+    return raw;
+}
+
+bool
+PimResourceMgr::free(PimObjId id)
+{
+    auto it = objects_.find(id);
+    if (it == objects_.end())
+        return false;
+    for (const auto &region : it->second->regions()) {
+        row_allocators_[region.core_id].release(region.row_offset,
+                                                region.num_rows);
+    }
+    objects_.erase(it);
+    return true;
+}
+
+PimDataObject *
+PimResourceMgr::get(PimObjId id)
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+}
+
+const PimDataObject *
+PimResourceMgr::get(PimObjId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+}
+
+double
+PimResourceMgr::utilization() const
+{
+    const uint64_t rows_per_core = config_.rowsPerCore();
+    uint64_t total = 0, used = 0;
+    for (const auto &alloc : row_allocators_) {
+        total += rows_per_core;
+        used += rows_per_core - alloc.freeRows();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(used) /
+                          static_cast<double>(total);
+}
+
+} // namespace pimeval

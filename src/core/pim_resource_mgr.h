@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PIM resource manager: object allocation, placement, and tracking
+ * (paper Section V-A).
+ *
+ * Objects are spread across all PIM cores to maximize parallelism.
+ * Rows within each core are managed with a first-fit interval
+ * allocator so that objects can be freed and reallocated throughout a
+ * benchmark (e.g., per-iteration temporaries in K-means).
+ *
+ * pimAllocAssociated() clones the element distribution of a reference
+ * object so corresponding elements of both objects land in the same
+ * core — the precondition for element-wise SIMD commands.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_RESOURCE_MGR_H_
+#define PIMEVAL_CORE_PIM_RESOURCE_MGR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/pim_data_object.h"
+#include "core/pim_params.h"
+
+namespace pimeval {
+
+/**
+ * First-fit row interval allocator for one PIM core.
+ */
+class RowAllocator
+{
+  public:
+    explicit RowAllocator(uint64_t num_rows);
+
+    /**
+     * Allocate @p count contiguous rows.
+     * @return row offset, or UINT64_MAX when full.
+     */
+    uint64_t allocate(uint64_t count);
+
+    /** Return rows to the free pool (merges adjacent intervals). */
+    void release(uint64_t offset, uint64_t count);
+
+    /** Rows currently free. */
+    uint64_t freeRows() const;
+
+    /** Largest single free extent. */
+    uint64_t largestFreeExtent() const;
+
+  private:
+    uint64_t num_rows_;
+    std::map<uint64_t, uint64_t> free_; ///< offset -> length
+};
+
+/**
+ * Device-wide resource manager.
+ */
+class PimResourceMgr
+{
+  public:
+    explicit PimResourceMgr(const PimDeviceConfig &config);
+
+    /**
+     * Allocate an object spread across cores.
+     * @param v_layout vertical (bit-serial) or horizontal placement.
+     * @return nullptr on failure (capacity exhausted).
+     */
+    PimDataObject *alloc(uint64_t num_elements, PimDataType data_type,
+                         bool v_layout);
+
+    /**
+     * Allocate with the same element distribution as @p ref.
+     */
+    PimDataObject *allocAssociated(const PimDataObject &ref,
+                                   PimDataType data_type);
+
+    /** Free an object; @return false for unknown ids. */
+    bool free(PimObjId id);
+
+    /** Look up an object (nullptr if unknown). */
+    PimDataObject *get(PimObjId id);
+    const PimDataObject *get(PimObjId id) const;
+
+    /** Live object count. */
+    size_t numObjects() const { return objects_.size(); }
+
+    /** Fraction of device rows currently allocated, for reporting. */
+    double utilization() const;
+
+  private:
+    /** Rows one region needs for @p elems elements of @p bits. */
+    uint64_t rowsForRegion(uint64_t elems, unsigned bits,
+                           bool v_layout) const;
+
+    /** Build a balanced element distribution across cores. */
+    std::vector<uint64_t> balancedSplit(uint64_t num_elements) const;
+
+    /** Place regions for the given per-core element counts. */
+    bool placeRegions(PimDataObject &obj,
+                      const std::vector<std::pair<uint64_t, uint64_t>>
+                          &core_elem_counts);
+
+    PimDeviceConfig config_;
+    PimObjId next_id_ = 0;
+    /** Rotating start core for small-object spreading. */
+    uint64_t next_core_ = 0;
+    std::map<PimObjId, std::unique_ptr<PimDataObject>> objects_;
+    std::vector<RowAllocator> row_allocators_; ///< one per core
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_RESOURCE_MGR_H_

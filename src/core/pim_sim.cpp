@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PimSim implementation.
+ */
+
+#include "core/pim_sim.h"
+
+#include "util/logging.h"
+
+namespace pimeval {
+
+PimSim &
+PimSim::instance()
+{
+    static PimSim sim;
+    return sim;
+}
+
+PimStatus
+PimSim::createDevice(const PimDeviceConfig &config)
+{
+    if (device_) {
+        logError("pimCreateDevice: a device is already active");
+        return PimStatus::PIM_ERROR;
+    }
+    if (config.device == PimDeviceEnum::PIM_DEVICE_NONE) {
+        logError("pimCreateDevice: no device type selected");
+        return PimStatus::PIM_ERROR;
+    }
+    device_ = std::make_unique<PimDevice>(config);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+PimSim::deleteDevice()
+{
+    if (!device_) {
+        logError("pimDeleteDevice: no active device");
+        return PimStatus::PIM_ERROR;
+    }
+    device_.reset();
+    return PimStatus::PIM_OK;
+}
+
+} // namespace pimeval

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulator singleton holding the active PIM device.
+ *
+ * The public C-style PIM API (pim_api.h) dispatches through this
+ * object, mirroring the original PIMeval library structure where one
+ * simulated device is active per process.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_SIM_H_
+#define PIMEVAL_CORE_PIM_SIM_H_
+
+#include <memory>
+
+#include "core/pim_device.h"
+
+namespace pimeval {
+
+class PimSim
+{
+  public:
+    /** Process-wide instance. */
+    static PimSim &instance();
+
+    PimSim(const PimSim &) = delete;
+    PimSim &operator=(const PimSim &) = delete;
+
+    /** Create the active device; fails if one already exists. */
+    PimStatus createDevice(const PimDeviceConfig &config);
+
+    /** Destroy the active device. */
+    PimStatus deleteDevice();
+
+    /** Active device, or nullptr. */
+    PimDevice *device() { return device_.get(); }
+
+    bool hasDevice() const { return device_ != nullptr; }
+
+  private:
+    PimSim() = default;
+
+    std::unique_ptr<PimDevice> device_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_SIM_H_

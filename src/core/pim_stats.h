@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Statistics manager: per-command counts, modeled runtime/energy,
+ * data-copy accounting, and host-phase timing.
+ *
+ * The report format follows the paper's Listing 3 (example vector-add
+ * output), and the per-command operation mix feeds the Fig. 8
+ * analysis.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_STATS_H_
+#define PIMEVAL_CORE_PIM_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "core/perf_energy_model.h"
+#include "core/pim_types.h"
+
+namespace pimeval {
+
+/**
+ * Aggregated per-command statistics.
+ */
+struct PimCmdStat
+{
+    uint64_t count = 0;
+    double runtime_sec = 0.0;
+    double energy_j = 0.0;
+};
+
+/**
+ * Aggregate snapshot of a run, used by apps and benches.
+ */
+struct PimRunStats
+{
+    double kernel_sec = 0.0; ///< modeled PIM kernel time
+    double kernel_j = 0.0;   ///< modeled PIM kernel energy
+    double copy_sec = 0.0;   ///< modeled host<->device transfer time
+    double copy_j = 0.0;     ///< modeled transfer energy
+    double host_sec = 0.0;   ///< measured host-phase time
+    uint64_t bytes_h2d = 0;
+    uint64_t bytes_d2h = 0;
+    uint64_t bytes_d2d = 0;
+
+    double totalSec() const { return kernel_sec + copy_sec + host_sec; }
+
+    PimRunStats &operator+=(const PimRunStats &o);
+};
+
+/**
+ * Per-device statistics manager.
+ */
+class PimStatsMgr
+{
+  public:
+    /** Record one PIM command, keyed e.g. "add.int32.v". */
+    void recordCmd(const std::string &key, PimCmdEnum cmd,
+                   const PimOpCost &cost);
+
+    /** Record a data transfer. */
+    void recordCopy(PimCopyEnum direction, uint64_t bytes,
+                    const PimOpCost &cost);
+
+    /** Host-phase timing (RAII-free explicit start/stop). */
+    void startHostTimer();
+    void stopHostTimer();
+    /** Add pre-modeled host seconds (no scaling applied). */
+    void addHostTimeRaw(double seconds) { host_sec_ += seconds; }
+
+    /** Directly add externally measured host seconds. */
+    void addHostTime(double seconds)
+    {
+        if (host_scale_ > 1.0)
+            host_sec_ += seconds * host_scale_ / hostCalibration();
+        else
+            host_sec_ += seconds;
+    }
+
+    /**
+     * Scale factor applied to measured host phases (paper-size
+     * what-if; host work in these benchmarks is linear in input
+     * size).
+     */
+    void setHostScale(double scale)
+    {
+        host_scale_ = scale >= 1.0 ? scale : 1.0;
+    }
+
+    /**
+     * Ratio of this machine's single-core streaming rate to the
+     * modeled EPYC baseline's. Measured lazily once; applied to host
+     * phases only in paper-size mode so that measured host kernels
+     * approximate the paper's testbed (DESIGN.md substitutions).
+     */
+    static double hostCalibration();
+
+    /** Aggregates. */
+    PimRunStats snapshot() const;
+
+    /** Operation mix: counts keyed by base mnemonic (Fig. 8). */
+    std::map<std::string, uint64_t> opMix() const;
+
+    /** Per-command table (for tests/benches). */
+    const std::map<std::string, PimCmdStat> &cmdStats() const
+    {
+        return cmd_stats_;
+    }
+
+    /** Reset everything. */
+    void reset();
+
+    /** Print a Listing-3 style report. */
+    void printReport(std::ostream &os) const;
+
+  private:
+    std::map<std::string, PimCmdStat> cmd_stats_;
+    std::map<std::string, uint64_t> op_mix_;
+    double kernel_sec_ = 0.0;
+    double kernel_j_ = 0.0;
+    double copy_sec_ = 0.0;
+    double copy_j_ = 0.0;
+    double host_sec_ = 0.0;
+    double host_scale_ = 1.0;
+    uint64_t bytes_h2d_ = 0;
+    uint64_t bytes_d2h_ = 0;
+    uint64_t bytes_d2d_ = 0;
+    std::chrono::high_resolution_clock::time_point host_start_;
+    bool host_timing_ = false;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_STATS_H_

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * DramChannel implementation.
+ */
+
+#include "dram/dram_channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pimeval {
+
+DramChannel::DramChannel(const DramTiming &timing, uint32_t num_ranks,
+                         uint32_t num_banks)
+    : timing_(timing), num_ranks_(num_ranks), num_banks_(num_banks),
+      banks_(static_cast<size_t>(num_ranks) * num_banks)
+{
+}
+
+DramChannel::BankState &
+DramChannel::bank(uint32_t rank, uint32_t bank_idx)
+{
+    assert(rank < num_ranks_ && bank_idx < num_banks_);
+    return banks_[static_cast<size_t>(rank) * num_banks_ + bank_idx];
+}
+
+void
+DramChannel::reset()
+{
+    std::fill(banks_.begin(), banks_.end(), BankState{});
+    bus_free_ = 0;
+    last_bus_rank_ = 0;
+    bus_used_ = false;
+    last_act_ = 0;
+    any_act_ = false;
+    act_window_.clear();
+    stats_ = DramChannelStats{};
+}
+
+uint64_t
+DramChannel::access(const DramRequest &request)
+{
+    BankState &state = bank(request.rank, request.bank);
+
+    // Open-page policy: precharge + activate on a row miss.
+    if (!state.row_open || state.open_row != request.row) {
+        uint64_t act_cycle = state.ready_for_act;
+        if (state.row_open) {
+            // Close the open row first.
+            const uint64_t pre_cycle = state.ready_for_pre;
+            act_cycle = std::max(act_cycle, pre_cycle + timing_.tRP);
+            ++stats_.row_misses;
+        } else if (stats_.num_reads + stats_.num_writes > 0) {
+            ++stats_.row_misses;
+        }
+
+        // Inter-bank ACT spacing (tRRD) and the four-activate window.
+        if (any_act_)
+            act_cycle = std::max(act_cycle, last_act_ + timing_.tRRD);
+        if (act_window_.size() >= 4) {
+            act_cycle = std::max(act_cycle,
+                                 act_window_.front() + timing_.tFAW);
+        }
+
+        state.row_open = true;
+        state.open_row = request.row;
+        state.ready_for_col = act_cycle + timing_.tRCD;
+        state.ready_for_act = act_cycle + timing_.tRC;
+        state.ready_for_pre = act_cycle + timing_.tRAS;
+        last_act_ = act_cycle;
+        any_act_ = true;
+        act_window_.push_back(act_cycle);
+        if (act_window_.size() > 4)
+            act_window_.pop_front();
+        ++stats_.activates;
+    } else {
+        ++stats_.row_hits;
+    }
+
+    // Column command: wait for the bank and the shared data bus.
+    uint64_t col_cycle = state.ready_for_col;
+    const uint32_t latency =
+        request.is_write ? timing_.tCWL : timing_.tCL;
+    uint64_t data_start = col_cycle + latency;
+    uint64_t bus_needed = bus_free_;
+    if (bus_used_ && last_bus_rank_ != request.rank)
+        bus_needed += timing_.tCS; // rank switch bubble
+    data_start = std::max(data_start, bus_needed);
+    col_cycle = data_start - latency;
+
+    const uint64_t data_end = data_start + timing_.tBURST;
+    bus_free_ = data_end;
+    last_bus_rank_ = request.rank;
+    bus_used_ = true;
+
+    // Successive columns to the same bank respect tCCD.
+    state.ready_for_col =
+        std::max<uint64_t>(state.ready_for_col, col_cycle + timing_.tCCD);
+    // Reads delay PRE by tRTP; writes by write recovery after data.
+    if (request.is_write) {
+        state.ready_for_pre = std::max<uint64_t>(
+            state.ready_for_pre, data_end + timing_.tWR);
+        ++stats_.num_writes;
+    } else {
+        state.ready_for_pre = std::max<uint64_t>(
+            state.ready_for_pre, col_cycle + timing_.tRTP);
+        ++stats_.num_reads;
+    }
+
+    stats_.last_completion_cycle =
+        std::max(stats_.last_completion_cycle, data_end);
+    return data_end;
+}
+
+uint64_t
+DramChannel::drain(const std::vector<DramRequest> &requests)
+{
+    uint64_t last = 0;
+    for (const auto &request : requests)
+        last = std::max(last, access(request));
+    return last;
+}
+
+} // namespace pimeval

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cycle-level DRAM channel model: per-bank state machines, an
+ * open-page row-buffer policy, activate-window constraints, and a
+ * shared data bus with rank switch penalties.
+ *
+ * The scheduler is FCFS with an open-row policy — enough fidelity to
+ * capture row hits vs misses, bank-level parallelism, and channel
+ * sharing, which are the effects the paper's flat-bandwidth transfer
+ * model misses.
+ */
+
+#ifndef PIMEVAL_DRAM_DRAM_CHANNEL_H_
+#define PIMEVAL_DRAM_DRAM_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/dram_timing.h"
+
+namespace pimeval {
+
+/** One access request: a 64-byte column read or write. */
+struct DramRequest
+{
+    uint32_t rank = 0;
+    uint32_t bank = 0;
+    uint32_t row = 0;
+    bool is_write = false;
+};
+
+/** Channel statistics. */
+struct DramChannelStats
+{
+    uint64_t num_reads = 0;
+    uint64_t num_writes = 0;
+    uint64_t row_hits = 0;
+    uint64_t row_misses = 0;
+    uint64_t activates = 0;
+    uint64_t last_completion_cycle = 0;
+
+    double
+    rowHitRate() const
+    {
+        const uint64_t total = row_hits + row_misses;
+        return total ? static_cast<double>(row_hits) /
+                static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * One DDR channel shared by @p num_ranks ranks of @p num_banks banks.
+ */
+class DramChannel
+{
+  public:
+    DramChannel(const DramTiming &timing, uint32_t num_ranks,
+                uint32_t num_banks);
+
+    /**
+     * Process one column access in arrival order.
+     * @return the cycle at which its data burst completes.
+     */
+    uint64_t access(const DramRequest &request);
+
+    /** Process a request stream; @return total cycles to drain. */
+    uint64_t drain(const std::vector<DramRequest> &requests);
+
+    const DramChannelStats &stats() const { return stats_; }
+    const DramTiming &timing() const { return timing_; }
+
+    /** Reset all bank state and statistics. */
+    void reset();
+
+  private:
+    struct BankState
+    {
+        bool row_open = false;
+        uint32_t open_row = 0;
+        uint64_t ready_for_act = 0; ///< earliest ACT cycle
+        uint64_t ready_for_col = 0; ///< earliest RD/WR cycle
+        uint64_t ready_for_pre = 0; ///< earliest PRE cycle
+    };
+
+    BankState &bank(uint32_t rank, uint32_t bank_idx);
+
+    DramTiming timing_;
+    uint32_t num_ranks_;
+    uint32_t num_banks_;
+    std::vector<BankState> banks_; ///< rank-major
+    uint64_t bus_free_ = 0;        ///< data bus availability
+    uint32_t last_bus_rank_ = 0;
+    bool bus_used_ = false;
+    uint64_t last_act_ = 0; ///< for tRRD
+    bool any_act_ = false;
+    std::deque<uint64_t> act_window_; ///< last ACT cycles (tFAW)
+    DramChannelStats stats_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_DRAM_DRAM_CHANNEL_H_

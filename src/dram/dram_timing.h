@@ -1,0 +1,75 @@
+/**
+ * @file
+ * DDR timing parameters and command set for the cycle-level channel
+ * model ("DRAMsim3-lite").
+ *
+ * The paper models data movement as bytes / aggregate rank bandwidth
+ * and explicitly flags the simplification: "all ranks are treated as
+ * independent channels, which amplifies data transfer bandwidth";
+ * DRAMsim3 integration is left as future work (Section V-C). This
+ * module provides that future work in miniature: a command-level
+ * timing model with bank state machines, row-buffer policy, and a
+ * shared data bus, so transfers can be costed with ranks sharing
+ * channels.
+ *
+ * Defaults correspond to DDR4-3200 (tCK = 0.625 ns), whose 64-bit
+ * channel delivers the paper's 25.6 GB/s.
+ */
+
+#ifndef PIMEVAL_DRAM_DRAM_TIMING_H_
+#define PIMEVAL_DRAM_DRAM_TIMING_H_
+
+#include <cstdint>
+
+namespace pimeval {
+
+/** DRAM commands issued by the channel scheduler. */
+enum class DramCmd : uint8_t {
+    kActivate = 0,
+    kRead,
+    kWrite,
+    kPrecharge,
+};
+
+/**
+ * Timing constraints in memory-clock cycles (DDR4-3200 defaults).
+ */
+struct DramTiming
+{
+    double tck_ns = 0.625; ///< clock period
+
+    uint32_t tRCD = 22;  ///< ACT -> RD/WR, same bank
+    uint32_t tRP = 22;   ///< PRE -> ACT, same bank
+    uint32_t tCL = 22;   ///< RD -> first data
+    uint32_t tCWL = 16;  ///< WR -> first data
+    uint32_t tRAS = 52;  ///< ACT -> PRE, same bank
+    uint32_t tRC = 74;   ///< ACT -> ACT, same bank
+    uint32_t tBURST = 4; ///< data-bus beats per column access (BL8)
+    uint32_t tCCD = 8;   ///< column-to-column, same bank group
+    uint32_t tRRD = 8;   ///< ACT -> ACT, different banks
+    uint32_t tFAW = 34;  ///< four-activate window
+    uint32_t tRTP = 12;  ///< RD -> PRE
+    uint32_t tWR = 24;   ///< end of write data -> PRE
+    uint32_t tCS = 4;    ///< rank-to-rank data-bus switch penalty
+
+    /** Bytes moved per column access (x64 channel, BL8). */
+    static constexpr uint32_t kBytesPerColumn = 64;
+
+    /** Channel peak bandwidth in bytes/second. */
+    double
+    peakBandwidth() const
+    {
+        return kBytesPerColumn /
+            (static_cast<double>(tBURST) * tck_ns * 1e-9);
+    }
+
+    double
+    cyclesToSeconds(uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) * tck_ns * 1e-9;
+    }
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_DRAM_DRAM_TIMING_H_

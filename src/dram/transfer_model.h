@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bulk-transfer timing on the cycle-level channel model.
+ *
+ * Converts a host<->device transfer of N bytes into a stream of
+ * 64-byte column accesses laid out sequentially (row-major, rotating
+ * across banks and the ranks sharing each channel) and drains it
+ * through DramChannel, yielding an achieved bandwidth that reflects
+ * row activations, tFAW, and rank-switch bubbles — effects the flat
+ * bytes/bandwidth model (paper Section V-C) cannot capture.
+ */
+
+#ifndef PIMEVAL_DRAM_TRANSFER_MODEL_H_
+#define PIMEVAL_DRAM_TRANSFER_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "dram/dram_timing.h"
+
+namespace pimeval {
+
+/** Result of timing one bulk transfer. */
+struct TransferResult
+{
+    double seconds = 0.0;
+    double achieved_gbps = 0.0;
+    double row_hit_rate = 0.0;
+    uint64_t total_cycles = 0;
+};
+
+/**
+ * Cycle-timed bulk transfers.
+ */
+class TransferModel
+{
+  public:
+    /**
+     * @param timing            DDR timing set.
+     * @param num_channels      independent channels available.
+     * @param ranks_per_channel ranks sharing each channel.
+     * @param banks_per_rank    banks per rank.
+     * @param row_bytes         bytes per DRAM row (per rank).
+     */
+    TransferModel(const DramTiming &timing, uint32_t num_channels,
+                  uint32_t ranks_per_channel, uint32_t banks_per_rank,
+                  uint32_t row_bytes);
+
+    /**
+     * Time a sequential transfer of @p bytes split evenly across the
+     * channels. Caches by request count, so repeated same-size
+     * transfers cost one simulation.
+     */
+    TransferResult transfer(uint64_t bytes, bool is_write) const;
+
+    /** Effective bandwidth of a large streaming transfer (bytes/s). */
+    double streamingBandwidth() const;
+
+  private:
+    TransferResult simulateChannel(uint64_t bytes,
+                                   bool is_write) const;
+
+    mutable std::map<std::pair<uint64_t, bool>, double> cache_;
+    DramTiming timing_;
+    uint32_t num_channels_;
+    uint32_t ranks_per_channel_;
+    uint32_t banks_per_rank_;
+    uint32_t row_bytes_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_DRAM_TRANSFER_MODEL_H_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MicronPowerModel implementation.
+ */
+
+#include "energy/micron_power_model.h"
+
+namespace pimeval {
+
+MicronPowerModel::MicronPowerModel(const PimDeviceConfig &config)
+    : config_(config), dram_(config.dram)
+{
+}
+
+double
+MicronPowerModel::rowActPreEnergy() const
+{
+    // Eq. (2) gives the ACT+PRE energy of one bank activation in one
+    // chip. A subarray-level PIM activation is the same local
+    // activation, so we charge the per-chip AP energy per subarray
+    // row operation.
+    return dram_.actPreEnergy();
+}
+
+double
+MicronPowerModel::dataTransferEnergy(uint64_t bytes, double seconds,
+                                     bool is_read) const
+{
+    (void)bytes;
+    // Eq. (1) power (per chip) x chips per rank x ranks engaged,
+    // multiplied by the time the burst occupies the interface. The
+    // paper treats all ranks as concurrently streaming.
+    const double power =
+        (is_read ? dram_.readPower() : dram_.writePower()) *
+        kChipsPerRank * static_cast<double>(config_.num_ranks);
+    return power * seconds;
+}
+
+double
+MicronPowerModel::bitSerialLogicEnergy() const
+{
+    return dram_.bitserial_logic_j_per_bit *
+        static_cast<double>(config_.num_cols_per_row);
+}
+
+double
+MicronPowerModel::gdlRowTransferEnergy() const
+{
+    return dram_.gdl_j_per_bit *
+        static_cast<double>(config_.num_cols_per_row);
+}
+
+double
+MicronPowerModel::backgroundEnergy(double seconds,
+                                   uint64_t active_subarrays) const
+{
+    // Active-standby minus precharged-standby is a per-chip,
+    // one-bank-active delta; apportion it to a single subarray by
+    // dividing by subarrays-per-bank, then scale by every
+    // concurrently active subarray (paper Section V-D iii).
+    const double per_subarray =
+        dram_.backgroundPowerDelta() /
+        static_cast<double>(config_.num_subarrays_per_bank);
+    return per_subarray * static_cast<double>(active_subarrays) * seconds;
+}
+
+double
+MicronPowerModel::hostIdleEnergy(double seconds,
+                                 const HostParams &host) const
+{
+    return host.cpu_idle_w * seconds;
+}
+
+} // namespace pimeval

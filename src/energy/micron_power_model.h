@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Micron power model (TN-40-07) adapted for PIM energy accounting,
+ * following paper Section V-D.
+ *
+ * Energy is modeled in three parts:
+ *  i.  data-transfer energy — Eq. (1) read/write power times transfer
+ *      time;
+ *  ii. application execution energy — per-API-call aggregation of row
+ *      ACT/PRE energy (Eq. 2), GDL transfer energy (scaled from
+ *      LISA), and ALU/PE energy (RTL-derived constants);
+ *  iii. background energy — active-vs-precharged standby delta scaled
+ *      by the number of concurrently active subarrays, plus host idle
+ *      power while waiting on PIM.
+ */
+
+#ifndef PIMEVAL_ENERGY_MICRON_POWER_MODEL_H_
+#define PIMEVAL_ENERGY_MICRON_POWER_MODEL_H_
+
+#include <cstdint>
+
+#include "core/pim_params.h"
+
+namespace pimeval {
+
+/**
+ * Stateless energy calculator bound to a device configuration.
+ */
+class MicronPowerModel
+{
+  public:
+    explicit MicronPowerModel(const PimDeviceConfig &config);
+
+    /** Chips participating in one rank (x8 parts: 8). */
+    static constexpr unsigned kChipsPerRank = 8;
+
+    /**
+     * Energy for one subarray-local row activation + precharge within
+     * a single chip (one subarray row of num_cols bits). Derived from
+     * Eq. (2); a whole-bank activation spans 8 chips, so a one-chip
+     * subarray activation is charged the per-chip AP energy.
+     */
+    double rowActPreEnergy() const;
+
+    /**
+     * Data transfer energy between host and device for @p bytes,
+     * given the transfer occupies @p seconds: Eq. (1) power times
+     * time, scaled to the chips of the ranks involved.
+     */
+    double dataTransferEnergy(uint64_t bytes, double seconds,
+                              bool is_read) const;
+
+    /** Energy of one row-wide bit-serial logic micro-op. */
+    double bitSerialLogicEnergy() const;
+
+    /** Energy of one Fulcrum ALU op / one bank-PE ALU cycle. */
+    double fulcrumAluEnergy() const { return dram_.fulcrum_alu_op_j; }
+    double bankAluEnergy() const { return dram_.bank_alu_op_j; }
+
+    /** GDL energy for moving one full row across the GDL one way. */
+    double gdlRowTransferEnergy() const;
+
+    /**
+     * Background energy while a kernel runs for @p seconds with
+     * @p active_subarrays subarrays busy. Follows the paper: the
+     * active-standby minus precharged-standby delta, apportioned per
+     * subarray, times the active subarray count.
+     */
+    double backgroundEnergy(double seconds,
+                            uint64_t active_subarrays) const;
+
+    /** Host idle energy while waiting on PIM (paper: 10 W). */
+    double hostIdleEnergy(double seconds, const HostParams &host) const;
+
+  private:
+    PimDeviceConfig config_;
+    PimDramParams dram_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_ENERGY_MICRON_POWER_MODEL_H_

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * FulcrumCore implementation and shared ALU semantics.
+ */
+
+#include "fulcrum/fulcrum_core.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pimeval {
+
+namespace {
+
+/** Sign-extend the low @p nbits of @p v to 64 bits. */
+int64_t
+signExtend(uint64_t v, unsigned nbits)
+{
+    if (nbits >= 64)
+        return static_cast<int64_t>(v);
+    const uint64_t sign = 1ull << (nbits - 1);
+    const uint64_t mask = (1ull << nbits) - 1;
+    v &= mask;
+    return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+uint64_t
+truncBits(uint64_t v, unsigned nbits)
+{
+    if (nbits >= 64)
+        return v;
+    return v & ((1ull << nbits) - 1);
+}
+
+} // namespace
+
+unsigned
+alpuCyclesForOp(AlpuOp op, bool has_native_popcount)
+{
+    switch (op) {
+      case AlpuOp::kPopCount:
+        // Fulcrum uses a 12-cycle SWAR sequence; the bank-level PE
+        // (RISC-V Bitmanip-style cpop) does it in one cycle.
+        return has_native_popcount ? 1 : 12;
+      case AlpuOp::kDiv:
+        // Iterative divider.
+        return 16;
+      default:
+        return 1;
+    }
+}
+
+uint64_t
+alpuCompute(AlpuOp op, uint64_t a, uint64_t b, unsigned elem_bits,
+            bool is_signed)
+{
+    const uint64_t ua = truncBits(a, elem_bits);
+    const uint64_t ub = truncBits(b, elem_bits);
+    const int64_t sa = signExtend(ua, elem_bits);
+    const int64_t sb = signExtend(ub, elem_bits);
+
+    uint64_t result = 0;
+    switch (op) {
+      case AlpuOp::kAdd:
+        result = ua + ub;
+        break;
+      case AlpuOp::kSub:
+        result = ua - ub;
+        break;
+      case AlpuOp::kMul:
+        result = ua * ub;
+        break;
+      case AlpuOp::kDiv:
+        if (is_signed) {
+            result = (sb == 0)
+                ? 0 : static_cast<uint64_t>(sa / sb);
+        } else {
+            result = (ub == 0) ? 0 : ua / ub;
+        }
+        break;
+      case AlpuOp::kMin:
+        if (is_signed)
+            result = (sa < sb) ? ua : ub;
+        else
+            result = (ua < ub) ? ua : ub;
+        break;
+      case AlpuOp::kMax:
+        if (is_signed)
+            result = (sa > sb) ? ua : ub;
+        else
+            result = (ua > ub) ? ua : ub;
+        break;
+      case AlpuOp::kAnd:
+        result = ua & ub;
+        break;
+      case AlpuOp::kOr:
+        result = ua | ub;
+        break;
+      case AlpuOp::kXor:
+        result = ua ^ ub;
+        break;
+      case AlpuOp::kXnor:
+        result = ~(ua ^ ub);
+        break;
+      case AlpuOp::kNot:
+        result = ~ua;
+        break;
+      case AlpuOp::kAbs:
+        result = (is_signed && sa < 0)
+            ? static_cast<uint64_t>(-sa) : ua;
+        break;
+      case AlpuOp::kGT:
+        result = is_signed ? (sa > sb) : (ua > ub);
+        break;
+      case AlpuOp::kLT:
+        result = is_signed ? (sa < sb) : (ua < ub);
+        break;
+      case AlpuOp::kEQ:
+        result = (ua == ub);
+        break;
+      case AlpuOp::kShiftL:
+        result = (ub >= elem_bits) ? 0 : (ua << ub);
+        break;
+      case AlpuOp::kShiftR:
+        if (is_signed) {
+            const unsigned sh =
+                ub >= elem_bits ? elem_bits - 1
+                                : static_cast<unsigned>(ub);
+            result = static_cast<uint64_t>(sa >> sh);
+        } else {
+            result = (ub >= elem_bits) ? 0 : (ua >> ub);
+        }
+        break;
+      case AlpuOp::kPopCount:
+        result = static_cast<uint64_t>(std::popcount(ua));
+        break;
+    }
+    return truncBits(result, elem_bits);
+}
+
+FulcrumCore::FulcrumCore(uint32_t num_rows, uint32_t row_bits,
+                         unsigned alu_bits)
+    : num_rows_(num_rows), row_bits_(row_bits), alu_bits_(alu_bits),
+      words_per_row_((row_bits + 63) / 64),
+      memory_(num_rows, Row(words_per_row_, 0)),
+      walkers_(3, Row(words_per_row_, 0))
+{
+}
+
+uint64_t
+FulcrumCore::getBits(const Row &row, uint64_t bit_off, unsigned nbits)
+{
+    assert(nbits <= 64);
+    const uint64_t word = bit_off / 64;
+    const unsigned shift = bit_off % 64;
+    uint64_t v = row[word] >> shift;
+    if (shift + nbits > 64 && word + 1 < row.size())
+        v |= row[word + 1] << (64 - shift);
+    return truncBits(v, nbits);
+}
+
+void
+FulcrumCore::setBits(Row &row, uint64_t bit_off, unsigned nbits,
+                     uint64_t value)
+{
+    assert(nbits <= 64);
+    value = truncBits(value, nbits);
+    const uint64_t word = bit_off / 64;
+    const unsigned shift = bit_off % 64;
+    const uint64_t mask =
+        (nbits >= 64) ? ~0ull : ((1ull << nbits) - 1);
+    row[word] = (row[word] & ~(mask << shift)) | (value << shift);
+    if (shift + nbits > 64 && word + 1 < row.size()) {
+        const unsigned hi_bits = shift + nbits - 64;
+        const uint64_t hi_mask = (1ull << hi_bits) - 1;
+        row[word + 1] =
+            (row[word + 1] & ~hi_mask) | (value >> (64 - shift));
+    }
+}
+
+void
+FulcrumCore::loadWalker(unsigned walker, uint32_t row)
+{
+    assert(walker < walkers_.size() && row < num_rows_);
+    walkers_[walker] = memory_[row];
+    ++row_reads_;
+}
+
+void
+FulcrumCore::storeWalker(unsigned walker, uint32_t row)
+{
+    assert(walker < walkers_.size() && row < num_rows_);
+    memory_[row] = walkers_[walker];
+    ++row_writes_;
+}
+
+void
+FulcrumCore::processElements(AlpuOp op, unsigned elem_bits,
+                             uint32_t num_elements, bool is_signed,
+                             bool use_scalar, uint64_t scalar)
+{
+    assert(elem_bits <= alu_bits_ && elem_bits <= 64);
+    assert(static_cast<uint64_t>(num_elements) * elem_bits <= row_bits_);
+    const unsigned cycles =
+        alpuCyclesForOp(op, /*has_native_popcount=*/alu_bits_ >= 64);
+    for (uint32_t i = 0; i < num_elements; ++i) {
+        const uint64_t off = static_cast<uint64_t>(i) * elem_bits;
+        const uint64_t a = getBits(walkers_[0], off, elem_bits);
+        const uint64_t b =
+            use_scalar ? scalar : getBits(walkers_[1], off, elem_bits);
+        const uint64_t r = alpuCompute(op, a, b, elem_bits, is_signed);
+        setBits(walkers_[2], off, elem_bits, r);
+        alu_cycles_ += cycles;
+    }
+}
+
+int64_t
+FulcrumCore::reduceElements(unsigned elem_bits, uint32_t num_elements,
+                            bool is_signed)
+{
+    assert(static_cast<uint64_t>(num_elements) * elem_bits <= row_bits_);
+    for (uint32_t i = 0; i < num_elements; ++i) {
+        const uint64_t off = static_cast<uint64_t>(i) * elem_bits;
+        const uint64_t v = getBits(walkers_[0], off, elem_bits);
+        accumulator_ +=
+            is_signed ? signExtend(v, elem_bits)
+                      : static_cast<int64_t>(v);
+        ++alu_cycles_;
+    }
+    return accumulator_;
+}
+
+uint64_t
+FulcrumCore::walkerElement(unsigned walker, unsigned elem_bits,
+                           uint32_t index) const
+{
+    return getBits(walkers_[walker],
+                   static_cast<uint64_t>(index) * elem_bits, elem_bits);
+}
+
+void
+FulcrumCore::setWalkerElement(unsigned walker, unsigned elem_bits,
+                              uint32_t index, uint64_t value)
+{
+    setBits(walkers_[walker],
+            static_cast<uint64_t>(index) * elem_bits, elem_bits, value);
+}
+
+uint64_t
+FulcrumCore::memoryElement(uint32_t row, unsigned elem_bits,
+                           uint32_t index) const
+{
+    return getBits(memory_[row],
+                   static_cast<uint64_t>(index) * elem_bits, elem_bits);
+}
+
+void
+FulcrumCore::setMemoryElement(uint32_t row, unsigned elem_bits,
+                              uint32_t index, uint64_t value)
+{
+    setBits(memory_[row],
+            static_cast<uint64_t>(index) * elem_bits, elem_bits, value);
+}
+
+void
+FulcrumCore::resetCounters()
+{
+    row_reads_ = 0;
+    row_writes_ = 0;
+    alu_cycles_ = 0;
+}
+
+} // namespace pimeval

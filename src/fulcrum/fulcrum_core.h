@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Functional model of the Fulcrum subarray-level bit-parallel PIM core
+ * (paper Section IV, Fig. 4).
+ *
+ * A Fulcrum core couples two consecutive subarrays with an AddressLess
+ * Processing Unit (ALPU): three row-wide "walker" latch rows, three
+ * temporary registers, a small instruction buffer, and a scalar ALU
+ * (32-bit at 167 MHz in the paper's configuration). Data is laid out
+ * horizontally; the ALPU walks the row buffer one element at a time
+ * using one-hot column selection.
+ *
+ * The same model, widened to 128 bits and placed behind the GDL,
+ * serves as the bank-level processing element (see src/banklevel).
+ */
+
+#ifndef PIMEVAL_FULCRUM_FULCRUM_CORE_H_
+#define PIMEVAL_FULCRUM_FULCRUM_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pimeval {
+
+/** Scalar operations supported by the ALPU. */
+enum class AlpuOp {
+    kAdd = 0,
+    kSub,
+    kMul,
+    kDiv,
+    kMin,
+    kMax,
+    kAnd,
+    kOr,
+    kXor,
+    kXnor,
+    kNot,
+    kAbs,
+    kGT,
+    kLT,
+    kEQ,
+    kShiftL,
+    kShiftR,
+    kPopCount,
+};
+
+/** ALU cycles per element for an op (SWAR popcount costs 12). */
+unsigned alpuCyclesForOp(AlpuOp op, bool has_native_popcount);
+
+/**
+ * Walker + ALPU functional core.
+ *
+ * Memory is a set of rows of packed bits; three walkers latch full
+ * rows. processRows() streams elements through the ALPU, mirroring
+ * Fulcrum's sequential one-hot column walk, and counts row reads/
+ * writes and ALU cycles for the performance model validation tests.
+ */
+class FulcrumCore
+{
+  public:
+    /**
+     * @param num_rows  rows in the aggregated core (2 subarrays).
+     * @param row_bits  bits per row (local row buffer width).
+     * @param alu_bits  ALU width (32 for Fulcrum, 128 for bank PE).
+     */
+    FulcrumCore(uint32_t num_rows, uint32_t row_bits, unsigned alu_bits);
+
+    uint32_t numRows() const { return num_rows_; }
+    uint32_t rowBits() const { return row_bits_; }
+    unsigned aluBits() const { return alu_bits_; }
+
+    /** Load a memory row into a walker (counts one row read). */
+    void loadWalker(unsigned walker, uint32_t row);
+
+    /** Store a walker back to a memory row (counts one row write). */
+    void storeWalker(unsigned walker, uint32_t row);
+
+    /**
+     * Stream @p num_elements elements of @p elem_bits each through the
+     * ALPU: walker2[i] = op(walker0[i], walker1[i]).
+     * For single-operand ops walker1 is ignored; for scalar ops the
+     * scalar replaces walker1's element.
+     */
+    void processElements(AlpuOp op, unsigned elem_bits,
+                         uint32_t num_elements, bool is_signed,
+                         bool use_scalar = false, uint64_t scalar = 0);
+
+    /**
+     * Reduction: sum elements of walker0 into the accumulator
+     * register; returns the running value.
+     */
+    int64_t reduceElements(unsigned elem_bits, uint32_t num_elements,
+                           bool is_signed);
+
+    /** Raw element access within a walker row (for tests). */
+    uint64_t walkerElement(unsigned walker, unsigned elem_bits,
+                           uint32_t index) const;
+    void setWalkerElement(unsigned walker, unsigned elem_bits,
+                          uint32_t index, uint64_t value);
+
+    /** Raw element access within a memory row (for tests). */
+    uint64_t memoryElement(uint32_t row, unsigned elem_bits,
+                           uint32_t index) const;
+    void setMemoryElement(uint32_t row, unsigned elem_bits,
+                          uint32_t index, uint64_t value);
+
+    // --- Counters for timing validation ---
+    uint64_t rowReads() const { return row_reads_; }
+    uint64_t rowWrites() const { return row_writes_; }
+    uint64_t aluCycles() const { return alu_cycles_; }
+    void resetCounters();
+
+  private:
+    using Row = std::vector<uint64_t>;
+
+    static uint64_t getBits(const Row &row, uint64_t bit_off,
+                            unsigned nbits);
+    static void setBits(Row &row, uint64_t bit_off, unsigned nbits,
+                        uint64_t value);
+
+    uint32_t num_rows_;
+    uint32_t row_bits_;
+    unsigned alu_bits_;
+    uint32_t words_per_row_;
+    std::vector<Row> memory_;
+    std::vector<Row> walkers_; ///< three row-wide latches
+    int64_t accumulator_ = 0;
+
+    uint64_t row_reads_ = 0;
+    uint64_t row_writes_ = 0;
+    uint64_t alu_cycles_ = 0;
+};
+
+/**
+ * Scalar ALU reference semantics shared by the Fulcrum and bank-level
+ * functional models and by the element-wise functional execution in
+ * the core simulator. Operates on sign-/zero-extended 64-bit values,
+ * truncating to @p elem_bits.
+ */
+uint64_t alpuCompute(AlpuOp op, uint64_t a, uint64_t b, unsigned elem_bits,
+                     bool is_signed);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_FULCRUM_FULCRUM_CORE_H_

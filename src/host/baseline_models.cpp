@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Roofline baseline model implementations.
+ */
+
+#include "host/baseline_models.h"
+
+#include <algorithm>
+
+namespace pimeval {
+
+CpuModel::CpuModel(const HostParams &params) : params_(params)
+{
+}
+
+BaselineCost
+CpuModel::cost(const WorkloadProfile &work) const
+{
+    const double bw =
+        params_.cpu_mem_bw_gbps * 1e9 * params_.cpu_bw_efficiency;
+    const double mem_sec = static_cast<double>(work.bytes) / bw;
+
+    // Serial portions run on one scalar core; parallel portions use
+    // the full SIMD throughput (derated to the achievable fraction).
+    const double parallel_ops =
+        static_cast<double>(work.ops) * (1.0 - work.serial_fraction);
+    const double serial_ops =
+        static_cast<double>(work.ops) * work.serial_fraction;
+    const double compute_sec =
+        parallel_ops / (params_.cpuPeakOpsPerSec() *
+                        params_.cpu_compute_efficiency) +
+        serial_ops / (params_.cpu_freq_ghz * 1e9);
+
+    BaselineCost cost;
+    cost.runtime_sec = std::max(mem_sec, compute_sec);
+    cost.energy_j = cost.runtime_sec * params_.cpu_tdp_w;
+    return cost;
+}
+
+GpuModel::GpuModel(const HostParams &params) : params_(params)
+{
+}
+
+BaselineCost
+GpuModel::cost(const WorkloadProfile &work) const
+{
+    const double bw =
+        params_.gpu_mem_bw_gbps * 1e9 * params_.gpu_bw_efficiency;
+    const double mem_sec = static_cast<double>(work.bytes) / bw;
+
+    // Serial fractions hurt the GPU more: model them at a tenth of a
+    // CPU core's scalar rate (divergent single-lane execution).
+    const double parallel_ops =
+        static_cast<double>(work.ops) * (1.0 - work.serial_fraction);
+    const double serial_ops =
+        static_cast<double>(work.ops) * work.serial_fraction;
+    const double compute_sec =
+        parallel_ops / (params_.gpuPeakOpsPerSec() *
+                        params_.gpu_compute_efficiency) +
+        serial_ops / (0.1 * params_.cpu_freq_ghz * 1e9);
+
+    BaselineCost cost;
+    cost.runtime_sec = std::max(mem_sec, compute_sec);
+    cost.energy_j = cost.runtime_sec * params_.gpu_tdp_w;
+    return cost;
+}
+
+} // namespace pimeval

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analytical CPU and GPU baseline models.
+ *
+ * The paper measures its baselines on an AMD EPYC 9124 and an NVIDIA
+ * A100 (Table II). Neither is available here, so baselines are modeled
+ * with a roofline: runtime = max(bytes / peak-BW, ops / peak-compute),
+ * using the paper's peak numbers, and energy = runtime x TDP. The
+ * PIMbench kernels are memory-bound on these machines, which is why
+ * the roofline preserves the paper's win/loss shapes (see DESIGN.md,
+ * substitutions table).
+ */
+
+#ifndef PIMEVAL_HOST_BASELINE_MODELS_H_
+#define PIMEVAL_HOST_BASELINE_MODELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/pim_params.h"
+
+namespace pimeval {
+
+/**
+ * Work characterization of a benchmark for the roofline baselines.
+ */
+struct WorkloadProfile
+{
+    /** Total bytes moved between memory and the compute units. */
+    uint64_t bytes = 0;
+    /** Total scalar integer operations. */
+    uint64_t ops = 0;
+    /**
+     * Serial fraction [0,1] that cannot use SIMD/parallel units
+     * (e.g., gather phases); inflates the compute roof.
+     */
+    double serial_fraction = 0.0;
+
+    WorkloadProfile &operator+=(const WorkloadProfile &o)
+    {
+        bytes += o.bytes;
+        ops += o.ops;
+        serial_fraction =
+            (serial_fraction + o.serial_fraction) / 2.0;
+        return *this;
+    }
+};
+
+/**
+ * Modeled baseline outcome.
+ */
+struct BaselineCost
+{
+    double runtime_sec = 0.0;
+    double energy_j = 0.0;
+};
+
+/**
+ * Roofline CPU model (AMD EPYC 9124 defaults).
+ */
+class CpuModel
+{
+  public:
+    explicit CpuModel(const HostParams &params = HostParams{});
+
+    BaselineCost cost(const WorkloadProfile &work) const;
+
+    const HostParams &params() const { return params_; }
+
+  private:
+    HostParams params_;
+};
+
+/**
+ * Roofline GPU model (NVIDIA A100 defaults).
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const HostParams &params = HostParams{});
+
+    BaselineCost cost(const WorkloadProfile &work) const;
+
+  private:
+    HostParams params_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_HOST_BASELINE_MODELS_H_

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Host kernel implementations.
+ */
+
+#include "host/host_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace pimeval {
+
+std::vector<uint32_t>
+countingSortScatter(const std::vector<uint32_t> &keys,
+                    const std::vector<uint64_t> &counts, unsigned shift,
+                    uint32_t mask)
+{
+    std::vector<uint64_t> offsets = exclusivePrefixSum(counts);
+    std::vector<uint32_t> out(keys.size());
+    for (uint32_t key : keys) {
+        const uint32_t digit = (key >> shift) & mask;
+        out[offsets[digit]++] = key;
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+gatherByBitmap(const std::vector<uint32_t> &values,
+               const std::vector<uint8_t> &bitmap)
+{
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (bitmap[i])
+            out.push_back(values[i]);
+    }
+    return out;
+}
+
+int
+knnClassify(const std::vector<int> &distances,
+            const std::vector<int> &labels, unsigned k)
+{
+    std::vector<size_t> order(distances.size());
+    std::iota(order.begin(), order.end(), 0);
+    const size_t kk = std::min<size_t>(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                      [&](size_t a, size_t b) {
+                          return distances[a] < distances[b];
+                      });
+    std::map<int, unsigned> votes;
+    for (size_t i = 0; i < kk; ++i)
+        ++votes[labels[order[i]]];
+    int best_label = 0;
+    unsigned best_votes = 0;
+    for (const auto &[label, count] : votes) {
+        if (count > best_votes) {
+            best_votes = count;
+            best_label = label;
+        }
+    }
+    return best_label;
+}
+
+std::vector<float>
+softmax(const std::vector<int64_t> &logits)
+{
+    if (logits.empty())
+        return {};
+    // Scale integer logits down before exponentiation.
+    const int64_t max_logit =
+        *std::max_element(logits.begin(), logits.end());
+    std::vector<float> out(logits.size());
+    float sum = 0.0f;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(
+            static_cast<float>(logits[i] - max_logit) / 256.0f);
+        sum += out[i];
+    }
+    for (auto &v : out)
+        v /= sum;
+    return out;
+}
+
+std::vector<std::vector<int>>
+extractConvShifts(const std::vector<int> &plane, uint32_t height,
+                  uint32_t width)
+{
+    std::vector<std::vector<int>> shifts;
+    shifts.reserve(9);
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            std::vector<int> shifted(plane.size(), 0);
+            for (uint32_t y = 0; y < height; ++y) {
+                const int sy = static_cast<int>(y) + dy;
+                if (sy < 0 || sy >= static_cast<int>(height))
+                    continue;
+                for (uint32_t x = 0; x < width; ++x) {
+                    const int sx = static_cast<int>(x) + dx;
+                    if (sx < 0 || sx >= static_cast<int>(width))
+                        continue;
+                    shifted[y * width + x] =
+                        plane[static_cast<uint32_t>(sy) * width +
+                              static_cast<uint32_t>(sx)];
+                }
+            }
+            shifts.push_back(std::move(shifted));
+        }
+    }
+    return shifts;
+}
+
+std::vector<uint64_t>
+exclusivePrefixSum(const std::vector<uint64_t> &v)
+{
+    std::vector<uint64_t> out(v.size(), 0);
+    uint64_t running = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        out[i] = running;
+        running += v[i];
+    }
+    return out;
+}
+
+} // namespace pimeval

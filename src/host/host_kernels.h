@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host-side kernels used by the PIM+Host benchmarks.
+ *
+ * Several PIMbench applications offload phases with random access or
+ * inter-bank communication to the host CPU (paper Table I, "PIM +
+ * Host"): radix sort's scatter, filter-by-key's gather, KNN's
+ * sort/classify, VGG's softmax and patch extraction. These run as real
+ * code and are timed with the high-resolution clock, exactly as the
+ * paper measures its host portions.
+ */
+
+#ifndef PIMEVAL_HOST_HOST_KERNELS_H_
+#define PIMEVAL_HOST_HOST_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * Stable counting-sort scatter for one radix digit.
+ * @param keys        input keys.
+ * @param counts      per-bucket counts (from the PIM counting phase).
+ * @param shift,mask  digit extraction parameters.
+ * @return keys reordered by the digit.
+ */
+std::vector<uint32_t> countingSortScatter(
+    const std::vector<uint32_t> &keys, const std::vector<uint64_t> &counts,
+    unsigned shift, uint32_t mask);
+
+/**
+ * Gather records whose bitmap flag is set (filter-by-key host phase).
+ */
+std::vector<uint32_t> gatherByBitmap(const std::vector<uint32_t> &values,
+                                     const std::vector<uint8_t> &bitmap);
+
+/**
+ * Select the label by majority vote among the k nearest distances.
+ * @return the winning label.
+ */
+int knnClassify(const std::vector<int> &distances,
+                const std::vector<int> &labels, unsigned k);
+
+/** Numerically stable softmax (float; PIM lacks FP support). */
+std::vector<float> softmax(const std::vector<int64_t> &logits);
+
+/**
+ * Extract shifted/padded feature planes for a 3x3 convolution: for
+ * each of the 9 kernel positions, the input plane translated by
+ * (dy, dx) with zero padding (VGG host-side preprocessing).
+ */
+std::vector<std::vector<int>> extractConvShifts(
+    const std::vector<int> &plane, uint32_t height, uint32_t width);
+
+/** Exclusive prefix sum (host reference / radix-sort offsets). */
+std::vector<uint64_t> exclusivePrefixSum(const std::vector<uint64_t> &v);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_HOST_HOST_KERNELS_H_

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * AES-256 ECB reference implementation (FIPS-197).
+ *
+ * The S-box is computed at startup from the GF(2^8) inverse plus the
+ * affine transform rather than hardcoded, which doubles as a check of
+ * the field arithmetic reused by the PIM MixColumns mapping.
+ */
+
+#include "util/aes_ref.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace pimeval {
+
+namespace {
+
+/** GF(2^8) multiply with the AES polynomial x^8+x^4+x^3+x+1. */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a = static_cast<uint8_t>(a << 1);
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+struct SboxTables
+{
+    uint8_t fwd[256];
+    uint8_t inv[256];
+
+    SboxTables()
+    {
+        // Multiplicative inverses via brute force (fine at init time).
+        uint8_t inverse[256] = {0};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gmul(static_cast<uint8_t>(a),
+                         static_cast<uint8_t>(b)) == 1) {
+                    inverse[a] = static_cast<uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (int x = 0; x < 256; ++x) {
+            const uint8_t i = inverse[x];
+            uint8_t s = 0;
+            // Affine transform: s = i ^ rot(i,1..4) ^ 0x63.
+            for (int bit = 0; bit < 8; ++bit) {
+                const int v = ((i >> bit) & 1) ^
+                    ((i >> ((bit + 4) & 7)) & 1) ^
+                    ((i >> ((bit + 5) & 7)) & 1) ^
+                    ((i >> ((bit + 6) & 7)) & 1) ^
+                    ((i >> ((bit + 7) & 7)) & 1) ^
+                    ((0x63 >> bit) & 1);
+                s |= static_cast<uint8_t>(v << bit);
+            }
+            fwd[x] = s;
+        }
+        for (int x = 0; x < 256; ++x)
+            inv[fwd[x]] = static_cast<uint8_t>(x);
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+const uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+                           0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d};
+
+} // namespace
+
+uint8_t
+Aes256::sbox(uint8_t x)
+{
+    return tables().fwd[x];
+}
+
+uint8_t
+Aes256::invSbox(uint8_t x)
+{
+    return tables().inv[x];
+}
+
+uint8_t
+Aes256::gfMul(uint8_t a, uint8_t b)
+{
+    return gmul(a, b);
+}
+
+Aes256::Aes256(const std::array<uint8_t, kKeyBytes> &key)
+{
+    // Key expansion for Nk = 8, Nr = 14 (FIPS-197 section 5.2).
+    constexpr int nk = 8;
+    constexpr int nb = 4;
+    constexpr int nw = nb * (kNumRounds + 1);
+
+    uint8_t w[nw][4];
+    std::memcpy(w, key.data(), kKeyBytes);
+    for (int i = nk; i < nw; ++i) {
+        uint8_t temp[4];
+        std::memcpy(temp, w[i - 1], 4);
+        if (i % nk == 0) {
+            // RotWord + SubWord + Rcon.
+            const uint8_t t0 = temp[0];
+            temp[0] = static_cast<uint8_t>(sbox(temp[1]) ^ kRcon[i / nk]);
+            temp[1] = sbox(temp[2]);
+            temp[2] = sbox(temp[3]);
+            temp[3] = sbox(t0);
+        } else if (i % nk == 4) {
+            for (auto &t : temp)
+                t = sbox(t);
+        }
+        for (int b = 0; b < 4; ++b)
+            w[i][b] = static_cast<uint8_t>(w[i - nk][b] ^ temp[b]);
+    }
+    std::memcpy(round_keys_.data(), w, round_keys_.size());
+}
+
+namespace {
+
+void
+addRoundKey(uint8_t state[16], const uint8_t *rk)
+{
+    for (int i = 0; i < 16; ++i)
+        state[i] ^= rk[i];
+}
+
+void
+subBytes(uint8_t state[16])
+{
+    for (int i = 0; i < 16; ++i)
+        state[i] = Aes256::sbox(state[i]);
+}
+
+void
+invSubBytes(uint8_t state[16])
+{
+    for (int i = 0; i < 16; ++i)
+        state[i] = Aes256::invSbox(state[i]);
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+void
+shiftRows(uint8_t state[16])
+{
+    uint8_t t[16];
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            t[4 * c + r] = state[4 * ((c + r) % 4) + r];
+    std::memcpy(state, t, 16);
+}
+
+void
+invShiftRows(uint8_t state[16])
+{
+    uint8_t t[16];
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            t[4 * ((c + r) % 4) + r] = state[4 * c + r];
+    std::memcpy(state, t, 16);
+}
+
+void
+mixColumns(uint8_t state[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        uint8_t *col = state + 4 * c;
+        const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        col[1] = static_cast<uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        col[2] = static_cast<uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        col[3] = static_cast<uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+    }
+}
+
+void
+invMixColumns(uint8_t state[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        uint8_t *col = state + 4 * c;
+        const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                      gmul(a2, 13) ^ gmul(a3, 9));
+        col[1] = static_cast<uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                      gmul(a2, 11) ^ gmul(a3, 13));
+        col[2] = static_cast<uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                      gmul(a2, 14) ^ gmul(a3, 11));
+        col[3] = static_cast<uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                      gmul(a2, 9) ^ gmul(a3, 14));
+    }
+}
+
+} // namespace
+
+void
+Aes256::encryptBlock(uint8_t block[kBlockBytes]) const
+{
+    addRoundKey(block, round_keys_.data());
+    for (int round = 1; round < kNumRounds; ++round) {
+        subBytes(block);
+        shiftRows(block);
+        mixColumns(block);
+        addRoundKey(block, round_keys_.data() + 16 * round);
+    }
+    subBytes(block);
+    shiftRows(block);
+    addRoundKey(block, round_keys_.data() + 16 * kNumRounds);
+}
+
+void
+Aes256::decryptBlock(uint8_t block[kBlockBytes]) const
+{
+    addRoundKey(block, round_keys_.data() + 16 * kNumRounds);
+    for (int round = kNumRounds - 1; round >= 1; --round) {
+        invShiftRows(block);
+        invSubBytes(block);
+        addRoundKey(block, round_keys_.data() + 16 * round);
+        invMixColumns(block);
+    }
+    invShiftRows(block);
+    invSubBytes(block);
+    addRoundKey(block, round_keys_.data());
+}
+
+std::vector<uint8_t>
+Aes256::encryptEcb(const std::vector<uint8_t> &data) const
+{
+    if (data.size() % kBlockBytes != 0)
+        throw std::invalid_argument("AES ECB input not block aligned");
+    std::vector<uint8_t> out = data;
+    for (size_t off = 0; off < out.size(); off += kBlockBytes)
+        encryptBlock(out.data() + off);
+    return out;
+}
+
+std::vector<uint8_t>
+Aes256::decryptEcb(const std::vector<uint8_t> &data) const
+{
+    if (data.size() % kBlockBytes != 0)
+        throw std::invalid_argument("AES ECB input not block aligned");
+    std::vector<uint8_t> out = data;
+    for (size_t off = 0; off < out.size(); off += kBlockBytes)
+        decryptBlock(out.data() + off);
+    return out;
+}
+
+} // namespace pimeval

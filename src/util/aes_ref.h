@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reference AES-256 ECB implementation.
+ *
+ * PIMbench includes AES-256 encryption/decryption benchmarks. This
+ * reference implementation provides (i) functional verification for
+ * the PIM bitsliced mapping and (ii) operation counts for the CPU
+ * baseline cost model. It replaces the paper's OpenSSL/AES-NI CPU
+ * baseline (documented substitution in DESIGN.md).
+ *
+ * This code is for simulation/verification only — it is a plain
+ * table-based implementation with no side-channel hardening and must
+ * not be used to protect real data.
+ */
+
+#ifndef PIMEVAL_UTIL_AES_REF_H_
+#define PIMEVAL_UTIL_AES_REF_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * AES-256 in ECB mode (matching the paper's configuration: 16-byte
+ * state, 14 rounds).
+ */
+class Aes256
+{
+  public:
+    static constexpr size_t kKeyBytes = 32;
+    static constexpr size_t kBlockBytes = 16;
+    static constexpr int kNumRounds = 14;
+
+    /** Expand the 256-bit key into the round-key schedule. */
+    explicit Aes256(const std::array<uint8_t, kKeyBytes> &key);
+
+    /** Encrypt a single 16-byte block in place. */
+    void encryptBlock(uint8_t block[kBlockBytes]) const;
+
+    /** Decrypt a single 16-byte block in place. */
+    void decryptBlock(uint8_t block[kBlockBytes]) const;
+
+    /**
+     * ECB encrypt/decrypt of a whole buffer; size must be a multiple
+     * of 16 bytes.
+     */
+    std::vector<uint8_t> encryptEcb(const std::vector<uint8_t> &data) const;
+    std::vector<uint8_t> decryptEcb(const std::vector<uint8_t> &data) const;
+
+    /** Forward/inverse S-box access (used by the PIM mapping). */
+    static uint8_t sbox(uint8_t x);
+    static uint8_t invSbox(uint8_t x);
+
+    /** GF(2^8) multiply — exposed for the PIM MixColumns mapping. */
+    static uint8_t gfMul(uint8_t a, uint8_t b);
+
+  private:
+    // Round keys: (kNumRounds + 1) * 16 bytes.
+    std::array<uint8_t, (kNumRounds + 1) * kBlockBytes> round_keys_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_AES_REF_H_

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * BMP image implementation (BITMAPINFOHEADER, 24 bpp, bottom-up).
+ */
+
+#include "util/bmp_image.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace pimeval {
+
+namespace {
+
+/** Write a little-endian value into a byte buffer. */
+void
+putLe(std::vector<uint8_t> &buf, size_t offset, uint32_t value, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        buf[offset + i] = static_cast<uint8_t>((value >> (8 * i)) & 0xff);
+}
+
+uint32_t
+getLe(const std::vector<uint8_t> &buf, size_t offset, int bytes)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<uint32_t>(buf[offset + i]) << (8 * i);
+    return v;
+}
+
+/** Small integer hash for synthetic noise. */
+uint32_t
+hash32(uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7feb352du;
+    x ^= x >> 15;
+    x *= 0x846ca68bu;
+    x ^= x >> 16;
+    return x;
+}
+
+constexpr size_t kFileHeaderSize = 14;
+constexpr size_t kInfoHeaderSize = 40;
+
+} // namespace
+
+BmpImage::BmpImage(uint32_t width, uint32_t height)
+    : width_(width), height_(height),
+      red_(numPixels(), 0), green_(numPixels(), 0), blue_(numPixels(), 0)
+{
+}
+
+uint8_t
+BmpImage::pixel(uint32_t x, uint32_t y, int channel) const
+{
+    const size_t idx = static_cast<size_t>(y) * width_ + x;
+    switch (channel) {
+      case 0:
+        return red_[idx];
+      case 1:
+        return green_[idx];
+      default:
+        return blue_[idx];
+    }
+}
+
+void
+BmpImage::setPixel(uint32_t x, uint32_t y, uint8_t r, uint8_t g, uint8_t b)
+{
+    const size_t idx = static_cast<size_t>(y) * width_ + x;
+    red_[idx] = r;
+    green_[idx] = g;
+    blue_[idx] = b;
+}
+
+BmpImage
+BmpImage::synthetic(uint32_t width, uint32_t height, uint64_t seed)
+{
+    BmpImage img(width, height);
+    for (uint32_t y = 0; y < height; ++y) {
+        for (uint32_t x = 0; x < width; ++x) {
+            const uint32_t noise =
+                hash32(static_cast<uint32_t>(seed) ^ (y * 73856093u) ^
+                       (x * 19349663u));
+            const uint8_t r = static_cast<uint8_t>(
+                (x * 255u / (width ? width : 1) + (noise & 0x1f)) & 0xff);
+            const uint8_t g = static_cast<uint8_t>(
+                (y * 255u / (height ? height : 1) + ((noise >> 8) & 0x1f)) &
+                0xff);
+            const uint8_t b =
+                static_cast<uint8_t>(((x + y) + ((noise >> 16) & 0x3f)) &
+                                     0xff);
+            img.setPixel(x, y, r, g, b);
+        }
+    }
+    return img;
+}
+
+bool
+BmpImage::save(const std::string &path) const
+{
+    const uint32_t row_stride = ((width_ * 3 + 3) / 4) * 4;
+    const uint32_t data_size = row_stride * height_;
+    const uint32_t file_size =
+        static_cast<uint32_t>(kFileHeaderSize + kInfoHeaderSize + data_size);
+
+    std::vector<uint8_t> buf(file_size, 0);
+    buf[0] = 'B';
+    buf[1] = 'M';
+    putLe(buf, 2, file_size, 4);
+    putLe(buf, 10, kFileHeaderSize + kInfoHeaderSize, 4);
+    putLe(buf, 14, kInfoHeaderSize, 4);
+    putLe(buf, 18, width_, 4);
+    putLe(buf, 22, height_, 4);
+    putLe(buf, 26, 1, 2);   // planes
+    putLe(buf, 28, 24, 2);  // bpp
+    putLe(buf, 34, data_size, 4);
+
+    size_t off = kFileHeaderSize + kInfoHeaderSize;
+    for (uint32_t row = 0; row < height_; ++row) {
+        // BMP stores rows bottom-up.
+        const uint32_t y = height_ - 1 - row;
+        size_t p = off + static_cast<size_t>(row) * row_stride;
+        for (uint32_t x = 0; x < width_; ++x) {
+            const size_t idx = static_cast<size_t>(y) * width_ + x;
+            buf[p++] = blue_[idx];
+            buf[p++] = green_[idx];
+            buf[p++] = red_[idx];
+        }
+    }
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char *>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+BmpImage::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    if (buf.size() < kFileHeaderSize + kInfoHeaderSize)
+        return false;
+    if (buf[0] != 'B' || buf[1] != 'M')
+        return false;
+    const uint32_t data_offset = getLe(buf, 10, 4);
+    const uint32_t w = getLe(buf, 18, 4);
+    const uint32_t h = getLe(buf, 22, 4);
+    const uint32_t bpp = getLe(buf, 28, 2);
+    if (bpp != 24)
+        return false;
+
+    const uint32_t row_stride = ((w * 3 + 3) / 4) * 4;
+    if (buf.size() < data_offset + static_cast<size_t>(row_stride) * h)
+        return false;
+
+    *this = BmpImage(w, h);
+    for (uint32_t row = 0; row < h; ++row) {
+        const uint32_t y = h - 1 - row;
+        size_t p = data_offset + static_cast<size_t>(row) * row_stride;
+        for (uint32_t x = 0; x < w; ++x) {
+            const uint8_t b = buf[p++];
+            const uint8_t g = buf[p++];
+            const uint8_t r = buf[p++];
+            setPixel(x, y, r, g, b);
+        }
+    }
+    return true;
+}
+
+bool
+BmpImage::operator==(const BmpImage &other) const
+{
+    return width_ == other.width_ && height_ == other.height_ &&
+        red_ == other.red_ && green_ == other.green_ &&
+        blue_ == other.blue_;
+}
+
+} // namespace pimeval

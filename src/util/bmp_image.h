@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal 24-bit BMP image container with file I/O and synthetic image
+ * generation.
+ *
+ * The PIMbench image-processing benchmarks (histogram, brightness,
+ * image downsampling) operate on uncompressed 24-bit .bmp data. The
+ * paper uses a fixed input image; since we have no image assets, we
+ * synthesize deterministic images with mixed gradient + noise content
+ * (documented substitution, see DESIGN.md).
+ */
+
+#ifndef PIMEVAL_UTIL_BMP_IMAGE_H_
+#define PIMEVAL_UTIL_BMP_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * A 24-bit RGB image stored as separate channel planes.
+ *
+ * Planar storage matches how the PIM benchmarks lay out channels
+ * (one PIM object per channel).
+ */
+class BmpImage
+{
+  public:
+    BmpImage() = default;
+
+    /** Create a black image of the given size. */
+    BmpImage(uint32_t width, uint32_t height);
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    uint64_t numPixels() const
+    {
+        return static_cast<uint64_t>(width_) * height_;
+    }
+
+    /** Channel planes, row-major, one byte per pixel. */
+    std::vector<uint8_t> &red() { return red_; }
+    std::vector<uint8_t> &green() { return green_; }
+    std::vector<uint8_t> &blue() { return blue_; }
+    const std::vector<uint8_t> &red() const { return red_; }
+    const std::vector<uint8_t> &green() const { return green_; }
+    const std::vector<uint8_t> &blue() const { return blue_; }
+
+    uint8_t pixel(uint32_t x, uint32_t y, int channel) const;
+    void setPixel(uint32_t x, uint32_t y, uint8_t r, uint8_t g, uint8_t b);
+
+    /**
+     * Generate a deterministic synthetic image: smooth gradients plus
+     * hash noise, so histograms are non-trivial and downsampling is
+     * meaningful.
+     */
+    static BmpImage synthetic(uint32_t width, uint32_t height,
+                              uint64_t seed = 7);
+
+    /** Write an uncompressed 24-bit BMP file. @return false on I/O error. */
+    bool save(const std::string &path) const;
+
+    /** Load an uncompressed 24-bit BMP file. @return false on error. */
+    bool load(const std::string &path);
+
+    bool operator==(const BmpImage &other) const;
+
+  private:
+    uint32_t width_ = 0;
+    uint32_t height_ = 0;
+    std::vector<uint8_t> red_;
+    std::vector<uint8_t> green_;
+    std::vector<uint8_t> blue_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_BMP_IMAGE_H_

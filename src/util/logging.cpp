@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of logging helpers.
+ */
+
+#include "util/logging.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace pimeval {
+
+LogLevel &
+LogConfig::thresholdRef()
+{
+    static LogLevel level = LogLevel::Info;
+    return level;
+}
+
+LogLevel
+LogConfig::threshold()
+{
+    return thresholdRef();
+}
+
+void
+LogConfig::setThreshold(LogLevel level)
+{
+    thresholdRef() = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(LogConfig::threshold()))
+        return;
+
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Debug:
+        prefix = "PIM-Debug: ";
+        break;
+      case LogLevel::Info:
+        prefix = "PIM-Info: ";
+        break;
+      case LogLevel::Warning:
+        prefix = "PIM-Warning: ";
+        break;
+      case LogLevel::Error:
+        prefix = "PIM-Error: ";
+        break;
+    }
+    std::ostream &os =
+        (level == LogLevel::Error) ? std::cerr : std::cout;
+    os << prefix << msg << "\n";
+}
+
+void
+logDebug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+void
+logInfo(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+logWarn(const std::string &msg)
+{
+    logMessage(LogLevel::Warning, msg);
+}
+
+void
+logError(const std::string &msg)
+{
+    logMessage(LogLevel::Error, msg);
+}
+
+} // namespace pimeval

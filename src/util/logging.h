@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lightweight logging helpers for the PIMeval reproduction.
+ *
+ * Mirrors the "PIM-Info:" / "PIM-Warning:" / "PIM-Error:" message style
+ * used by the original PIMeval output (paper Listing 3).
+ */
+
+#ifndef PIMEVAL_UTIL_LOGGING_H_
+#define PIMEVAL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pimeval {
+
+/** Severity levels for simulator log messages. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warning,
+    Error,
+};
+
+/**
+ * Global verbosity control.
+ *
+ * Messages below the threshold are suppressed. Default is Info so that
+ * benchmark output matches the paper's sample listings; tests lower the
+ * threshold to Error to keep output clean.
+ */
+class LogConfig
+{
+  public:
+    static LogLevel threshold();
+    static void setThreshold(LogLevel level);
+
+  private:
+    static LogLevel &thresholdRef();
+};
+
+/** Emit a log message at the given level (newline appended). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Convenience wrappers matching PIMeval's output prefixes. */
+void logDebug(const std::string &msg);
+void logInfo(const std::string &msg);
+void logWarn(const std::string &msg);
+void logError(const std::string &msg);
+
+/** Format helper: join stream-style arguments into a std::string. */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_LOGGING_H_

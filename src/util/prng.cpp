@@ -1,0 +1,87 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "util/prng.h"
+
+namespace pimeval {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Prng::Prng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Prng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+int64_t
+Prng::nextInt(int64_t lo, int64_t hi)
+{
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0)
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Prng::nextDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int>
+Prng::intVector(size_t n, int lo, int hi)
+{
+    std::vector<int> v(n);
+    for (auto &x : v)
+        x = static_cast<int>(nextInt(lo, hi));
+    return v;
+}
+
+std::vector<uint8_t>
+Prng::byteVector(size_t n)
+{
+    std::vector<uint8_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint8_t>(next() & 0xff);
+    return v;
+}
+
+} // namespace pimeval

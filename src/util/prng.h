@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All PIMbench workload generators draw from this PRNG so that every
+ * benchmark and test is reproducible run-to-run. The engine is a
+ * SplitMix64-seeded xoshiro256** — small, fast, and good enough for
+ * workload data (not cryptography).
+ */
+
+#ifndef PIMEVAL_UTIL_PRNG_H_
+#define PIMEVAL_UTIL_PRNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator so it can be used with the
+ * standard <random> distributions as well.
+ */
+class Prng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct with a seed; identical seeds yield identical streams. */
+    explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    uint64_t operator()() { return next(); }
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ull; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Fill a vector with uniform values in [lo, hi]. */
+    std::vector<int> intVector(size_t n, int lo, int hi);
+
+    /** Fill a vector of raw bytes. */
+    std::vector<uint8_t> byteVector(size_t n);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_PRNG_H_

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * String helper implementations.
+ */
+
+#include "util/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace pimeval {
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatSci(double value, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::scientific);
+    oss.precision(precision);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    return formatFixed(v, u == 0 ? 0 : 1) + " " + units[u];
+}
+
+std::string
+formatTime(double seconds)
+{
+    const double s = std::fabs(seconds);
+    if (s < 1e-6)
+        return formatFixed(seconds * 1e9, 3) + " ns";
+    if (s < 1e-3)
+        return formatFixed(seconds * 1e6, 3) + " us";
+    if (s < 1.0)
+        return formatFixed(seconds * 1e3, 3) + " ms";
+    return formatFixed(seconds, 3) + " s";
+}
+
+std::string
+formatEnergy(double joules)
+{
+    const double j = std::fabs(joules);
+    if (j < 1e-9)
+        return formatFixed(joules * 1e12, 3) + " pJ";
+    if (j < 1e-6)
+        return formatFixed(joules * 1e9, 3) + " nJ";
+    if (j < 1e-3)
+        return formatFixed(joules * 1e6, 3) + " uJ";
+    if (j < 1.0)
+        return formatFixed(joules * 1e3, 3) + " mJ";
+    return formatFixed(joules, 3) + " J";
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string>
+splitString(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream iss(s);
+    while (std::getline(iss, field, delim)) {
+        if (!field.empty())
+            out.push_back(field);
+    }
+    return out;
+}
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    return a.size() == b.size() &&
+        std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+            return std::tolower(static_cast<unsigned char>(x)) ==
+                std::tolower(static_cast<unsigned char>(y));
+        });
+}
+
+} // namespace pimeval

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string formatting helpers shared by stats printing and the
+ * benchmark table writers.
+ */
+
+#ifndef PIMEVAL_UTIL_STRING_UTILS_H_
+#define PIMEVAL_UTIL_STRING_UTILS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision);
+
+/** Format a double in engineering style, e.g., "1.23e+04". */
+std::string formatSci(double value, int precision);
+
+/** Format bytes as a human-readable quantity ("16.0 MB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format seconds with an auto-selected unit (ns/us/ms/s). */
+std::string formatTime(double seconds);
+
+/** Format joules with an auto-selected unit (pJ/nJ/uJ/mJ/J). */
+std::string formatEnergy(double joules);
+
+/** Left-pad / right-pad a string to a width. */
+std::string padLeft(const std::string &s, size_t width);
+std::string padRight(const std::string &s, size_t width);
+
+/** Split on a delimiter, dropping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char delim);
+
+/** Case-insensitive equality. */
+bool iequals(const std::string &a, const std::string &b);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_STRING_UTILS_H_

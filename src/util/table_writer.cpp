@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TableWriter implementation.
+ */
+
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace pimeval {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableWriter::addNumericRow(const std::string &label,
+                           const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatFixed(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    os << "\n== " << title_ << " ==\n";
+    os << std::string(total, '-') << "\n";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << padRight(headers_[c], widths[c]) << " | ";
+    os << "\n" << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << padRight(row[c], widths[c]) << " | ";
+        os << "\n";
+    }
+    os << std::string(total, '-') << "\n";
+}
+
+void
+TableWriter::writeCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas.
+            if (cells[c].find(',') != std::string::npos)
+                os << '"' << cells[c] << '"';
+            else
+                os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace pimeval

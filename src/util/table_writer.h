@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * the rows/series corresponding to each paper table and figure.
+ */
+
+#ifndef PIMEVAL_UTIL_TABLE_WRITER_H_
+#define PIMEVAL_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * Accumulates rows of string cells and prints an aligned ASCII table.
+ *
+ * Used by every bench/ binary so figure data is readable directly from
+ * stdout and machine-readable via writeCsv.
+ */
+class TableWriter
+{
+  public:
+    /** Create a table with a title and column headers. */
+    TableWriter(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a numeric row (first cell is a label). */
+    void addNumericRow(const std::string &label,
+                       const std::vector<double> &values, int precision);
+
+    /** Print as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (headers first). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pimeval {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    size_t n = num_threads;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw > 1 ? hw - 1 : 1;
+    }
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &body)
+{
+    if (begin >= end)
+        return;
+
+    const size_t total = end - begin;
+    const size_t num_workers = workers_.size();
+    // Not worth dispatching tiny ranges.
+    if (num_workers <= 1 || total < 2 * num_workers) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    const size_t num_chunks = std::min(num_workers * 4, total);
+    const size_t chunk = (total + num_chunks - 1) / num_chunks;
+
+    std::atomic<size_t> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    size_t launched = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+        const size_t lo = begin + c * chunk;
+        if (lo >= end)
+            break;
+        const size_t hi = std::min(end, lo + chunk);
+        ++launched;
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        enqueue([&, lo, hi] {
+            for (size_t i = lo; i < hi; ++i)
+                body(i);
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_one();
+            }
+        });
+    }
+
+    if (launched > 0) {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] {
+            return remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+}
+
+} // namespace pimeval

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A small fixed-size thread pool.
+ *
+ * PIMeval creates a host thread pool to parallelize functional
+ * simulation across PIM cores (paper Listing 3: "Created thread pool
+ * with 11 threads"). This reproduction provides the same facility; on
+ * small machines it degrades gracefully to sequential execution.
+ */
+
+#ifndef PIMEVAL_UTIL_THREAD_POOL_H_
+#define PIMEVAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pimeval {
+
+/**
+ * Fixed-size worker pool with a parallel-for helper.
+ *
+ * Tasks are void() callables. The pool joins all workers on
+ * destruction. parallelFor blocks until every chunk completes.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool.
+     * @param num_threads Worker count; 0 means hardware_concurrency - 1
+     *                    (minimum 1).
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Run body(i) for each i in [begin, end), distributing contiguous
+     * chunks across workers; blocks until done. Falls back to inline
+     * execution when the range is small or the pool has one worker.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &body);
+
+  private:
+    void workerLoop();
+    void enqueue(std::function<void()> task);
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AES-256 reference tests, including the FIPS-197 Appendix C.3 known
+ * answer test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/aes_ref.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+TEST(Aes256, Fips197AppendixC3KnownAnswer)
+{
+    // Key: 000102...1f, Plaintext: 00112233445566778899aabbccddeeff.
+    std::array<uint8_t, 32> key;
+    for (int i = 0; i < 32; ++i)
+        key[i] = static_cast<uint8_t>(i);
+    uint8_t block[16];
+    for (int i = 0; i < 16; ++i)
+        block[i] = static_cast<uint8_t>(i * 0x11);
+
+    const Aes256 cipher(key);
+    cipher.encryptBlock(block);
+
+    const uint8_t expected[16] = {0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67,
+                                  0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90,
+                                  0x4b, 0x49, 0x60, 0x89};
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(block[i], expected[i]) << "byte " << i;
+
+    cipher.decryptBlock(block);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(block[i], static_cast<uint8_t>(i * 0x11));
+}
+
+TEST(Aes256, EcbRoundTrip)
+{
+    Prng rng(99);
+    std::array<uint8_t, 32> key;
+    for (auto &k : key)
+        k = static_cast<uint8_t>(rng.next());
+    const Aes256 cipher(key);
+
+    const std::vector<uint8_t> plain = rng.byteVector(16 * 64);
+    const std::vector<uint8_t> enc = cipher.encryptEcb(plain);
+    EXPECT_NE(enc, plain);
+    EXPECT_EQ(cipher.decryptEcb(enc), plain);
+}
+
+TEST(Aes256, EcbRejectsUnalignedInput)
+{
+    std::array<uint8_t, 32> key{};
+    const Aes256 cipher(key);
+    EXPECT_THROW(cipher.encryptEcb(std::vector<uint8_t>(15)),
+                 std::invalid_argument);
+    EXPECT_THROW(cipher.decryptEcb(std::vector<uint8_t>(17)),
+                 std::invalid_argument);
+}
+
+TEST(Aes256, SboxIsABijectionWithCorrectInverse)
+{
+    std::array<bool, 256> seen{};
+    for (int x = 0; x < 256; ++x) {
+        const uint8_t s = Aes256::sbox(static_cast<uint8_t>(x));
+        EXPECT_FALSE(seen[s]);
+        seen[s] = true;
+        EXPECT_EQ(Aes256::invSbox(s), x);
+    }
+    // Spot values from FIPS-197.
+    EXPECT_EQ(Aes256::sbox(0x00), 0x63);
+    EXPECT_EQ(Aes256::sbox(0x53), 0xed);
+    EXPECT_EQ(Aes256::invSbox(0x63), 0x00);
+}
+
+TEST(Aes256, GfMulProperties)
+{
+    // x * 1 = x; distributivity over XOR; known product.
+    for (int x = 0; x < 256; ++x) {
+        const auto ux = static_cast<uint8_t>(x);
+        EXPECT_EQ(Aes256::gfMul(ux, 1), ux);
+    }
+    EXPECT_EQ(Aes256::gfMul(0x57, 0x83), 0xc1); // FIPS-197 example
+    Prng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = static_cast<uint8_t>(rng.next());
+        const auto b = static_cast<uint8_t>(rng.next());
+        const auto c = static_cast<uint8_t>(rng.next());
+        EXPECT_EQ(Aes256::gfMul(a, b ^ c),
+                  Aes256::gfMul(a, b) ^ Aes256::gfMul(a, c));
+        EXPECT_EQ(Aes256::gfMul(a, b), Aes256::gfMul(b, a));
+    }
+}

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests of the analog bit-serial (Ambit/SIMDRAM-style) substrate:
+ * TRA majority semantics, AAP copies, the majority-logic
+ * microprograms against scalar integer semantics, the analog
+ * performance model, and end-to-end API execution on the
+ * PIM_DEVICE_SIMDRAM target.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/analog_microprograms.h"
+#include "bitserial/analog_vm.h"
+#include "core/perf_energy_analog.h"
+#include "core/pim_api.h"
+#include "util/logging.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+constexpr uint32_t kRows = 160;
+constexpr uint32_t kCols = 96;
+constexpr uint32_t kBase = AnalogRowGroup::kNumRows;
+
+uint64_t
+trunc(uint64_t v, unsigned n)
+{
+    return n >= 64 ? v : (v & ((1ull << n) - 1));
+}
+
+int64_t
+toSigned(uint64_t v, unsigned n)
+{
+    const uint64_t sign = 1ull << (n - 1);
+    return static_cast<int64_t>((trunc(v, n) ^ sign) - sign);
+}
+
+void
+loadOperands(AnalogVm &vm, unsigned n, std::vector<uint64_t> &a,
+             std::vector<uint64_t> &b, uint64_t seed)
+{
+    Prng rng(seed);
+    a.resize(kCols);
+    b.resize(kCols);
+    for (uint32_t col = 0; col < kCols; ++col) {
+        a[col] = trunc(rng.next(), n);
+        b[col] = trunc(rng.next(), n);
+        vm.writeVertical(col, kBase, n, a[col]);
+        vm.writeVertical(col, kBase + n, n, b[col]);
+    }
+    const uint64_t mask = trunc(~0ull, n);
+    const std::vector<std::pair<uint64_t, uint64_t>> edges = {
+        {0, 0}, {mask, mask}, {mask, 1}, {1ull << (n - 1), 1},
+        {0, mask}};
+    for (size_t i = 0; i < edges.size() && i < kCols; ++i) {
+        a[i] = edges[i].first;
+        b[i] = edges[i].second;
+        vm.writeVertical(i, kBase, n, a[i]);
+        vm.writeVertical(i, kBase + n, n, b[i]);
+    }
+}
+
+} // namespace
+
+TEST(AnalogVm, PrimitiveSemantics)
+{
+    AnalogVm vm(32, 70);
+    // C1 preset to ones, C0 zeros.
+    EXPECT_TRUE(vm.getBit(AnalogRowGroup::kC1, 65));
+    EXPECT_FALSE(vm.getBit(AnalogRowGroup::kC0, 65));
+
+    // AAP copies a full row.
+    vm.setBit(kBase, 3, true);
+    vm.setBit(kBase, 69, true);
+    vm.execute(AnalogOp::aap(kBase, kBase + 1));
+    EXPECT_TRUE(vm.getBit(kBase + 1, 3));
+    EXPECT_TRUE(vm.getBit(kBase + 1, 69));
+
+    // AAP-NOT complements.
+    vm.execute(AnalogOp::aapNot(kBase, kBase + 2));
+    EXPECT_FALSE(vm.getBit(kBase + 2, 3));
+    EXPECT_TRUE(vm.getBit(kBase + 2, 4));
+
+    // TRA leaves the majority in all three rows.
+    for (uint32_t c = 0; c < 70; ++c) {
+        vm.setBit(0, c, c % 2 == 0); // T0
+        vm.setBit(1, c, c % 3 == 0); // T1
+        vm.setBit(2, c, true);       // T2
+    }
+    vm.execute(AnalogOp::tra(0, 1, 2));
+    for (uint32_t c = 0; c < 70; ++c) {
+        const bool expect =
+            ((c % 2 == 0) && (c % 3 == 0)) || (c % 2 == 0) ||
+            (c % 3 == 0); // maj(a,b,1) = a|b
+        EXPECT_EQ(vm.getBit(0, c), expect) << c;
+        EXPECT_EQ(vm.getBit(1, c), expect) << c;
+        EXPECT_EQ(vm.getBit(2, c), expect) << c;
+    }
+}
+
+class AnalogProgramTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AnalogProgramTest, AddSub)
+{
+    const unsigned n = GetParam();
+    {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 42 + n);
+        vm.run(AnalogMicroPrograms::add(kBase, kBase + n,
+                                        kBase + 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n),
+                      trunc(a[c] + b[c], n))
+                << "col " << c;
+    }
+    {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 52 + n);
+        vm.run(AnalogMicroPrograms::sub(kBase, kBase + n,
+                                        kBase + 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n),
+                      trunc(a[c] - b[c], n))
+                << "col " << c;
+    }
+}
+
+TEST_P(AnalogProgramTest, Mul)
+{
+    const unsigned n = GetParam();
+    AnalogVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 62 + n);
+    vm.run(
+        AnalogMicroPrograms::mul(kBase, kBase + n, kBase + 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n),
+                  trunc(a[c] * b[c], n))
+            << "col " << c;
+}
+
+TEST_P(AnalogProgramTest, Logic)
+{
+    const unsigned n = GetParam();
+    struct Case
+    {
+        AnalogProgram prog;
+        uint64_t (*fn)(uint64_t, uint64_t);
+    };
+    const uint32_t a = kBase, b = kBase + n, d = kBase + 2 * n;
+    std::vector<Case> cases;
+    cases.push_back({AnalogMicroPrograms::andOp(a, b, d, n),
+                     [](uint64_t x, uint64_t y) { return x & y; }});
+    cases.push_back({AnalogMicroPrograms::orOp(a, b, d, n),
+                     [](uint64_t x, uint64_t y) { return x | y; }});
+    cases.push_back({AnalogMicroPrograms::xorOp(a, b, d, n),
+                     [](uint64_t x, uint64_t y) { return x ^ y; }});
+    cases.push_back({AnalogMicroPrograms::xnorOp(a, b, d, n),
+                     [](uint64_t x, uint64_t y) { return ~(x ^ y); }});
+    for (size_t idx = 0; idx < cases.size(); ++idx) {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> va, vb;
+        loadOperands(vm, n, va, vb, 72 + n + idx);
+        vm.run(cases[idx].prog);
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, d, n),
+                      trunc(cases[idx].fn(va[c], vb[c]), n))
+                << "case " << idx << " col " << c;
+    }
+    // NOT.
+    AnalogVm vm(kRows, kCols);
+    std::vector<uint64_t> va, vb;
+    loadOperands(vm, n, va, vb, 82 + n);
+    vm.run(AnalogMicroPrograms::notOp(a, d, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, d, n), trunc(~va[c], n));
+}
+
+TEST_P(AnalogProgramTest, Comparisons)
+{
+    const unsigned n = GetParam();
+    {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 92 + n);
+        vm.run(AnalogMicroPrograms::lessThan(kBase, kBase + n,
+                                             kBase + 2 * n, n, false));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, 1),
+                      static_cast<uint64_t>(a[c] < b[c]))
+                << "col " << c;
+    }
+    {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 102 + n);
+        vm.run(AnalogMicroPrograms::lessThan(kBase, kBase + n,
+                                             kBase + 2 * n, n, true));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, 1),
+                      static_cast<uint64_t>(toSigned(a[c], n) <
+                                            toSigned(b[c], n)))
+                << "col " << c;
+    }
+    {
+        AnalogVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 112 + n);
+        for (uint32_t c = 20; c < 30 && c < kCols; ++c) {
+            b[c] = a[c];
+            vm.writeVertical(c, kBase + n, n, b[c]);
+        }
+        vm.run(AnalogMicroPrograms::equal(kBase, kBase + n,
+                                          kBase + 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, 1),
+                      static_cast<uint64_t>(a[c] == b[c]))
+                << "col " << c;
+    }
+}
+
+TEST_P(AnalogProgramTest, MoveOps)
+{
+    const unsigned n = GetParam();
+    AnalogVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 122 + n);
+
+    vm.run(AnalogMicroPrograms::copy(kBase, kBase + 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n), a[c]);
+
+    const uint64_t value = trunc(0xA5A5A5A5A5A5A5A5ull, n);
+    vm.run(AnalogMicroPrograms::broadcast(kBase + 2 * n, n, value));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n), value);
+
+    vm.run(AnalogMicroPrograms::shiftLeft(kBase, kBase + 2 * n, n, 3));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n),
+                  trunc(a[c] << 3, n));
+
+    vm.run(AnalogMicroPrograms::shiftRight(kBase, kBase + 2 * n, n, 2,
+                                           true));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, kBase + 2 * n, n),
+                  trunc(static_cast<uint64_t>(toSigned(a[c], n) >> 2),
+                        n))
+            << "col " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AnalogProgramTest,
+                         ::testing::Values(4u, 8u, 16u, 32u),
+                         [](const auto &info) {
+                             return "bits" +
+                                 std::to_string(info.param);
+                         });
+
+TEST(AnalogModel, CopyOverheadVersusDigital)
+{
+    // The analog design pays row-copy overhead per micro-op: its add
+    // must cost more row operations per bit than the digital
+    // DRAM-AP's 2 reads + 1 write.
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_SIMDRAM;
+    PerfEnergyAnalog model(config);
+
+    const auto add = model.countsForCmd(PimCmdEnum::kAdd, 32, 0, 0);
+    EXPECT_GT(add.aaps, 32u * 3u); // > digital's total row ops
+    EXPECT_GE(add.tras, 32u * 3u); // 3 majorities per full adder
+
+    // Multiplication stays quadratic.
+    const auto mul16 = model.countsForCmd(PimCmdEnum::kMul, 16, 0, 0);
+    const auto mul32 = model.countsForCmd(PimCmdEnum::kMul, 32, 0, 0);
+    EXPECT_GT(mul32.aaps, 3 * mul16.aaps);
+
+    // AAP takes two row cycles; TRA one.
+    EXPECT_NEAR(model.aapTime(), 2 * model.traTime(), 1e-15);
+}
+
+TEST(AnalogDevice, EndToEndApiExecution)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_SIMDRAM;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 4;
+    config.num_subarrays_per_bank = 4;
+    config.num_rows_per_subarray = 256;
+    config.num_cols_per_row = 256;
+    ASSERT_EQ(pimCreateDeviceFromConfig(config), PimStatus::PIM_OK);
+
+    const uint64_t n = 500;
+    Prng rng(7);
+    const std::vector<int> a = rng.intVector(n, -1000, 1000);
+    const std::vector<int> b = rng.intVector(n, -1000, 1000);
+    const PimObjId oa = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                 PimDataType::PIM_INT32);
+    const PimObjId ob =
+        pimAllocAssociated(32, oa, PimDataType::PIM_INT32);
+    const PimObjId oc =
+        pimAllocAssociated(32, oa, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(a.data(), oa);
+    pimCopyHostToDevice(b.data(), ob);
+
+    pimScaledAdd(oa, ob, oc, 3);
+    std::vector<int> out(n);
+    pimCopyDeviceToHost(oc, out.data());
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], 3 * a[i] + b[i]);
+
+    int64_t sum = 0;
+    pimRedSum(oa, &sum);
+    int64_t expect = 0;
+    for (int v : a)
+        expect += v;
+    EXPECT_EQ(sum, expect);
+
+    const PimRunStats stats = pimGetStats();
+    EXPECT_GT(stats.kernel_sec, 0.0);
+    EXPECT_GT(stats.kernel_j, 0.0);
+
+    pimFree(oa);
+    pimFree(ob);
+    pimFree(oc);
+    pimDeleteDevice();
+}

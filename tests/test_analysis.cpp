@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the analysis layer: Jacobi eigensolver, PCA, hierarchical
+ * clustering, and benchmark feature extraction (the Fig. 1 pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/benchmark_features.h"
+#include "analysis/hclust.h"
+#include "analysis/pca.h"
+
+using namespace pimeval;
+
+TEST(JacobiEigen, DiagonalAndKnownMatrix)
+{
+    // Diagonal matrix: eigenvalues are the diagonal, sorted.
+    Matrix d(3, 3);
+    d.at(0, 0) = 1.0;
+    d.at(1, 1) = 5.0;
+    d.at(2, 2) = 3.0;
+    const EigenResult r = jacobiEigen(d);
+    EXPECT_NEAR(r.values[0], 5.0, 1e-10);
+    EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+    EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix m(2, 2);
+    m.at(0, 0) = 2;
+    m.at(0, 1) = 1;
+    m.at(1, 0) = 1;
+    m.at(1, 1) = 2;
+    const EigenResult e = jacobiEigen(m);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(e.vectors.at(0, 0)),
+                std::fabs(e.vectors.at(1, 0)), 1e-10);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition)
+{
+    // Random symmetric matrix: check A v = lambda v.
+    Matrix a(5, 5);
+    unsigned seed = 12345;
+    auto next = [&seed]() {
+        seed = seed * 1103515245u + 12345u;
+        return static_cast<double>((seed >> 16) & 0x7fff) / 32768.0;
+    };
+    for (size_t i = 0; i < 5; ++i)
+        for (size_t j = i; j < 5; ++j)
+            a.at(i, j) = a.at(j, i) = next() - 0.5;
+
+    const EigenResult r = jacobiEigen(a);
+    for (size_t c = 0; c < 5; ++c) {
+        for (size_t i = 0; i < 5; ++i) {
+            double av = 0.0;
+            for (size_t k = 0; k < 5; ++k)
+                av += a.at(i, k) * r.vectors.at(k, c);
+            EXPECT_NEAR(av, r.values[c] * r.vectors.at(i, c), 1e-8);
+        }
+    }
+}
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points along y = 2x with small noise: PC1 captures almost all
+    // variance.
+    Matrix samples(50, 2);
+    for (size_t i = 0; i < 50; ++i) {
+        const double t = static_cast<double>(i) - 25.0;
+        samples.at(i, 0) = t;
+        samples.at(i, 1) =
+            2.0 * t + 0.01 * (static_cast<int>(i % 3) - 1);
+    }
+    Pca pca(samples, 2);
+    EXPECT_GT(pca.explainedVariance()[0], 0.99);
+    EXPECT_EQ(pca.projected().rows(), 50u);
+    EXPECT_EQ(pca.projected().cols(), 2u);
+}
+
+TEST(Pca, ConstantFeatureHandled)
+{
+    Matrix samples(10, 3);
+    for (size_t i = 0; i < 10; ++i) {
+        samples.at(i, 0) = static_cast<double>(i);
+        samples.at(i, 1) = 7.0; // zero variance
+        samples.at(i, 2) = static_cast<double>(10 - i);
+    }
+    Pca pca(samples, 2);
+    for (double ev : pca.explainedVariance())
+        EXPECT_TRUE(std::isfinite(ev));
+}
+
+TEST(Hclust, MergesNearestClustersFirst)
+{
+    // Two tight pairs far apart: the within-pair merges come first.
+    Matrix points(4, 1);
+    points.at(0, 0) = 0.0;
+    points.at(1, 0) = 0.1;
+    points.at(2, 0) = 10.0;
+    points.at(3, 0) = 10.1;
+    HierarchicalClustering hc(points);
+    ASSERT_EQ(hc.merges().size(), 3u);
+
+    const auto &m0 = hc.merges()[0];
+    const auto &m1 = hc.merges()[1];
+    EXPECT_NEAR(m0.distance, 0.1, 1e-9);
+    EXPECT_NEAR(m1.distance, 0.1, 1e-9);
+    // Final merge joins the two pairs at ~10.
+    EXPECT_NEAR(hc.merges()[2].distance, 10.0, 0.2);
+    EXPECT_EQ(hc.merges()[2].size, 4u);
+
+    const auto order = hc.leafOrder();
+    ASSERT_EQ(order.size(), 4u);
+    // Pairs stay adjacent in the leaf order.
+    auto pos = [&](size_t leaf) {
+        for (size_t i = 0; i < order.size(); ++i)
+            if (order[i] == leaf)
+                return i;
+        return size_t{99};
+    };
+    EXPECT_EQ(std::abs(static_cast<int>(pos(0)) -
+                       static_cast<int>(pos(1))), 1);
+    EXPECT_EQ(std::abs(static_cast<int>(pos(2)) -
+                       static_cast<int>(pos(3))), 1);
+}
+
+TEST(Hclust, RenderContainsLabels)
+{
+    Matrix points(3, 2);
+    points.at(0, 0) = 0;
+    points.at(1, 0) = 1;
+    points.at(2, 0) = 5;
+    HierarchicalClustering hc(points);
+    const std::string text = hc.render({"alpha", "beta", "gamma"});
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("dist="), std::string::npos);
+}
+
+TEST(Features, MatrixShapeAndNormalization)
+{
+    std::vector<BenchmarkFeatures> features(2);
+    features[0].name.assign("alpha");
+    features[0].op_mix = {{"add", 3}, {"mul", 1}};
+    features[0].arithmetic_intensity = 2.0;
+    features[1].name.assign("beta");
+    features[1].op_mix = {{"add", 1}, {"redsum", 1}};
+    features[1].uses_host = true;
+
+    std::vector<std::string> names;
+    const Matrix m = buildFeatureMatrix(features, names);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(m.rows(), 2u);
+    // Dimensions: {add, mul, redsum} + 4 flags/intensity.
+    EXPECT_EQ(m.cols(), 3u + 4u);
+
+    // Row 0 op-mix fractions sum to 1.
+    double frac_sum = 0.0;
+    for (size_t c = 0; c < 3; ++c)
+        frac_sum += m.at(0, c);
+    EXPECT_NEAR(frac_sum, 1.0, 1e-12);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * End-to-end benchmark tests: every PIMbench application must verify
+ * functionally against its CPU reference on all three PIM targets —
+ * the paper's functional-verification methodology (Section V-E i).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/suite.h"
+#include "util/logging.h"
+
+using namespace pimbench;
+using pimeval::LogConfig;
+using pimeval::LogLevel;
+
+namespace {
+
+class AppTest
+    : public ::testing::TestWithParam<
+          std::tuple<PimDeviceEnum, std::string>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        pimeval::PimDeviceConfig config;
+        config.device = std::get<0>(GetParam());
+        config.num_ranks = 2;
+        config.num_banks_per_rank = 16;
+        config.num_subarrays_per_bank = 8;
+        config.num_rows_per_subarray = 512;
+        config.num_cols_per_row = 1024;
+        ASSERT_EQ(pimCreateDeviceFromConfig(config),
+                  PimStatus::PIM_OK);
+    }
+
+    void
+    TearDown() override
+    {
+        pimDeleteDevice();
+    }
+};
+
+} // namespace
+
+TEST_P(AppTest, VerifiesAgainstCpuReference)
+{
+    const std::string &name = std::get<1>(GetParam());
+    const AppResult result =
+        runBenchmarkByName(name, SuiteScale::kTiny);
+    EXPECT_EQ(result.name, name);
+    EXPECT_TRUE(result.verified) << name << " failed verification";
+    EXPECT_GT(result.stats.kernel_sec, 0.0);
+    EXPECT_GT(result.stats.bytes_h2d, 0u);
+    EXPECT_FALSE(result.features.op_mix.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteOnAllDevices, AppTest,
+    ::testing::Combine(
+        ::testing::Values(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                          PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                          PimDeviceEnum::PIM_DEVICE_BANK_LEVEL),
+        ::testing::Values(
+            "Vector Addition", "AXPY", "GEMV", "GEMM", "Radix Sort",
+            "AES-Encryption", "AES-Decryption", "Triangle Count",
+            "Filter-By-Key", "Histogram", "Brightness",
+            "Image Downsampling", "KNN", "Linear Regression",
+            "K-means", "VGG-13", "VGG-16", "VGG-19", "Prefix Sum",
+            "String Match", "PCA", "Apriori")),
+    [](const auto &info) {
+        std::string device;
+        switch (std::get<0>(info.param)) {
+          case PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP:
+            device = "BitSerial";
+            break;
+          case PimDeviceEnum::PIM_DEVICE_FULCRUM:
+            device = "Fulcrum";
+            break;
+          default:
+            device = "BankLevel";
+            break;
+        }
+        std::string name = std::get<1>(info.param);
+        for (auto &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return device + "_" + name;
+    });

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the area model (the paper's future-work "flexible area
+ * modeling approach").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+configFor(PimDeviceEnum device)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    return config;
+}
+
+} // namespace
+
+TEST(AreaModel, AllArchitecturesHavePositiveOverhead)
+{
+    for (auto device : {PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                        PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                        PimDeviceEnum::PIM_DEVICE_BANK_LEVEL,
+                        PimDeviceEnum::PIM_DEVICE_SIMDRAM}) {
+        const AreaModel model(configFor(device));
+        EXPECT_GT(model.peRowEquivalentsPerSubarray(), 0.0)
+            << pimDeviceName(device);
+        // In-array PIM logic should stay in the single-digit
+        // percent range — the feasibility envelope the literature
+        // reports for these designs.
+        EXPECT_GT(model.overheadPercent(), 0.1)
+            << pimDeviceName(device);
+        EXPECT_LT(model.overheadPercent(), 10.0)
+            << pimDeviceName(device);
+    }
+}
+
+TEST(AreaModel, BankLevelIsCheapestSubarrayLevelCostlier)
+{
+    // The architectural story: bank-level amortizes one PE over all
+    // its subarrays, so it must be the cheapest; subarray-level
+    // designs pay more.
+    const AreaModel bs(
+        configFor(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP));
+    const AreaModel fulcrum(configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM));
+    const AreaModel bank(
+        configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL));
+    EXPECT_LT(bank.overheadFraction(), fulcrum.overheadFraction());
+    EXPECT_LT(bank.overheadFraction(), bs.overheadFraction());
+}
+
+TEST(AreaModel, OverheadScalesInverselyWithRows)
+{
+    // Taller subarrays dilute the same PE logic.
+    PimDeviceConfig tall = configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM);
+    tall.num_rows_per_subarray = 2048;
+    PimDeviceConfig standard =
+        configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM);
+    const AreaModel tall_model(tall);
+    const AreaModel standard_model(standard);
+    EXPECT_NEAR(tall_model.overheadFraction() * 2.0,
+                standard_model.overheadFraction(), 1e-12);
+}
+
+TEST(AreaModel, BankOverheadAmortizesOverSubarrays)
+{
+    PimDeviceConfig few = configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL);
+    few.num_subarrays_per_bank = 8;
+    PimDeviceConfig many =
+        configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL);
+    many.num_subarrays_per_bank = 64;
+    EXPECT_GT(AreaModel(few).overheadFraction(),
+              AreaModel(many).overheadFraction());
+}
+
+TEST(AreaModel, SummaryNamesTheDevice)
+{
+    const AreaModel model(configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM));
+    const std::string text = model.summary();
+    EXPECT_NE(text.find("PIM_DEVICE_FULCRUM"), std::string::npos);
+    EXPECT_NE(text.find("%"), std::string::npos);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the cycle-level DRAM channel model ("DRAMsim3-lite"):
+ * timing-constraint enforcement, row-buffer behaviour, bandwidth
+ * bounds, channel sharing, and its integration with the copy-cost
+ * path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pim_api.h"
+#include "dram/dram_channel.h"
+#include "dram/transfer_model.h"
+#include "util/logging.h"
+
+using namespace pimeval;
+
+TEST(DramTiming, PeakBandwidthMatchesPaperRankBandwidth)
+{
+    // DDR4-3200 x64: 64 B per 4-cycle burst at 0.625 ns/cycle
+    // = 25.6 GB/s — the paper's rank bandwidth.
+    DramTiming timing;
+    EXPECT_NEAR(timing.peakBandwidth(), 25.6e9, 1e6);
+}
+
+TEST(DramChannel, RowHitsFasterThanMisses)
+{
+    DramTiming timing;
+    DramChannel channel(timing, 1, 4);
+
+    // Two accesses to the same row: the second is a hit.
+    DramRequest request;
+    request.bank = 0;
+    request.row = 5;
+    const uint64_t first = channel.access(request);
+    const uint64_t second = channel.access(request);
+    EXPECT_EQ(channel.stats().row_hits, 1u);
+    // A hit retires within a burst slot of the previous access.
+    EXPECT_LE(second - first, timing.tCCD + timing.tBURST);
+
+    // Same bank, different row: precharge + activate delay.
+    request.row = 9;
+    const uint64_t third = channel.access(request);
+    EXPECT_EQ(channel.stats().row_misses, 1u);
+    EXPECT_GE(third - second, timing.tRP + timing.tRCD);
+}
+
+TEST(DramChannel, SameBankActivatesRespectTrc)
+{
+    DramTiming timing;
+    DramChannel channel(timing, 1, 4);
+    DramRequest request;
+    request.bank = 2;
+    request.row = 1;
+    channel.access(request);
+    request.row = 2;
+    channel.access(request);
+    request.row = 3;
+    channel.access(request);
+    EXPECT_EQ(channel.stats().activates, 3u);
+    // Three activates to one bank need at least 2 * tRC before the
+    // last data burst can even start.
+    EXPECT_GE(channel.stats().last_completion_cycle,
+              2ull * timing.tRC);
+}
+
+TEST(DramChannel, BankParallelismBeatsSingleBank)
+{
+    DramTiming timing;
+
+    // 64 row misses hammering one bank...
+    DramChannel single(timing, 1, 8);
+    std::vector<DramRequest> single_requests;
+    for (uint32_t i = 0; i < 64; ++i) {
+        DramRequest request;
+        request.bank = 0;
+        request.row = i;
+        single_requests.push_back(request);
+    }
+    const uint64_t single_cycles = single.drain(single_requests);
+
+    // ...versus the same 64 misses spread over 8 banks.
+    DramChannel spread(timing, 1, 8);
+    std::vector<DramRequest> spread_requests;
+    for (uint32_t i = 0; i < 64; ++i) {
+        DramRequest request;
+        request.bank = i % 8;
+        request.row = i / 8;
+        spread_requests.push_back(request);
+    }
+    const uint64_t spread_cycles = spread.drain(spread_requests);
+    EXPECT_LT(spread_cycles, single_cycles / 2);
+}
+
+TEST(DramChannel, ResetClearsState)
+{
+    DramTiming timing;
+    DramChannel channel(timing, 2, 4);
+    DramRequest request;
+    channel.access(request);
+    channel.reset();
+    EXPECT_EQ(channel.stats().num_reads, 0u);
+    EXPECT_EQ(channel.stats().last_completion_cycle, 0u);
+}
+
+TEST(TransferModel, StreamingApproachesButNeverExceedsPeak)
+{
+    DramTiming timing;
+    TransferModel model(timing, /*channels=*/1,
+                        /*ranks_per_channel=*/1,
+                        /*banks=*/16, /*row_bytes=*/1024);
+    const TransferResult result =
+        model.transfer(64ull << 20, /*is_write=*/false);
+    EXPECT_GT(result.achieved_gbps * 1e9, 0.5 * timing.peakBandwidth());
+    EXPECT_LE(result.achieved_gbps * 1e9,
+              timing.peakBandwidth() * 1.0001);
+    EXPECT_GT(result.row_hit_rate, 0.8); // sequential stream
+}
+
+TEST(TransferModel, ChannelsScaleAndSharingHurts)
+{
+    DramTiming timing;
+    const uint64_t bytes = 256ull << 20;
+
+    // 4 independent channels beat 1 by ~4x.
+    TransferModel one(timing, 1, 1, 16, 1024);
+    TransferModel four(timing, 4, 1, 16, 1024);
+    const double t1 = one.transfer(bytes, false).seconds;
+    const double t4 = four.transfer(bytes, false).seconds;
+    EXPECT_NEAR(t1 / t4, 4.0, 0.2);
+
+    // 8 ranks sharing one channel cannot beat the channel peak: the
+    // paper's rank-independent model would predict ~8x this speed.
+    TransferModel shared(timing, 1, 8, 16, 1024);
+    const TransferResult result = shared.transfer(bytes, false);
+    EXPECT_LE(result.achieved_gbps * 1e9,
+              timing.peakBandwidth() * 1.0001);
+}
+
+TEST(TransferModel, CopyCostIntegration)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+
+    // Paper model: 8 ranks = 8 independent channels.
+    PimDeviceConfig flat;
+    flat.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    flat.num_ranks = 8;
+    const auto flat_model = PerfEnergyModel::create(flat);
+
+    // Cycle-timed: the same 8 ranks share 2 physical channels.
+    PimDeviceConfig timed = flat;
+    timed.use_dram_timing = true;
+    timed.num_channels = 2;
+    const auto timed_model = PerfEnergyModel::create(timed);
+
+    const uint64_t bytes = 64ull << 20;
+    const double flat_sec =
+        flat_model->costCopy(PimCopyEnum::PIM_COPY_H2D, bytes)
+            .runtime_sec;
+    const double timed_sec =
+        timed_model->costCopy(PimCopyEnum::PIM_COPY_H2D, bytes)
+            .runtime_sec;
+    // Channel sharing must slow transfers down vs the flat model —
+    // by roughly ranks/channels when streams are efficient.
+    EXPECT_GT(timed_sec, 2.0 * flat_sec);
+    EXPECT_LT(timed_sec, 8.0 * flat_sec);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of the Fulcrum walker/ALPU functional core and the bank-level
+ * PE wrapper (GDL accounting, SIMD lanes, counter behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "banklevel/bank_core.h"
+#include "fulcrum/fulcrum_core.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+TEST(FulcrumCore, WalkerLoadProcessStore)
+{
+    FulcrumCore core(16, 1024, 32);
+    const unsigned bits = 32;
+    const uint32_t elems = 1024 / bits;
+
+    Prng rng(1);
+    std::vector<uint64_t> a(elems), b(elems);
+    for (uint32_t i = 0; i < elems; ++i) {
+        a[i] = rng.next() & 0xffffffffull;
+        b[i] = rng.next() & 0xffffffffull;
+        core.setMemoryElement(0, bits, i, a[i]);
+        core.setMemoryElement(1, bits, i, b[i]);
+    }
+
+    core.loadWalker(0, 0);
+    core.loadWalker(1, 1);
+    core.processElements(AlpuOp::kAdd, bits, elems, false);
+    core.storeWalker(2, 2);
+
+    for (uint32_t i = 0; i < elems; ++i)
+        EXPECT_EQ(core.memoryElement(2, bits, i),
+                  (a[i] + b[i]) & 0xffffffffull);
+
+    EXPECT_EQ(core.rowReads(), 2u);
+    EXPECT_EQ(core.rowWrites(), 1u);
+    EXPECT_EQ(core.aluCycles(), elems);
+}
+
+TEST(FulcrumCore, ScalarAndReduction)
+{
+    FulcrumCore core(8, 512, 32);
+    const unsigned bits = 32;
+    const uint32_t elems = 512 / bits;
+    int64_t expected = 0;
+    for (uint32_t i = 0; i < elems; ++i) {
+        core.setMemoryElement(0, bits, i, i * 3 + 1);
+        expected += i * 3 + 1;
+    }
+    core.loadWalker(0, 0);
+    EXPECT_EQ(core.reduceElements(bits, elems, true), expected);
+
+    core.processElements(AlpuOp::kMul, bits, elems, true, true, 7);
+    for (uint32_t i = 0; i < elems; ++i)
+        EXPECT_EQ(core.walkerElement(2, bits, i), (i * 3 + 1) * 7u);
+}
+
+TEST(FulcrumCore, PopcountCycleCost)
+{
+    // SWAR popcount on the 32-bit ALU costs 12 cycles per element;
+    // the >=64-bit bank PE does it natively in one.
+    EXPECT_EQ(alpuCyclesForOp(AlpuOp::kPopCount, false), 12u);
+    EXPECT_EQ(alpuCyclesForOp(AlpuOp::kPopCount, true), 1u);
+    EXPECT_EQ(alpuCyclesForOp(AlpuOp::kAdd, false), 1u);
+
+    FulcrumCore core(4, 256, 32);
+    core.setMemoryElement(0, 32, 0, 0xff);
+    core.loadWalker(0, 0);
+    core.resetCounters();
+    core.processElements(AlpuOp::kPopCount, 32, 8, false);
+    EXPECT_EQ(core.aluCycles(), 8u * 12u);
+    EXPECT_EQ(core.walkerElement(2, 32, 0), 8u);
+}
+
+TEST(FulcrumCore, CrossWordElements)
+{
+    // Elements spanning 64-bit word boundaries (e.g., 24-bit custom
+    // width is unsupported, but offsets of 32-bit elements beyond
+    // word 0 must work).
+    FulcrumCore core(2, 256, 32);
+    for (uint32_t i = 0; i < 8; ++i)
+        core.setMemoryElement(0, 32, i, 0xABC00000u + i);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(core.memoryElement(0, 32, i), 0xABC00000u + i);
+}
+
+TEST(AlpuCompute, SignedSemantics)
+{
+    // abs(INT32_MIN) wraps (two's complement), matching hardware.
+    const uint64_t int_min = 0x80000000ull;
+    EXPECT_EQ(alpuCompute(AlpuOp::kAbs, int_min, 0, 32, true),
+              int_min);
+    EXPECT_EQ(alpuCompute(AlpuOp::kAbs, static_cast<uint64_t>(-5) &
+                              0xffffffffull,
+                          0, 32, true),
+              5u);
+    // Signed comparison across the sign boundary.
+    EXPECT_EQ(alpuCompute(AlpuOp::kLT, int_min, 1, 32, true), 1u);
+    EXPECT_EQ(alpuCompute(AlpuOp::kLT, int_min, 1, 32, false), 0u);
+    // Division by zero yields zero (simulator convention).
+    EXPECT_EQ(alpuCompute(AlpuOp::kDiv, 10, 0, 32, true), 0u);
+    // Arithmetic right shift of negative numbers.
+    EXPECT_EQ(alpuCompute(AlpuOp::kShiftR,
+                          static_cast<uint64_t>(-8) & 0xffffffffull, 1,
+                          32, true),
+              static_cast<uint64_t>(-4) & 0xffffffffull);
+}
+
+TEST(BankCore, GdlBeatAccounting)
+{
+    BankCore bank(64, 8192, 128, 128);
+    EXPECT_EQ(bank.gdlBeatsPerRow(), 8192u / 128u);
+
+    bank.loadWalker(0, 0);
+    bank.loadWalker(1, 1);
+    bank.storeWalker(2, 2);
+    EXPECT_EQ(bank.gdlBeats(), 3 * (8192u / 128u));
+    EXPECT_EQ(bank.core().rowReads(), 2u);
+    EXPECT_EQ(bank.core().rowWrites(), 1u);
+
+    bank.resetCounters();
+    EXPECT_EQ(bank.gdlBeats(), 0u);
+}
+
+TEST(BankCore, NarrowGdlMoreBeats)
+{
+    BankCore wide(4, 8192, 128, 256);
+    BankCore narrow(4, 8192, 128, 64);
+    EXPECT_GT(narrow.gdlBeatsPerRow(), wide.gdlBeatsPerRow());
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the graph container / generators and the BMP image I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/bmp_image.h"
+#include "util/graph.h"
+
+using namespace pimeval;
+
+TEST(Graph, FromEdgesSymmetrizesAndDedups)
+{
+    const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+        {0, 1}, {1, 0}, {1, 2}, {2, 0}, {3, 3} /* self loop */};
+    const Graph g = Graph::fromEdges(4, edges);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u); // 0-1, 1-2, 0-2
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, TriangleReferenceOnKnownGraphs)
+{
+    // Triangle plus a tail: exactly one triangle.
+    const Graph tri = Graph::fromEdges(
+        4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+    EXPECT_EQ(tri.countTrianglesReference(), 1u);
+
+    // K4 has 4 triangles.
+    const Graph k4 = Graph::fromEdges(
+        4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+    EXPECT_EQ(k4.countTrianglesReference(), 4u);
+
+    // A path has none.
+    const Graph path = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+    EXPECT_EQ(path.countTrianglesReference(), 0u);
+}
+
+TEST(Graph, BitmapMatchesAdjacency)
+{
+    const Graph g = Graph::rmat(7, 8, 3);
+    for (uint32_t v = 0; v < g.numNodes(); v += 13) {
+        const auto bitmap = g.adjacencyBitmap(v);
+        ASSERT_EQ(bitmap.size(), g.bitmapWords());
+        uint64_t bits = 0;
+        for (uint64_t w : bitmap)
+            bits += static_cast<uint64_t>(__builtin_popcountll(w));
+        EXPECT_EQ(bits, g.degree(v));
+    }
+}
+
+TEST(Graph, BitmapIntersectionEqualsTriangleCount)
+{
+    // Cross-check: sum over edges of |N(u) & N(v)| == 3 * triangles.
+    const Graph g = Graph::uniformRandom(128, 600, 17);
+    uint64_t triples = 0;
+    for (uint32_t u = 0; u < g.numNodes(); ++u) {
+        const auto bu = g.adjacencyBitmap(u);
+        for (uint64_t e = g.rowPtr()[u]; e < g.rowPtr()[u + 1]; ++e) {
+            const uint32_t v = g.colIdx()[e];
+            if (v <= u)
+                continue;
+            const auto bv = g.adjacencyBitmap(v);
+            for (uint32_t w = 0; w < g.bitmapWords(); ++w)
+                triples += static_cast<uint64_t>(
+                    __builtin_popcountll(bu[w] & bv[w]));
+        }
+    }
+    EXPECT_EQ(triples, 3 * g.countTrianglesReference());
+}
+
+TEST(Graph, RmatIsDeterministicAndSkewed)
+{
+    const Graph a = Graph::rmat(8, 8, 5);
+    const Graph b = Graph::rmat(8, 8, 5);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_GT(a.numEdges(), 100u);
+
+    // Degree skew: the max degree should far exceed the average.
+    uint64_t max_deg = 0;
+    for (uint32_t v = 0; v < a.numNodes(); ++v)
+        max_deg = std::max(max_deg, a.degree(v));
+    const uint64_t avg = 2 * a.numEdges() / a.numNodes();
+    EXPECT_GT(max_deg, 2 * avg);
+}
+
+TEST(BmpImage, SyntheticIsDeterministic)
+{
+    const BmpImage a = BmpImage::synthetic(64, 48, 9);
+    const BmpImage b = BmpImage::synthetic(64, 48, 9);
+    const BmpImage c = BmpImage::synthetic(64, 48, 10);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(a.numPixels(), 64u * 48u);
+}
+
+TEST(BmpImage, SaveLoadRoundTrip)
+{
+    const BmpImage img = BmpImage::synthetic(33, 21, 4); // odd width
+    const std::string path = "/tmp/pimeval_test_image.bmp";
+    ASSERT_TRUE(img.save(path));
+
+    BmpImage loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_TRUE(img == loaded);
+    std::remove(path.c_str());
+}
+
+TEST(BmpImage, LoadRejectsGarbage)
+{
+    const std::string path = "/tmp/pimeval_bad_image.bmp";
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a bmp file", f);
+    fclose(f);
+    BmpImage img;
+    EXPECT_FALSE(img.load(path));
+    EXPECT_FALSE(img.load("/nonexistent/path.bmp"));
+    std::remove(path.c_str());
+}

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Property tests for the DRAM-AP microprograms: every generated
+ * program, executed on the BitSerialVm over random vertically
+ * laid-out data, must match scalar integer semantics. These tests
+ * anchor the bit-serial performance model, whose op counts come from
+ * the same generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/bitserial_vm.h"
+#include "bitserial/microprograms.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+constexpr uint32_t kRows = 256;
+constexpr uint32_t kCols = 128;
+
+/** Truncate to n bits. */
+uint64_t
+trunc(uint64_t v, unsigned n)
+{
+    return n >= 64 ? v : (v & ((1ull << n) - 1));
+}
+
+int64_t
+toSigned(uint64_t v, unsigned n)
+{
+    const uint64_t sign = 1ull << (n - 1);
+    return static_cast<int64_t>((trunc(v, n) ^ sign) - sign);
+}
+
+/** Fixture seeding operands at rows a=0, b=n, dest=2n. */
+class MicroProgramTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    void
+    loadOperands(BitSerialVm &vm, unsigned n,
+                 std::vector<uint64_t> &a, std::vector<uint64_t> &b,
+                 uint64_t seed)
+    {
+        Prng rng(seed);
+        a.resize(kCols);
+        b.resize(kCols);
+        for (uint32_t col = 0; col < kCols; ++col) {
+            a[col] = trunc(rng.next(), n);
+            b[col] = trunc(rng.next(), n);
+            vm.writeVertical(col, 0, n, a[col]);
+            vm.writeVertical(col, n, n, b[col]);
+        }
+        // A few canonical edge cases in the first columns.
+        const uint64_t mask = trunc(~0ull, n);
+        const std::vector<std::pair<uint64_t, uint64_t>> edges = {
+            {0, 0},
+            {mask, mask},
+            {mask, 1},
+            {1ull << (n - 1), 1},          // INT_MIN-ish
+            {1ull << (n - 1), mask},
+            {0, mask},
+        };
+        for (size_t i = 0; i < edges.size() && i < kCols; ++i) {
+            a[i] = edges[i].first;
+            b[i] = edges[i].second;
+            vm.writeVertical(i, 0, n, a[i]);
+            vm.writeVertical(i, n, n, b[i]);
+        }
+    }
+};
+
+} // namespace
+
+TEST_P(MicroProgramTest, Add)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 100 + n);
+    vm.run(MicroPrograms::add(0, n, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(a[c] + b[c], n))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, Sub)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 200 + n);
+    vm.run(MicroPrograms::sub(0, n, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(a[c] - b[c], n))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, Mul)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 300 + n);
+    vm.run(MicroPrograms::mul(0, n, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(a[c] * b[c], n))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, DivideUnsigned)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 350 + n);
+    // Avoid divide-by-zero columns (the restoring loop returns
+    // all-ones there; the simulator convention is 0).
+    for (uint32_t c = 0; c < kCols; ++c) {
+        if (trunc(b[c], n) == 0) {
+            b[c] = 3;
+            vm.writeVertical(c, n, n, b[c]);
+        }
+    }
+    vm.run(MicroPrograms::divide(0, n, 2 * n, 3 * n, n, false));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                  trunc(a[c], n) / trunc(b[c], n))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, DivideSigned)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 360 + n);
+    for (uint32_t c = 0; c < kCols; ++c) {
+        if (trunc(b[c], n) == 0) {
+            b[c] = trunc(~0ull, n); // -1
+            vm.writeVertical(c, n, n, b[c]);
+        }
+    }
+    vm.run(MicroPrograms::divide(0, n, 2 * n, 3 * n, n, true));
+    for (uint32_t c = 0; c < kCols; ++c) {
+        const int64_t sa = toSigned(a[c], n);
+        const int64_t sb = toSigned(b[c], n);
+        // int64 evaluation sidesteps the INT_MIN/-1 UB; the low n
+        // bits match the two's-complement hardware result.
+        const uint64_t expect =
+            trunc(static_cast<uint64_t>(sa / sb), n);
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), expect)
+            << "col " << c << " a=" << sa << " b=" << sb;
+    }
+}
+
+TEST_P(MicroProgramTest, LogicalOps)
+{
+    const unsigned n = GetParam();
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 400 + n);
+        vm.run(MicroPrograms::andOp(0, n, 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                      trunc(a[c] & b[c], n));
+    }
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 410 + n);
+        vm.run(MicroPrograms::orOp(0, n, 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                      trunc(a[c] | b[c], n));
+    }
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 420 + n);
+        vm.run(MicroPrograms::xorOp(0, n, 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                      trunc(a[c] ^ b[c], n));
+    }
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 430 + n);
+        vm.run(MicroPrograms::xnorOp(0, n, 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                      trunc(~(a[c] ^ b[c]), n));
+    }
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 440 + n);
+        vm.run(MicroPrograms::notOp(0, 2 * n, n));
+        for (uint32_t c = 0; c < kCols; ++c)
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(~a[c], n));
+    }
+}
+
+TEST_P(MicroProgramTest, LessThanUnsigned)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 500 + n);
+    vm.run(MicroPrograms::lessThan(0, n, 2 * n, n, false));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, 1),
+                  static_cast<uint64_t>(a[c] < b[c]))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, LessThanSigned)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 510 + n);
+    vm.run(MicroPrograms::lessThan(0, n, 2 * n, n, true));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, 1),
+                  static_cast<uint64_t>(toSigned(a[c], n) <
+                                        toSigned(b[c], n)))
+            << "col " << c;
+}
+
+TEST_P(MicroProgramTest, Equal)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 520 + n);
+    // Force some equal pairs.
+    for (uint32_t c = 10; c < 20 && c < kCols; ++c) {
+        b[c] = a[c];
+        vm.writeVertical(c, n, n, b[c]);
+    }
+    vm.run(MicroPrograms::equal(0, n, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, 1),
+                  static_cast<uint64_t>(a[c] == b[c]));
+}
+
+TEST_P(MicroProgramTest, MinMaxSigned)
+{
+    const unsigned n = GetParam();
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 530 + n);
+        vm.run(MicroPrograms::minOp(0, n, 2 * n, n, true));
+        for (uint32_t c = 0; c < kCols; ++c) {
+            const uint64_t expect =
+                toSigned(a[c], n) < toSigned(b[c], n) ? a[c] : b[c];
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(expect, n));
+        }
+    }
+    {
+        BitSerialVm vm(kRows, kCols);
+        std::vector<uint64_t> a, b;
+        loadOperands(vm, n, a, b, 540 + n);
+        vm.run(MicroPrograms::maxOp(0, n, 2 * n, n, true));
+        for (uint32_t c = 0; c < kCols; ++c) {
+            const uint64_t expect =
+                toSigned(a[c], n) < toSigned(b[c], n) ? b[c] : a[c];
+            EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(expect, n));
+        }
+    }
+}
+
+TEST_P(MicroProgramTest, Abs)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 550 + n);
+    vm.run(MicroPrograms::absOp(0, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c) {
+        const int64_t sv = toSigned(a[c], n);
+        const uint64_t expect =
+            sv < 0 ? static_cast<uint64_t>(-sv) : a[c];
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(expect, n))
+            << "col " << c;
+    }
+}
+
+TEST_P(MicroProgramTest, ScalarOps)
+{
+    const unsigned n = GetParam();
+    Prng srng(600 + n);
+    for (int trial = 0; trial < 4; ++trial) {
+        const uint64_t scalar = trunc(srng.next(), n);
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 610 + n + trial);
+            vm.run(MicroPrograms::addScalar(0, 2 * n, n, scalar));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(a[c] + scalar, n));
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 620 + n + trial);
+            vm.run(MicroPrograms::subScalar(0, 2 * n, n, scalar));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(a[c] - scalar, n));
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 630 + n + trial);
+            vm.run(MicroPrograms::mulScalar(0, 2 * n, n, scalar));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(a[c] * scalar, n));
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 640 + n + trial);
+            vm.run(MicroPrograms::equalScalar(0, 2 * n, n, scalar));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, 1),
+                          static_cast<uint64_t>(a[c] == scalar));
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 650 + n + trial);
+            vm.run(MicroPrograms::lessThanScalar(0, 2 * n, n, scalar,
+                                                 true));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, 1),
+                          static_cast<uint64_t>(
+                              toSigned(a[c], n) <
+                              toSigned(scalar, n)))
+                    << "col " << c << " scalar " << scalar;
+        }
+    }
+}
+
+TEST_P(MicroProgramTest, Shifts)
+{
+    const unsigned n = GetParam();
+    for (unsigned amount : {1u, 3u, n / 2, n - 1}) {
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 700 + n + amount);
+            vm.run(MicroPrograms::shiftLeft(0, 2 * n, n, amount));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(a[c] << amount, n));
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 710 + n + amount);
+            vm.run(MicroPrograms::shiftRight(0, 2 * n, n, amount,
+                                             false));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(a[c], n) >> amount);
+        }
+        {
+            BitSerialVm vm(kRows, kCols);
+            std::vector<uint64_t> a, b;
+            loadOperands(vm, n, a, b, 720 + n + amount);
+            vm.run(
+                MicroPrograms::shiftRight(0, 2 * n, n, amount, true));
+            for (uint32_t c = 0; c < kCols; ++c)
+                EXPECT_EQ(vm.readVertical(c, 2 * n, n),
+                          trunc(static_cast<uint64_t>(
+                                    toSigned(a[c], n) >>
+                                    amount),
+                                n))
+                    << "col " << c << " amount " << amount;
+        }
+    }
+}
+
+TEST_P(MicroProgramTest, InPlaceShiftAliasing)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 730 + n);
+    // dest == src must still be correct (ordering matters).
+    vm.run(MicroPrograms::shiftLeft(0, 0, n, 2));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 0, n), trunc(a[c] << 2, n));
+}
+
+TEST_P(MicroProgramTest, PopCount)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 740 + n);
+    vm.run(MicroPrograms::popCount(0, 2 * n, n, n));
+    for (uint32_t c = 0; c < kCols; ++c) {
+        const auto expect = static_cast<uint64_t>(
+            __builtin_popcountll(trunc(a[c], n)));
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), expect) << "col " << c;
+    }
+}
+
+TEST_P(MicroProgramTest, BroadcastAndCopy)
+{
+    const unsigned n = GetParam();
+    BitSerialVm vm(kRows, kCols);
+    std::vector<uint64_t> a, b;
+    loadOperands(vm, n, a, b, 750 + n);
+    const uint64_t value = trunc(0xdeadbeefcafebabeull, n);
+    vm.run(MicroPrograms::broadcast(2 * n, n, value));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), value);
+
+    vm.run(MicroPrograms::copy(0, 2 * n, n));
+    for (uint32_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(vm.readVertical(c, 2 * n, n), trunc(a[c], n));
+}
+
+TEST_P(MicroProgramTest, OpCountComplexityShapes)
+{
+    const unsigned n = GetParam();
+    // Addition is linear in n (paper: 3n rows for two-in/one-out).
+    const auto add = MicroPrograms::add(0, n, 2 * n, n);
+    EXPECT_EQ(add.numReads(), 2ull * n);
+    EXPECT_EQ(add.numWrites(), n);
+
+    // Multiplication is quadratic: reads ~ n^2.
+    const auto mul = MicroPrograms::mul(0, n, 2 * n, n);
+    EXPECT_GE(mul.numReads(), static_cast<uint64_t>(n) * n);
+    EXPECT_LE(mul.numReads(), 2ull * n * n + 2 * n);
+
+    // Popcount is log-linear: row ops ~ n * ceil(log2(n+1)).
+    const auto pc = MicroPrograms::popCount(0, 2 * n, n, n);
+    unsigned w = 1;
+    while ((1u << w) <= n)
+        ++w;
+    EXPECT_EQ(pc.numReads(), static_cast<uint64_t>(n) * (w + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MicroProgramTest,
+                         ::testing::Values(4u, 8u, 16u, 32u),
+                         [](const auto &info) {
+                             return "bits" +
+                                 std::to_string(info.param);
+                         });

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests of the paper-size modeling scale: analytic re-costing of
+ * commands, transfers, and host phases without changing functional
+ * results, plus the suite's paper-scale decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/suite.h"
+#include "core/pim_api.h"
+#include "util/logging.h"
+
+using namespace pimeval;
+
+namespace {
+
+class ModelingScaleTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        PimDeviceConfig config;
+        config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+        config.num_ranks = 4;
+        ASSERT_EQ(pimCreateDeviceFromConfig(config),
+                  PimStatus::PIM_OK);
+    }
+
+    void
+    TearDown() override
+    {
+        pimDeleteDevice();
+    }
+};
+
+} // namespace
+
+TEST_F(ModelingScaleTest, DefaultScaleIsOne)
+{
+    EXPECT_EQ(pimGetModelingScale(), 1.0);
+    pimSetModelingScale(0.25); // clamped up
+    EXPECT_EQ(pimGetModelingScale(), 1.0);
+}
+
+TEST_F(ModelingScaleTest, FunctionalResultsUnchanged)
+{
+    const uint64_t n = 1000;
+    std::vector<int> a(n, 3), b(n, 4), out(n);
+    const PimObjId oa = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                 PimDataType::PIM_INT32);
+    const PimObjId ob =
+        pimAllocAssociated(32, oa, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(a.data(), oa);
+    pimCopyHostToDevice(b.data(), ob);
+
+    pimSetModelingScale(1000.0);
+    pimAdd(oa, ob, ob);
+    pimCopyDeviceToHost(ob, out.data());
+    pimSetModelingScale(1.0);
+
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], 7);
+    pimFree(oa);
+    pimFree(ob);
+}
+
+TEST_F(ModelingScaleTest, CostsScaleUp)
+{
+    const uint64_t n = 1u << 16;
+    std::vector<int> a(n, 1);
+    const PimObjId oa = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                 PimDataType::PIM_INT32);
+    const PimObjId ob =
+        pimAllocAssociated(32, oa, PimDataType::PIM_INT32);
+
+    pimResetStats();
+    pimCopyHostToDevice(a.data(), oa);
+    pimAdd(oa, ob, ob);
+    const PimRunStats unscaled = pimGetStats();
+
+    pimResetStats();
+    pimSetModelingScale(64.0);
+    pimCopyHostToDevice(a.data(), oa);
+    pimAdd(oa, ob, ob);
+    const PimRunStats scaled = pimGetStats();
+    pimSetModelingScale(1.0);
+
+    // Transfers scale exactly linearly.
+    EXPECT_EQ(scaled.bytes_h2d, 64 * unscaled.bytes_h2d);
+    EXPECT_NEAR(scaled.copy_sec / unscaled.copy_sec, 64.0, 1e-6);
+    // Kernel time grows (more elements per core) but sublinearly at
+    // low utilization; it must grow at least somewhat and at most
+    // linearly.
+    EXPECT_GT(scaled.kernel_sec, unscaled.kernel_sec);
+    EXPECT_LE(scaled.kernel_sec, 64.0 * unscaled.kernel_sec * 1.01);
+
+    pimFree(oa);
+    pimFree(ob);
+}
+
+TEST_F(ModelingScaleTest, HostWorkModeledOnHostParams)
+{
+    pimResetStats();
+    // 28.8 GB at the per-core 28.8 GB/s -> exactly 1 second.
+    pimAddHostWork(28800000000ull, 1);
+    PimRunStats stats = pimGetStats();
+    EXPECT_NEAR(stats.host_sec, 1.0, 1e-6);
+
+    // Ops-bound phase: 3.71e9 ops at 3.71 GHz -> 1 second.
+    pimResetStats();
+    pimAddHostWork(1, 3710000000ull);
+    stats = pimGetStats();
+    EXPECT_NEAR(stats.host_sec, 1.0, 1e-6);
+
+    // Modeling scale multiplies host work.
+    pimResetStats();
+    pimSetModelingScale(10.0);
+    pimAddHostWork(1, 3710000000ull);
+    pimSetModelingScale(1.0);
+    stats = pimGetStats();
+    EXPECT_NEAR(stats.host_sec, 10.0, 1e-5);
+}
+
+TEST(PaperScaleTable, AllBenchmarksHaveFactors)
+{
+    for (const auto &name : pimbench::pimbenchSuiteNames()) {
+        const pimbench::PaperScale s = pimbench::paperScale(name);
+        EXPECT_GE(s.elem_ratio, 1.0) << name;
+        EXPECT_GE(s.call_ratio, 1.0) << name;
+        EXPECT_GT(s.total(), 1.0) << name;
+    }
+    // Spot-check a documented decomposition: GEMV.
+    const auto gemv = pimbench::paperScale("GEMV");
+    EXPECT_NEAR(gemv.call_ratio, 8192.0 / 64.0, 1e-9);
+    EXPECT_NEAR(gemv.elem_ratio, 2352160.0 / 2048.0, 1e-9);
+}
+
+TEST(PaperScaleRun, StatsScaledConsistently)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    config.num_ranks = 4;
+    ASSERT_EQ(pimCreateDeviceFromConfig(config), PimStatus::PIM_OK);
+
+    const auto small = pimbench::runBenchmarkByName(
+        "Vector Addition", pimbench::SuiteScale::kSmall);
+    const auto paper = pimbench::runBenchmarkByName(
+        "Vector Addition", pimbench::SuiteScale::kPaper);
+
+    EXPECT_TRUE(small.verified);
+    EXPECT_TRUE(paper.verified);
+    const double ratio =
+        pimbench::paperScale("Vector Addition").total();
+    EXPECT_NEAR(static_cast<double>(paper.stats.bytes_h2d) /
+                    static_cast<double>(small.stats.bytes_h2d),
+                ratio, ratio * 0.01);
+    EXPECT_GT(paper.stats.kernel_sec, small.stats.kernel_sec);
+    // Modeling scale resets after a paper-scale run.
+    EXPECT_EQ(pimGetModelingScale(), 1.0);
+
+    pimDeleteDevice();
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests of the performance/energy models: microprogram-derived
+ * bit-serial costs, Fulcrum/bank-level shapes, the Fig. 6 qualitative
+ * orderings from the paper's sensitivity analysis, and scaling
+ * behaviours (rank/column/bank counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/perf_energy_bitserial.h"
+#include "core/perf_energy_fulcrum.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+configFor(PimDeviceEnum device, uint64_t ranks = 32)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = ranks;
+    return config;
+}
+
+/** Profile of one op on a vector spread across all cores. */
+PimOpProfile
+vectorProfile(const PimDeviceConfig &config, PimCmdEnum cmd,
+              uint64_t num_elements, unsigned bits = 32)
+{
+    PimOpProfile p;
+    p.cmd = cmd;
+    p.bits = bits;
+    p.num_elements = num_elements;
+    const uint64_t cores = config.numCores();
+    p.cores_used = std::min(cores, num_elements);
+    p.max_elems_per_core = (num_elements + cores - 1) / cores;
+    p.scalar = 0x5;
+    p.aux = 1;
+    return p;
+}
+
+double
+latency(PimDeviceEnum device, PimCmdEnum cmd, uint64_t n,
+        uint64_t ranks = 32)
+{
+    const PimDeviceConfig config = configFor(device, ranks);
+    const auto model = PerfEnergyModel::create(config);
+    return model->costOp(vectorProfile(config, cmd, n)).runtime_sec;
+}
+
+} // namespace
+
+TEST(PerfModelBitSerial, CountsMatchGeneratedMicroprograms)
+{
+    const PimDeviceConfig config =
+        configFor(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    PerfEnergyBitSerial model(config);
+
+    // Addition: 2n reads, n writes (full-adder pass).
+    const auto add = model.countsForCmd(PimCmdEnum::kAdd, 32, 0, 0);
+    EXPECT_EQ(add.reads, 64u);
+    EXPECT_EQ(add.writes, 32u);
+    EXPECT_GT(add.logic, 0u);
+
+    // Multiplication is quadratic in bit width.
+    const auto mul16 = model.countsForCmd(PimCmdEnum::kMul, 16, 0, 0);
+    const auto mul32 = model.countsForCmd(PimCmdEnum::kMul, 32, 0, 0);
+    EXPECT_GT(mul32.reads, 3 * mul16.reads);
+
+    // Scalar multiply cost scales with the scalar's popcount.
+    const auto mul_sparse =
+        model.countsForCmd(PimCmdEnum::kMulScalar, 32, 0x1, 0);
+    const auto mul_dense =
+        model.countsForCmd(PimCmdEnum::kMulScalar, 32, 0xffff, 0);
+    EXPECT_GT(mul_dense.reads, mul_sparse.reads);
+
+    // RedSum uses the row-wide popcount path: one read per bit slice.
+    const auto red = model.countsForCmd(PimCmdEnum::kRedSum, 32, 0, 0);
+    EXPECT_EQ(red.reads, 32u);
+    EXPECT_EQ(red.writes, 0u);
+}
+
+TEST(PerfModelBitSerial, ChunkScaling)
+{
+    const PimDeviceConfig config =
+        configFor(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP, 1);
+    PerfEnergyBitSerial model(config);
+
+    // One chunk vs four chunks on the busiest core.
+    PimOpProfile p = vectorProfile(config, PimCmdEnum::kAdd, 1);
+    p.max_elems_per_core = config.colsPerCore();
+    const double one = model.costOp(p).runtime_sec;
+    p.max_elems_per_core = config.colsPerCore() * 4;
+    const double four = model.costOp(p).runtime_sec;
+    EXPECT_NEAR(four / one, 4.0, 1e-9);
+}
+
+TEST(PerfModelFig6, OperationOrderings)
+{
+    // The paper's Fig. 6 sensitivity point: 256M 32-bit INTs. Model
+    // evaluation is analytic, so the full size costs nothing.
+    const uint64_t n = 256ull << 20;
+    using D = PimDeviceEnum;
+
+    // Addition: bit-serial wins (row-wide bit-slice parallelism).
+    EXPECT_LT(latency(D::PIM_DEVICE_BITSIMD_V_AP, PimCmdEnum::kAdd, n),
+              latency(D::PIM_DEVICE_FULCRUM, PimCmdEnum::kAdd, n));
+    EXPECT_LT(latency(D::PIM_DEVICE_FULCRUM, PimCmdEnum::kAdd, n),
+              latency(D::PIM_DEVICE_BANK_LEVEL, PimCmdEnum::kAdd, n));
+
+    // Multiplication: Fulcrum wins; bit-serial still beats bank-level
+    // (narrow GDL + limited bank parallelism).
+    EXPECT_LT(latency(D::PIM_DEVICE_FULCRUM, PimCmdEnum::kMul, n),
+              latency(D::PIM_DEVICE_BITSIMD_V_AP, PimCmdEnum::kMul, n));
+    EXPECT_LT(latency(D::PIM_DEVICE_BITSIMD_V_AP, PimCmdEnum::kMul, n),
+              latency(D::PIM_DEVICE_BANK_LEVEL, PimCmdEnum::kMul, n));
+
+    // Reduction: bit-serial (popcount-based) is best.
+    EXPECT_LT(
+        latency(D::PIM_DEVICE_BITSIMD_V_AP, PimCmdEnum::kRedSum, n),
+        latency(D::PIM_DEVICE_FULCRUM, PimCmdEnum::kRedSum, n));
+
+    // Popcount: Fulcrum's 12-cycle SWAR loses to both bit-serial and
+    // the bank PE's single-cycle popcount... relative to its own
+    // 1-cycle ops. Check Fulcrum popcount is 12x its add ALU time in
+    // the compute-bound regime.
+    const PimDeviceConfig fc = configFor(D::PIM_DEVICE_FULCRUM);
+    PerfEnergyFulcrum fmodel(fc);
+    const auto pshape = fmodel.shapeForCmd(PimCmdEnum::kPopCount, false);
+    EXPECT_EQ(pshape.cycles_per_elem, 12u);
+}
+
+TEST(PerfModelFig6, ColumnSensitivity)
+{
+    // More columns -> fewer chunks -> faster bit-serial. Size must
+    // exceed one chunk per core for the effect to appear (paper
+    // Section IX's utilization discussion).
+    const uint64_t n = 256ull << 20;
+    PimDeviceConfig narrow =
+        configFor(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    narrow.num_cols_per_row = 1024;
+    PimDeviceConfig wide =
+        configFor(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    wide.num_cols_per_row = 8192;
+
+    const auto narrow_model = PerfEnergyModel::create(narrow);
+    const auto wide_model = PerfEnergyModel::create(wide);
+    const double t_narrow =
+        narrow_model->costOp(vectorProfile(narrow, PimCmdEnum::kAdd, n))
+            .runtime_sec;
+    const double t_wide =
+        wide_model->costOp(vectorProfile(wide, PimCmdEnum::kAdd, n))
+            .runtime_sec;
+    EXPECT_GT(t_narrow, t_wide);
+}
+
+TEST(PerfModelFig6, BankSensitivity)
+{
+    // More banks -> more parallelism for every architecture.
+    const uint64_t n = 64ull << 20;
+    for (auto device : {PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                        PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                        PimDeviceEnum::PIM_DEVICE_BANK_LEVEL}) {
+        PimDeviceConfig few = configFor(device);
+        few.num_banks_per_rank = 16;
+        PimDeviceConfig many = configFor(device);
+        many.num_banks_per_rank = 128;
+        const auto few_model = PerfEnergyModel::create(few);
+        const auto many_model = PerfEnergyModel::create(many);
+        const double t_few =
+            few_model->costOp(vectorProfile(few, PimCmdEnum::kAdd, n))
+                .runtime_sec;
+        const double t_many =
+            many_model
+                ->costOp(vectorProfile(many, PimCmdEnum::kAdd, n))
+                .runtime_sec;
+        EXPECT_LE(t_many, t_few) << pimDeviceName(device);
+    }
+}
+
+TEST(PerfModelCopy, BandwidthScalesWithRanks)
+{
+    const PimDeviceConfig one =
+        configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM, 1);
+    const PimDeviceConfig thirty_two =
+        configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM, 32);
+    const auto m1 = PerfEnergyModel::create(one);
+    const auto m32 = PerfEnergyModel::create(thirty_two);
+
+    const uint64_t bytes = 1ull << 30;
+    const double t1 =
+        m1->costCopy(PimCopyEnum::PIM_COPY_H2D, bytes).runtime_sec;
+    const double t32 =
+        m32->costCopy(PimCopyEnum::PIM_COPY_H2D, bytes).runtime_sec;
+    EXPECT_NEAR(t1 / t32, 32.0, 1e-6);
+
+    // 25.6 GB/s per rank.
+    EXPECT_NEAR(t1, static_cast<double>(bytes) / (25.6e9), 1e-9);
+}
+
+TEST(PerfModelEnergy, NonZeroAndMonotonic)
+{
+    for (auto device : {PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                        PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                        PimDeviceEnum::PIM_DEVICE_BANK_LEVEL}) {
+        const PimDeviceConfig config = configFor(device);
+        const auto model = PerfEnergyModel::create(config);
+        const double e_small =
+            model->costOp(vectorProfile(config, PimCmdEnum::kAdd,
+                                        1u << 16))
+                .energy_j;
+        const double e_large =
+            model->costOp(vectorProfile(config, PimCmdEnum::kAdd,
+                                        1u << 24))
+                .energy_j;
+        EXPECT_GT(e_small, 0.0) << pimDeviceName(device);
+        EXPECT_GT(e_large, e_small) << pimDeviceName(device);
+    }
+}
+
+TEST(PerfModelGdl, BankLevelGdlSerialization)
+{
+    // Halving GDL width should increase bank-level row-IO time.
+    PimDeviceConfig wide =
+        configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL);
+    wide.gdl_bits = 256;
+    PimDeviceConfig narrow =
+        configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL);
+    narrow.gdl_bits = 64;
+
+    PerfEnergyBankLevel wm(wide), nm(narrow);
+    EXPECT_GT(nm.gdlRowTime(), wm.gdlRowTime());
+
+    const uint64_t n = 16ull << 20;
+    const double t_wide =
+        wm.costOp(vectorProfile(wide, PimCmdEnum::kAdd, n)).runtime_sec;
+    const double t_narrow =
+        nm.costOp(vectorProfile(narrow, PimCmdEnum::kAdd, n))
+            .runtime_sec;
+    EXPECT_GT(t_narrow, t_wide);
+}
+
+TEST(PerfModelValidation, FulcrumMatchesCounterModel)
+{
+    // Section V-E style check: the analytic Fulcrum cost equals the
+    // walker/ALU counter accounting for a simple streaming add.
+    const PimDeviceConfig config =
+        configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM, 1);
+    PerfEnergyFulcrum model(config);
+
+    const unsigned bits = 32;
+    const uint64_t elems_per_row = config.colsPerCore() / bits;
+    const uint64_t rows = 4;
+    const uint64_t elems = rows * elems_per_row;
+
+    PimOpProfile p;
+    p.cmd = PimCmdEnum::kAdd;
+    p.bits = bits;
+    p.num_elements = elems;
+    p.max_elems_per_core = elems;
+    p.cores_used = 1;
+    const double modeled = model.costOp(p).runtime_sec;
+
+    const double expected =
+        rows * (2 * config.dram.row_read_ns +
+                config.dram.row_write_ns) * 1e-9 +
+        static_cast<double>(elems) * config.aluPeriodSec();
+    EXPECT_NEAR(modeled, expected, expected * 1e-9);
+}
+
+TEST(PerfModelLisa, InterSubarrayLinksAccelerateD2D)
+{
+    // The LISA links Fulcrum assumes (paper Section IV, deferred in
+    // its benchmarks) must make device-to-device copies cheaper on
+    // the subarray-level targets and change nothing at bank level.
+    PimDeviceConfig base = configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM);
+    PimDeviceConfig lisa = base;
+    lisa.use_lisa = true;
+
+    const auto base_model = PerfEnergyModel::create(base);
+    const auto lisa_model = PerfEnergyModel::create(lisa);
+    const uint64_t bytes = 512ull << 20;
+    const auto slow =
+        base_model->costCopy(PimCopyEnum::PIM_COPY_D2D, bytes);
+    const auto fast =
+        lisa_model->costCopy(PimCopyEnum::PIM_COPY_D2D, bytes);
+    EXPECT_LT(fast.runtime_sec, slow.runtime_sec * 0.5);
+    EXPECT_LT(fast.energy_j, slow.energy_j);
+
+    PimDeviceConfig bank =
+        configFor(PimDeviceEnum::PIM_DEVICE_BANK_LEVEL);
+    PimDeviceConfig bank_lisa = bank;
+    bank_lisa.use_lisa = true;
+    const double bank_plain =
+        PerfEnergyModel::create(bank)
+            ->costCopy(PimCopyEnum::PIM_COPY_D2D, bytes)
+            .runtime_sec;
+    const double bank_with =
+        PerfEnergyModel::create(bank_lisa)
+            ->costCopy(PimCopyEnum::PIM_COPY_D2D, bytes)
+            .runtime_sec;
+    EXPECT_DOUBLE_EQ(bank_plain, bank_with);
+}

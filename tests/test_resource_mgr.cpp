@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests of the resource manager: the row interval allocator, object
+ * placement across cores, associated allocation, free/reuse cycles,
+ * and capacity exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pim_resource_mgr.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+tinyConfig(PimDeviceEnum device)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 2;
+    config.num_subarrays_per_bank = 2;
+    config.num_rows_per_subarray = 64;
+    config.num_cols_per_row = 128;
+    return config;
+}
+
+} // namespace
+
+TEST(RowAllocator, FirstFitAllocateRelease)
+{
+    RowAllocator alloc(100);
+    EXPECT_EQ(alloc.freeRows(), 100u);
+
+    const uint64_t a = alloc.allocate(30);
+    const uint64_t b = alloc.allocate(30);
+    const uint64_t c = alloc.allocate(30);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 30u);
+    EXPECT_EQ(c, 60u);
+    EXPECT_EQ(alloc.freeRows(), 10u);
+    EXPECT_EQ(alloc.allocate(20), UINT64_MAX); // doesn't fit
+
+    // Release the middle block and reuse it.
+    alloc.release(b, 30);
+    EXPECT_EQ(alloc.freeRows(), 40u);
+    EXPECT_EQ(alloc.largestFreeExtent(), 30u);
+    EXPECT_EQ(alloc.allocate(25), 30u); // first fit in the hole
+
+    // Release everything allocated; intervals must merge back into
+    // one extent together with the never-allocated tail.
+    alloc.release(30, 25);
+    alloc.release(a, 30);
+    alloc.release(c, 30);
+    EXPECT_EQ(alloc.freeRows(), 100u);
+    EXPECT_EQ(alloc.largestFreeExtent(), 100u);
+}
+
+TEST(RowAllocator, ZeroAndFullRange)
+{
+    RowAllocator alloc(10);
+    EXPECT_EQ(alloc.allocate(0), UINT64_MAX);
+    EXPECT_EQ(alloc.allocate(10), 0u);
+    EXPECT_EQ(alloc.freeRows(), 0u);
+    EXPECT_EQ(alloc.allocate(1), UINT64_MAX);
+    alloc.release(0, 10);
+    EXPECT_EQ(alloc.allocate(10), 0u);
+}
+
+TEST(ResourceMgr, VerticalPlacementGeometry)
+{
+    const auto config =
+        tinyConfig(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    PimResourceMgr mgr(config);
+    // 4 cores; 500 elements -> 125 per core; vertical 32-bit needs
+    // ceil(125/128)*32 = 32 rows per region.
+    PimDataObject *obj = mgr.alloc(500, PimDataType::PIM_INT32, true);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->numCoresUsed(), 4u);
+    EXPECT_EQ(obj->maxElementsPerRegion(), 125u);
+    for (const auto &region : obj->regions())
+        EXPECT_EQ(region.num_rows, 32u);
+
+    // Element offsets must tile the object contiguously.
+    uint64_t expected_offset = 0;
+    for (const auto &region : obj->regions()) {
+        EXPECT_EQ(region.elem_offset, expected_offset);
+        expected_offset += region.num_elements;
+    }
+    EXPECT_EQ(expected_offset, 500u);
+}
+
+TEST(ResourceMgr, HorizontalPlacementGeometry)
+{
+    const auto config = tinyConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM);
+    PimResourceMgr mgr(config);
+    // 2 cores (4 subarrays / 2); 128-col rows hold 4 x 32-bit
+    // elements; 100 elements -> 50 per core -> 13 rows each.
+    PimDataObject *obj = mgr.alloc(100, PimDataType::PIM_INT32, false);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->numCoresUsed(), 2u);
+    for (const auto &region : obj->regions())
+        EXPECT_EQ(region.num_rows, 13u);
+}
+
+TEST(ResourceMgr, AssociatedMatchesReferenceDistribution)
+{
+    const auto config =
+        tinyConfig(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    PimResourceMgr mgr(config);
+    PimDataObject *ref = mgr.alloc(301, PimDataType::PIM_INT32, true);
+    ASSERT_NE(ref, nullptr);
+    PimDataObject *assoc =
+        mgr.allocAssociated(*ref, PimDataType::PIM_INT16);
+    ASSERT_NE(assoc, nullptr);
+    ASSERT_EQ(assoc->regions().size(), ref->regions().size());
+    for (size_t i = 0; i < ref->regions().size(); ++i) {
+        EXPECT_EQ(assoc->regions()[i].core_id,
+                  ref->regions()[i].core_id);
+        EXPECT_EQ(assoc->regions()[i].num_elements,
+                  ref->regions()[i].num_elements);
+    }
+}
+
+TEST(ResourceMgr, FreeReuseAndUnknownIds)
+{
+    const auto config =
+        tinyConfig(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    PimResourceMgr mgr(config);
+    PimDataObject *a = mgr.alloc(1000, PimDataType::PIM_INT32, true);
+    ASSERT_NE(a, nullptr);
+    const PimObjId id = a->id();
+    EXPECT_EQ(mgr.get(id), a);
+    EXPECT_GT(mgr.utilization(), 0.0);
+
+    EXPECT_TRUE(mgr.free(id));
+    EXPECT_FALSE(mgr.free(id));
+    EXPECT_EQ(mgr.get(id), nullptr);
+    EXPECT_EQ(mgr.utilization(), 0.0);
+    EXPECT_EQ(mgr.numObjects(), 0u);
+}
+
+TEST(ResourceMgr, CapacityExhaustionAndRollback)
+{
+    const auto config =
+        tinyConfig(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP);
+    PimResourceMgr mgr(config);
+    // Capacity per core: 64 rows / 32 bits * 128 cols = 256 elements;
+    // 4 cores -> 1024 total.
+    PimDataObject *big = mgr.alloc(1024, PimDataType::PIM_INT32, true);
+    ASSERT_NE(big, nullptr);
+    // Anything more must fail cleanly...
+    EXPECT_EQ(mgr.alloc(16, PimDataType::PIM_INT32, true), nullptr);
+    // ...without leaking rows from the failed attempt.
+    EXPECT_TRUE(mgr.free(big->id()));
+    EXPECT_NE(mgr.alloc(1024, PimDataType::PIM_INT32, true), nullptr);
+}
+
+TEST(ResourceMgr, ManySmallObjectsChurn)
+{
+    const auto config = tinyConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM);
+    PimResourceMgr mgr(config);
+    std::vector<PimObjId> ids;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 5; ++i) {
+            PimDataObject *obj =
+                mgr.alloc(40, PimDataType::PIM_INT32, false);
+            ASSERT_NE(obj, nullptr);
+            ids.push_back(obj->id());
+        }
+        // Free in interleaved order to fragment, then drain fully so
+        // the next round reuses the same rows.
+        for (size_t i = 0; i < ids.size(); i += 2)
+            EXPECT_TRUE(mgr.free(ids[i]));
+        for (size_t i = 1; i < ids.size(); i += 2)
+            EXPECT_TRUE(mgr.free(ids[i]));
+        ids.clear();
+    }
+    EXPECT_EQ(mgr.utilization(), 0.0);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the utility layer: PRNG, string formatting, table
+ * writer, and thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "util/prng.h"
+#include "util/string_utils.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+
+using namespace pimeval;
+
+TEST(Prng, DeterministicStreams)
+{
+    Prng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c;
+    }
+    Prng d(43);
+    bool differs = false;
+    Prng e(42);
+    for (int i = 0; i < 10; ++i)
+        differs |= (d.next() != e.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Prng, RangesRespected)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.nextInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+    const auto vec = rng.intVector(100, 10, 20);
+    for (int v : vec) {
+        EXPECT_GE(v, 10);
+        EXPECT_LE(v, 20);
+    }
+}
+
+TEST(Prng, ReasonableSpread)
+{
+    Prng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(StringUtils, Formatting)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.0 KB");
+    EXPECT_EQ(formatBytes(3ull << 20), "3.0 MB");
+    EXPECT_EQ(formatTime(0.5e-9 * 1000), "500.000 ns");
+    EXPECT_EQ(formatTime(1.5e-3), "1.500 ms");
+    EXPECT_EQ(formatEnergy(2e-3), "2.000 mJ");
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_TRUE(iequals("PIM", "pim"));
+    EXPECT_FALSE(iequals("PIM", "pin"));
+    const auto parts = splitString("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(TableWriter, AlignedOutputAndCsv)
+{
+    TableWriter table("Demo", {"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addNumericRow("beta", {2.5}, 1);
+    EXPECT_EQ(table.numRows(), 2u);
+
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("Demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("2.5"), std::string::npos);
+
+    std::ostringstream csv;
+    table.writeCsv(csv);
+    EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+    EXPECT_NE(csv.str().find("beta,2.5"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    ThreadPool pool(2);
+    int count = 0;
+    pool.parallelFor(5, 5, [&](size_t) { ++count; });
+    EXPECT_EQ(count, 0);
+    pool.parallelFor(0, 3, [&](size_t) { ++count; });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(ThreadPool, ManyRoundsStress)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(0, 200, [&](size_t i) {
+            sum += static_cast<long>(i);
+        });
+        EXPECT_EQ(sum.load(), 199L * 200 / 2);
+    }
+}
