@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bitserial/analog_microprograms.h"
 #include "bitserial/analog_vm.h"
 #include "bitserial/bitserial_vm.h"
@@ -121,8 +123,10 @@ BM_BitSerialVmAdd32(benchmark::State &state)
 {
     BitSerialVm vm(128, 8192);
     Prng rng(1);
-    for (uint32_t c = 0; c < 8192; c += 64)
-        vm.writeVertical(c, 0, 32, rng.next());
+    std::vector<uint64_t> init(8192);
+    for (auto &v : init)
+        v = rng.next();
+    vm.writeVerticalBulk(0, 0, 32, init.data(), 8192);
     const MicroProgram prog = MicroPrograms::add(0, 32, 64, 32);
     for (auto _ : state)
         vm.run(prog);

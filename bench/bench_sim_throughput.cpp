@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: simulated elements per second of the
+ * functional-simulation hot path, per PIM command and per target.
+ *
+ * The paper's artifact runtime is dominated by functional simulation
+ * of the 18 PIMbench workloads at Table I problem sizes, so this bench
+ * is the measured trajectory for every perf PR touching the kernel
+ * execution engine: each entry times one PIM command on a 2^20-element
+ * int32 vector and reports items/second (= simulated elements/second).
+ *
+ * Besides the console report, results are always written as JSON to
+ * BENCH_SIM.json in the current directory (override the path with the
+ * PIMEVAL_BENCH_SIM_JSON environment variable) so successive runs can
+ * be diffed mechanically. See docs/PERFORMANCE.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "util/logging.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+/** Problem size per command invocation (elements). */
+constexpr uint64_t kNumElements = 1ull << 20;
+
+struct TargetSpec
+{
+    PimDeviceEnum device;
+    const char *name;
+};
+
+/** The three digital PIM targets in paper order. */
+const TargetSpec kTargetSpecs[] = {
+    {PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP, "bitserial"},
+    {PimDeviceEnum::PIM_DEVICE_FULCRUM, "fulcrum"},
+    {PimDeviceEnum::PIM_DEVICE_BANK_LEVEL, "banklevel"},
+};
+
+/** RAII active-device guard for one benchmark run. */
+class DeviceGuard
+{
+  public:
+    explicit DeviceGuard(PimDeviceEnum device)
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        PimDeviceConfig config;
+        config.device = device;
+        ok_ = pimCreateDeviceFromConfig(config) == PimStatus::PIM_OK;
+    }
+    ~DeviceGuard()
+    {
+        if (ok_)
+            pimDeleteDevice();
+    }
+    bool ok() const { return ok_; }
+
+  private:
+    bool ok_ = false;
+};
+
+/** Three int32 operands preloaded with pseudo-random data. */
+struct Operands
+{
+    PimObjId a = -1;
+    PimObjId b = -1;
+    PimObjId d = -1;
+
+    bool
+    init()
+    {
+        a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, kNumElements, 32,
+                     PimDataType::PIM_INT32);
+        if (a < 0)
+            return false;
+        b = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+        d = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+        if (b < 0 || d < 0)
+            return false;
+        Prng rng(42);
+        std::vector<int32_t> host(kNumElements);
+        for (auto &v : host)
+            v = static_cast<int32_t>(rng.next());
+        pimCopyHostToDevice(host.data(), a);
+        for (auto &v : host)
+            v = static_cast<int32_t>(rng.next() | 1); // non-zero divisor
+        pimCopyHostToDevice(host.data(), b);
+        return true;
+    }
+
+    ~Operands()
+    {
+        if (a >= 0)
+            pimFree(a);
+        if (b >= 0)
+            pimFree(b);
+        if (d >= 0)
+            pimFree(d);
+    }
+};
+
+using CmdBody = std::function<void(const Operands &)>;
+
+/** One timed command: name + a body issuing it once over kNumElements. */
+struct CmdSpec
+{
+    const char *name;
+    CmdBody body;
+};
+
+const std::vector<CmdSpec> &
+commandSpecs()
+{
+    static const std::vector<CmdSpec> specs = {
+        {"add", [](const Operands &o) { pimAdd(o.a, o.b, o.d); }},
+        {"sub", [](const Operands &o) { pimSub(o.a, o.b, o.d); }},
+        {"mul", [](const Operands &o) { pimMul(o.a, o.b, o.d); }},
+        {"min", [](const Operands &o) { pimMin(o.a, o.b, o.d); }},
+        {"xor", [](const Operands &o) { pimXor(o.a, o.b, o.d); }},
+        {"gt", [](const Operands &o) { pimGT(o.a, o.b, o.d); }},
+        {"abs", [](const Operands &o) { pimAbs(o.a, o.d); }},
+        {"popcount",
+         [](const Operands &o) { pimPopCount(o.a, o.d); }},
+        {"addscalar",
+         [](const Operands &o) { pimAddScalar(o.a, o.d, 7); }},
+        {"scaledadd",
+         [](const Operands &o) { pimScaledAdd(o.a, o.b, o.d, 3); }},
+        {"shiftbitsleft",
+         [](const Operands &o) { pimShiftBitsLeft(o.a, o.d, 2); }},
+        {"broadcast",
+         [](const Operands &o) { pimBroadcastInt(o.d, 42); }},
+        {"redsum",
+         [](const Operands &o) {
+             int64_t sum = 0;
+             pimRedSum(o.a, &sum);
+             benchmark::DoNotOptimize(sum);
+         }},
+        {"copyh2d",
+         [](const Operands &o) {
+             static std::vector<int32_t> host(kNumElements, 3);
+             pimCopyHostToDevice(host.data(), o.d);
+         }},
+        {"copyd2h",
+         [](const Operands &o) {
+             static std::vector<int32_t> host(kNumElements);
+             pimCopyDeviceToHost(o.a, host.data());
+             benchmark::DoNotOptimize(host.data());
+         }},
+    };
+    return specs;
+}
+
+void
+runCommand(benchmark::State &state, PimDeviceEnum device,
+           const CmdBody &body)
+{
+    DeviceGuard guard(device);
+    if (!guard.ok()) {
+        state.SkipWithError("device creation failed");
+        return;
+    }
+    Operands operands;
+    if (!operands.init()) {
+        state.SkipWithError("allocation failed");
+        return;
+    }
+    for (auto _ : state)
+        body(operands);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kNumElements));
+    state.counters["simulated_elements"] =
+        benchmark::Counter(static_cast<double>(kNumElements));
+}
+
+/**
+ * Console reporter that additionally captures every run so main() can
+ * emit BENCH_SIM.json without depending on --benchmark_out plumbing
+ * (which varies across google-benchmark versions).
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const auto &run : runs)
+            captured_.push_back(run);
+    }
+
+    const std::vector<Run> &captured() const { return captured_; }
+
+  private:
+    std::vector<Run> captured_;
+};
+
+/** Escape a string for JSON output. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Write the captured runs as a JSON array of
+ * {name, command, target, elements_per_second, real_time_ns,
+ *  iterations} records. Schema documented in docs/PERFORMANCE.md.
+ */
+void
+writeJson(std::ostream &os,
+          const std::vector<benchmark::BenchmarkReporter::Run> &runs)
+{
+    os << "{\n  \"bench\": \"sim_throughput\",\n"
+       << "  \"elements_per_invocation\": " << kNumElements << ",\n"
+       << "  \"results\": [\n";
+    bool first = true;
+    for (const auto &run : runs) {
+        if (run.error_occurred)
+            continue;
+        const std::string name = run.benchmark_name();
+        // name = "sim_throughput/<command>/<target>"
+        std::string command, target;
+        const size_t slash1 = name.find('/');
+        if (slash1 != std::string::npos) {
+            const size_t slash2 = name.find('/', slash1 + 1);
+            if (slash2 != std::string::npos) {
+                command = name.substr(slash1 + 1, slash2 - slash1 - 1);
+                target = name.substr(slash2 + 1);
+            }
+        }
+        double eps = 0.0;
+        const auto it = run.counters.find("items_per_second");
+        if (it != run.counters.end())
+            eps = static_cast<double>(it->second);
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    {\"name\": \"" << jsonEscape(name)
+           << "\", \"command\": \"" << jsonEscape(command)
+           << "\", \"target\": \"" << jsonEscape(target)
+           << "\", \"elements_per_second\": " << eps
+           << ", \"real_time_ns\": " << run.GetAdjustedRealTime()
+           << ", \"iterations\": " << run.iterations << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+registerAll()
+{
+    for (const auto &target : kTargetSpecs) {
+        for (const auto &cmd : commandSpecs()) {
+            const std::string name =
+                std::string("sim_throughput/") + cmd.name + "/" +
+                target.name;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [device = target.device, body = cmd.body](
+                    benchmark::State &state) {
+                    runCommand(state, device, body);
+                });
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    const char *env = std::getenv("PIMEVAL_BENCH_SIM_JSON");
+    const std::string json_path =
+        (env && *env) ? env : "BENCH_SIM.json";
+    std::ofstream json_out(json_path);
+    if (!json_out) {
+        std::cerr << "cannot open " << json_path << " for writing\n";
+        return 1;
+    }
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeJson(json_out, reporter.captured());
+    benchmark::Shutdown();
+    std::cout << "[json written: " << json_path << "]\n";
+    return 0;
+}

@@ -108,6 +108,13 @@ class PimDevice
     PimStatsMgr stats_;
     ThreadPool pool_;
     double modeling_scale_ = 1.0;
+
+    /** (cmd, dtype, layout) -> interned stats key id; -1 = unseen. */
+    static constexpr size_t kNumCmds =
+        static_cast<size_t>(PimCmdEnum::kCopyD2D) + 1;
+    static constexpr size_t kNumDataTypes =
+        static_cast<size_t>(PimDataType::PIM_UINT64) + 1;
+    int32_t stats_key_cache_[kNumCmds][kNumDataTypes][2];
 };
 
 } // namespace pimeval

@@ -58,17 +58,34 @@ PimRunStats::operator+=(const PimRunStats &o)
     return *this;
 }
 
-void
-PimStatsMgr::recordCmd(const std::string &key, PimCmdEnum cmd,
-                       const PimOpCost &cost)
+PimStatsMgr::CmdKeyId
+PimStatsMgr::internCmdKey(const std::string &key, PimCmdEnum cmd)
 {
-    auto &stat = cmd_stats_[key];
+    const auto it = cmd_key_ids_.find(key);
+    if (it != cmd_key_ids_.end())
+        return it->second;
+    const CmdKeyId id = static_cast<CmdKeyId>(cmd_slots_.size());
+    cmd_slots_.push_back(CmdSlot{key, cmd, PimCmdStat{}});
+    cmd_key_ids_.emplace(key, id);
+    return id;
+}
+
+void
+PimStatsMgr::recordCmd(CmdKeyId id, const PimOpCost &cost)
+{
+    auto &stat = cmd_slots_[id].stat;
     ++stat.count;
     stat.runtime_sec += cost.runtime_sec;
     stat.energy_j += cost.energy_j;
     kernel_sec_ += cost.runtime_sec;
     kernel_j_ += cost.energy_j;
-    ++op_mix_[pimCmdName(cmd)];
+}
+
+void
+PimStatsMgr::recordCmd(const std::string &key, PimCmdEnum cmd,
+                       const PimOpCost &cost)
+{
+    recordCmd(internCmdKey(key, cmd), cost);
 }
 
 void
@@ -130,14 +147,35 @@ PimStatsMgr::snapshot() const
 std::map<std::string, uint64_t>
 PimStatsMgr::opMix() const
 {
-    return op_mix_;
+    std::map<std::string, uint64_t> mix;
+    for (const auto &slot : cmd_slots_) {
+        if (slot.stat.count > 0)
+            mix[pimCmdName(slot.cmd)] += slot.stat.count;
+    }
+    return mix;
+}
+
+std::map<std::string, PimCmdStat>
+PimStatsMgr::cmdStats() const
+{
+    std::map<std::string, PimCmdStat> table;
+    for (const auto &slot : cmd_slots_) {
+        if (slot.stat.count == 0)
+            continue;
+        auto &stat = table[slot.key];
+        stat.count += slot.stat.count;
+        stat.runtime_sec += slot.stat.runtime_sec;
+        stat.energy_j += slot.stat.energy_j;
+    }
+    return table;
 }
 
 void
 PimStatsMgr::reset()
 {
-    cmd_stats_.clear();
-    op_mix_.clear();
+    // Interned key ids survive reset; only the accumulators clear.
+    for (auto &slot : cmd_slots_)
+        slot.stat = PimCmdStat{};
     kernel_sec_ = 0.0;
     kernel_j_ = 0.0;
     copy_sec_ = 0.0;
@@ -168,7 +206,7 @@ PimStatsMgr::printReport(std::ostream &os) const
        << padLeft("EstimatedRuntime(ms)", 24)
        << padLeft("EstimatedEnergy(mJ)", 24) << "\n";
     uint64_t total_cnt = 0;
-    for (const auto &[key, stat] : cmd_stats_) {
+    for (const auto &[key, stat] : cmdStats()) {
         os << "  " << padRight(key, 24)
            << padLeft(std::to_string(stat.count), 10)
            << padLeft(formatFixed(stat.runtime_sec * 1e3, 6), 24)

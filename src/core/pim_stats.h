@@ -16,6 +16,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/perf_energy_model.h"
 #include "core/pim_types.h"
@@ -53,11 +54,31 @@ struct PimRunStats
 
 /**
  * Per-device statistics manager.
+ *
+ * Command recording is designed to stay off the simulation hot path:
+ * callers intern a (key, command) pair once and then record through a
+ * small integer id — no string construction or map lookup per
+ * command. The string-keyed views (cmdStats, opMix, printReport) are
+ * materialized on demand.
  */
 class PimStatsMgr
 {
   public:
-    /** Record one PIM command, keyed e.g. "add.int32.v". */
+    /** Stable handle for an interned (report key, command) pair. */
+    using CmdKeyId = uint32_t;
+
+    /**
+     * Intern a stats key (e.g. "add.int32.v"). Returns a dense id
+     * that stays valid for the manager's lifetime, across reset().
+     * Interning the same key again returns the same id.
+     */
+    CmdKeyId internCmdKey(const std::string &key, PimCmdEnum cmd);
+
+    /** Record one PIM command through its interned id (hot path). */
+    void recordCmd(CmdKeyId id, const PimOpCost &cost);
+
+    /** Record one PIM command, keyed e.g. "add.int32.v" (interns on
+     *  every call; convenience for tests and cold paths). */
     void recordCmd(const std::string &key, PimCmdEnum cmd,
                    const PimOpCost &cost);
 
@@ -104,11 +125,9 @@ class PimStatsMgr
     /** Operation mix: counts keyed by base mnemonic (Fig. 8). */
     std::map<std::string, uint64_t> opMix() const;
 
-    /** Per-command table (for tests/benches). */
-    const std::map<std::string, PimCmdStat> &cmdStats() const
-    {
-        return cmd_stats_;
-    }
+    /** Per-command table, omitting never-recorded keys (for
+     *  tests/benches; built on demand from the interned slots). */
+    std::map<std::string, PimCmdStat> cmdStats() const;
 
     /** Reset everything. */
     void reset();
@@ -117,8 +136,16 @@ class PimStatsMgr
     void printReport(std::ostream &os) const;
 
   private:
-    std::map<std::string, PimCmdStat> cmd_stats_;
-    std::map<std::string, uint64_t> op_mix_;
+    /** One interned stats key; ids index cmd_slots_. */
+    struct CmdSlot
+    {
+        std::string key;
+        PimCmdEnum cmd = PimCmdEnum::kNone;
+        PimCmdStat stat;
+    };
+
+    std::vector<CmdSlot> cmd_slots_;
+    std::map<std::string, CmdKeyId> cmd_key_ids_;
     double kernel_sec_ = 0.0;
     double kernel_j_ = 0.0;
     double copy_sec_ = 0.0;

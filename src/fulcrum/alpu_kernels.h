@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Compile-time-specialized ALU semantics shared by the runtime
+ * alpuCompute() dispatcher and the chunked kernel execution engine in
+ * the core simulator (docs/PERFORMANCE.md).
+ *
+ * alpuComputeT<Op> is the single source of truth for per-element
+ * semantics: alpuCompute() in fulcrum_core.cpp is a switch over these
+ * instantiations, and the op-specialized element loops in
+ * pim_device.cpp instantiate them directly so the op dispatch hoists
+ * out of the loop and the masked uint64_t lane arithmetic can
+ * autovectorize.
+ */
+
+#ifndef PIMEVAL_FULCRUM_ALPU_KERNELS_H_
+#define PIMEVAL_FULCRUM_ALPU_KERNELS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "fulcrum/fulcrum_core.h"
+
+namespace pimeval {
+
+/**
+ * Sign-extend the low @p nbits of @p v to 64 bits.
+ * Branchless for 1 <= nbits <= 64 (C++20 guarantees arithmetic right
+ * shift on signed types), so signed element kernels stay
+ * vectorizable.
+ */
+inline int64_t
+alpuSignExtend(uint64_t v, unsigned nbits)
+{
+    const unsigned sh = 64u - nbits;
+    return static_cast<int64_t>(v << sh) >> sh;
+}
+
+/** Truncate @p v to its low @p nbits (branchless, 1 <= nbits <= 64). */
+inline uint64_t
+alpuTruncBits(uint64_t v, unsigned nbits)
+{
+    return v & (~0ull >> (64u - nbits));
+}
+
+/**
+ * ALU reference semantics with the operation fixed at compile time.
+ * Bit-identical to alpuCompute(Op, ...): operates on sign-/zero-
+ * extended 64-bit values and truncates the result to @p elem_bits.
+ */
+template <AlpuOp Op>
+inline uint64_t
+alpuComputeT(uint64_t a, uint64_t b, unsigned elem_bits, bool is_signed)
+{
+    const uint64_t ua = alpuTruncBits(a, elem_bits);
+    const uint64_t ub = alpuTruncBits(b, elem_bits);
+
+    uint64_t result = 0;
+    if constexpr (Op == AlpuOp::kAdd) {
+        result = ua + ub;
+    } else if constexpr (Op == AlpuOp::kSub) {
+        result = ua - ub;
+    } else if constexpr (Op == AlpuOp::kMul) {
+        result = ua * ub;
+    } else if constexpr (Op == AlpuOp::kDiv) {
+        if (is_signed) {
+            const int64_t sa = alpuSignExtend(ua, elem_bits);
+            const int64_t sb = alpuSignExtend(ub, elem_bits);
+            result = (sb == 0) ? 0 : static_cast<uint64_t>(sa / sb);
+        } else {
+            result = (ub == 0) ? 0 : ua / ub;
+        }
+    } else if constexpr (Op == AlpuOp::kMin) {
+        if (is_signed) {
+            result = (alpuSignExtend(ua, elem_bits) <
+                      alpuSignExtend(ub, elem_bits))
+                ? ua : ub;
+        } else {
+            result = (ua < ub) ? ua : ub;
+        }
+    } else if constexpr (Op == AlpuOp::kMax) {
+        if (is_signed) {
+            result = (alpuSignExtend(ua, elem_bits) >
+                      alpuSignExtend(ub, elem_bits))
+                ? ua : ub;
+        } else {
+            result = (ua > ub) ? ua : ub;
+        }
+    } else if constexpr (Op == AlpuOp::kAnd) {
+        result = ua & ub;
+    } else if constexpr (Op == AlpuOp::kOr) {
+        result = ua | ub;
+    } else if constexpr (Op == AlpuOp::kXor) {
+        result = ua ^ ub;
+    } else if constexpr (Op == AlpuOp::kXnor) {
+        result = ~(ua ^ ub);
+    } else if constexpr (Op == AlpuOp::kNot) {
+        result = ~ua;
+    } else if constexpr (Op == AlpuOp::kAbs) {
+        if (is_signed) {
+            const int64_t sa = alpuSignExtend(ua, elem_bits);
+            result = (sa < 0) ? static_cast<uint64_t>(-sa) : ua;
+        } else {
+            result = ua;
+        }
+    } else if constexpr (Op == AlpuOp::kGT) {
+        result = is_signed
+            ? (alpuSignExtend(ua, elem_bits) >
+               alpuSignExtend(ub, elem_bits))
+            : (ua > ub);
+    } else if constexpr (Op == AlpuOp::kLT) {
+        result = is_signed
+            ? (alpuSignExtend(ua, elem_bits) <
+               alpuSignExtend(ub, elem_bits))
+            : (ua < ub);
+    } else if constexpr (Op == AlpuOp::kEQ) {
+        result = (ua == ub);
+    } else if constexpr (Op == AlpuOp::kShiftL) {
+        result = (ub >= elem_bits) ? 0 : (ua << ub);
+    } else if constexpr (Op == AlpuOp::kShiftR) {
+        if (is_signed) {
+            const unsigned sh = ub >= elem_bits
+                ? elem_bits - 1
+                : static_cast<unsigned>(ub);
+            result = static_cast<uint64_t>(
+                alpuSignExtend(ua, elem_bits) >> sh);
+        } else {
+            result = (ub >= elem_bits) ? 0 : (ua >> ub);
+        }
+    } else if constexpr (Op == AlpuOp::kPopCount) {
+        result = static_cast<uint64_t>(std::popcount(ua));
+    }
+    return alpuTruncBits(result, elem_bits);
+}
+
+} // namespace pimeval
+
+#endif // PIMEVAL_FULCRUM_ALPU_KERNELS_H_

@@ -5,34 +5,11 @@
 
 #include "fulcrum/fulcrum_core.h"
 
-#include <bit>
 #include <cassert>
 
+#include "fulcrum/alpu_kernels.h"
+
 namespace pimeval {
-
-namespace {
-
-/** Sign-extend the low @p nbits of @p v to 64 bits. */
-int64_t
-signExtend(uint64_t v, unsigned nbits)
-{
-    if (nbits >= 64)
-        return static_cast<int64_t>(v);
-    const uint64_t sign = 1ull << (nbits - 1);
-    const uint64_t mask = (1ull << nbits) - 1;
-    v &= mask;
-    return static_cast<int64_t>((v ^ sign) - sign);
-}
-
-uint64_t
-truncBits(uint64_t v, unsigned nbits)
-{
-    if (nbits >= 64)
-        return v;
-    return v & ((1ull << nbits) - 1);
-}
-
-} // namespace
 
 unsigned
 alpuCyclesForOp(AlpuOp op, bool has_native_popcount)
@@ -54,88 +31,51 @@ uint64_t
 alpuCompute(AlpuOp op, uint64_t a, uint64_t b, unsigned elem_bits,
             bool is_signed)
 {
-    const uint64_t ua = truncBits(a, elem_bits);
-    const uint64_t ub = truncBits(b, elem_bits);
-    const int64_t sa = signExtend(ua, elem_bits);
-    const int64_t sb = signExtend(ub, elem_bits);
-
-    uint64_t result = 0;
+    // Runtime dispatch over the compile-time-specialized semantics in
+    // alpu_kernels.h, so this function and the chunked kernels in the
+    // core simulator cannot drift apart.
     switch (op) {
       case AlpuOp::kAdd:
-        result = ua + ub;
-        break;
+        return alpuComputeT<AlpuOp::kAdd>(a, b, elem_bits, is_signed);
       case AlpuOp::kSub:
-        result = ua - ub;
-        break;
+        return alpuComputeT<AlpuOp::kSub>(a, b, elem_bits, is_signed);
       case AlpuOp::kMul:
-        result = ua * ub;
-        break;
+        return alpuComputeT<AlpuOp::kMul>(a, b, elem_bits, is_signed);
       case AlpuOp::kDiv:
-        if (is_signed) {
-            result = (sb == 0)
-                ? 0 : static_cast<uint64_t>(sa / sb);
-        } else {
-            result = (ub == 0) ? 0 : ua / ub;
-        }
-        break;
+        return alpuComputeT<AlpuOp::kDiv>(a, b, elem_bits, is_signed);
       case AlpuOp::kMin:
-        if (is_signed)
-            result = (sa < sb) ? ua : ub;
-        else
-            result = (ua < ub) ? ua : ub;
-        break;
+        return alpuComputeT<AlpuOp::kMin>(a, b, elem_bits, is_signed);
       case AlpuOp::kMax:
-        if (is_signed)
-            result = (sa > sb) ? ua : ub;
-        else
-            result = (ua > ub) ? ua : ub;
-        break;
+        return alpuComputeT<AlpuOp::kMax>(a, b, elem_bits, is_signed);
       case AlpuOp::kAnd:
-        result = ua & ub;
-        break;
+        return alpuComputeT<AlpuOp::kAnd>(a, b, elem_bits, is_signed);
       case AlpuOp::kOr:
-        result = ua | ub;
-        break;
+        return alpuComputeT<AlpuOp::kOr>(a, b, elem_bits, is_signed);
       case AlpuOp::kXor:
-        result = ua ^ ub;
-        break;
+        return alpuComputeT<AlpuOp::kXor>(a, b, elem_bits, is_signed);
       case AlpuOp::kXnor:
-        result = ~(ua ^ ub);
-        break;
+        return alpuComputeT<AlpuOp::kXnor>(a, b, elem_bits, is_signed);
       case AlpuOp::kNot:
-        result = ~ua;
-        break;
+        return alpuComputeT<AlpuOp::kNot>(a, b, elem_bits, is_signed);
       case AlpuOp::kAbs:
-        result = (is_signed && sa < 0)
-            ? static_cast<uint64_t>(-sa) : ua;
-        break;
+        return alpuComputeT<AlpuOp::kAbs>(a, b, elem_bits, is_signed);
       case AlpuOp::kGT:
-        result = is_signed ? (sa > sb) : (ua > ub);
-        break;
+        return alpuComputeT<AlpuOp::kGT>(a, b, elem_bits, is_signed);
       case AlpuOp::kLT:
-        result = is_signed ? (sa < sb) : (ua < ub);
-        break;
+        return alpuComputeT<AlpuOp::kLT>(a, b, elem_bits, is_signed);
       case AlpuOp::kEQ:
-        result = (ua == ub);
-        break;
+        return alpuComputeT<AlpuOp::kEQ>(a, b, elem_bits, is_signed);
       case AlpuOp::kShiftL:
-        result = (ub >= elem_bits) ? 0 : (ua << ub);
-        break;
+        return alpuComputeT<AlpuOp::kShiftL>(a, b, elem_bits,
+                                             is_signed);
       case AlpuOp::kShiftR:
-        if (is_signed) {
-            const unsigned sh =
-                ub >= elem_bits ? elem_bits - 1
-                                : static_cast<unsigned>(ub);
-            result = static_cast<uint64_t>(sa >> sh);
-        } else {
-            result = (ub >= elem_bits) ? 0 : (ua >> ub);
-        }
-        break;
+        return alpuComputeT<AlpuOp::kShiftR>(a, b, elem_bits,
+                                             is_signed);
       case AlpuOp::kPopCount:
-        result = static_cast<uint64_t>(std::popcount(ua));
-        break;
+        return alpuComputeT<AlpuOp::kPopCount>(a, b, elem_bits,
+                                               is_signed);
     }
-    return truncBits(result, elem_bits);
+    return 0;
 }
 
 FulcrumCore::FulcrumCore(uint32_t num_rows, uint32_t row_bits,
@@ -156,7 +96,7 @@ FulcrumCore::getBits(const Row &row, uint64_t bit_off, unsigned nbits)
     uint64_t v = row[word] >> shift;
     if (shift + nbits > 64 && word + 1 < row.size())
         v |= row[word + 1] << (64 - shift);
-    return truncBits(v, nbits);
+    return alpuTruncBits(v, nbits);
 }
 
 void
@@ -164,7 +104,7 @@ FulcrumCore::setBits(Row &row, uint64_t bit_off, unsigned nbits,
                      uint64_t value)
 {
     assert(nbits <= 64);
-    value = truncBits(value, nbits);
+    value = alpuTruncBits(value, nbits);
     const uint64_t word = bit_off / 64;
     const unsigned shift = bit_off % 64;
     const uint64_t mask =
@@ -223,7 +163,7 @@ FulcrumCore::reduceElements(unsigned elem_bits, uint32_t num_elements,
         const uint64_t off = static_cast<uint64_t>(i) * elem_bits;
         const uint64_t v = getBits(walkers_[0], off, elem_bits);
         accumulator_ +=
-            is_signed ? signExtend(v, elem_bits)
+            is_signed ? alpuSignExtend(v, elem_bits)
                       : static_cast<int64_t>(v);
         ++alu_cycles_;
     }

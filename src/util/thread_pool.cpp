@@ -5,10 +5,18 @@
 
 #include "util/thread_pool.h"
 
-#include <algorithm>
-#include <atomic>
-
 namespace pimeval {
+
+namespace {
+
+/**
+ * Pool whose workerLoop owns the current thread, if any. Used to run
+ * nested parallel-for invocations inline: a worker that blocks waiting
+ * for its own pool would deadlock once all workers do it.
+ */
+thread_local const ThreadPool *tls_worker_pool = nullptr;
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t num_threads)
 {
@@ -33,6 +41,12 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::inWorkerThread() const
+{
+    return tls_worker_pool == this;
+}
+
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
@@ -46,6 +60,7 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::workerLoop()
 {
+    tls_worker_pool = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -64,49 +79,10 @@ void
 ThreadPool::parallelFor(size_t begin, size_t end,
                         const std::function<void(size_t)> &body)
 {
-    if (begin >= end)
-        return;
-
-    const size_t total = end - begin;
-    const size_t num_workers = workers_.size();
-    // Not worth dispatching tiny ranges.
-    if (num_workers <= 1 || total < 2 * num_workers) {
-        for (size_t i = begin; i < end; ++i)
+    parallelForChunks(begin, end, [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
             body(i);
-        return;
-    }
-
-    const size_t num_chunks = std::min(num_workers * 4, total);
-    const size_t chunk = (total + num_chunks - 1) / num_chunks;
-
-    std::atomic<size_t> remaining{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-
-    size_t launched = 0;
-    for (size_t c = 0; c < num_chunks; ++c) {
-        const size_t lo = begin + c * chunk;
-        if (lo >= end)
-            break;
-        const size_t hi = std::min(end, lo + chunk);
-        ++launched;
-        remaining.fetch_add(1, std::memory_order_relaxed);
-        enqueue([&, lo, hi] {
-            for (size_t i = lo; i < hi; ++i)
-                body(i);
-            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                done_cv.notify_one();
-            }
-        });
-    }
-
-    if (launched > 0) {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.wait(lock, [&] {
-            return remaining.load(std::memory_order_acquire) == 0;
-        });
-    }
+    });
 }
 
 } // namespace pimeval
