@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Suite-throughput benchmark: simulator wall-clock of PIMbench
+ * workloads under the synchronous and the asynchronous command
+ * pipeline execution modes (pimSetExecMode).
+ *
+ * Each selected workload runs to completion in both modes on the same
+ * target; the report compares end-to-end wall-clock (best of N
+ * repetitions) and checks that the modeled statistics — kernel/copy
+ * time and energy, transfer bytes — are bit-identical across modes,
+ * the pipeline's correctness contract (in-order stats commit).
+ *
+ * Results are always written as JSON to BENCH_SUITE.json in the
+ * current directory (override with PIMEVAL_BENCH_SUITE_JSON). Scale
+ * and repetitions come from PIMEVAL_BENCH_SUITE_SCALE (tiny|small,
+ * default small) and PIMEVAL_BENCH_SUITE_REPS (default 3).
+ *
+ * The async speedup is bounded by the host cores available to the
+ * pipeline workers: on a single-core machine the two modes tie (the
+ * measured overlap is reported honestly, whatever it is); see
+ * docs/PERFORMANCE.md.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace pimbench;
+
+namespace {
+
+/** Workloads whose hot loops issue long dependency chains. */
+const char *const kApps[] = {
+    "Vector Addition", "AXPY", "GEMV", "GEMM", "K-means",
+};
+
+/** One mode's measurement for one app. */
+struct ModeRun
+{
+    double best_wall_sec = std::numeric_limits<double>::infinity();
+    bool verified = false;
+    PimRunStats stats;
+};
+
+double
+nowSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+ModeRun
+runApp(const std::string &name, SuiteScale scale, unsigned reps)
+{
+    ModeRun run;
+    for (unsigned r = 0; r < reps; ++r) {
+        const double start = nowSec();
+        const AppResult result = runBenchmarkByName(name, scale);
+        const double wall = nowSec() - start;
+        run.best_wall_sec = std::min(run.best_wall_sec, wall);
+        run.verified = result.verified;
+        run.stats = result.stats;
+    }
+    return run;
+}
+
+/** Modeled-stats equality: the bit-identity contract. Host time is
+ *  measured wall-clock, so it is excluded. */
+bool
+modeledStatsMatch(const PimRunStats &a, const PimRunStats &b)
+{
+    return a.kernel_sec == b.kernel_sec && a.kernel_j == b.kernel_j &&
+        a.copy_sec == b.copy_sec && a.copy_j == b.copy_j &&
+        a.bytes_h2d == b.bytes_h2d && a.bytes_d2h == b.bytes_d2h &&
+        a.bytes_d2d == b.bytes_d2d;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    quietLogs();
+
+    const char *scale_env = std::getenv("PIMEVAL_BENCH_SUITE_SCALE");
+    const bool tiny =
+        scale_env != nullptr && std::string(scale_env) == "tiny";
+    const SuiteScale scale =
+        tiny ? SuiteScale::kTiny : SuiteScale::kSmall;
+
+    unsigned reps = 3;
+    if (const char *reps_env = std::getenv("PIMEVAL_BENCH_SUITE_REPS")) {
+        const long v = std::strtol(reps_env, nullptr, 10);
+        if (v > 0)
+            reps = static_cast<unsigned>(v);
+    }
+
+    const char *env = std::getenv("PIMEVAL_BENCH_SUITE_JSON");
+    const std::string json_path =
+        (env && *env) ? env : "BENCH_SUITE.json";
+
+    std::cout << "suite_throughput: sync vs async command pipeline"
+              << " (scale=" << (tiny ? "tiny" : "small")
+              << ", reps=" << reps << ", host threads="
+              << std::thread::hardware_concurrency() << ")\n";
+
+    struct AppRow
+    {
+        std::string app;
+        ModeRun sync;
+        ModeRun async;
+    };
+    std::vector<AppRow> rows;
+
+    for (const auto &[device, target_name] : pimTargets()) {
+        if (device != PimDeviceEnum::PIM_DEVICE_FULCRUM)
+            continue; // one representative target keeps runtime sane
+        DeviceSession session(benchConfig(device, 32));
+        if (!session.ok()) {
+            std::cerr << "device creation failed\n";
+            return 1;
+        }
+        for (const char *app : kApps) {
+            AppRow row;
+            row.app = app;
+            pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
+            row.sync = runApp(app, scale, reps);
+            pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC);
+            row.async = runApp(app, scale, reps);
+            pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
+            rows.push_back(std::move(row));
+        }
+    }
+
+    pimeval::TableWriter table(
+        "Suite wall-clock: sync vs async pipeline (Fulcrum)",
+        {"Application", "Sync s", "Async s", "Speedup", "Stats match",
+         "Verified"});
+    double sync_total = 0.0, async_total = 0.0;
+    bool all_match = true, all_verified = true;
+    for (const auto &row : rows) {
+        const bool match =
+            modeledStatsMatch(row.sync.stats, row.async.stats);
+        const bool verified = row.sync.verified && row.async.verified;
+        all_match = all_match && match;
+        all_verified = all_verified && verified;
+        sync_total += row.sync.best_wall_sec;
+        async_total += row.async.best_wall_sec;
+        char sync_s[32], async_s[32], speedup_s[32];
+        std::snprintf(sync_s, sizeof sync_s, "%.3f",
+                      row.sync.best_wall_sec);
+        std::snprintf(async_s, sizeof async_s, "%.3f",
+                      row.async.best_wall_sec);
+        std::snprintf(speedup_s, sizeof speedup_s, "%.2fx",
+                      row.sync.best_wall_sec / row.async.best_wall_sec);
+        table.addRow({row.app, sync_s, async_s, speedup_s,
+                      match ? "yes" : "NO", verified ? "yes" : "NO"});
+    }
+    emitTable(table);
+    std::cout << "suite wall-clock: sync " << sync_total << " s, async "
+              << async_total << " s, speedup "
+              << sync_total / async_total << "x\n";
+
+    std::ofstream json_out(json_path);
+    if (!json_out) {
+        std::cerr << "cannot open " << json_path << " for writing\n";
+        return 1;
+    }
+    json_out << "{\n  \"bench\": \"suite_throughput\",\n"
+             << "  \"target\": \"fulcrum\",\n"
+             << "  \"scale\": \"" << (tiny ? "tiny" : "small")
+             << "\",\n"
+             << "  \"repetitions\": " << reps << ",\n"
+             << "  \"host_threads\": "
+             << std::thread::hardware_concurrency() << ",\n"
+             << "  \"suite_sync_wall_sec\": " << sync_total << ",\n"
+             << "  \"suite_async_wall_sec\": " << async_total << ",\n"
+             << "  \"suite_speedup\": " << sync_total / async_total
+             << ",\n  \"results\": [\n";
+    bool first = true;
+    for (const auto &row : rows) {
+        if (!first)
+            json_out << ",\n";
+        first = false;
+        json_out << "    {\"app\": \"" << jsonEscape(row.app)
+                 << "\", \"sync_wall_sec\": " << row.sync.best_wall_sec
+                 << ", \"async_wall_sec\": " << row.async.best_wall_sec
+                 << ", \"speedup\": "
+                 << row.sync.best_wall_sec / row.async.best_wall_sec
+                 << ", \"modeled_stats_match\": "
+                 << (modeledStatsMatch(row.sync.stats, row.async.stats)
+                         ? "true"
+                         : "false")
+                 << ", \"verified\": "
+                 << (row.sync.verified && row.async.verified ? "true"
+                                                             : "false")
+                 << "}";
+    }
+    json_out << "\n  ]\n}\n";
+    std::cout << "[json written: " << json_path << "]\n";
+
+    // The bit-identity contract is load-bearing: fail loudly if any
+    // workload's modeled stats diverged between modes.
+    if (!all_match || !all_verified) {
+        std::cerr << (all_match ? "verification" : "modeled stats")
+                  << " mismatch between exec modes\n";
+        return 1;
+    }
+    return 0;
+}

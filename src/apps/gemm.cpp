@@ -22,12 +22,14 @@ runGemm(const GemmParams &params)
     const std::vector<int> a = rng.intVector(m * k, -100, 100); // col-major
     const std::vector<int> b = rng.intVector(k * p, -100, 100); // col-major
 
-    // Batched GEMV: one column of C per sweep.
+    // Batched GEMV: one column of C per sweep, reusing one device
+    // workspace across all sweeps so consecutive sweeps pipeline.
     std::vector<int> c(m * p, 0);
+    GemvWorkspace ws(m);
     for (uint64_t j = 0; j < p; ++j) {
         const std::vector<int> bj(b.begin() + j * k,
                                   b.begin() + (j + 1) * k);
-        const std::vector<int> cj = pimGemvColumnSweep(a, bj, m, k);
+        const std::vector<int> cj = pimGemvColumnSweep(ws, a, bj, m, k);
         std::copy(cj.begin(), cj.end(), c.begin() + j * m);
     }
 

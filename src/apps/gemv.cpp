@@ -9,30 +9,58 @@
 
 namespace pimbench {
 
+GemvWorkspace::GemvWorkspace(uint64_t m)
+{
+    cols_[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
+                        PimDataType::PIM_INT32);
+    ok_ = cols_[0] >= 0;
+    for (uint64_t i = 1; i < kColumnBuffers; ++i) {
+        cols_[i] =
+            pimAllocAssociated(32, cols_[0], PimDataType::PIM_INT32);
+        ok_ = ok_ && cols_[i] >= 0;
+    }
+    acc_ = pimAllocAssociated(32, cols_[0], PimDataType::PIM_INT32);
+    ok_ = ok_ && acc_ >= 0;
+}
+
+GemvWorkspace::~GemvWorkspace()
+{
+    for (const PimObjId col : cols_) {
+        if (col >= 0)
+            pimFree(col);
+    }
+    if (acc_ >= 0)
+        pimFree(acc_);
+}
+
+std::vector<int>
+pimGemvColumnSweep(GemvWorkspace &ws, const std::vector<int> &matrix,
+                   const std::vector<int> &v, uint64_t m, uint64_t n)
+{
+    std::vector<int> y(m, 0);
+    if (!ws.ok())
+        return y;
+
+    pimBroadcastInt(ws.acc(), 0);
+    for (uint64_t j = 0; j < n; ++j) {
+        // Rotating staging buffers: the copy into column j targets a
+        // different object than the scaled-add still consuming column
+        // j-1, so the async pipeline overlaps them.
+        const PimObjId col = ws.column(j);
+        pimCopyHostToDevice(matrix.data() + j * m, col);
+        pimScaledAdd(col, ws.acc(), ws.acc(),
+                     static_cast<uint64_t>(static_cast<int64_t>(v[j])));
+    }
+    pimCopyDeviceToHost(ws.acc(), y.data());
+    return y;
+}
+
 std::vector<int>
 pimGemvColumnSweep(const std::vector<int> &matrix,
                    const std::vector<int> &v, uint64_t m, uint64_t n)
 {
-    const PimObjId obj_col =
-        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
-                 PimDataType::PIM_INT32);
-    const PimObjId obj_acc =
-        pimAllocAssociated(32, obj_col, PimDataType::PIM_INT32);
-    std::vector<int> y(m, 0);
-    if (obj_col < 0 || obj_acc < 0)
-        return y;
-
-    pimBroadcastInt(obj_acc, 0);
-    for (uint64_t j = 0; j < n; ++j) {
-        pimCopyHostToDevice(matrix.data() + j * m, obj_col);
-        pimScaledAdd(obj_col, obj_acc, obj_acc,
-                     static_cast<uint64_t>(static_cast<int64_t>(v[j])));
-    }
-    pimCopyDeviceToHost(obj_acc, y.data());
-
-    pimFree(obj_col);
-    pimFree(obj_acc);
-    return y;
+    GemvWorkspace ws(m);
+    return pimGemvColumnSweep(ws, matrix, v, m, n);
 }
 
 AppResult

@@ -28,12 +28,51 @@ struct GemvParams
 AppResult runGemv(const GemvParams &params);
 
 /**
+ * Pre-allocated device objects for column sweeps: rotating column
+ * staging buffers plus the accumulator. The rotation lets the async
+ * command pipeline overlap the host-to-device copy of column j+1 with
+ * the scaled-add consuming column j (same command stream as a single
+ * buffer, so modeled stats are unchanged); reusing one workspace
+ * across sweeps (GEMM, VGG dense layers) also avoids per-sweep
+ * alloc/free churn.
+ */
+class GemvWorkspace
+{
+  public:
+    static constexpr uint64_t kColumnBuffers = 4;
+
+    /** Allocate buffers for m-element columns on the active device. */
+    explicit GemvWorkspace(uint64_t m);
+    ~GemvWorkspace();
+    GemvWorkspace(const GemvWorkspace &) = delete;
+    GemvWorkspace &operator=(const GemvWorkspace &) = delete;
+
+    bool ok() const { return ok_; }
+    PimObjId column(uint64_t j) const
+    {
+        return cols_[j % kColumnBuffers];
+    }
+    PimObjId acc() const { return acc_; }
+
+  private:
+    PimObjId cols_[kColumnBuffers];
+    PimObjId acc_ = -1;
+    bool ok_ = false;
+};
+
+/**
  * Reusable column-sweep GEMV on the active device; operates on
  * column-major matrix data and returns y. Exposed for GEMM and the
  * VGG dense layers.
  * @param matrix column-major m*n values.
  */
 std::vector<int> pimGemvColumnSweep(const std::vector<int> &matrix,
+                                    const std::vector<int> &v,
+                                    uint64_t m, uint64_t n);
+
+/** Column sweep into a caller-owned workspace (m must match). */
+std::vector<int> pimGemvColumnSweep(GemvWorkspace &ws,
+                                    const std::vector<int> &matrix,
                                     const std::vector<int> &v,
                                     uint64_t m, uint64_t n);
 

@@ -88,15 +88,22 @@ runKmeans(const KmeansParams &params)
     };
     const PimObjId obj_y = assoc();
     const PimObjId obj_tmp = assoc();
-    const PimObjId obj_dy = assoc();
     const PimObjId obj_min = assoc();
     const PimObjId obj_mask = assoc();
     const PimObjId obj_assigned = assoc();
+    // Per-centroid distance and y-delta temporaries: each centroid's
+    // distance chain touches only its own objects, so the async
+    // pipeline computes the k chains concurrently (a single shared dy
+    // would serialize them through a WAW hazard).
     std::vector<PimObjId> obj_dist(k);
+    std::vector<PimObjId> obj_dy(k);
     bool alloc_ok = obj_x >= 0 && obj_y >= 0 && obj_tmp >= 0 &&
-        obj_dy >= 0 && obj_min >= 0 && obj_mask >= 0 &&
-        obj_assigned >= 0;
+        obj_min >= 0 && obj_mask >= 0 && obj_assigned >= 0;
     for (auto &d : obj_dist) {
+        d = assoc();
+        alloc_ok = alloc_ok && d >= 0;
+    }
+    for (auto &d : obj_dy) {
         d = assoc();
         alloc_ok = alloc_ok && d >= 0;
     }
@@ -113,11 +120,11 @@ runKmeans(const KmeansParams &params)
                          static_cast<uint64_t>(
                              static_cast<int64_t>(centroids[c].x)));
             pimAbs(obj_dist[c], obj_dist[c]);
-            pimSubScalar(obj_y, obj_dy,
+            pimSubScalar(obj_y, obj_dy[c],
                          static_cast<uint64_t>(
                              static_cast<int64_t>(centroids[c].y)));
-            pimAbs(obj_dy, obj_dy);
-            pimAdd(obj_dist[c], obj_dy, obj_dist[c]);
+            pimAbs(obj_dy[c], obj_dy[c]);
+            pimAdd(obj_dist[c], obj_dy[c], obj_dist[c]);
         }
 
         // Running minimum.
@@ -153,11 +160,12 @@ runKmeans(const KmeansParams &params)
     pimFree(obj_x);
     pimFree(obj_y);
     pimFree(obj_tmp);
-    pimFree(obj_dy);
     pimFree(obj_min);
     pimFree(obj_mask);
     pimFree(obj_assigned);
     for (PimObjId d : obj_dist)
+        pimFree(d);
+    for (PimObjId d : obj_dy)
         pimFree(d);
 
     // Verify with the PIM semantics: distances (and hence

@@ -6,6 +6,8 @@
 #include "core/perf_energy_analog.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "bitserial/analog_microprograms.h"
 
@@ -61,14 +63,14 @@ PerfEnergyAnalog::countsForCmd(PimCmdEnum cmd, unsigned bits,
     const uint64_t key_scalar = pimCmdHasScalar(cmd) ? scalar : 0;
     const CountsKey key{cmd, bits, key_scalar, aux};
     {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
+        std::shared_lock<std::shared_mutex> lock(cache_mutex_);
         auto it = counts_cache_.find(key);
         if (it != counts_cache_.end())
             return it->second;
     }
     const AnalogOpCounts counts =
         generateCounts(cmd, bits, scalar, aux);
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     counts_cache_.emplace(key, counts);
     return counts;
 }

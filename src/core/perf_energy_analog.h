@@ -15,9 +15,9 @@
 #ifndef PIMEVAL_CORE_PERF_ENERGY_ANALOG_H_
 #define PIMEVAL_CORE_PERF_ENERGY_ANALOG_H_
 
-#include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <tuple>
+#include <unordered_map>
 
 #include "core/perf_energy_model.h"
 
@@ -52,8 +52,23 @@ class PerfEnergyAnalog : public PerfEnergyModel
 
     using CountsKey =
         std::tuple<PimCmdEnum, unsigned, uint64_t, unsigned>;
-    mutable std::mutex cache_mutex_;
-    mutable std::map<CountsKey, AnalogOpCounts> counts_cache_;
+    struct CountsKeyHash
+    {
+        size_t operator()(const CountsKey &k) const
+        {
+            uint64_t h = static_cast<uint64_t>(std::get<0>(k));
+            h = h * 0x9e3779b97f4a7c15ull + std::get<1>(k);
+            h = h * 0x9e3779b97f4a7c15ull + std::get<2>(k);
+            h = h * 0x9e3779b97f4a7c15ull + std::get<3>(k);
+            return static_cast<size_t>(h ^ (h >> 32));
+        }
+    };
+    /** Reader/writer lock: costOp runs concurrently on the pipeline's
+     *  workers and the cache is hit on virtually every call. */
+    mutable std::shared_mutex cache_mutex_;
+    mutable std::unordered_map<CountsKey, AnalogOpCounts,
+                               CountsKeyHash>
+        counts_cache_;
 };
 
 } // namespace pimeval

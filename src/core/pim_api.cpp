@@ -70,6 +70,33 @@ pimGetDeviceConfig()
     return PimSim::instance().device()->config();
 }
 
+PimStatus
+pimSetExecMode(PimExecEnum mode)
+{
+    PimDevice *dev = activeDevice("pimSetExecMode");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->setExecMode(mode);
+    return PimStatus::PIM_OK;
+}
+
+PimExecEnum
+pimGetExecMode()
+{
+    PimDevice *dev = PimSim::instance().device();
+    return dev ? dev->execMode() : PimExecEnum::PIM_EXEC_SYNC;
+}
+
+PimStatus
+pimSync()
+{
+    PimDevice *dev = activeDevice("pimSync");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->sync();
+    return PimStatus::PIM_OK;
+}
+
 PimObjId
 pimAlloc(PimAllocEnum alloc_type, uint64_t num_elements,
          unsigned bits_per_element, PimDataType data_type)
@@ -467,6 +494,7 @@ pimShowStats(std::ostream &os)
     PimDevice *dev = activeDevice("pimShowStats");
     if (!dev)
         return PimStatus::PIM_ERROR;
+    dev->sync(); // stats queries observe everything issued so far
     dev->stats().printReport(os);
     return PimStatus::PIM_OK;
 }
@@ -477,6 +505,7 @@ pimResetStats()
     PimDevice *dev = activeDevice("pimResetStats");
     if (!dev)
         return PimStatus::PIM_ERROR;
+    dev->sync();
     dev->stats().reset();
     return PimStatus::PIM_OK;
 }
@@ -487,6 +516,7 @@ pimGetStats()
     PimDevice *dev = activeDevice("pimGetStats");
     if (!dev)
         return {};
+    dev->sync();
     return dev->stats().snapshot();
 }
 
@@ -496,6 +526,7 @@ pimGetOpMix()
     PimDevice *dev = activeDevice("pimGetOpMix");
     if (!dev)
         return {};
+    dev->sync();
     return dev->stats().opMix();
 }
 
@@ -505,7 +536,7 @@ pimStartHostTimer()
     PimDevice *dev = activeDevice("pimStartHostTimer");
     if (!dev)
         return PimStatus::PIM_ERROR;
-    dev->stats().startHostTimer();
+    dev->startHostTimer();
     return PimStatus::PIM_OK;
 }
 
@@ -515,7 +546,7 @@ pimStopHostTimer()
     PimDevice *dev = activeDevice("pimStopHostTimer");
     if (!dev)
         return PimStatus::PIM_ERROR;
-    dev->stats().stopHostTimer();
+    dev->stopHostTimer();
     return PimStatus::PIM_OK;
 }
 
@@ -525,7 +556,7 @@ pimAddHostTime(double seconds)
     PimDevice *dev = activeDevice("pimAddHostTime");
     if (!dev)
         return PimStatus::PIM_ERROR;
-    dev->stats().addHostTime(seconds);
+    dev->addHostTime(seconds);
     return PimStatus::PIM_OK;
 }
 

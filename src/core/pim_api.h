@@ -49,6 +49,28 @@ bool pimIsDeviceActive();
 /** Configuration of the active device (must be active). */
 const pimeval::PimDeviceConfig &pimGetDeviceConfig();
 
+/**
+ * Select the execution mode of the active device. PIM_EXEC_SYNC (the
+ * default) runs every call to completion before returning. In
+ * PIM_EXEC_ASYNC, non-blocking calls enqueue into the device command
+ * pipeline and independent dependency chains execute concurrently;
+ * calls that hand data back to the host (pimCopyDeviceToHost,
+ * pimRedSum*) drain only their dependency cone, and statistics are
+ * committed in issue order so final stats match sync mode
+ * bit-for-bit. Switching modes drains the pipeline.
+ */
+PimStatus pimSetExecMode(PimExecEnum mode);
+
+/** Execution mode of the active device (sync if none). */
+PimExecEnum pimGetExecMode();
+
+/**
+ * Drain the command pipeline of the active device: every enqueued
+ * command has executed and committed its statistics when this
+ * returns. No-op in sync mode.
+ */
+PimStatus pimSync();
+
 // ---------------------------------------------------------------------------
 // Resource management
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 #ifndef PIMEVAL_CORE_PIM_DATA_OBJECT_H_
 #define PIMEVAL_CORE_PIM_DATA_OBJECT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -81,6 +82,18 @@ class PimDataObject
     uint64_t payloadBytes() const
     {
         return (num_elements_ * bits_per_element_ + 7) / 8;
+    }
+
+    /**
+     * Reset identity for allocator free-list reuse: shape, layout, and
+     * row placement stay; the object gets a fresh id, the (same-width)
+     * element type, and data cleared to the fresh-allocation state.
+     */
+    void recycle(PimObjId id, PimDataType data_type)
+    {
+        id_ = id;
+        data_type_ = data_type;
+        std::fill(data_.begin(), data_.end(), 0);
     }
 
   private:

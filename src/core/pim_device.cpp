@@ -401,7 +401,31 @@ PimDevice::allocAssociated(PimObjId ref, PimDataType data_type)
 bool
 PimDevice::free(PimObjId id)
 {
+    // Drain the object's dependency cone: every in-flight command
+    // reading or writing it must execute before the storage goes away
+    // (it may be recycled by the allocator's free-list immediately).
+    if (pipelineActive())
+        pipeline_->waitObject(id);
     return resources_.free(id);
+}
+
+void
+PimDevice::setExecMode(PimExecEnum mode)
+{
+    if (mode == exec_mode_)
+        return;
+    if (pipeline_)
+        pipeline_->sync();
+    exec_mode_ = mode;
+    if (mode == PimExecEnum::PIM_EXEC_ASYNC && !pipeline_)
+        pipeline_ = std::make_unique<PimPipeline>(stats_);
+}
+
+void
+PimDevice::sync()
+{
+    if (pipeline_)
+        pipeline_->sync();
 }
 
 PimStatus
@@ -422,24 +446,44 @@ PimDevice::copyHostToDevice(const void *src, PimObjId dest,
 
     const unsigned bits = obj->bitsPerElement();
     const uint64_t count = idx_end - idx_begin;
-    const auto *bytes = static_cast<const uint8_t *>(src);
     uint64_t *dst = obj->raw().data() + idx_begin;
     const uint64_t mask = obj->elementMask();
+    const HostToDeviceChunkFn kernel = hostToDeviceChunkForBits(bits);
+    const uint64_t host_bytes = count * ((bits + 7) / 8);
+    const uint64_t payload = modeledBytes(host_bytes);
 
-    if (const HostToDeviceChunkFn kernel =
-            hostToDeviceChunkForBits(bits)) {
-        pool_.parallelForChunks(
-            0, count, [=](size_t lo, size_t hi) {
-                kernel(bytes, dst, lo, hi, mask);
-            });
-    } else {
-        std::fill(dst, dst + count, 0);
+    const auto run = [this, kernel, dst, count, mask,
+                      payload](const uint8_t *bytes,
+                               PimStatsDelta *delta) {
+        if (kernel) {
+            pool_.parallelForChunks(
+                0, count, [=](size_t lo, size_t hi) {
+                    kernel(bytes, dst, lo, hi, mask);
+                });
+        } else {
+            std::fill(dst, dst + count, 0);
+        }
+        commitCopy(delta, PimCopyEnum::PIM_COPY_H2D, payload,
+                   model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
+                                    payload));
+    };
+
+    if (!pipelineActive()) {
+        run(static_cast<const uint8_t *>(src), nullptr);
+        return PimStatus::PIM_OK;
     }
 
-    const uint64_t payload = modeledBytes(count * ((bits + 7) / 8));
-    const PimOpCost cost =
-        model_->costCopy(PimCopyEnum::PIM_COPY_H2D, payload);
-    stats_.recordCopy(PimCopyEnum::PIM_COPY_H2D, payload, cost);
+    // Snapshot the host buffer at issue: the caller's pointer need not
+    // stay valid once the call returns (apps rebuild staging buffers
+    // every iteration), and snapshotting removes all host-memory
+    // hazards from H2D commands.
+    const auto *first = static_cast<const uint8_t *>(src);
+    std::vector<uint8_t> snapshot(first, first + host_bytes);
+    pipeline_->enqueue(
+        {}, {dest},
+        [run, snapshot = std::move(snapshot)](PimStatsDelta &delta) {
+            run(snapshot.data(), &delta);
+        });
     return PimStatus::PIM_OK;
 }
 
@@ -463,20 +507,26 @@ PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
     const uint64_t count = idx_end - idx_begin;
     auto *bytes = static_cast<uint8_t *>(dest);
     const uint64_t *src_raw = obj->raw().data() + idx_begin;
-
-    if (const DeviceToHostChunkFn kernel =
-            deviceToHostChunkForBits(bits)) {
-        pool_.parallelForChunks(
-            0, count, [=](size_t lo, size_t hi) {
-                kernel(src_raw, bytes, lo, hi);
-            });
-    }
-
+    const DeviceToHostChunkFn kernel = deviceToHostChunkForBits(bits);
     const uint64_t payload = modeledBytes(count * ((bits + 7) / 8));
-    const PimOpCost cost =
-        model_->costCopy(PimCopyEnum::PIM_COPY_D2H, payload);
-    stats_.recordCopy(PimCopyEnum::PIM_COPY_D2H, payload, cost);
-    return PimStatus::PIM_OK;
+
+    // Blocking issue: the host buffer must hold the data when the call
+    // returns, so the copy drains its dependency cone (only the chain
+    // producing src, not the whole pipeline).
+    return issue(
+        {src}, {},
+        [=, this](PimStatsDelta *delta) {
+            if (kernel) {
+                pool_.parallelForChunks(
+                    0, count, [=](size_t lo, size_t hi) {
+                        kernel(src_raw, bytes, lo, hi);
+                    });
+            }
+            commitCopy(delta, PimCopyEnum::PIM_COPY_D2H, payload,
+                       model_->costCopy(PimCopyEnum::PIM_COPY_D2H,
+                                        payload));
+        },
+        /*blocking=*/true);
 }
 
 PimStatus
@@ -486,13 +536,18 @@ PimDevice::copyDeviceToDevice(PimObjId src, PimObjId dest)
     PimDataObject *d = resources_.get(dest);
     if (!checkCompatible(s, nullptr, d, "pimCopyDeviceToDevice"))
         return PimStatus::PIM_ERROR;
-    d->raw() = s->raw();
 
+    const uint64_t *ps = s->raw().data();
+    uint64_t *pd = d->raw().data();
+    const size_t n = s->raw().size();
     const uint64_t payload = modeledBytes(s->payloadBytes());
-    const PimOpCost cost =
-        model_->costCopy(PimCopyEnum::PIM_COPY_D2D, payload);
-    stats_.recordCopy(PimCopyEnum::PIM_COPY_D2D, payload, cost);
-    return PimStatus::PIM_OK;
+
+    return issue({src}, {dest}, [=, this](PimStatsDelta *delta) {
+        std::copy(ps, ps + n, pd);
+        commitCopy(delta, PimCopyEnum::PIM_COPY_D2D, payload,
+                   model_->costCopy(PimCopyEnum::PIM_COPY_D2D,
+                                    payload));
+    });
 }
 
 PimStatus
@@ -503,48 +558,59 @@ PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
         logError("pimShift/RotateElements: unknown object id");
         return PimStatus::PIM_ERROR;
     }
-    auto &raw = obj->raw();
-    const size_t n = raw.size();
-    if (n == 0)
+    if (obj->raw().empty())
         return PimStatus::PIM_OK;
-
-    // Whole-object data movement: memmove/rotate instead of an
-    // element-at-a-time loop (same result, streaming speed).
     switch (cmd) {
       case PimCmdEnum::kShiftElementsRight:
-        std::memmove(raw.data() + 1, raw.data(),
-                     (n - 1) * sizeof(uint64_t));
-        raw[0] = 0;
-        break;
       case PimCmdEnum::kShiftElementsLeft:
-        std::memmove(raw.data(), raw.data() + 1,
-                     (n - 1) * sizeof(uint64_t));
-        raw[n - 1] = 0;
-        break;
       case PimCmdEnum::kRotateElementsRight:
-        std::rotate(raw.begin(), raw.end() - 1, raw.end());
-        break;
       case PimCmdEnum::kRotateElementsLeft:
-        std::rotate(raw.begin(), raw.begin() + 1, raw.end());
         break;
       default:
         return PimStatus::PIM_ERROR;
     }
 
-    // Cost: inter-element movement rewrites the whole object once in
-    // place (read + write of every row) and fixes one boundary
-    // element per region through the host interface.
     const uint64_t payload = modeledBytes(obj->payloadBytes());
-    PimOpCost cost =
-        model_->costCopy(PimCopyEnum::PIM_COPY_D2D, payload);
     const uint64_t boundary_bytes =
         obj->numCoresUsed() * ((obj->bitsPerElement() + 7) / 8);
-    cost += model_->costCopy(PimCopyEnum::PIM_COPY_D2H,
-                             boundary_bytes);
-    cost += model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
-                             boundary_bytes);
-    record(cmd, *obj, cost);
-    return PimStatus::PIM_OK;
+    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *obj);
+
+    // In-place update: the object is both read and written.
+    return issue({obj_id}, {obj_id}, [=, this](PimStatsDelta *delta) {
+        auto &raw = obj->raw();
+        const size_t n = raw.size();
+        // Whole-object data movement: memmove/rotate instead of an
+        // element-at-a-time loop (same result, streaming speed).
+        switch (cmd) {
+          case PimCmdEnum::kShiftElementsRight:
+            std::memmove(raw.data() + 1, raw.data(),
+                         (n - 1) * sizeof(uint64_t));
+            raw[0] = 0;
+            break;
+          case PimCmdEnum::kShiftElementsLeft:
+            std::memmove(raw.data(), raw.data() + 1,
+                         (n - 1) * sizeof(uint64_t));
+            raw[n - 1] = 0;
+            break;
+          case PimCmdEnum::kRotateElementsRight:
+            std::rotate(raw.begin(), raw.end() - 1, raw.end());
+            break;
+          default:
+            std::rotate(raw.begin(), raw.begin() + 1, raw.end());
+            break;
+        }
+
+        // Cost: inter-element movement rewrites the whole object once
+        // in place (read + write of every row) and fixes one boundary
+        // element per region through the host interface.
+        PimOpCost cost =
+            model_->costCopy(PimCopyEnum::PIM_COPY_D2D, payload);
+        cost += model_->costCopy(PimCopyEnum::PIM_COPY_D2H,
+                                 boundary_bytes);
+        cost += model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
+                                 boundary_bytes);
+        commitCmd(delta, key, cost);
+    });
 }
 
 void
@@ -561,7 +627,46 @@ PimDevice::addHostWork(uint64_t bytes, uint64_t ops)
         host.cpu_mem_bw_gbps * 1e9 / host.cpu_cores;
     const double seconds = std::max(
         b / per_core_bw, o / (host.cpu_freq_ghz * 1e9));
-    stats_.addHostTimeRaw(seconds);
+    // No object hazards, but the seconds must still join host_sec_ in
+    // issue order for bit-identical accumulation.
+    issue({}, {}, [this, seconds](PimStatsDelta *delta) {
+        if (delta)
+            delta->host_raw_sec += seconds;
+        else
+            stats_.addHostTimeRaw(seconds);
+    });
+}
+
+void
+PimDevice::startHostTimer()
+{
+    host_timer_start_ = std::chrono::high_resolution_clock::now();
+    host_timing_ = true;
+}
+
+void
+PimDevice::stopHostTimer()
+{
+    if (!host_timing_)
+        return;
+    host_timing_ = false;
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::high_resolution_clock::now() -
+            host_timer_start_)
+            .count();
+    addHostTime(seconds);
+}
+
+void
+PimDevice::addHostTime(double seconds)
+{
+    issue({}, {}, [this, seconds](PimStatsDelta *delta) {
+        if (delta)
+            delta->host_measured_sec += seconds;
+        else
+            stats_.addHostTime(seconds);
+    });
 }
 
 uint64_t
@@ -576,6 +681,9 @@ PimDevice::modeledBytes(uint64_t bytes) const
 void
 PimDevice::setModelingScale(double scale)
 {
+    // Profiles are captured at issue, so a scale change must not catch
+    // commands mid-flight.
+    sync();
     modeling_scale_ = scale >= 1.0 ? scale : 1.0;
     stats_.setHostScale(modeling_scale_);
 }
@@ -606,13 +714,14 @@ PimDevice::makeProfile(PimCmdEnum cmd, const PimDataObject &obj,
     return profile;
 }
 
-void
-PimDevice::record(PimCmdEnum cmd, const PimDataObject &obj,
-                  const PimOpCost &cost)
+PimStatsMgr::CmdKeyId
+PimDevice::keyFor(PimCmdEnum cmd, const PimDataObject &obj)
 {
     // The canonical "cmd.dtype.layout" key is built (and interned)
-    // only the first time a combination is seen; afterwards recording
-    // is an array lookup plus accumulator adds.
+    // only the first time a combination is seen; afterwards the lookup
+    // is a cache-array read. Called from the issuing thread only, so
+    // key ids are assigned in issue order regardless of execution
+    // order (keeps the stats report identical across exec modes).
     const size_t c = static_cast<size_t>(cmd);
     const size_t t = static_cast<size_t>(obj.dataType());
     const size_t l = obj.isVLayout() ? 1 : 0;
@@ -623,7 +732,7 @@ PimDevice::record(PimCmdEnum cmd, const PimDataObject &obj,
             (obj.isVLayout() ? ".v" : ".h");
         id = static_cast<int32_t>(stats_.internCmdKey(key, cmd));
     }
-    stats_.recordCmd(static_cast<PimStatsMgr::CmdKeyId>(id), cost);
+    return static_cast<PimStatsMgr::CmdKeyId>(id);
 }
 
 bool
@@ -679,14 +788,16 @@ PimDevice::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
     const BinaryChunkFn kernel = is_ne
         ? binaryChunkFor<true>(op, sgn)
         : binaryChunkFor<false>(op, sgn);
-    pool_.parallelForChunks(
-        0, oa->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = oa->raw().size();
+    const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
+    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+
+    return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, pb, pd, lo, hi, bits, dmask);
         });
-
-    const PimOpCost cost = model_->costOp(makeProfile(cmd, *oa, 0, 0));
-    record(cmd, *oa, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 PimStatus
@@ -710,14 +821,16 @@ PimDevice::executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest)
     const uint64_t dmask = od->elementMask();
 
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
-    pool_.parallelForChunks(
-        0, oa->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = oa->raw().size();
+    const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
+    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+
+    return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, 0, pd, lo, hi, bits, dmask);
         });
-
-    const PimOpCost cost = model_->costOp(makeProfile(cmd, *oa, 0, 0));
-    record(cmd, *oa, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 PimStatus
@@ -743,15 +856,16 @@ PimDevice::executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const uint64_t dmask = od->elementMask();
 
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
-    pool_.parallelForChunks(
-        0, oa->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = oa->raw().size();
+    const PimOpProfile profile = makeProfile(cmd, *oa, s, 0);
+    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+
+    return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, s, pd, lo, hi, bits, dmask);
         });
-
-    const PimOpCost cost =
-        model_->costOp(makeProfile(cmd, *oa, s, 0));
-    record(cmd, *oa, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 PimStatus
@@ -778,15 +892,18 @@ PimDevice::executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
 
     const auto kernel =
         sgn ? &scaledAddChunk<true> : &scaledAddChunk<false>;
-    pool_.parallelForChunks(
-        0, oa->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = oa->raw().size();
+    const PimOpProfile profile =
+        makeProfile(PimCmdEnum::kScaledAdd, *oa, s, 0);
+    const PimStatsMgr::CmdKeyId key =
+        keyFor(PimCmdEnum::kScaledAdd, *oa);
+
+    return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, pb, s, pd, lo, hi, bits, dmask);
         });
-
-    const PimOpCost cost =
-        model_->costOp(makeProfile(PimCmdEnum::kScaledAdd, *oa, s, 0));
-    record(PimCmdEnum::kScaledAdd, *oa, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 PimStatus
@@ -807,15 +924,16 @@ PimDevice::executeShift(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const uint64_t dmask = od->elementMask();
 
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
-    pool_.parallelForChunks(
-        0, oa->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = oa->raw().size();
+    const PimOpProfile profile = makeProfile(cmd, *oa, 0, amount);
+    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+
+    return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, amount, pd, lo, hi, bits, dmask);
         });
-
-    const PimOpCost cost =
-        model_->costOp(makeProfile(cmd, *oa, 0, amount));
-    record(cmd, *oa, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 PimStatus
@@ -834,37 +952,50 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
         return PimStatus::PIM_ERROR;
     }
 
-    // Chunked reduction: per-chunk partial sums folded into one atomic
-    // accumulator. Sum semantics match PimDataObject::getSigned.
     const unsigned bits = oa->bitsPerElement();
     const bool sgn = oa->isSigned() && bits < 64;
     const uint64_t *pa = oa->raw().data();
-    std::atomic<int64_t> total{0};
-    pool_.parallelForChunks(
-        idx_begin, idx_end, [&](size_t lo, size_t hi) {
-            int64_t part = 0;
-            if (sgn) {
-                for (size_t i = lo; i < hi; ++i)
-                    part += alpuSignExtend(pa[i], bits);
-            } else {
-                for (size_t i = lo; i < hi; ++i)
-                    part += static_cast<int64_t>(pa[i]);
-            }
-            total.fetch_add(part, std::memory_order_relaxed);
-        });
-    *result = total.load(std::memory_order_relaxed);
-
-    // Cost the full-object reduction (a ranged sum still touches all
-    // rows that hold the range; approximate with the range fraction).
-    PimOpProfile profile = makeProfile(PimCmdEnum::kRedSum, *oa, 0, 0);
+    const PimOpProfile profile =
+        makeProfile(PimCmdEnum::kRedSum, *oa, 0, 0);
     const double fraction =
         static_cast<double>(idx_end - idx_begin) /
         static_cast<double>(oa->numElements());
-    PimOpCost cost = model_->costOp(profile);
-    cost.runtime_sec *= fraction;
-    cost.energy_j *= fraction;
-    record(PimCmdEnum::kRedSum, *oa, cost);
-    return PimStatus::PIM_OK;
+    const PimStatsMgr::CmdKeyId key =
+        keyFor(PimCmdEnum::kRedSum, *oa);
+
+    // Blocking issue: the scalar result goes back to the host.
+    return issue(
+        {a}, {},
+        [=, this](PimStatsDelta *delta) {
+            // Chunked reduction: per-chunk partial sums folded into
+            // one atomic accumulator (wrapping int64 addition is
+            // associative, so chunk order cannot change the result).
+            // Sum semantics match PimDataObject::getSigned.
+            std::atomic<int64_t> total{0};
+            pool_.parallelForChunks(
+                idx_begin, idx_end, [&](size_t lo, size_t hi) {
+                    int64_t part = 0;
+                    if (sgn) {
+                        for (size_t i = lo; i < hi; ++i)
+                            part += alpuSignExtend(pa[i], bits);
+                    } else {
+                        for (size_t i = lo; i < hi; ++i)
+                            part += static_cast<int64_t>(pa[i]);
+                    }
+                    total.fetch_add(part,
+                                    std::memory_order_relaxed);
+                });
+            *result = total.load(std::memory_order_relaxed);
+
+            // Cost the full-object reduction (a ranged sum still
+            // touches all rows that hold the range; approximate with
+            // the range fraction).
+            PimOpCost cost = model_->costOp(profile);
+            cost.runtime_sec *= fraction;
+            cost.energy_j *= fraction;
+            commitCmd(delta, key, cost);
+        },
+        /*blocking=*/true);
 }
 
 PimStatus
@@ -877,15 +1008,18 @@ PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
     }
     const uint64_t v = value & od->elementMask();
     uint64_t *pd = od->raw().data();
-    pool_.parallelForChunks(
-        0, od->raw().size(), [=](size_t lo, size_t hi) {
+    const size_t n = od->raw().size();
+    const PimOpProfile profile =
+        makeProfile(PimCmdEnum::kBroadcast, *od, v, 0);
+    const PimStatsMgr::CmdKeyId key =
+        keyFor(PimCmdEnum::kBroadcast, *od);
+
+    return issue({}, {dest}, [=, this](PimStatsDelta *delta) {
+        pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             std::fill(pd + lo, pd + hi, v);
         });
-
-    const PimOpCost cost =
-        model_->costOp(makeProfile(PimCmdEnum::kBroadcast, *od, v, 0));
-    record(PimCmdEnum::kBroadcast, *od, cost);
-    return PimStatus::PIM_OK;
+        commitCmd(delta, key, model_->costOp(profile));
+    });
 }
 
 } // namespace pimeval

@@ -12,11 +12,15 @@
 #ifndef PIMEVAL_CORE_PIM_DEVICE_H_
 #define PIMEVAL_CORE_PIM_DEVICE_H_
 
+#include <chrono>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/perf_energy_model.h"
 #include "core/pim_data_object.h"
 #include "core/pim_params.h"
+#include "core/pim_pipeline.h"
 #include "core/pim_resource_mgr.h"
 #include "core/pim_stats.h"
 #include "util/thread_pool.h"
@@ -44,6 +48,17 @@ class PimDevice
     PimStatsMgr &stats() { return stats_; }
     const PimStatsMgr &stats() const { return stats_; }
     PimResourceMgr &resources() { return resources_; }
+
+    /**
+     * Execution mode (paper-API extension). Switching to sync drains
+     * the pipeline first, so the switch itself is a sync point.
+     */
+    void setExecMode(PimExecEnum mode);
+    PimExecEnum execMode() const { return exec_mode_; }
+
+    /** Drain the command pipeline: all commands executed and all
+     *  statistics committed. No-op in sync mode. */
+    void sync();
 
     // --- Resource management ---
     PimObjId alloc(PimAllocEnum alloc_type, uint64_t num_elements,
@@ -77,7 +92,73 @@ class PimDevice
     /** Model a host phase on the CPU-baseline host parameters. */
     void addHostWork(uint64_t bytes, uint64_t ops);
 
+    /**
+     * Host-phase timing. Measurement happens on the issuing thread;
+     * in async mode the measured seconds are committed through the
+     * pipeline so host time lands in issue order like everything
+     * else.
+     */
+    void startHostTimer();
+    void stopHostTimer();
+    void addHostTime(double seconds);
+
   private:
+    /** True when commands must go through the pipeline. */
+    bool pipelineActive() const
+    {
+        return exec_mode_ == PimExecEnum::PIM_EXEC_ASYNC &&
+            pipeline_ != nullptr;
+    }
+
+    /**
+     * Run @p body now (sync mode, with a null delta meaning "record
+     * directly into stats_") or enqueue it with the given hazard
+     * sets. Body signature: void(PimStatsDelta *). A @p blocking
+     * issue drains the command's dependency cone before returning
+     * (D2H copies and reductions hand results to the host).
+     */
+    template <typename Body>
+    PimStatus
+    issue(const std::vector<PimObjId> &reads,
+          const std::vector<PimObjId> &writes, Body &&body,
+          bool blocking = false)
+    {
+        if (!pipelineActive()) {
+            body(static_cast<PimStatsDelta *>(nullptr));
+            return PimStatus::PIM_OK;
+        }
+        const uint64_t seq = pipeline_->enqueue(
+            reads, writes,
+            [b = std::forward<Body>(body)](PimStatsDelta &delta) mutable {
+                b(&delta);
+            });
+        if (blocking)
+            pipeline_->waitSeq(seq);
+        return PimStatus::PIM_OK;
+    }
+
+    /** Record one command cost into the delta (async) or directly
+     *  into the stats manager (sync). */
+    void
+    commitCmd(PimStatsDelta *delta, PimStatsMgr::CmdKeyId id,
+              const PimOpCost &cost)
+    {
+        if (delta)
+            delta->cmds.push_back({id, cost});
+        else
+            stats_.recordCmd(id, cost);
+    }
+
+    /** Ditto for data transfers. */
+    void
+    commitCopy(PimStatsDelta *delta, PimCopyEnum direction,
+               uint64_t bytes, const PimOpCost &cost)
+    {
+        if (delta)
+            delta->copies.push_back({direction, bytes, cost});
+        else
+            stats_.recordCopy(direction, bytes, cost);
+    }
     /** Native layout of this device type. */
     bool deviceUsesVLayout() const
     {
@@ -93,9 +174,10 @@ class PimDevice
     /** Transfer size under the modeling scale. */
     uint64_t modeledBytes(uint64_t bytes) const;
 
-    /** Record the op in stats with the canonical key. */
-    void record(PimCmdEnum cmd, const PimDataObject &obj,
-                const PimOpCost &cost);
+    /** Interned stats key for the op (issuing thread only: interning
+     *  happens at enqueue so key ids follow issue order). */
+    PimStatsMgr::CmdKeyId keyFor(PimCmdEnum cmd,
+                                 const PimDataObject &obj);
 
     /** Validate operand compatibility; logs on failure. */
     bool checkCompatible(const PimDataObject *a, const PimDataObject *b,
@@ -108,6 +190,11 @@ class PimDevice
     PimStatsMgr stats_;
     ThreadPool pool_;
     double modeling_scale_ = 1.0;
+    PimExecEnum exec_mode_ = PimExecEnum::PIM_EXEC_SYNC;
+
+    /** Host-phase wall-clock timer (issuing thread only). */
+    std::chrono::high_resolution_clock::time_point host_timer_start_;
+    bool host_timing_ = false;
 
     /** (cmd, dtype, layout) -> interned stats key id; -1 = unseen. */
     static constexpr size_t kNumCmds =
@@ -115,6 +202,10 @@ class PimDevice
     static constexpr size_t kNumDataTypes =
         static_cast<size_t>(PimDataType::PIM_UINT64) + 1;
     int32_t stats_key_cache_[kNumCmds][kNumDataTypes][2];
+
+    /** Declared last: destroyed first, draining in-flight commands
+     *  while stats_, pool_, and resources_ are still alive. */
+    std::unique_ptr<PimPipeline> pipeline_;
 };
 
 } // namespace pimeval

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Pipeline implementation: hazard tracking, out-of-order dispatch,
+ * in-order commit.
+ */
+
+#include "core/pim_pipeline.h"
+
+#include <algorithm>
+
+namespace pimeval {
+
+void
+PimStatsDelta::applyTo(PimStatsMgr &stats) const
+{
+    for (const auto &rec : cmds)
+        stats.recordCmd(rec.id, rec.cost);
+    for (const auto &rec : copies)
+        stats.recordCopy(rec.direction, rec.bytes, rec.cost);
+    if (host_raw_sec != 0.0)
+        stats.addHostTimeRaw(host_raw_sec);
+    if (host_measured_sec != 0.0)
+        stats.addHostTime(host_measured_sec);
+}
+
+PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers)
+    : stats_(stats)
+{
+    if (num_workers == 0) {
+        const size_t hw = std::thread::hardware_concurrency();
+        // At least two so out-of-order dispatch is real even on a
+        // single-core host; more never helps beyond a few concurrent
+        // chains because intra-command kernels use the shared pool.
+        num_workers = std::clamp<size_t>(hw, 2, 6);
+    }
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+PimPipeline::~PimPipeline()
+{
+    sync();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+PimPipeline::Command *
+PimPipeline::command(uint64_t seq)
+{
+    if (seq < base_seq_ || seq >= base_seq_ + commands_.size())
+        return nullptr;
+    return commands_[seq - base_seq_].get();
+}
+
+void
+PimPipeline::addDep(std::vector<uint64_t> &deps, uint64_t dep) const
+{
+    if (dep == ObjAccess::kNone || dep < base_seq_)
+        return;
+    if (std::find(deps.begin(), deps.end(), dep) == deps.end())
+        deps.push_back(dep);
+}
+
+void
+PimPipeline::markReady(uint64_t seq)
+{
+    ready_.push_back(seq);
+    ready_cv_.notify_one();
+}
+
+void
+PimPipeline::commitFrontier()
+{
+    while (!commands_.empty() && commands_.front()->executed) {
+        commands_.front()->delta.applyTo(stats_);
+        commands_.pop_front();
+        ++base_seq_;
+    }
+}
+
+uint64_t
+PimPipeline::enqueue(const std::vector<PimObjId> &reads,
+                     const std::vector<PimObjId> &writes, CommandFn fn)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+        return next_seq_ - base_seq_ < kMaxInFlight;
+    });
+
+    const uint64_t seq = next_seq_++;
+    auto cmd = std::make_unique<Command>();
+    cmd->fn = std::move(fn);
+
+    // Hazard collection. In-place updates list the object in both
+    // sets; the write rules subsume the read rules for those.
+    std::vector<uint64_t> deps;
+    for (const PimObjId obj : reads) {
+        const auto it = objects_.find(obj);
+        if (it != objects_.end())
+            addDep(deps, it->second.last_writer); // RAW
+    }
+    for (const PimObjId obj : writes) {
+        const auto it = objects_.find(obj);
+        if (it == objects_.end())
+            continue;
+        addDep(deps, it->second.last_writer); // WAW
+        for (const uint64_t reader : it->second.readers)
+            addDep(deps, reader); // WAR
+    }
+
+    // Update tracking. Writes clear the reader list; a pure read
+    // appends to it.
+    for (const PimObjId obj : writes) {
+        ObjAccess &access = objects_[obj];
+        access.last_writer = seq;
+        access.readers.clear();
+    }
+    for (const PimObjId obj : reads) {
+        if (std::find(writes.begin(), writes.end(), obj) !=
+            writes.end())
+            continue;
+        auto &readers = objects_[obj].readers;
+        // A long read-only run (e.g. repeated reductions) would grow
+        // the list without bound; drop executed readers occasionally.
+        if (readers.size() >= 32) {
+            readers.erase(
+                std::remove_if(readers.begin(), readers.end(),
+                               [this](uint64_t s) {
+                                   const Command *c = command(s);
+                                   return c == nullptr || c->executed;
+                               }),
+                readers.end());
+        }
+        readers.push_back(seq);
+    }
+
+    // Register with unexecuted dependencies.
+    uint32_t unmet = 0;
+    for (const uint64_t dep : deps) {
+        Command *dep_cmd = command(dep);
+        if (dep_cmd && !dep_cmd->executed) {
+            dep_cmd->dependents.push_back(seq);
+            ++unmet;
+        }
+    }
+    cmd->unmet_deps = unmet;
+    commands_.push_back(std::move(cmd));
+    if (unmet == 0)
+        markReady(seq);
+    return seq;
+}
+
+void
+PimPipeline::waitSeq(uint64_t seq)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+        const Command *cmd = command(seq);
+        return cmd == nullptr || cmd->executed;
+    });
+}
+
+void
+PimPipeline::waitObject(PimObjId obj)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = objects_.find(obj);
+    if (it == objects_.end())
+        return;
+    // The last writer's WAR dependencies cover all readers before it;
+    // only the current readers and the last writer itself can still
+    // be in flight.
+    std::vector<uint64_t> targets = it->second.readers;
+    if (it->second.last_writer != ObjAccess::kNone)
+        targets.push_back(it->second.last_writer);
+    done_cv_.wait(lock, [&] {
+        for (const uint64_t seq : targets) {
+            const Command *cmd = command(seq);
+            if (cmd && !cmd->executed)
+                return false;
+        }
+        return true;
+    });
+    objects_.erase(obj);
+}
+
+void
+PimPipeline::sync()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return base_seq_ == next_seq_; });
+}
+
+bool
+PimPipeline::idle() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return base_seq_ == next_seq_;
+}
+
+void
+PimPipeline::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        ready_cv_.wait(lock,
+                       [&] { return stopping_ || !ready_.empty(); });
+        if (stopping_)
+            return;
+        const uint64_t seq = ready_.front();
+        ready_.pop_front();
+        Command *cmd = command(seq);
+        lock.unlock();
+
+        cmd->fn(cmd->delta);
+        // Release the closure eagerly: H2D snapshots live in the
+        // bound arguments, and commit may lag behind execution.
+        cmd->fn = nullptr;
+
+        lock.lock();
+        cmd->executed = true;
+        for (const uint64_t dependent : cmd->dependents) {
+            Command *dep_cmd = command(dependent);
+            if (dep_cmd && --dep_cmd->unmet_deps == 0)
+                markReady(dependent);
+        }
+        commitFrontier();
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace pimeval

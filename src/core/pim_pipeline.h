@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Asynchronous PIM command pipeline: dependency-tracked out-of-order
+ * execution of enqueued API calls with strictly in-order statistics
+ * commit.
+ *
+ * Every non-blocking API call in PIM_EXEC_ASYNC mode becomes a
+ * PimPipeline command carrying the read and write sets of the object
+ * ids it touches. The scheduler dispatches a command as soon as all of
+ * its hazards are resolved:
+ *   - RAW: the command reads an object whose last writer has not
+ *     executed yet;
+ *   - WAR: the command writes an object some earlier unexecuted
+ *     command still reads;
+ *   - WAW: the command writes an object whose last writer has not
+ *     executed yet.
+ * Independent chains therefore execute concurrently on the pipeline's
+ * worker threads while each command's chunked kernels continue to use
+ * the device's shared ThreadPool for intra-command parallelism.
+ *
+ * Functional results are identical to synchronous execution because
+ * commands run in data-dependency order and every kernel is
+ * order-insensitive within a command. Modeled statistics are
+ * bit-identical because each command captures its perf/energy costs
+ * into a private PimStatsDelta at execution time and the pipeline
+ * applies the deltas to the PimStatsMgr strictly in issue order
+ * (floating-point accumulation order is preserved exactly).
+ *
+ * Blocking points drain only the dependency cone they need:
+ * waitSeq()/waitObject() wait for execution (not commit) of the
+ * transitive dependencies of one command or object, while sync()
+ * drains and commits everything.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_PIPELINE_H_
+#define PIMEVAL_CORE_PIM_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/perf_energy_model.h"
+#include "core/pim_stats.h"
+#include "core/pim_types.h"
+
+namespace pimeval {
+
+/**
+ * Statistics side effects of one command, captured at execution time
+ * and applied to the PimStatsMgr at in-order commit time.
+ */
+struct PimStatsDelta
+{
+    struct CmdRec
+    {
+        PimStatsMgr::CmdKeyId id;
+        PimOpCost cost;
+    };
+    struct CopyRec
+    {
+        PimCopyEnum direction;
+        uint64_t bytes;
+        PimOpCost cost;
+    };
+
+    std::vector<CmdRec> cmds;
+    std::vector<CopyRec> copies;
+    /** Pre-modeled host seconds (no scaling at commit). */
+    double host_raw_sec = 0.0;
+    /** Measured host seconds (host scale applied at commit). */
+    double host_measured_sec = 0.0;
+
+    void applyTo(PimStatsMgr &stats) const;
+};
+
+/**
+ * The device-level asynchronous command pipeline.
+ *
+ * Thread model: enqueue/wait/sync are called from the single issuing
+ * (application) thread; command bodies run on the pipeline's worker
+ * threads. A command body receives the command's PimStatsDelta and
+ * must record all statistics there instead of touching the
+ * PimStatsMgr directly.
+ */
+class PimPipeline
+{
+  public:
+    using CommandFn = std::function<void(PimStatsDelta &)>;
+
+    /**
+     * @param stats       sink for in-order commits.
+     * @param num_workers worker thread count; 0 picks a default based
+     *                    on hardware concurrency (minimum 2 so the
+     *                    machinery is exercised even on one core).
+     */
+    explicit PimPipeline(PimStatsMgr &stats, size_t num_workers = 0);
+    ~PimPipeline();
+
+    PimPipeline(const PimPipeline &) = delete;
+    PimPipeline &operator=(const PimPipeline &) = delete;
+
+    /**
+     * Enqueue one command.
+     * @param reads  object ids the command reads.
+     * @param writes object ids the command writes (in-place updates
+     *               appear in both sets).
+     * @param fn     execution body (functional kernel + cost capture).
+     * @return the command's sequence number (issue order, 0-based).
+     */
+    uint64_t enqueue(const std::vector<PimObjId> &reads,
+                     const std::vector<PimObjId> &writes, CommandFn fn);
+
+    /** Wait until command @p seq has executed (its cone drains). */
+    void waitSeq(uint64_t seq);
+
+    /**
+     * Wait until every enqueued command touching @p obj has executed,
+     * then forget the object's hazard tracking state (pimFree).
+     */
+    void waitObject(PimObjId obj);
+
+    /** Drain everything: all commands executed and committed. */
+    void sync();
+
+    /** Commands issued so far (committed or not). */
+    uint64_t issued() const { return next_seq_; }
+
+    /** True when no command is pending execution or commit. */
+    bool idle() const;
+
+  private:
+    struct Command
+    {
+        CommandFn fn;
+        PimStatsDelta delta;
+        /** Sequence numbers of commands waiting on this one. */
+        std::vector<uint64_t> dependents;
+        uint32_t unmet_deps = 0;
+        bool executed = false;
+    };
+
+    /** Hazard state of one object id. */
+    struct ObjAccess
+    {
+        static constexpr uint64_t kNone = UINT64_MAX;
+        uint64_t last_writer = kNone;
+        /** Readers issued since the last write. */
+        std::vector<uint64_t> readers;
+    };
+
+    /** Command lookup; nullptr when already retired. */
+    Command *command(uint64_t seq);
+
+    /** Collect @p dep as an unmet dependency of the command being
+     *  built (deduplicated); requires the pipeline mutex. */
+    void addDep(std::vector<uint64_t> &deps, uint64_t dep) const;
+
+    /** Mark ready and wake a worker; requires the pipeline mutex. */
+    void markReady(uint64_t seq);
+
+    /** Commit the executed prefix in issue order; requires the
+     *  pipeline mutex. */
+    void commitFrontier();
+
+    void workerLoop();
+
+    PimStatsMgr &stats_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_cv_; ///< workers: ready queue
+    std::condition_variable done_cv_;  ///< issuer: executions/commits
+
+    /** Commands window: seq -> commands_[seq - base_seq_]. */
+    std::deque<std::unique_ptr<Command>> commands_;
+    uint64_t base_seq_ = 0; ///< seq of commands_.front()
+    uint64_t next_seq_ = 0; ///< next sequence number to issue
+    std::deque<uint64_t> ready_;
+    std::unordered_map<PimObjId, ObjAccess> objects_;
+
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+
+    /** Backpressure: cap issued-but-unretired commands. */
+    static constexpr size_t kMaxInFlight = 4096;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_PIPELINE_H_

@@ -153,6 +153,58 @@ PimResourceMgr::placeRegions(
 }
 
 PimDataObject *
+PimResourceMgr::takeFromFreeList(uint64_t num_elements, unsigned bits,
+                                 bool v_layout, PimDataType data_type,
+                                 const PimDataObject *ref)
+{
+    const auto bucket =
+        free_list_.find(FreeKey{num_elements, bits, v_layout});
+    if (bucket == free_list_.end())
+        return nullptr;
+    auto &cached = bucket->second;
+    size_t pick = cached.size();
+    if (ref == nullptr) {
+        pick = cached.size() - 1;
+    } else {
+        // Association requires the reference's element distribution:
+        // the same per-region core and element count sequence (row
+        // offsets within a core are irrelevant to pairing).
+        for (size_t i = cached.size(); i-- > 0;) {
+            const auto &regions = cached[i]->regions();
+            const auto &want = ref->regions();
+            if (regions.size() != want.size())
+                continue;
+            bool match = true;
+            for (size_t r = 0; r < regions.size(); ++r) {
+                if (regions[r].core_id != want[r].core_id ||
+                    regions[r].num_elements != want[r].num_elements) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == cached.size())
+            return nullptr;
+    }
+
+    std::unique_ptr<PimDataObject> obj = std::move(cached[pick]);
+    cached.erase(cached.begin() + pick);
+    if (cached.empty())
+        free_list_.erase(bucket);
+    --free_list_count_;
+
+    obj->recycle(next_id_, data_type);
+    PimDataObject *raw = obj.get();
+    objects_[next_id_] = std::move(obj);
+    ++next_id_;
+    return raw;
+}
+
+PimDataObject *
 PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
                       bool v_layout)
 {
@@ -160,6 +212,12 @@ PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
         logError("pimAlloc: zero-element allocation rejected");
         return nullptr;
     }
+    const unsigned bits = pimBitsOfDataType(data_type);
+    if (PimDataObject *hit = takeFromFreeList(num_elements, bits,
+                                              v_layout, data_type,
+                                              nullptr))
+        return hit;
+
     auto obj = std::make_unique<PimDataObject>(next_id_, num_elements,
                                                data_type, v_layout);
     // Rotate the starting core per allocation so that many small
@@ -178,8 +236,14 @@ PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
     }
     next_core_ = (next_core_ + used) % num_cores;
     if (!placeRegions(*obj, nonzero)) {
-        logError("pimAlloc: device capacity exhausted");
-        return nullptr;
+        // The cache may be parked on the rows placement needs.
+        const bool flushed = free_list_count_ > 0;
+        if (flushed)
+            flushFreeList();
+        if (!flushed || !placeRegions(*obj, nonzero)) {
+            logError("pimAlloc: device capacity exhausted");
+            return nullptr;
+        }
     }
     PimDataObject *raw = obj.get();
     objects_[next_id_] = std::move(obj);
@@ -191,6 +255,12 @@ PimDataObject *
 PimResourceMgr::allocAssociated(const PimDataObject &ref,
                                 PimDataType data_type)
 {
+    const unsigned bits = pimBitsOfDataType(data_type);
+    if (PimDataObject *hit = takeFromFreeList(ref.numElements(), bits,
+                                              ref.isVLayout(),
+                                              data_type, &ref))
+        return hit;
+
     auto obj = std::make_unique<PimDataObject>(
         next_id_, ref.numElements(), data_type, ref.isVLayout());
     std::vector<std::pair<uint64_t, uint64_t>> counts;
@@ -198,8 +268,13 @@ PimResourceMgr::allocAssociated(const PimDataObject &ref,
     for (const auto &region : ref.regions())
         counts.emplace_back(region.core_id, region.num_elements);
     if (!placeRegions(*obj, counts)) {
-        logError("pimAllocAssociated: device capacity exhausted");
-        return nullptr;
+        const bool flushed = free_list_count_ > 0;
+        if (flushed)
+            flushFreeList();
+        if (!flushed || !placeRegions(*obj, counts)) {
+            logError("pimAllocAssociated: device capacity exhausted");
+            return nullptr;
+        }
     }
     PimDataObject *raw = obj.get();
     objects_[next_id_] = std::move(obj);
@@ -213,12 +288,38 @@ PimResourceMgr::free(PimObjId id)
     auto it = objects_.find(id);
     if (it == objects_.end())
         return false;
-    for (const auto &region : it->second->regions()) {
+    if (free_list_count_ < kMaxFreeListObjects) {
+        // Park the whole object — storage and row placement — for
+        // same-shape reallocation instead of tearing it down.
+        std::unique_ptr<PimDataObject> obj = std::move(it->second);
+        objects_.erase(it);
+        free_list_[freeKeyFor(*obj)].push_back(std::move(obj));
+        ++free_list_count_;
+        return true;
+    }
+    releaseRows(*it->second);
+    objects_.erase(it);
+    return true;
+}
+
+void
+PimResourceMgr::releaseRows(const PimDataObject &obj)
+{
+    for (const auto &region : obj.regions()) {
         row_allocators_[region.core_id].release(region.row_offset,
                                                 region.num_rows);
     }
-    objects_.erase(it);
-    return true;
+}
+
+void
+PimResourceMgr::flushFreeList()
+{
+    for (const auto &[key, bucket] : free_list_) {
+        for (const auto &obj : bucket)
+            releaseRows(*obj);
+    }
+    free_list_.clear();
+    free_list_count_ = 0;
 }
 
 PimDataObject *
@@ -243,6 +344,14 @@ PimResourceMgr::utilization() const
     for (const auto &alloc : row_allocators_) {
         total += rows_per_core;
         used += rows_per_core - alloc.freeRows();
+    }
+    // Rows parked in the free-list are available capacity, not live
+    // allocations (the cache is flushed whenever placement needs it).
+    for (const auto &[key, bucket] : free_list_) {
+        for (const auto &obj : bucket) {
+            for (const auto &region : obj->regions())
+                used -= region.num_rows;
+        }
     }
     return total == 0 ? 0.0
                       : static_cast<double>(used) /

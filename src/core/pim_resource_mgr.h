@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/pim_data_object.h"
@@ -82,11 +83,24 @@ class PimResourceMgr
     PimDataObject *get(PimObjId id);
     const PimDataObject *get(PimObjId id) const;
 
-    /** Live object count. */
+    /**
+     * Live object count. Free-list entries are not live objects —
+     * counting them would make alloc/free churn inflate every
+     * numObjects()-based report.
+     */
     size_t numObjects() const { return objects_.size(); }
 
-    /** Fraction of device rows currently allocated, for reporting. */
+    /**
+     * Fraction of device rows currently allocated, for reporting.
+     * Rows parked in the free-list are reported free: the cache is an
+     * implementation detail and is flushed whenever placement needs
+     * the capacity back.
+     */
     double utilization() const;
+
+    /** Release every cached free-list object (rows return to the
+     *  allocators). */
+    void flushFreeList();
 
   private:
     /** Rows one region needs for @p elems elements of @p bits. */
@@ -101,12 +115,45 @@ class PimResourceMgr
                       const std::vector<std::pair<uint64_t, uint64_t>>
                           &core_elem_counts);
 
+    /** Free-list bucket key: objects of one storage shape. */
+    using FreeKey = std::tuple<uint64_t, unsigned, bool>;
+
+    static FreeKey freeKeyFor(const PimDataObject &obj)
+    {
+        return {obj.numElements(), obj.bitsPerElement(),
+                obj.isVLayout()};
+    }
+
+    /**
+     * Pop a cached object of the given shape, recycle its identity,
+     * and re-register it as live. @p ref, when given, restricts the
+     * match to objects whose region distribution mirrors the
+     * reference (the pimAllocAssociated contract). Returns nullptr on
+     * miss.
+     */
+    PimDataObject *takeFromFreeList(uint64_t num_elements,
+                                    unsigned bits, bool v_layout,
+                                    PimDataType data_type,
+                                    const PimDataObject *ref);
+
+    /** Release one cached object's rows back to the allocators. */
+    void releaseRows(const PimDataObject &obj);
+
     PimDeviceConfig config_;
     PimObjId next_id_ = 0;
     /** Rotating start core for small-object spreading. */
     uint64_t next_core_ = 0;
     std::map<PimObjId, std::unique_ptr<PimDataObject>> objects_;
     std::vector<RowAllocator> row_allocators_; ///< one per core
+    /**
+     * Freed objects kept whole (storage + row placement) for
+     * same-shape reallocation — PIMbench apps alloc/free identical
+     * temporaries every iteration. Capped; never counted as live.
+     */
+    std::map<FreeKey, std::vector<std::unique_ptr<PimDataObject>>>
+        free_list_;
+    size_t free_list_count_ = 0;
+    static constexpr size_t kMaxFreeListObjects = 16;
 };
 
 } // namespace pimeval

@@ -61,6 +61,7 @@ PimRunStats::operator+=(const PimRunStats &o)
 PimStatsMgr::CmdKeyId
 PimStatsMgr::internCmdKey(const std::string &key, PimCmdEnum cmd)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cmd_key_ids_.find(key);
     if (it != cmd_key_ids_.end())
         return it->second;
@@ -73,6 +74,7 @@ PimStatsMgr::internCmdKey(const std::string &key, PimCmdEnum cmd)
 void
 PimStatsMgr::recordCmd(CmdKeyId id, const PimOpCost &cost)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &stat = cmd_slots_[id].stat;
     ++stat.count;
     stat.runtime_sec += cost.runtime_sec;
@@ -92,6 +94,7 @@ void
 PimStatsMgr::recordCopy(PimCopyEnum direction, uint64_t bytes,
                         const PimOpCost &cost)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     switch (direction) {
       case PimCopyEnum::PIM_COPY_H2D:
         bytes_h2d_ += bytes;
@@ -110,6 +113,7 @@ PimStatsMgr::recordCopy(PimCopyEnum direction, uint64_t bytes,
 void
 PimStatsMgr::startHostTimer()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     host_start_ = std::chrono::high_resolution_clock::now();
     host_timing_ = true;
 }
@@ -117,6 +121,7 @@ PimStatsMgr::startHostTimer()
 void
 PimStatsMgr::stopHostTimer()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!host_timing_)
         return;
     const auto now = std::chrono::high_resolution_clock::now();
@@ -132,6 +137,7 @@ PimStatsMgr::stopHostTimer()
 PimRunStats
 PimStatsMgr::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     PimRunStats s;
     s.kernel_sec = kernel_sec_;
     s.kernel_j = kernel_j_;
@@ -147,6 +153,7 @@ PimStatsMgr::snapshot() const
 std::map<std::string, uint64_t>
 PimStatsMgr::opMix() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::map<std::string, uint64_t> mix;
     for (const auto &slot : cmd_slots_) {
         if (slot.stat.count > 0)
@@ -157,6 +164,13 @@ PimStatsMgr::opMix() const
 
 std::map<std::string, PimCmdStat>
 PimStatsMgr::cmdStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cmdStatsLocked();
+}
+
+std::map<std::string, PimCmdStat>
+PimStatsMgr::cmdStatsLocked() const
 {
     std::map<std::string, PimCmdStat> table;
     for (const auto &slot : cmd_slots_) {
@@ -173,6 +187,7 @@ PimStatsMgr::cmdStats() const
 void
 PimStatsMgr::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     // Interned key ids survive reset; only the accumulators clear.
     for (auto &slot : cmd_slots_)
         slot.stat = PimCmdStat{};
@@ -190,6 +205,7 @@ PimStatsMgr::reset()
 void
 PimStatsMgr::printReport(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     os << "----------------------------------------\n";
     os << "Data Copy Stats:\n";
     os << "  Host to Device   : " << bytes_h2d_ << " bytes\n";
@@ -206,7 +222,7 @@ PimStatsMgr::printReport(std::ostream &os) const
        << padLeft("EstimatedRuntime(ms)", 24)
        << padLeft("EstimatedEnergy(mJ)", 24) << "\n";
     uint64_t total_cnt = 0;
-    for (const auto &[key, stat] : cmdStats()) {
+    for (const auto &[key, stat] : cmdStatsLocked()) {
         os << "  " << padRight(key, 24)
            << padLeft(std::to_string(stat.count), 10)
            << padLeft(formatFixed(stat.runtime_sec * 1e3, 6), 24)

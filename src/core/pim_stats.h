@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -60,6 +61,12 @@ struct PimRunStats
  * small integer id — no string construction or map lookup per
  * command. The string-keyed views (cmdStats, opMix, printReport) are
  * materialized on demand.
+ *
+ * Thread safety: all members are guarded by an internal mutex (one
+ * uncontended lock per recorded command, not per element). The async
+ * command pipeline interns keys on the issuing thread while its
+ * commit worker applies recorded costs, so the manager must be safe
+ * for concurrent mutation.
  */
 class PimStatsMgr
 {
@@ -90,11 +97,16 @@ class PimStatsMgr
     void startHostTimer();
     void stopHostTimer();
     /** Add pre-modeled host seconds (no scaling applied). */
-    void addHostTimeRaw(double seconds) { host_sec_ += seconds; }
+    void addHostTimeRaw(double seconds)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        host_sec_ += seconds;
+    }
 
     /** Directly add externally measured host seconds. */
     void addHostTime(double seconds)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         if (host_scale_ > 1.0)
             host_sec_ += seconds * host_scale_ / hostCalibration();
         else
@@ -108,6 +120,7 @@ class PimStatsMgr
      */
     void setHostScale(double scale)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         host_scale_ = scale >= 1.0 ? scale : 1.0;
     }
 
@@ -144,6 +157,10 @@ class PimStatsMgr
         PimCmdStat stat;
     };
 
+    /** cmdStats() body for callers already holding the mutex. */
+    std::map<std::string, PimCmdStat> cmdStatsLocked() const;
+
+    mutable std::mutex mutex_;
     std::vector<CmdSlot> cmd_slots_;
     std::map<std::string, CmdKeyId> cmd_key_ids_;
     double kernel_sec_ = 0.0;

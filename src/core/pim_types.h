@@ -73,6 +73,24 @@ enum class PimCopyEnum {
 };
 
 /**
+ * Execution mode of the active device (pimSetExecMode).
+ *
+ * In PIM_EXEC_SYNC every API call runs functional execution and
+ * perf/energy modeling before returning (the classic PIMeval shape).
+ * In PIM_EXEC_ASYNC non-blocking calls enqueue a command carrying
+ * read/write sets of object ids into the device pipeline; a scheduler
+ * dispatches commands whose RAW/WAR/WAW dependencies have executed, so
+ * independent chains overlap. Statistics are committed strictly in
+ * issue order, making final stats bit-identical to sync mode.
+ * Blocking points (pimCopyDeviceToHost, pimRedSum, pimFree, stats
+ * queries, pimSync) drain only the dependency cone they need.
+ */
+enum class PimExecEnum {
+    PIM_EXEC_SYNC = 0,
+    PIM_EXEC_ASYNC,
+};
+
+/**
  * Command identifiers for all modeled PIM operations.
  *
  * These drive functional execution, performance costing, energy
@@ -147,6 +165,9 @@ std::string pimDataTypeName(PimDataType data_type);
 
 /** Device name string, e.g., "PIM_DEVICE_FULCRUM". */
 std::string pimDeviceName(PimDeviceEnum device);
+
+/** Execution mode name, e.g., "PIM_EXEC_ASYNC". */
+std::string pimExecModeName(PimExecEnum mode);
 
 /** Command mnemonic, e.g., "add", "redsum". */
 std::string pimCmdName(PimCmdEnum cmd);

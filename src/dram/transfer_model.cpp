@@ -6,6 +6,8 @@
 #include "dram/transfer_model.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "dram/dram_channel.h"
@@ -41,19 +43,22 @@ TransferModel::simulateChannel(uint64_t bytes, bool is_write) const
 
     // Memoize per simulated-stream shape: the drain time of the same
     // request stream never changes, and callers repeat sizes often.
-    const auto key = std::make_pair(simulated, is_write);
-    const auto hit = cache_.find(key);
-    if (hit != cache_.end()) {
-        TransferResult result;
-        const double scale = static_cast<double>(num_columns) /
-            static_cast<double>(simulated);
-        result.seconds = hit->second * scale;
-        result.achieved_gbps = result.seconds > 0
-            ? static_cast<double>(bytes) / result.seconds / 1e9
-            : 0.0;
-        result.total_cycles = static_cast<uint64_t>(
-            result.seconds / (timing_.tck_ns * 1e-9));
-        return result;
+    const uint64_t key = (simulated << 1) | (is_write ? 1 : 0);
+    {
+        std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+        const auto hit = cache_.find(key);
+        if (hit != cache_.end()) {
+            TransferResult result;
+            const double scale = static_cast<double>(num_columns) /
+                static_cast<double>(simulated);
+            result.seconds = hit->second * scale;
+            result.achieved_gbps = result.seconds > 0
+                ? static_cast<double>(bytes) / result.seconds / 1e9
+                : 0.0;
+            result.total_cycles = static_cast<uint64_t>(
+                result.seconds / (timing_.tck_ns * 1e-9));
+            return result;
+        }
     }
 
     const uint32_t cols_per_row =
@@ -83,7 +88,10 @@ TransferModel::simulateChannel(uint64_t bytes, bool is_write) const
 
     TransferResult result;
     const double sim_seconds = timing_.cyclesToSeconds(cycles);
-    cache_.emplace(key, sim_seconds);
+    {
+        std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+        cache_.emplace(key, sim_seconds);
+    }
     const double scale = static_cast<double>(num_columns) /
         static_cast<double>(simulated);
     result.seconds = sim_seconds * scale;

@@ -14,8 +14,8 @@
 #define PIMEVAL_DRAM_TRANSFER_MODEL_H_
 
 #include <cstdint>
-#include <map>
-#include <utility>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "dram/dram_timing.h"
 
@@ -61,7 +61,11 @@ class TransferModel
     TransferResult simulateChannel(uint64_t bytes,
                                    bool is_write) const;
 
-    mutable std::map<std::pair<uint64_t, bool>, double> cache_;
+    /** Keyed by (simulated column count, is_write); the bool lives in
+     *  the key's low bit. Guarded: costCopy runs concurrently on the
+     *  command pipeline's worker threads. */
+    mutable std::shared_mutex cache_mutex_;
+    mutable std::unordered_map<uint64_t, double> cache_;
     DramTiming timing_;
     uint32_t num_channels_;
     uint32_t ranks_per_channel_;

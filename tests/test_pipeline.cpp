@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests of the asynchronous command pipeline (pimSetExecMode):
+ * determinism against synchronous execution, hazard ordering, and an
+ * in-flight stress workload. The determinism tests assert the
+ * pipeline's contract — functional results AND final modeled
+ * statistics bit-identical to sync mode — on all three targets. The
+ * whole file doubles as the ThreadSanitizer workload for the pipeline
+ * (build with -DPIMEVAL_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "util/logging.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+smallConfig(PimDeviceEnum device)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 4;
+    config.num_subarrays_per_bank = 4;
+    config.num_rows_per_subarray = 256;
+    config.num_cols_per_row = 256;
+    return config;
+}
+
+/** Everything one workload run produces, for cross-mode comparison. */
+struct RunOutcome
+{
+    std::vector<int> out_a;
+    std::vector<int> out_b;
+    std::vector<int64_t> sums;
+    PimRunStats stats;
+    std::map<std::string, uint64_t> op_mix;
+};
+
+/**
+ * A mixed workload covering every pipeline code path: H2D/D2H/D2D
+ * copies, dependent and independent element-wise chains, in-place
+ * element shifts, mid-stream reductions (partial drains), broadcast,
+ * analytic host work, and alloc/free churn while commands are in
+ * flight.
+ */
+RunOutcome
+runMixedWorkload(uint64_t n)
+{
+    RunOutcome outcome;
+    Prng rng(7);
+    const std::vector<int> xs = rng.intVector(n, -1000, 1000);
+    const std::vector<int> ys = rng.intVector(n, -1000, 1000);
+
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId b = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    const PimObjId c = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    EXPECT_TRUE(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+
+    pimCopyHostToDevice(xs.data(), a);
+    pimCopyHostToDevice(ys.data(), b);
+
+    for (int round = 0; round < 4; ++round) {
+        // Two independent chains (c from a, d from b) the scheduler
+        // may overlap, then a join.
+        pimAbs(a, c);
+        pimAddScalar(c, c, 3);
+        pimMulScalar(b, d, 2);
+        pimXorScalar(d, d, 0x55);
+        pimMin(c, d, c);
+        pimAdd(a, c, a);          // RAW on c, WAW chain on a
+
+        // In-place element rotate: reads and writes the same object.
+        pimRotateElementsLeft(b);
+
+        // Mid-stream reduction: drains only a's dependency cone.
+        int64_t sum = 0;
+        pimRedSum(a, &sum);
+        outcome.sums.push_back(sum);
+
+        // Alloc/free churn while commands are in flight (free must
+        // wait for the in-flight users of tmp).
+        const PimObjId tmp =
+            pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+        EXPECT_GE(tmp, 0);
+        pimCopyDeviceToDevice(a, tmp);
+        pimSubScalar(tmp, tmp, 1);
+        pimMax(b, tmp, b);        // WAR: b read above, written here
+        pimFree(tmp);
+
+        pimAddHostWork(64, 16);   // analytic host phase, in order
+    }
+    pimBroadcastInt(d, 9);
+    pimScaledAdd(d, b, b, 5);
+
+    outcome.out_a.resize(n);
+    outcome.out_b.resize(n);
+    pimCopyDeviceToHost(a, outcome.out_a.data());
+    pimCopyDeviceToHost(b, outcome.out_b.data());
+
+    pimFree(a);
+    pimFree(b);
+    pimFree(c);
+    pimFree(d);
+
+    outcome.stats = pimGetStats();
+    outcome.op_mix = pimGetOpMix();
+    return outcome;
+}
+
+class PipelineTest : public ::testing::TestWithParam<PimDeviceEnum>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        ASSERT_EQ(pimCreateDeviceFromConfig(smallConfig(GetParam())),
+                  PimStatus::PIM_OK);
+    }
+
+    void
+    TearDown() override
+    {
+        pimDeleteDevice();
+    }
+};
+
+} // namespace
+
+/**
+ * The pipeline contract: functional outputs, reduction results, and
+ * final statistics (including modeled times/energies, which accumulate
+ * floating-point in commit order) are bit-identical to sync mode.
+ */
+TEST_P(PipelineTest, AsyncMatchesSyncBitIdentical)
+{
+    const uint64_t n = 2000;
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    pimResetStats();
+    const RunOutcome sync = runMixedWorkload(n);
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+    EXPECT_EQ(pimGetExecMode(), PimExecEnum::PIM_EXEC_ASYNC);
+    pimResetStats();
+    const RunOutcome async = runMixedWorkload(n);
+
+    EXPECT_EQ(sync.out_a, async.out_a);
+    EXPECT_EQ(sync.out_b, async.out_b);
+    EXPECT_EQ(sync.sums, async.sums);
+
+    // Bit-identical, not approximately-equal: stats commit in issue
+    // order, so the floating-point accumulation order is the same.
+    EXPECT_EQ(sync.stats.kernel_sec, async.stats.kernel_sec);
+    EXPECT_EQ(sync.stats.kernel_j, async.stats.kernel_j);
+    EXPECT_EQ(sync.stats.copy_sec, async.stats.copy_sec);
+    EXPECT_EQ(sync.stats.copy_j, async.stats.copy_j);
+    EXPECT_EQ(sync.stats.host_sec, async.stats.host_sec);
+    EXPECT_EQ(sync.stats.bytes_h2d, async.stats.bytes_h2d);
+    EXPECT_EQ(sync.stats.bytes_d2h, async.stats.bytes_d2h);
+    EXPECT_EQ(sync.stats.bytes_d2d, async.stats.bytes_d2d);
+    EXPECT_EQ(sync.op_mix, async.op_mix);
+}
+
+/** RAW / WAR / WAW chains must observe program order. */
+TEST_P(PipelineTest, HazardChainsObserveProgramOrder)
+{
+    const uint64_t n = 512;
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+
+    std::vector<int> init(n);
+    for (uint64_t i = 0; i < n; ++i)
+        init[i] = static_cast<int>(i) - 250;
+
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId b = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    const PimObjId c = pimAllocAssociated(32, a, PimDataType::PIM_INT32);
+    ASSERT_TRUE(a >= 0 && b >= 0 && c >= 0);
+
+    pimCopyHostToDevice(init.data(), a);
+    // RAW: b depends on a; c depends on b.
+    pimAddScalar(a, b, 10);
+    pimMulScalar(b, c, 3);
+    // WAR: overwrite a after its readers issued.
+    pimBroadcastInt(a, 1);
+    // WAW: two writes to c; the second must win.
+    pimAdd(b, a, c);
+    // Interleave a copy into the middle of the chain (reads c).
+    std::vector<int> snapshot(n, 0);
+    pimCopyDeviceToHost(c, snapshot.data());
+    // Continue the chain past the blocking read.
+    pimSubScalar(c, c, 4);
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(c, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        const int expect_c = (init[i] + 10) + 1; // b + broadcast(1)
+        EXPECT_EQ(snapshot[i], expect_c);
+        EXPECT_EQ(out[i], expect_c - 4);
+        if (HasFailure())
+            break;
+    }
+
+    pimFree(a);
+    pimFree(b);
+    pimFree(c);
+    EXPECT_EQ(pimSync(), PimStatus::PIM_OK);
+}
+
+/**
+ * Many independent chains in flight at once, with rotating reuse and
+ * mid-stream drains — the scheduler-stress / TSan workload.
+ */
+TEST_P(PipelineTest, ConcurrentIssueStress)
+{
+    const uint64_t n = 1024;
+    const int kChains = 8;
+    const int kRounds = 25;
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+
+    std::vector<PimObjId> objs(kChains);
+    std::vector<int64_t> expect(kChains);
+    objs[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                       PimDataType::PIM_INT32);
+    ASSERT_GE(objs[0], 0);
+    for (int i = 1; i < kChains; ++i) {
+        objs[i] = pimAllocAssociated(32, objs[0],
+                                     PimDataType::PIM_INT32);
+        ASSERT_GE(objs[i], 0);
+    }
+    for (int i = 0; i < kChains; ++i) {
+        pimBroadcastInt(objs[i], static_cast<uint64_t>(i));
+        expect[i] = i;
+    }
+
+    for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kChains; ++i) {
+            pimAddScalar(objs[i], objs[i],
+                         static_cast<uint64_t>(round + i));
+            expect[i] += round + i;
+        }
+        if (round % 5 == 4) {
+            // Drain one chain's cone; the others stay in flight.
+            const int i = round % kChains;
+            int64_t sum = 0;
+            ASSERT_EQ(pimRedSum(objs[i], &sum), PimStatus::PIM_OK);
+            EXPECT_EQ(sum, expect[i] * static_cast<int64_t>(n));
+        }
+    }
+    ASSERT_EQ(pimSync(), PimStatus::PIM_OK);
+
+    std::vector<int> out(n, 0);
+    for (int i = 0; i < kChains; ++i) {
+        pimCopyDeviceToHost(objs[i], out.data());
+        EXPECT_EQ(out.front(), static_cast<int>(expect[i]));
+        EXPECT_EQ(out.back(), static_cast<int>(expect[i]));
+        pimFree(objs[i]);
+    }
+}
+
+/** Mode switches drain in-flight work and are idempotent. */
+TEST_P(PipelineTest, ModeSwitchDrains)
+{
+    const uint64_t n = 256;
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    ASSERT_GE(a, 0);
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+    pimBroadcastInt(a, 5);
+    pimAddScalar(a, a, 2);
+    // Switching back to sync must drain the pending adds.
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(a, out.data());
+    EXPECT_EQ(out.front(), 7);
+    // pimSync in sync mode is a no-op that succeeds.
+    EXPECT_EQ(pimSync(), PimStatus::PIM_OK);
+    pimFree(a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, PipelineTest,
+    ::testing::Values(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                      PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                      PimDeviceEnum::PIM_DEVICE_BANK_LEVEL),
+    [](const ::testing::TestParamInfo<PimDeviceEnum> &info) {
+        return pimDeviceName(info.param);
+    });
