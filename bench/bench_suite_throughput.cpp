@@ -15,6 +15,12 @@
  * and repetitions come from PIMEVAL_BENCH_SUITE_SCALE (tiny|small,
  * default small) and PIMEVAL_BENCH_SUITE_REPS (default 3).
  *
+ * Observability: the JSON also carries per-mode simulator metrics —
+ * pipeline occupancy, mean queue depth, hazard-edge breakdown, cache
+ * hit rates (docs/OBSERVABILITY.md). When PIMEVAL_TRACE=<base> is
+ * set, each execution mode additionally exports a Chrome/Perfetto
+ * trace of its whole pass to <base>.sync.json / <base>.async.json.
+ *
  * The async speedup is bounded by the host cores available to the
  * pipeline workers: on a single-core machine the two modes tie (the
  * measured overlap is reported honestly, whatever it is); see
@@ -61,18 +67,117 @@ nowSec()
 }
 
 ModeRun
-runApp(const std::string &name, SuiteScale scale, unsigned reps)
+runApp(const std::string &name, SuiteScale scale, unsigned reps,
+       double *pass_wall_sec)
 {
     ModeRun run;
     for (unsigned r = 0; r < reps; ++r) {
         const double start = nowSec();
         const AppResult result = runBenchmarkByName(name, scale);
         const double wall = nowSec() - start;
+        if (pass_wall_sec)
+            *pass_wall_sec += wall;
         run.best_wall_sec = std::min(run.best_wall_sec, wall);
         run.verified = result.verified;
         run.stats = result.stats;
     }
     return run;
+}
+
+double
+metricOr(const char *name, double fallback)
+{
+    double v = fallback;
+    if (!pimGetMetric(name, &v))
+        return fallback;
+    return v;
+}
+
+/** Derived simulator metrics of one whole execution-mode pass. */
+struct PassMetrics
+{
+    double occupancy_frac = 0.0;   ///< worker busy / worker capacity
+    double mean_queue_depth = 0.0; ///< pipeline.depth histogram mean
+    double exec_sec = 0.0;         ///< summed worker execution time
+    uint64_t issued = 0;
+    uint64_t committed = 0;
+    uint64_t stalled_at_issue = 0;
+    uint64_t backpressure_waits = 0;
+    uint64_t hazard_raw = 0;
+    uint64_t hazard_waw = 0;
+    uint64_t hazard_war = 0;
+    double transfer_cache_hit_rate = 0.0;
+    double freelist_hit_rate = 0.0;
+};
+
+/** Same worker-count default as PimPipeline (occupancy denominator). */
+size_t
+pipelineWorkerCount()
+{
+    const size_t hw = std::thread::hardware_concurrency();
+    return std::clamp<size_t>(hw, 2, 6);
+}
+
+PassMetrics
+collectPassMetrics(double pass_wall_sec)
+{
+    PassMetrics m;
+    m.exec_sec = metricOr("pipeline.exec_ns", 0.0) / 1e9;
+    if (pass_wall_sec > 0.0) {
+        m.occupancy_frac = m.exec_sec /
+            (pass_wall_sec * static_cast<double>(pipelineWorkerCount()));
+    }
+    m.issued = static_cast<uint64_t>(metricOr("pipeline.issued", 0.0));
+    m.committed =
+        static_cast<uint64_t>(metricOr("pipeline.committed", 0.0));
+    m.stalled_at_issue =
+        static_cast<uint64_t>(metricOr("pipeline.issued_stalled", 0.0));
+    m.backpressure_waits =
+        static_cast<uint64_t>(metricOr("pipeline.backpressure", 0.0));
+    m.hazard_raw =
+        static_cast<uint64_t>(metricOr("pipeline.hazard.raw", 0.0));
+    m.hazard_waw =
+        static_cast<uint64_t>(metricOr("pipeline.hazard.waw", 0.0));
+    m.hazard_war =
+        static_cast<uint64_t>(metricOr("pipeline.hazard.war", 0.0));
+
+    const auto all = pimGetAllMetrics();
+    if (const auto it = all.find("pipeline.depth");
+        it != all.end() && it->second.count > 0)
+        m.mean_queue_depth = it->second.value;
+
+    const double tc_hit = metricOr("cache.transfer.hit", 0.0);
+    const double tc_miss = metricOr("cache.transfer.miss", 0.0);
+    if (tc_hit + tc_miss > 0.0)
+        m.transfer_cache_hit_rate = tc_hit / (tc_hit + tc_miss);
+    const double fl_hit = metricOr("freelist.hit", 0.0);
+    const double fl_miss = metricOr("freelist.miss", 0.0);
+    if (fl_hit + fl_miss > 0.0)
+        m.freelist_hit_rate = fl_hit / (fl_hit + fl_miss);
+    return m;
+}
+
+void
+emitPassMetricsJson(std::ostream &os, const char *key,
+                    const PassMetrics &m)
+{
+    os << "  \"" << key << "\": {\n"
+       << "    \"pipeline_occupancy_frac\": " << m.occupancy_frac
+       << ",\n"
+       << "    \"mean_queue_depth\": " << m.mean_queue_depth << ",\n"
+       << "    \"worker_exec_sec\": " << m.exec_sec << ",\n"
+       << "    \"commands_issued\": " << m.issued << ",\n"
+       << "    \"commands_committed\": " << m.committed << ",\n"
+       << "    \"hazard_stalls\": {\"issued_stalled\": "
+       << m.stalled_at_issue
+       << ", \"backpressure_waits\": " << m.backpressure_waits
+       << ", \"raw_edges\": " << m.hazard_raw
+       << ", \"waw_edges\": " << m.hazard_waw
+       << ", \"war_edges\": " << m.hazard_war << "},\n"
+       << "    \"transfer_cache_hit_rate\": "
+       << m.transfer_cache_hit_rate << ",\n"
+       << "    \"freelist_hit_rate\": " << m.freelist_hit_rate << "\n"
+       << "  }";
 }
 
 /** Modeled-stats equality: the bit-identity contract. Host time is
@@ -134,6 +239,14 @@ main()
         ModeRun async;
     };
     std::vector<AppRow> rows;
+    for (const char *app : kApps)
+        rows.push_back(AppRow{app, ModeRun{}, ModeRun{}});
+
+    // Whole-pass structure (all apps per mode, not all modes per app)
+    // so per-mode metrics and traces cover one mode cleanly.
+    const char *trace_base = std::getenv("PIMEVAL_TRACE");
+    const bool tracing = trace_base != nullptr && *trace_base != '\0';
+    PassMetrics sync_metrics, async_metrics;
 
     for (const auto &[device, target_name] : pimTargets()) {
         if (device != PimDeviceEnum::PIM_DEVICE_FULCRUM)
@@ -143,16 +256,38 @@ main()
             std::cerr << "device creation failed\n";
             return 1;
         }
-        for (const char *app : kApps) {
-            AppRow row;
-            row.app = app;
-            pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
-            row.sync = runApp(app, scale, reps);
-            pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC);
-            row.async = runApp(app, scale, reps);
-            pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
-            rows.push_back(std::move(row));
+        struct ModePass
+        {
+            PimExecEnum mode;
+            const char *name;
+        };
+        for (const ModePass pass :
+             {ModePass{PimExecEnum::PIM_EXEC_SYNC, "sync"},
+              ModePass{PimExecEnum::PIM_EXEC_ASYNC, "async"}}) {
+            pimSetExecMode(pass.mode);
+            if (tracing) {
+                const std::string path = std::string(trace_base) +
+                    "." + pass.name + ".json";
+                if (pimTraceBegin(path.c_str()) == PimStatus::PIM_OK)
+                    std::cout << "[tracing " << pass.name
+                              << " pass to " << path << "]\n";
+            }
+            pimResetMetrics();
+            double pass_wall_sec = 0.0;
+            for (auto &row : rows) {
+                ModeRun &slot =
+                    pass.mode == PimExecEnum::PIM_EXEC_SYNC
+                        ? row.sync
+                        : row.async;
+                slot = runApp(row.app, scale, reps, &pass_wall_sec);
+            }
+            (pass.mode == PimExecEnum::PIM_EXEC_SYNC ? sync_metrics
+                                                     : async_metrics) =
+                collectPassMetrics(pass_wall_sec);
+            if (tracing)
+                pimTraceEnd(nullptr);
         }
+        pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
     }
 
     pimeval::TableWriter table(
@@ -183,6 +318,20 @@ main()
     std::cout << "suite wall-clock: sync " << sync_total << " s, async "
               << async_total << " s, speedup "
               << sync_total / async_total << "x\n";
+    std::printf("async pipeline: occupancy %.1f%%, mean queue depth "
+                "%.1f, %llu commands (%llu stalled at issue, "
+                "hazard edges raw/waw/war %llu/%llu/%llu)\n",
+                async_metrics.occupancy_frac * 100.0,
+                async_metrics.mean_queue_depth,
+                static_cast<unsigned long long>(async_metrics.issued),
+                static_cast<unsigned long long>(
+                    async_metrics.stalled_at_issue),
+                static_cast<unsigned long long>(
+                    async_metrics.hazard_raw),
+                static_cast<unsigned long long>(
+                    async_metrics.hazard_waw),
+                static_cast<unsigned long long>(
+                    async_metrics.hazard_war));
 
     std::ofstream json_out(json_path);
     if (!json_out) {
@@ -199,7 +348,11 @@ main()
              << "  \"suite_sync_wall_sec\": " << sync_total << ",\n"
              << "  \"suite_async_wall_sec\": " << async_total << ",\n"
              << "  \"suite_speedup\": " << sync_total / async_total
-             << ",\n  \"results\": [\n";
+             << ",\n";
+    emitPassMetricsJson(json_out, "sync_metrics", sync_metrics);
+    json_out << ",\n";
+    emitPassMetricsJson(json_out, "async_metrics", async_metrics);
+    json_out << ",\n  \"results\": [\n";
     bool first = true;
     for (const auto &row : rows) {
         if (!first)

@@ -4,10 +4,14 @@
  *
  * Demonstrates the canonical PIM API flow — device creation, object
  * allocation, host->device copies, one fused compute call, copy-back,
- * and the Listing-3 style statistics report. Pass a device name
+ * the Listing-3 style statistics report, and the JSON stats dump
+ * (docs/OBSERVABILITY.md). Pass a device name
  * (bitserial | fulcrum | bank) and an optional vector length.
  *
  *   ./quickstart fulcrum 1048576
+ *
+ * Set PIMEVAL_TRACE=axpy.json to also get a Chrome/Perfetto trace of
+ * the run.
  */
 
 #include <cstdlib>
@@ -102,6 +106,8 @@ main(int argc, char **argv)
               << " mismatches)\n";
 
     pimShowStats(std::cout);
+    if (pimDumpStats("quickstart_stats.json") == PimStatus::PIM_OK)
+        std::cout << "Stats dumped to quickstart_stats.json\n";
     pimDeleteDevice();
     return mismatches == 0 ? 0 : 1;
 }

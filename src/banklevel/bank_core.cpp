@@ -5,6 +5,8 @@
 
 #include "banklevel/bank_core.h"
 
+#include "core/pim_metrics.h"
+
 namespace pimeval {
 
 BankCore::BankCore(uint32_t num_rows, uint32_t row_bits, unsigned alu_bits,
@@ -32,6 +34,7 @@ BankCore::processElements(AlpuOp op, unsigned elem_bits,
                           uint32_t num_elements, bool is_signed,
                           bool use_scalar, uint64_t scalar)
 {
+    PIM_METRIC_COUNT("substrate.banklevel.elements", num_elements);
     core_.processElements(op, elem_bits, num_elements, is_signed,
                           use_scalar, scalar);
 }

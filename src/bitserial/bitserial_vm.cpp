@@ -9,6 +9,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/pim_metrics.h"
+
 namespace pimeval {
 
 namespace {
@@ -130,6 +132,9 @@ BitSerialVm::execute(const MicroOp &op)
 void
 BitSerialVm::run(const MicroProgram &program)
 {
+    // Batched per program, not per micro-op.
+    PIM_METRIC_COUNT("substrate.bitserial.microops",
+                     program.ops.size());
     for (const auto &op : program.ops)
         execute(op);
 }

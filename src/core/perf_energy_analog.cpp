@@ -10,6 +10,7 @@
 #include <shared_mutex>
 
 #include "bitserial/analog_microprograms.h"
+#include "core/pim_metrics.h"
 
 namespace pimeval {
 
@@ -65,9 +66,12 @@ PerfEnergyAnalog::countsForCmd(PimCmdEnum cmd, unsigned bits,
     {
         std::shared_lock<std::shared_mutex> lock(cache_mutex_);
         auto it = counts_cache_.find(key);
-        if (it != counts_cache_.end())
+        if (it != counts_cache_.end()) {
+            PIM_METRIC_COUNT("cache.analog_counts.hit", 1);
             return it->second;
+        }
     }
+    PIM_METRIC_COUNT("cache.analog_counts.miss", 1);
     const AnalogOpCounts counts =
         generateCounts(cmd, bits, scalar, aux);
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);

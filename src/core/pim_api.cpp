@@ -5,11 +5,15 @@
 
 #include "core/pim_api.h"
 
+#include <fstream>
+
 #include "core/pim_sim.h"
+#include "core/pim_trace.h"
 #include "util/logging.h"
 
 using pimeval::PimSim;
 using pimeval::PimDevice;
+using pimeval::PimTracer;
 
 namespace {
 
@@ -90,6 +94,7 @@ pimGetExecMode()
 PimStatus
 pimSync()
 {
+    PIM_TRACE_SCOPE("pimSync", "api");
     PimDevice *dev = activeDevice("pimSync");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -101,6 +106,7 @@ PimObjId
 pimAlloc(PimAllocEnum alloc_type, uint64_t num_elements,
          unsigned bits_per_element, PimDataType data_type)
 {
+    PIM_TRACE_INSTANT("pimAlloc", "api", num_elements);
     PimDevice *dev = activeDevice("pimAlloc");
     if (!dev)
         return -1;
@@ -129,6 +135,7 @@ pimAllocAssociated(unsigned bits_per_element, PimObjId ref,
 PimStatus
 pimFree(PimObjId obj)
 {
+    PIM_TRACE_INSTANT("pimFree", "api", obj);
     PimDevice *dev = activeDevice("pimFree");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -139,6 +146,7 @@ PimStatus
 pimCopyHostToDevice(const void *src, PimObjId dest, uint64_t idx_begin,
                     uint64_t idx_end)
 {
+    PIM_TRACE_INSTANT("pimCopyHostToDevice", "api", dest);
     PimDevice *dev = activeDevice("pimCopyHostToDevice");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -149,6 +157,7 @@ PimStatus
 pimCopyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
                     uint64_t idx_end)
 {
+    PIM_TRACE_INSTANT("pimCopyDeviceToHost", "api", src);
     PimDevice *dev = activeDevice("pimCopyDeviceToHost");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -158,6 +167,7 @@ pimCopyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
 PimStatus
 pimCopyDeviceToDevice(PimObjId src, PimObjId dest)
 {
+    PIM_TRACE_INSTANT("pimCopyDeviceToDevice", "api", dest);
     PimDevice *dev = activeDevice("pimCopyDeviceToDevice");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -172,6 +182,7 @@ PimStatus
 binary(PimCmdEnum cmd, PimObjId a, PimObjId b, PimObjId dest,
        const char *what)
 {
+    PIM_TRACE_INSTANT(what, "api", dest);
     PimDevice *dev = activeDevice(what);
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -181,6 +192,7 @@ binary(PimCmdEnum cmd, PimObjId a, PimObjId b, PimObjId dest,
 PimStatus
 unary(PimCmdEnum cmd, PimObjId a, PimObjId dest, const char *what)
 {
+    PIM_TRACE_INSTANT(what, "api", dest);
     PimDevice *dev = activeDevice(what);
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -191,6 +203,7 @@ PimStatus
 scalarOp(PimCmdEnum cmd, PimObjId a, PimObjId dest, uint64_t scalar,
          const char *what)
 {
+    PIM_TRACE_INSTANT(what, "api", dest);
     PimDevice *dev = activeDevice(what);
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -392,6 +405,7 @@ pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar)
 PimStatus
 pimScaledAdd(PimObjId a, PimObjId b, PimObjId dest, uint64_t scalar)
 {
+    PIM_TRACE_INSTANT("pimScaledAdd", "api", dest);
     PimDevice *dev = activeDevice("pimScaledAdd");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -461,6 +475,7 @@ pimRotateElementsRight(PimObjId obj)
 PimStatus
 pimRedSum(PimObjId a, int64_t *result)
 {
+    PIM_TRACE_INSTANT("pimRedSum", "api", a);
     PimDevice *dev = activeDevice("pimRedSum");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -480,6 +495,7 @@ pimRedSumRanged(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
 PimStatus
 pimBroadcastInt(PimObjId dest, uint64_t value)
 {
+    PIM_TRACE_INSTANT("pimBroadcastInt", "api", dest);
     PimDevice *dev = activeDevice("pimBroadcastInt");
     if (!dev)
         return PimStatus::PIM_ERROR;
@@ -500,13 +516,36 @@ pimShowStats(std::ostream &os)
 }
 
 PimStatus
+pimDumpStats(const char *path)
+{
+    PimDevice *dev = activeDevice("pimDumpStats");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    if (!path || !*path) {
+        pimeval::logError("pimDumpStats: empty path");
+        return PimStatus::PIM_ERROR;
+    }
+    dev->sync();
+    std::ofstream os(path);
+    if (!os) {
+        pimeval::logError(std::string("pimDumpStats: cannot open '") +
+                          path + "'");
+        return PimStatus::PIM_ERROR;
+    }
+    dev->stats().dumpJson(os);
+    return os ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+}
+
+PimStatus
 pimResetStats()
 {
     PimDevice *dev = activeDevice("pimResetStats");
     if (!dev)
         return PimStatus::PIM_ERROR;
-    dev->sync();
-    dev->stats().reset();
+    // Drain and clear atomically: a plain sync-then-reset leaves a
+    // window where commands issued by another thread commit between
+    // the drain and the clear, losing or double-counting their stats.
+    dev->resetStats();
     return PimStatus::PIM_OK;
 }
 
@@ -585,4 +624,77 @@ pimGetModelingScale()
 {
     PimDevice *dev = PimSim::instance().device();
     return dev ? dev->modelingScale() : 1.0;
+}
+
+// --- Observability ----------------------------------------------------------
+
+PimStatus
+pimTraceBegin(const char *path)
+{
+    if (!path || !*path) {
+        pimeval::logError("pimTraceBegin: empty path");
+        return PimStatus::PIM_ERROR;
+    }
+    // Quiesce the device so the trace starts at a command boundary.
+    if (PimDevice *dev = PimSim::instance().device())
+        dev->sync();
+    PimTracer::instance().begin(path);
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimTraceEnd(const char *path)
+{
+    if (PimDevice *dev = PimSim::instance().device())
+        dev->sync(); // in-flight spans land in the trace
+    const bool ok =
+        PimTracer::instance().end(path ? std::string(path) : "");
+    return ok ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+}
+
+PimStatus
+pimTraceDump(const char *path)
+{
+    if (!path || !*path) {
+        pimeval::logError("pimTraceDump: empty path");
+        return PimStatus::PIM_ERROR;
+    }
+    if (PimDevice *dev = PimSim::instance().device())
+        dev->sync();
+    return PimTracer::instance().dump(path) ? PimStatus::PIM_OK
+                                            : PimStatus::PIM_ERROR;
+}
+
+bool
+pimTraceActive()
+{
+    return PimTracer::enabled();
+}
+
+bool
+pimGetMetric(const char *name, double *value)
+{
+    if (!name)
+        return false;
+    return pimeval::PimMetrics::instance().get(name, value);
+}
+
+std::map<std::string, pimeval::PimMetricValue>
+pimGetAllMetrics()
+{
+    return pimeval::PimMetrics::instance().snapshotAll();
+}
+
+PimStatus
+pimDumpMetrics(std::ostream &os)
+{
+    pimeval::PimMetrics::instance().dumpJson(os);
+    return os ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+}
+
+PimStatus
+pimResetMetrics()
+{
+    pimeval::PimMetrics::instance().reset();
+    return PimStatus::PIM_OK;
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "core/pim_metrics.h"
 #include "core/pim_params.h"
 #include "core/pim_stats.h"
 #include "core/pim_types.h"
@@ -199,6 +200,14 @@ PimStatus pimBroadcastInt(PimObjId dest, uint64_t value);
 /** Print the Listing-3 style report to the stream. */
 PimStatus pimShowStats(std::ostream &os);
 
+/**
+ * Export the statistics of the active device as structured JSON:
+ * aggregate totals, data-copy byte counts, and the full per-command
+ * modeled runtime/energy table (what pimShowStats pretty-prints).
+ * Drains the pipeline first so the export observes everything issued.
+ */
+PimStatus pimDumpStats(const char *path);
+
 /** Reset all statistics of the active device. */
 PimStatus pimResetStats();
 
@@ -233,5 +242,53 @@ PimStatus pimSetModelingScale(double scale);
 
 /** Current modeling scale of the active device (1.0 if none). */
 double pimGetModelingScale();
+
+// ---------------------------------------------------------------------------
+// Observability: event tracing and simulator metrics
+// (docs/OBSERVABILITY.md). The tracer and metrics registry are
+// process-wide; tracing calls work with or without an active device.
+// Setting the environment variable PIMEVAL_TRACE=<path> starts a trace
+// at device creation and exports it at device deletion — existing
+// benchmarks need no code changes.
+// ---------------------------------------------------------------------------
+
+/**
+ * Start (or restart) event tracing; the trace is exported to @p path
+ * by pimTraceEnd (".csv" selects CSV, anything else Chrome trace-event
+ * JSON for Perfetto / chrome://tracing). Drains the pipeline of the
+ * active device, if any, so the trace starts from a quiesced state.
+ */
+PimStatus pimTraceBegin(const char *path);
+
+/**
+ * Stop tracing and export. @p path overrides the pimTraceBegin path
+ * when non-null. Drains the pipeline first so in-flight spans land in
+ * the trace.
+ */
+PimStatus pimTraceEnd(const char *path = nullptr);
+
+/** Export a snapshot of the active trace to @p path without stopping
+ *  it. */
+PimStatus pimTraceDump(const char *path);
+
+/** Whether event tracing is currently recording. */
+bool pimTraceActive();
+
+/**
+ * Read one simulator metric by name (e.g. "pipeline.hazard.raw",
+ * "freelist.hit"; see docs/OBSERVABILITY.md for the glossary).
+ * Counters yield their count, gauges their value, histograms their
+ * mean. @return false when no such metric has been registered.
+ */
+bool pimGetMetric(const char *name, double *value);
+
+/** Snapshot of every registered simulator metric, keyed by name. */
+std::map<std::string, pimeval::PimMetricValue> pimGetAllMetrics();
+
+/** Write all metrics as a JSON object to the stream. */
+PimStatus pimDumpMetrics(std::ostream &os);
+
+/** Zero all simulator metrics (e.g. between benchmark phases). */
+PimStatus pimResetMetrics();
 
 #endif // PIMEVAL_CORE_PIM_API_H_

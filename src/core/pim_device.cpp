@@ -11,6 +11,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/pim_metrics.h"
+#include "core/pim_trace.h"
 #include "fulcrum/alpu_kernels.h"
 #include "fulcrum/fulcrum_core.h"
 #include "util/logging.h"
@@ -357,9 +359,9 @@ PimDevice::PimDevice(const PimDeviceConfig &config)
       model_(PerfEnergyModel::create(config)),
       pool_(0)
 {
-    std::fill(&stats_key_cache_[0][0][0],
-              &stats_key_cache_[0][0][0] + kNumCmds * kNumDataTypes * 2,
-              -1);
+    // The thread constructing the device is the issuing thread of the
+    // pipeline threading model; label its trace track accordingly.
+    PimTracer::instance().setThreadName("issue-thread");
     logInfo(strCat("Current Device = PIM_FUNCTIONAL, Simulation Target = ",
                    pimDeviceName(config_.device)));
     logInfo(config_.summary());
@@ -428,6 +430,15 @@ PimDevice::sync()
         pipeline_->sync();
 }
 
+void
+PimDevice::resetStats()
+{
+    if (pipeline_)
+        pipeline_->drainAndRun([this] { stats_.reset(); });
+    else
+        stats_.reset();
+}
+
 PimStatus
 PimDevice::copyHostToDevice(const void *src, PimObjId dest,
                             uint64_t idx_begin, uint64_t idx_end)
@@ -455,6 +466,8 @@ PimDevice::copyHostToDevice(const void *src, PimObjId dest,
     const auto run = [this, kernel, dst, count, mask,
                       payload](const uint8_t *bytes,
                                PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG("copyH2D", "exec", payload);
+        PIM_METRIC_COUNT("copy.bytes_h2d", payload);
         if (kernel) {
             pool_.parallelForChunks(
                 0, count, [=](size_t lo, size_t hi) {
@@ -516,6 +529,8 @@ PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
     return issue(
         {src}, {},
         [=, this](PimStatsDelta *delta) {
+            PIM_TRACE_SCOPE_ARG("copyD2H", "exec", payload);
+            PIM_METRIC_COUNT("copy.bytes_d2h", payload);
             if (kernel) {
                 pool_.parallelForChunks(
                     0, count, [=](size_t lo, size_t hi) {
@@ -543,6 +558,8 @@ PimDevice::copyDeviceToDevice(PimObjId src, PimObjId dest)
     const uint64_t payload = modeledBytes(s->payloadBytes());
 
     return issue({src}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG("copyD2D", "exec", payload);
+        PIM_METRIC_COUNT("copy.bytes_d2d", payload);
         std::copy(ps, ps + n, pd);
         commitCopy(delta, PimCopyEnum::PIM_COPY_D2D, payload,
                    model_->costCopy(PimCopyEnum::PIM_COPY_D2D,
@@ -573,10 +590,11 @@ PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
     const uint64_t payload = modeledBytes(obj->payloadBytes());
     const uint64_t boundary_bytes =
         obj->numCoresUsed() * ((obj->bitsPerElement() + 7) / 8);
-    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *obj);
+    const CmdKeyInfo key = keyFor(cmd, *obj);
 
     // In-place update: the object is both read and written.
     return issue({obj_id}, {obj_id}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", payload);
         auto &raw = obj->raw();
         const size_t n = raw.size();
         // Whole-object data movement: memmove/rotate instead of an
@@ -609,7 +627,7 @@ PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
                                  boundary_bytes);
         cost += model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
                                  boundary_bytes);
-        commitCmd(delta, key, cost);
+        commitCmd(delta, key.id, cost);
     });
 }
 
@@ -714,7 +732,7 @@ PimDevice::makeProfile(PimCmdEnum cmd, const PimDataObject &obj,
     return profile;
 }
 
-PimStatsMgr::CmdKeyId
+PimDevice::CmdKeyInfo
 PimDevice::keyFor(PimCmdEnum cmd, const PimDataObject &obj)
 {
     // The canonical "cmd.dtype.layout" key is built (and interned)
@@ -725,14 +743,17 @@ PimDevice::keyFor(PimCmdEnum cmd, const PimDataObject &obj)
     const size_t c = static_cast<size_t>(cmd);
     const size_t t = static_cast<size_t>(obj.dataType());
     const size_t l = obj.isVLayout() ? 1 : 0;
-    int32_t &id = stats_key_cache_[c][t][l];
-    if (id < 0) {
+    KeyCacheEntry &entry = stats_key_cache_[c][t][l];
+    if (entry.id < 0) {
         const std::string key = pimCmdName(cmd) + "." +
             pimDataTypeName(obj.dataType()) +
             (obj.isVLayout() ? ".v" : ".h");
-        id = static_cast<int32_t>(stats_.internCmdKey(key, cmd));
+        entry.id = static_cast<int32_t>(stats_.internCmdKey(key, cmd));
+        // Interned in the tracer too: execution spans need a name
+        // that outlives this call on any thread.
+        entry.name = PimTracer::instance().intern(key);
     }
-    return static_cast<PimStatsMgr::CmdKeyId>(id);
+    return {static_cast<PimStatsMgr::CmdKeyId>(entry.id), entry.name};
 }
 
 bool
@@ -790,13 +811,14 @@ PimDevice::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
         : binaryChunkFor<false>(op, sgn);
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
-    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+    const CmdKeyInfo key = keyFor(cmd, *oa);
 
     return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, pb, pd, lo, hi, bits, dmask);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 
@@ -823,13 +845,14 @@ PimDevice::executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest)
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
-    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+    const CmdKeyInfo key = keyFor(cmd, *oa);
 
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, 0, pd, lo, hi, bits, dmask);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 
@@ -858,13 +881,14 @@ PimDevice::executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, s, 0);
-    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+    const CmdKeyInfo key = keyFor(cmd, *oa);
 
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, s, pd, lo, hi, bits, dmask);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 
@@ -895,14 +919,14 @@ PimDevice::executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
     const size_t n = oa->raw().size();
     const PimOpProfile profile =
         makeProfile(PimCmdEnum::kScaledAdd, *oa, s, 0);
-    const PimStatsMgr::CmdKeyId key =
-        keyFor(PimCmdEnum::kScaledAdd, *oa);
+    const CmdKeyInfo key = keyFor(PimCmdEnum::kScaledAdd, *oa);
 
     return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, pb, s, pd, lo, hi, bits, dmask);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 
@@ -926,13 +950,14 @@ PimDevice::executeShift(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const ScalarChunkFn kernel = scalarChunkFor(op, sgn);
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, amount);
-    const PimStatsMgr::CmdKeyId key = keyFor(cmd, *oa);
+    const CmdKeyInfo key = keyFor(cmd, *oa);
 
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             kernel(pa, amount, pd, lo, hi, bits, dmask);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 
@@ -960,13 +985,14 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
     const double fraction =
         static_cast<double>(idx_end - idx_begin) /
         static_cast<double>(oa->numElements());
-    const PimStatsMgr::CmdKeyId key =
-        keyFor(PimCmdEnum::kRedSum, *oa);
+    const CmdKeyInfo key = keyFor(PimCmdEnum::kRedSum, *oa);
 
     // Blocking issue: the scalar result goes back to the host.
     return issue(
         {a}, {},
         [=, this](PimStatsDelta *delta) {
+            PIM_TRACE_SCOPE_ARG(key.trace_name, "exec",
+                                idx_end - idx_begin);
             // Chunked reduction: per-chunk partial sums folded into
             // one atomic accumulator (wrapping int64 addition is
             // associative, so chunk order cannot change the result).
@@ -993,7 +1019,7 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
             PimOpCost cost = model_->costOp(profile);
             cost.runtime_sec *= fraction;
             cost.energy_j *= fraction;
-            commitCmd(delta, key, cost);
+            commitCmd(delta, key.id, cost);
         },
         /*blocking=*/true);
 }
@@ -1011,14 +1037,14 @@ PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
     const size_t n = od->raw().size();
     const PimOpProfile profile =
         makeProfile(PimCmdEnum::kBroadcast, *od, v, 0);
-    const PimStatsMgr::CmdKeyId key =
-        keyFor(PimCmdEnum::kBroadcast, *od);
+    const CmdKeyInfo key = keyFor(PimCmdEnum::kBroadcast, *od);
 
     return issue({}, {dest}, [=, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
             std::fill(pd + lo, pd + hi, v);
         });
-        commitCmd(delta, key, model_->costOp(profile));
+        commitCmd(delta, key.id, model_->costOp(profile));
     });
 }
 

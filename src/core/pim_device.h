@@ -50,6 +50,14 @@ class PimDevice
     PimResourceMgr &resources() { return resources_; }
 
     /**
+     * Reset statistics atomically with the pipeline drained: the
+     * clear runs under the pipeline mutex, so commands issued
+     * concurrently can neither commit into the cleared state nor
+     * lose their stats (pimResetStats semantics).
+     */
+    void resetStats();
+
+    /**
      * Execution mode (paper-API extension). Switching to sync drains
      * the pipeline first, so the switch itself is a sync point.
      */
@@ -174,10 +182,17 @@ class PimDevice
     /** Transfer size under the modeling scale. */
     uint64_t modeledBytes(uint64_t bytes) const;
 
+    /** Interned stats key id plus the tracer-stable name for the same
+     *  "cmd.dtype.layout" string (execution-span labels). */
+    struct CmdKeyInfo
+    {
+        PimStatsMgr::CmdKeyId id;
+        const char *trace_name;
+    };
+
     /** Interned stats key for the op (issuing thread only: interning
      *  happens at enqueue so key ids follow issue order). */
-    PimStatsMgr::CmdKeyId keyFor(PimCmdEnum cmd,
-                                 const PimDataObject &obj);
+    CmdKeyInfo keyFor(PimCmdEnum cmd, const PimDataObject &obj);
 
     /** Validate operand compatibility; logs on failure. */
     bool checkCompatible(const PimDataObject *a, const PimDataObject *b,
@@ -196,12 +211,19 @@ class PimDevice
     std::chrono::high_resolution_clock::time_point host_timer_start_;
     bool host_timing_ = false;
 
-    /** (cmd, dtype, layout) -> interned stats key id; -1 = unseen. */
+    /** One (cmd, dtype, layout) cache slot; id -1 = unseen. */
+    struct KeyCacheEntry
+    {
+        int32_t id = -1;
+        const char *name = nullptr;
+    };
+
+    /** (cmd, dtype, layout) -> interned stats key + trace name. */
     static constexpr size_t kNumCmds =
         static_cast<size_t>(PimCmdEnum::kCopyD2D) + 1;
     static constexpr size_t kNumDataTypes =
         static_cast<size_t>(PimDataType::PIM_UINT64) + 1;
-    int32_t stats_key_cache_[kNumCmds][kNumDataTypes][2];
+    KeyCacheEntry stats_key_cache_[kNumCmds][kNumDataTypes][2];
 
     /** Declared last: destroyed first, draining in-flight commands
      *  while stats_, pool_, and resources_ are still alive. */

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Metrics registry implementation.
+ */
+
+#include "core/pim_metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+namespace pimeval {
+
+namespace {
+
+// Local formatting helpers: pim_observe sits below pim_util in the
+// link order, so it cannot use util/string_utils.
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+uint64_t
+packDouble(double v)
+{
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+double
+unpackDouble(uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+MetricHistogram::record(double v)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // CAS-accumulate the double sum.
+    uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        cur, packDouble(unpackDouble(cur) + v),
+        std::memory_order_relaxed))
+        ;
+    // Min/max start at +/-inf, so first samples need no special case.
+    uint64_t min_cur = min_bits_.load(std::memory_order_relaxed);
+    while (v < unpackDouble(min_cur) &&
+           !min_bits_.compare_exchange_weak(min_cur, packDouble(v),
+                                            std::memory_order_relaxed))
+        ;
+    uint64_t max_cur = max_bits_.load(std::memory_order_relaxed);
+    while (v > unpackDouble(max_cur) &&
+           !max_bits_.compare_exchange_weak(max_cur, packDouble(v),
+                                            std::memory_order_relaxed))
+        ;
+}
+
+double
+MetricHistogram::sum() const
+{
+    return unpackDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double
+MetricHistogram::min() const
+{
+    if (count() == 0)
+        return 0.0;
+    return unpackDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double
+MetricHistogram::max() const
+{
+    if (count() == 0)
+        return 0.0;
+    return unpackDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+void
+MetricHistogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_bits_.store(0, std::memory_order_relaxed);
+    min_bits_.store(kPosInfBits, std::memory_order_relaxed);
+    max_bits_.store(kNegInfBits, std::memory_order_relaxed);
+}
+
+PimMetrics &
+PimMetrics::instance()
+{
+    // Leaked singleton: magic-static handles cached at instrumentation
+    // sites may be touched during static destruction.
+    static PimMetrics *metrics = new PimMetrics();
+    return *metrics;
+}
+
+MetricCounter &
+PimMetrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>(name);
+    return *slot;
+}
+
+MetricGauge &
+PimMetrics::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>(name);
+    return *slot;
+}
+
+MetricHistogram &
+PimMetrics::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<MetricHistogram>(name);
+    return *slot;
+}
+
+bool
+PimMetrics::get(const std::string &name, double *value) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+        if (value)
+            *value = static_cast<double>(it->second->value());
+        return true;
+    }
+    if (const auto it = gauges_.find(name); it != gauges_.end()) {
+        if (value)
+            *value = it->second->value();
+        return true;
+    }
+    if (const auto it = histograms_.find(name);
+        it != histograms_.end()) {
+        if (value)
+            *value = it->second->mean();
+        return true;
+    }
+    return false;
+}
+
+std::map<std::string, PimMetricValue>
+PimMetrics::snapshotAll() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, PimMetricValue> out;
+    for (const auto &[name, c] : counters_) {
+        PimMetricValue v;
+        v.kind = PimMetricValue::Kind::kCounter;
+        v.count = c->value();
+        v.value = static_cast<double>(c->value());
+        out.emplace(name, v);
+    }
+    for (const auto &[name, g] : gauges_) {
+        PimMetricValue v;
+        v.kind = PimMetricValue::Kind::kGauge;
+        v.value = g->value();
+        out.emplace(name, v);
+    }
+    for (const auto &[name, h] : histograms_) {
+        PimMetricValue v;
+        v.kind = PimMetricValue::Kind::kHistogram;
+        v.count = h->count();
+        v.sum = h->sum();
+        v.min = h->min();
+        v.max = h->max();
+        v.value = h->mean();
+        out.emplace(name, v);
+    }
+    return out;
+}
+
+void
+PimMetrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+PimMetrics::printReport(std::ostream &os) const
+{
+    const auto all = snapshotAll();
+    os << "----------------------------------------\n";
+    os << "Simulator Metrics:\n";
+    os << "  " << padRight("METRIC", 36) << padLeft("VALUE", 16)
+       << "\n";
+    for (const auto &[name, v] : all) {
+        switch (v.kind) {
+          case PimMetricValue::Kind::kCounter:
+            if (v.count == 0)
+                continue;
+            os << "  " << padRight(name, 36)
+               << padLeft(std::to_string(v.count), 16) << "\n";
+            break;
+          case PimMetricValue::Kind::kGauge:
+            if (v.value == 0.0)
+                continue;
+            os << "  " << padRight(name, 36)
+               << padLeft(formatFixed(v.value, 3), 16) << "\n";
+            break;
+          case PimMetricValue::Kind::kHistogram:
+            if (v.count == 0)
+                continue;
+            os << "  " << padRight(name, 36)
+               << padLeft("mean " + formatFixed(v.value, 3) + " n " +
+                              std::to_string(v.count),
+                          16)
+               << "\n";
+            break;
+        }
+    }
+    os << "----------------------------------------\n";
+}
+
+void
+PimMetrics::dumpJson(std::ostream &os) const
+{
+    const auto all = snapshotAll();
+    os << "{";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+    };
+    const auto flags = os.flags();
+    os << std::setprecision(17);
+    for (const auto &[name, v] : all) {
+        sep();
+        os << "\"" << name << "\": ";
+        switch (v.kind) {
+          case PimMetricValue::Kind::kCounter:
+            os << v.count;
+            break;
+          case PimMetricValue::Kind::kGauge:
+            os << v.value;
+            break;
+          case PimMetricValue::Kind::kHistogram:
+            os << "{\"count\": " << v.count << ", \"sum\": " << v.sum
+               << ", \"mean\": " << v.value << ", \"min\": " << v.min
+               << ", \"max\": " << v.max << "}";
+            break;
+        }
+    }
+    os << "\n}\n";
+    os.flags(flags);
+}
+
+} // namespace pimeval

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * histograms describing the simulator's own behavior (pipeline queue
+ * depth, hazard stalls by kind, free-list and cost-model cache hit
+ * rates, threadpool work distribution, bytes copied).
+ *
+ * Metrics are always-on but near-free: a counter increment is one
+ * relaxed atomic add, and hot loops batch locally and add once per
+ * chunk. Handles resolved by name are stable for the process lifetime,
+ * so instrumentation sites look them up once through a magic static:
+ *
+ *     static MetricCounter &hits =
+ *         PimMetrics::instance().counter("freelist.hit");
+ *     hits.add(1);
+ *
+ * Snapshot/reset/dump are thread-safe. Values reset to zero via
+ * pimResetMetrics / PimMetrics::reset without invalidating handles.
+ * The -DPIMEVAL_TRACING=OFF build keeps metrics available (they are
+ * cheap and tests rely on them); only the event-tracing hooks compile
+ * away.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_METRICS_H_
+#define PIMEVAL_CORE_PIM_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimeval {
+
+/** Monotonic (between resets) event count. */
+class MetricCounter
+{
+  public:
+    explicit MetricCounter(std::string name) : name_(std::move(name)) {}
+
+    void add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    const std::string name_;
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (e.g. current queue depth). */
+class MetricGauge
+{
+  public:
+    explicit MetricGauge(std::string name) : name_(std::move(name)) {}
+
+    void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return unpack(bits_.load(std::memory_order_relaxed));
+    }
+
+    void reset() { set(0.0); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    static uint64_t pack(double v)
+    {
+        uint64_t b;
+        static_assert(sizeof(b) == sizeof(v));
+        __builtin_memcpy(&b, &v, sizeof(b));
+        return b;
+    }
+    static double unpack(uint64_t b)
+    {
+        double v;
+        __builtin_memcpy(&v, &b, sizeof(v));
+        return v;
+    }
+
+    const std::string name_;
+    std::atomic<uint64_t> bits_{0};
+};
+
+/**
+ * Streaming distribution summary: count / sum / min / max, enough for
+ * mean queue depth and stall sizing without bucket bookkeeping on the
+ * hot path. record() is lock-free (CAS loops only for min/max).
+ */
+class MetricHistogram
+{
+  public:
+    explicit MetricHistogram(std::string name) : name_(std::move(name))
+    {
+    }
+
+    void record(double v);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const;
+    double min() const; ///< 0 when no samples
+    double max() const; ///< 0 when no samples
+    double mean() const
+    {
+        const uint64_t n = count();
+        return n ? sum() / static_cast<double>(n) : 0.0;
+    }
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    /** Bit patterns of +inf / -inf: the unset sentinels for min/max,
+     *  so concurrent first samples need no special case. */
+    static constexpr uint64_t kPosInfBits = 0x7FF0000000000000ull;
+    static constexpr uint64_t kNegInfBits = 0xFFF0000000000000ull;
+
+    const std::string name_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_bits_{0}; ///< double, CAS-accumulated
+    std::atomic<uint64_t> min_bits_{kPosInfBits};
+    std::atomic<uint64_t> max_bits_{kNegInfBits};
+};
+
+/** One metric's exported state (see PimMetrics::snapshotAll). */
+struct PimMetricValue
+{
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind = Kind::kCounter;
+    double value = 0.0;   ///< counter/gauge value; histogram mean
+    uint64_t count = 0;   ///< histogram sample count (counters: value)
+    double sum = 0.0;     ///< histogram only
+    double min = 0.0;     ///< histogram only
+    double max = 0.0;     ///< histogram only
+};
+
+/**
+ * The registry. Naming convention: dotted lowercase paths grouped by
+ * subsystem — "pipeline.hazard.raw", "freelist.hit",
+ * "threadpool.chunks_stolen", "cache.bitserial_counts.miss",
+ * "copy.bytes_h2d". See docs/OBSERVABILITY.md for the full glossary.
+ */
+class PimMetrics
+{
+  public:
+    static PimMetrics &instance();
+
+    /** Find-or-create; the returned reference never moves. */
+    MetricCounter &counter(const std::string &name);
+    MetricGauge &gauge(const std::string &name);
+    MetricHistogram &histogram(const std::string &name);
+
+    /**
+     * Current value of a metric by name: counters yield their count,
+     * gauges their value, histograms their mean. @return false when no
+     * such metric exists.
+     */
+    bool get(const std::string &name, double *value) const;
+
+    /** Full snapshot of every registered metric, sorted by name. */
+    std::map<std::string, PimMetricValue> snapshotAll() const;
+
+    /** Zero all values (handles stay valid). */
+    void reset();
+
+    /** Human-readable table of all non-zero metrics. */
+    void printReport(std::ostream &os) const;
+
+    /** JSON object {"name": value-or-histogram-object, ...}. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    PimMetrics() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+    std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+    std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+} // namespace pimeval
+
+/**
+ * Convenience hooks mirroring the PIM_TRACE_* style: resolve the
+ * handle once per site via a magic static, then relaxed-atomic update.
+ */
+#define PIM_METRIC_COUNT(metric_name, n)                               \
+    do {                                                               \
+        static ::pimeval::MetricCounter &pim_metric_site_ =            \
+            ::pimeval::PimMetrics::instance().counter(metric_name);    \
+        pim_metric_site_.add(static_cast<uint64_t>(n));                \
+    } while (0)
+
+#define PIM_METRIC_GAUGE(metric_name, v)                               \
+    do {                                                               \
+        static ::pimeval::MetricGauge &pim_metric_site_ =              \
+            ::pimeval::PimMetrics::instance().gauge(metric_name);      \
+        pim_metric_site_.set(static_cast<double>(v));                  \
+    } while (0)
+
+#define PIM_METRIC_RECORD(metric_name, v)                              \
+    do {                                                               \
+        static ::pimeval::MetricHistogram &pim_metric_site_ =          \
+            ::pimeval::PimMetrics::instance().histogram(metric_name);  \
+        pim_metric_site_.record(static_cast<double>(v));               \
+    } while (0)
+
+#endif // PIMEVAL_CORE_PIM_METRICS_H_

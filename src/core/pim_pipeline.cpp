@@ -7,6 +7,10 @@
 #include "core/pim_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "core/pim_metrics.h"
+#include "core/pim_trace.h"
 
 namespace pimeval {
 
@@ -34,8 +38,13 @@ PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers)
         num_workers = std::clamp<size_t>(hw, 2, 6);
     }
     workers_.reserve(num_workers);
-    for (size_t i = 0; i < num_workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (size_t i = 0; i < num_workers; ++i) {
+        workers_.emplace_back([this, i] {
+            PimTracer::instance().setThreadName(
+                "pipeline-worker-" + std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 PimPipeline::~PimPipeline()
@@ -77,10 +86,16 @@ PimPipeline::markReady(uint64_t seq)
 void
 PimPipeline::commitFrontier()
 {
+    uint64_t committed = 0;
     while (!commands_.empty() && commands_.front()->executed) {
         commands_.front()->delta.applyTo(stats_);
         commands_.pop_front();
         ++base_seq_;
+        ++committed;
+    }
+    if (committed) {
+        PIM_METRIC_COUNT("pipeline.committed", committed);
+        PIM_TRACE_INSTANT("pipeline.commit", "pipeline", base_seq_);
     }
 }
 
@@ -89,9 +104,12 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
                      const std::vector<PimObjId> &writes, CommandFn fn)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-        return next_seq_ - base_seq_ < kMaxInFlight;
-    });
+    if (next_seq_ - base_seq_ >= kMaxInFlight) {
+        PIM_METRIC_COUNT("pipeline.backpressure", 1);
+        done_cv_.wait(lock, [&] {
+            return next_seq_ - base_seq_ < kMaxInFlight;
+        });
+    }
 
     const uint64_t seq = next_seq_++;
     auto cmd = std::make_unique<Command>();
@@ -99,20 +117,36 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
 
     // Hazard collection. In-place updates list the object in both
     // sets; the write rules subsume the read rules for those.
+    // Dependency edges are classified by the rule that first finds
+    // them (addDep deduplicates, so an edge counts once).
     std::vector<uint64_t> deps;
+    size_t raw_edges = 0, waw_edges = 0, war_edges = 0;
     for (const PimObjId obj : reads) {
         const auto it = objects_.find(obj);
-        if (it != objects_.end())
+        if (it != objects_.end()) {
+            const size_t before = deps.size();
             addDep(deps, it->second.last_writer); // RAW
+            raw_edges += deps.size() - before;
+        }
     }
     for (const PimObjId obj : writes) {
         const auto it = objects_.find(obj);
         if (it == objects_.end())
             continue;
+        size_t before = deps.size();
         addDep(deps, it->second.last_writer); // WAW
+        waw_edges += deps.size() - before;
+        before = deps.size();
         for (const uint64_t reader : it->second.readers)
             addDep(deps, reader); // WAR
+        war_edges += deps.size() - before;
     }
+    if (raw_edges)
+        PIM_METRIC_COUNT("pipeline.hazard.raw", raw_edges);
+    if (waw_edges)
+        PIM_METRIC_COUNT("pipeline.hazard.waw", waw_edges);
+    if (war_edges)
+        PIM_METRIC_COUNT("pipeline.hazard.war", war_edges);
 
     // Update tracking. Writes clear the reader list; a pure read
     // appends to it.
@@ -150,7 +184,13 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
         }
     }
     cmd->unmet_deps = unmet;
+    if (unmet)
+        PIM_METRIC_COUNT("pipeline.issued_stalled", 1);
     commands_.push_back(std::move(cmd));
+    PIM_METRIC_COUNT("pipeline.issued", 1);
+    PIM_METRIC_RECORD("pipeline.depth", next_seq_ - base_seq_);
+    PIM_TRACE_INSTANT("pipeline.issue", "pipeline", seq);
+    PIM_TRACE_COUNTER("pipeline.in_flight", next_seq_ - base_seq_);
     if (unmet == 0)
         markReady(seq);
     return seq;
@@ -197,6 +237,17 @@ PimPipeline::sync()
     done_cv_.wait(lock, [&] { return base_seq_ == next_seq_; });
 }
 
+void
+PimPipeline::drainAndRun(const std::function<void()> &fn)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return base_seq_ == next_seq_; });
+    // Still holding the mutex: enqueue and commitFrontier are
+    // excluded, so fn observes (and may clear) a fully quiesced
+    // statistics state.
+    fn();
+}
+
 bool
 PimPipeline::idle() const
 {
@@ -218,7 +269,18 @@ PimPipeline::workerLoop()
         Command *cmd = command(seq);
         lock.unlock();
 
-        cmd->fn(cmd->delta);
+        {
+            PIM_TRACE_SCOPE_ARG("pipeline.execute", "pipeline", seq);
+            const auto exec_start =
+                std::chrono::steady_clock::now();
+            cmd->fn(cmd->delta);
+            const auto exec_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - exec_start)
+                    .count();
+            PIM_METRIC_COUNT("pipeline.exec_ns", exec_ns);
+            PIM_METRIC_COUNT("pipeline.executed", 1);
+        }
         // Release the closure eagerly: H2D snapshots live in the
         // bound arguments, and commit may lag behind execution.
         cmd->fn = nullptr;

@@ -128,6 +128,16 @@ class PimPipeline
     /** Drain everything: all commands executed and committed. */
     void sync();
 
+    /**
+     * Drain everything, then run @p fn while still holding the
+     * pipeline mutex, so nothing can issue or commit in between.
+     * Used by pimResetStats: a plain sync-then-reset leaves a window
+     * where commands issued by another thread commit between the
+     * drain and the reset. @p fn must not call back into the
+     * pipeline.
+     */
+    void drainAndRun(const std::function<void()> &fn);
+
     /** Commands issued so far (committed or not). */
     uint64_t issued() const { return next_seq_; }
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/pim_metrics.h"
 #include "util/logging.h"
 
 namespace pimeval {
@@ -159,8 +160,10 @@ PimResourceMgr::takeFromFreeList(uint64_t num_elements, unsigned bits,
 {
     const auto bucket =
         free_list_.find(FreeKey{num_elements, bits, v_layout});
-    if (bucket == free_list_.end())
+    if (bucket == free_list_.end()) {
+        PIM_METRIC_COUNT("freelist.miss", 1);
         return nullptr;
+    }
     auto &cached = bucket->second;
     size_t pick = cached.size();
     if (ref == nullptr) {
@@ -187,9 +190,12 @@ PimResourceMgr::takeFromFreeList(uint64_t num_elements, unsigned bits,
                 break;
             }
         }
-        if (pick == cached.size())
+        if (pick == cached.size()) {
+            PIM_METRIC_COUNT("freelist.miss", 1);
             return nullptr;
+        }
     }
+    PIM_METRIC_COUNT("freelist.hit", 1);
 
     std::unique_ptr<PimDataObject> obj = std::move(cached[pick]);
     cached.erase(cached.begin() + pick);
@@ -314,6 +320,8 @@ PimResourceMgr::releaseRows(const PimDataObject &obj)
 void
 PimResourceMgr::flushFreeList()
 {
+    if (free_list_count_ > 0)
+        PIM_METRIC_COUNT("freelist.flush", 1);
     for (const auto &[key, bucket] : free_list_) {
         for (const auto &obj : bucket)
             releaseRows(*obj);

@@ -5,6 +5,9 @@
 
 #include "core/pim_sim.h"
 
+#include <cstdlib>
+
+#include "core/pim_trace.h"
 #include "util/logging.h"
 
 namespace pimeval {
@@ -28,6 +31,17 @@ PimSim::createDevice(const PimDeviceConfig &config)
         return PimStatus::PIM_ERROR;
     }
     device_ = std::make_unique<PimDevice>(config);
+#if PIMEVAL_TRACING_ENABLED
+    // PIMEVAL_TRACE=<path> arms tracing for the device's lifetime;
+    // the trace exports to <path> when the device is deleted.
+    if (const char *path = std::getenv("PIMEVAL_TRACE");
+        path && *path && !PimTracer::enabled()) {
+        env_trace_path_ = path;
+        PimTracer::instance().begin(env_trace_path_);
+        logInfo("tracing to " + env_trace_path_ +
+                " (PIMEVAL_TRACE)");
+    }
+#endif
     return PimStatus::PIM_OK;
 }
 
@@ -39,6 +53,12 @@ PimSim::deleteDevice()
         return PimStatus::PIM_ERROR;
     }
     device_.reset();
+#if PIMEVAL_TRACING_ENABLED
+    if (!env_trace_path_.empty()) {
+        PimTracer::instance().end(env_trace_path_);
+        env_trace_path_.clear();
+    }
+#endif
     return PimStatus::PIM_OK;
 }
 

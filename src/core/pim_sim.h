@@ -11,6 +11,7 @@
 #define PIMEVAL_CORE_PIM_SIM_H_
 
 #include <memory>
+#include <string>
 
 #include "core/pim_device.h"
 
@@ -40,6 +41,9 @@ class PimSim
     PimSim() = default;
 
     std::unique_ptr<PimDevice> device_;
+
+    /** Export path when tracing was armed via PIMEVAL_TRACE. */
+    std::string env_trace_path_;
 };
 
 } // namespace pimeval

@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <vector>
 
+#include "core/pim_trace.h"
 #include "util/string_utils.h"
 
 namespace pimeval {
@@ -79,6 +80,19 @@ PimStatsMgr::recordCmd(CmdKeyId id, const PimOpCost &cost)
     ++stat.count;
     stat.runtime_sec += cost.runtime_sec;
     stat.energy_j += cost.energy_j;
+#if PIMEVAL_TRACING_ENABLED
+    // Modeled PIM clock: commands commit in issue order, so the
+    // accumulated kernel+copy time before this command is its modeled
+    // start — the second timeline of the dual-clock trace.
+    if (PimTracer::enabled()) {
+        auto &slot = cmd_slots_[id];
+        if (!slot.trace_name)
+            slot.trace_name = PimTracer::instance().intern(slot.key);
+        PimTracer::instance().recordModeledSpan(
+            slot.trace_name, kernel_sec_ + copy_sec_,
+            cost.runtime_sec, stat.count);
+    }
+#endif
     kernel_sec_ += cost.runtime_sec;
     kernel_j_ += cost.energy_j;
 }
@@ -95,17 +109,30 @@ PimStatsMgr::recordCopy(PimCopyEnum direction, uint64_t bytes,
                         const PimOpCost &cost)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    const char *trace_name = nullptr;
     switch (direction) {
       case PimCopyEnum::PIM_COPY_H2D:
         bytes_h2d_ += bytes;
+        trace_name = "copy.h2d";
         break;
       case PimCopyEnum::PIM_COPY_D2H:
         bytes_d2h_ += bytes;
+        trace_name = "copy.d2h";
         break;
       case PimCopyEnum::PIM_COPY_D2D:
         bytes_d2d_ += bytes;
+        trace_name = "copy.d2d";
         break;
     }
+#if PIMEVAL_TRACING_ENABLED
+    if (PimTracer::enabled() && trace_name) {
+        PimTracer::instance().recordModeledSpan(
+            trace_name, kernel_sec_ + copy_sec_, cost.runtime_sec,
+            bytes);
+    }
+#else
+    (void)trace_name;
+#endif
     copy_sec_ += cost.runtime_sec;
     copy_j_ += cost.energy_j;
 }
@@ -238,6 +265,39 @@ PimStatsMgr::printReport(std::ostream &os) const
            << formatFixed(host_sec_ * 1e3, 6) << " ms\n";
     }
     os << "----------------------------------------\n";
+}
+
+void
+PimStatsMgr::dumpJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto flags = os.flags();
+    os << std::setprecision(17);
+    os << "{\n";
+    os << "  \"totals\": {\n";
+    os << "    \"kernel_sec\": " << kernel_sec_ << ",\n";
+    os << "    \"kernel_j\": " << kernel_j_ << ",\n";
+    os << "    \"copy_sec\": " << copy_sec_ << ",\n";
+    os << "    \"copy_j\": " << copy_j_ << ",\n";
+    os << "    \"host_sec\": " << host_sec_ << "\n";
+    os << "  },\n";
+    os << "  \"copy_bytes\": {\n";
+    os << "    \"h2d\": " << bytes_h2d_ << ",\n";
+    os << "    \"d2h\": " << bytes_d2h_ << ",\n";
+    os << "    \"d2d\": " << bytes_d2d_ << "\n";
+    os << "  },\n";
+    os << "  \"commands\": {";
+    bool first = true;
+    for (const auto &[key, stat] : cmdStatsLocked()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    \"" << key << "\": {\"count\": " << stat.count
+           << ", \"runtime_sec\": " << stat.runtime_sec
+           << ", \"energy_j\": " << stat.energy_j << "}";
+    }
+    os << "\n  }\n";
+    os << "}\n";
+    os.flags(flags);
 }
 
 } // namespace pimeval

@@ -148,6 +148,10 @@ class PimStatsMgr
     /** Print a Listing-3 style report. */
     void printReport(std::ostream &os) const;
 
+    /** Write the aggregate totals, copy byte counts, and per-command
+     *  table as a JSON object (the pimDumpStats payload). */
+    void dumpJson(std::ostream &os) const;
+
   private:
     /** One interned stats key; ids index cmd_slots_. */
     struct CmdSlot
@@ -155,6 +159,9 @@ class PimStatsMgr
         std::string key;
         PimCmdEnum cmd = PimCmdEnum::kNone;
         PimCmdStat stat;
+        /** Tracer-interned copy of key: stable across cmd_slots_
+         *  reallocation, resolved lazily on first traced commit. */
+        const char *trace_name = nullptr;
     };
 
     /** cmdStats() body for callers already holding the mutex. */

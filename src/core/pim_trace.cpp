@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Tracer implementation: per-thread ring buffers, Chrome trace-event
+ * JSON / CSV exporters, and a minimal JSON reader used to validate
+ * exported traces (tests and the trace_smoke ctest).
+ */
+
+#include "core/pim_trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pimeval {
+
+namespace {
+
+/** pim_observe sits below pim_util, so log in the PIM-Error style
+ *  directly instead of pulling in util/logging. */
+void
+traceError(const std::string &msg)
+{
+    std::fprintf(stderr, "PIM-Error: %s\n", msg.c_str());
+}
+
+} // namespace
+
+std::atomic<bool> PimTracer::enabled_flag_{false};
+
+PimTracer &
+PimTracer::instance()
+{
+    // Leaked singleton: threads may record during static destruction.
+    static PimTracer *tracer = new PimTracer();
+    return *tracer;
+}
+
+PimTracer::ThreadBuffer &
+PimTracer::localBuffer()
+{
+    thread_local ThreadBuffer *buffer = nullptr;
+    if (!buffer) {
+        auto owned = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        owned->tid = static_cast<uint32_t>(buffers_.size());
+        owned->ring.resize(capacity_);
+        buffers_.push_back(owned);
+        buffer = owned.get();
+    }
+    return *buffer;
+}
+
+void
+PimTracer::record(const TraceEvent &event)
+{
+    // Shared gate: concurrent with other writers, excluded against
+    // begin/end/export. Re-check under the gate so control operations
+    // observe a quiesced state.
+    std::shared_lock<std::shared_mutex> lock(gate_);
+    if (!enabled())
+        return;
+    ThreadBuffer &buf = localBuffer();
+    if (buf.ring.empty())
+        return;
+    const uint64_t n = buf.count.load(std::memory_order_relaxed);
+    buf.ring[n % buf.ring.size()] = event;
+    buf.count.store(n + 1, std::memory_order_release);
+}
+
+void
+PimTracer::begin(const std::string &path)
+{
+    std::unique_lock<std::shared_mutex> lock(gate_);
+    {
+        std::lock_guard<std::mutex> reg(registry_mutex_);
+        capacity_ = kDefaultCapacity;
+        if (const char *env = std::getenv("PIMEVAL_TRACE_CAPACITY")) {
+            const long long v = std::atoll(env);
+            if (v > 0)
+                capacity_ = static_cast<size_t>(v);
+        }
+        for (auto &buf : buffers_) {
+            buf->ring.assign(capacity_, TraceEvent{});
+            buf->count.store(0, std::memory_order_relaxed);
+        }
+    }
+    path_ = path;
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_flag_.store(true, std::memory_order_release);
+}
+
+bool
+PimTracer::end(const std::string &path)
+{
+    enabled_flag_.store(false, std::memory_order_release);
+    // Unique acquisition waits out writers that passed the flag check.
+    std::unique_lock<std::shared_mutex> lock(gate_);
+    const std::string &target = path.empty() ? path_ : path;
+    if (target.empty())
+        return true;
+    if (target.size() > 4 &&
+        target.compare(target.size() - 4, 4, ".csv") == 0)
+        return exportCsv(target);
+    return exportJson(target);
+}
+
+bool
+PimTracer::dump(const std::string &path) const
+{
+    std::unique_lock<std::shared_mutex> lock(gate_);
+    if (path.size() > 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0)
+        return exportCsv(path);
+    return exportJson(path);
+}
+
+void
+PimTracer::recordSpan(const char *name, const char *category,
+                      uint64_t start_ns, uint64_t end_ns, uint64_t arg)
+{
+    TraceEvent e;
+    e.type = TraceEventType::kSpan;
+    e.name = name;
+    e.category = category;
+    e.ts_ns = start_ns;
+    e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+    e.arg = arg;
+    record(e);
+}
+
+void
+PimTracer::recordInstant(const char *name, const char *category,
+                         uint64_t arg)
+{
+    TraceEvent e;
+    e.type = TraceEventType::kInstant;
+    e.name = name;
+    e.category = category;
+    e.ts_ns = nowNs();
+    e.arg = arg;
+    record(e);
+}
+
+void
+PimTracer::recordCounter(const char *name, double value)
+{
+    TraceEvent e;
+    e.type = TraceEventType::kCounter;
+    e.name = name;
+    e.category = "counter";
+    e.ts_ns = nowNs();
+    e.modeled_dur_sec = value;
+    record(e);
+}
+
+void
+PimTracer::recordModeledSpan(const char *name,
+                             double modeled_start_sec,
+                             double modeled_dur_sec, uint64_t arg)
+{
+    TraceEvent e;
+    e.type = TraceEventType::kModeledSpan;
+    e.name = name;
+    e.category = "modeled";
+    e.ts_ns = nowNs();
+    e.modeled_sec = modeled_start_sec;
+    e.modeled_dur_sec = modeled_dur_sec;
+    e.arg = arg;
+    record(e);
+}
+
+void
+PimTracer::setThreadName(const std::string &name)
+{
+    ThreadBuffer &buf = localBuffer();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buf.name = name;
+}
+
+const char *
+PimTracer::intern(const std::string &s)
+{
+    std::lock_guard<std::mutex> lock(intern_mutex_);
+    return interned_.insert(s).first->c_str();
+}
+
+std::vector<TraceEvent>
+PimTracer::snapshotEvents() const
+{
+    std::unique_lock<std::shared_mutex> lock(gate_);
+    std::vector<TraceEvent> events;
+    std::lock_guard<std::mutex> reg(registry_mutex_);
+    for (const auto &buf : buffers_) {
+        const uint64_t n = buf->count.load(std::memory_order_acquire);
+        const uint64_t size = buf->ring.size();
+        if (size == 0 || n == 0)
+            continue;
+        const uint64_t kept = n < size ? n : size;
+        for (uint64_t i = n - kept; i < n; ++i)
+            events.push_back(buf->ring[i % size]);
+    }
+    return events;
+}
+
+uint64_t
+PimTracer::droppedEvents() const
+{
+    std::unique_lock<std::shared_mutex> lock(gate_);
+    std::lock_guard<std::mutex> reg(registry_mutex_);
+    uint64_t dropped = 0;
+    for (const auto &buf : buffers_) {
+        const uint64_t n = buf->count.load(std::memory_order_acquire);
+        if (n > buf->ring.size())
+            dropped += n - buf->ring.size();
+    }
+    return dropped;
+}
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Microseconds with sub-µs fraction, the Chrome "ts" unit. */
+std::string
+formatUs(double us)
+{
+    char tmp[40];
+    std::snprintf(tmp, sizeof(tmp), "%.3f", us);
+    return tmp;
+}
+
+constexpr int kHostPid = 1;    ///< host-thread tracks
+constexpr int kModeledPid = 2; ///< modeled-PIM-time track
+
+} // namespace
+
+bool
+PimTracer::exportJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        traceError("trace: cannot open '" + path + "' for writing");
+        return false;
+    }
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+    };
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kHostPid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+         "\"pimeval host\"}}");
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kModeledPid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+         "\"modeled PIM device\"}}");
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kModeledPid) +
+         ",\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":"
+         "\"modeled time (committed order)\"}}");
+
+    std::lock_guard<std::mutex> reg(registry_mutex_);
+    for (const auto &buf : buffers_) {
+        const std::string name =
+            buf->name.empty() ? "thread-" + std::to_string(buf->tid)
+                              : buf->name;
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kHostPid) +
+             ",\"tid\":" + std::to_string(buf->tid) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+             jsonEscape(name.c_str()) + "\"}}");
+    }
+    for (const auto &buf : buffers_) {
+        const uint64_t n = buf->count.load(std::memory_order_acquire);
+        const uint64_t size = buf->ring.size();
+        if (size == 0 || n == 0)
+            continue;
+        const uint64_t kept = n < size ? n : size;
+        const std::string tid = std::to_string(buf->tid);
+        for (uint64_t i = n - kept; i < n; ++i) {
+            const TraceEvent &e = buf->ring[i % size];
+            const std::string name = jsonEscape(e.name);
+            const std::string cat =
+                jsonEscape(e.category ? e.category : "pim");
+            const std::string ts = formatUs(e.ts_ns / 1e3);
+            std::string line;
+            switch (e.type) {
+              case TraceEventType::kSpan:
+                line = "{\"ph\":\"X\",\"pid\":1,\"tid\":" + tid +
+                       ",\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                       "\",\"ts\":" + ts +
+                       ",\"dur\":" + formatUs(e.dur_ns / 1e3) +
+                       ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+                       "}}";
+                break;
+              case TraceEventType::kInstant:
+                line = "{\"ph\":\"i\",\"pid\":1,\"tid\":" + tid +
+                       ",\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                       "\",\"ts\":" + ts + ",\"s\":\"t\"" +
+                       ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+                       "}}";
+                break;
+              case TraceEventType::kCounter:
+                line = "{\"ph\":\"C\",\"pid\":1,\"tid\":" + tid +
+                       ",\"name\":\"" + name + "\",\"ts\":" + ts +
+                       ",\"args\":{\"value\":" +
+                       formatUs(e.modeled_dur_sec) + "}}";
+                break;
+              case TraceEventType::kModeledSpan:
+                // Modeled PIM clock: ts is the modeled start (µs of
+                // modeled time), host_ts_us ties it back to the host
+                // timeline (the dual-clock correspondence).
+                line = "{\"ph\":\"X\",\"pid\":2,\"tid\":1" +
+                       std::string(",\"name\":\"") + name +
+                       "\",\"cat\":\"" + cat +
+                       "\",\"ts\":" + formatUs(e.modeled_sec * 1e6) +
+                       ",\"dur\":" +
+                       formatUs(e.modeled_dur_sec * 1e6) +
+                       ",\"args\":{\"host_ts_us\":" +
+                       formatUs(e.ts_ns / 1e3) +
+                       ",\"cores\":" + std::to_string(e.arg) + "}}";
+                break;
+            }
+            emit(line);
+        }
+    }
+    os << "\n]}\n";
+    return static_cast<bool>(os);
+}
+
+bool
+PimTracer::exportCsv(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        traceError("trace: cannot open '" + path + "' for writing");
+        return false;
+    }
+    os << "type,tid,name,category,ts_ns,dur_ns,modeled_sec,"
+          "modeled_dur_sec,arg\n";
+    static const char *kTypeNames[] = {"span", "instant", "counter",
+                                       "modeled_span"};
+    std::lock_guard<std::mutex> reg(registry_mutex_);
+    for (const auto &buf : buffers_) {
+        const uint64_t n = buf->count.load(std::memory_order_acquire);
+        const uint64_t size = buf->ring.size();
+        if (size == 0 || n == 0)
+            continue;
+        const uint64_t kept = n < size ? n : size;
+        for (uint64_t i = n - kept; i < n; ++i) {
+            const TraceEvent &e = buf->ring[i % size];
+            os << kTypeNames[static_cast<int>(e.type)] << ','
+               << buf->tid << ',' << (e.name ? e.name : "") << ','
+               << (e.category ? e.category : "") << ',' << e.ts_ns
+               << ',' << e.dur_ns << ',' << e.modeled_sec << ','
+               << e.modeled_dur_sec << ',' << e.arg << '\n';
+        }
+    }
+    return static_cast<bool>(os);
+}
+
+// ---------------------------------------------------------------------------
+// Trace validation: a minimal JSON reader, enough to parse back what
+// exportJson writes and check the Chrome trace-event schema.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Tiny JSON DOM (objects keep only what validation needs). */
+struct JsonValue
+{
+    enum class Kind {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+    Kind kind = Kind::kNull;
+    double number = 0.0;
+    bool boolean = false;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool fail(const std::string &msg)
+    {
+        if (error_ && error_->empty())
+            *error_ = msg + " (offset " + std::to_string(pos_) + ")";
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out->kind = JsonValue::Kind::kString;
+            return parseString(&out->str);
+        }
+        if (c == 't' || c == 'f') {
+            const char *word = c == 't' ? "true" : "false";
+            const size_t len = c == 't' ? 4 : 5;
+            if (text_.compare(pos_, len, word) != 0)
+                return fail("bad literal");
+            out->kind = JsonValue::Kind::kBool;
+            out->boolean = c == 't';
+            pos_ += len;
+            return true;
+        }
+        if (c == 'n') {
+            if (text_.compare(pos_, 4, "null") != 0)
+                return fail("bad literal");
+            out->kind = JsonValue::Kind::kNull;
+            pos_ += 4;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool parseString(std::string *out)
+    {
+        ++pos_; // opening quote
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'n': *out += '\n'; break;
+                  case 't': *out += '\t'; break;
+                  case 'r': *out += '\r'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'u':
+                    if (pos_ + 4 > text_.size())
+                        return fail("bad \\u escape");
+                    // Validation only: keep the raw escape text.
+                    *out += "\\u" + text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                *out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a JSON value");
+        try {
+            out->number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        out->kind = JsonValue::Kind::kNumber;
+        return true;
+    }
+
+    bool parseArray(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::kArray;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            skipWs();
+            if (!parseValue(&elem))
+                return false;
+            out->array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parseObject(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::kObject;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value))
+                return false;
+            out->object.emplace_back(std::move(key),
+                                     std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+pimValidateChromeTraceFile(const std::string &path, size_t *num_events,
+                           std::string *error)
+{
+    if (num_events)
+        *num_events = 0;
+    if (error)
+        error->clear();
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+
+    JsonValue root;
+    std::string parse_error;
+    JsonParser parser(text, &parse_error);
+    if (!parser.parse(&root)) {
+        if (error)
+            *error = "JSON parse error: " + parse_error;
+        return false;
+    }
+    if (root.kind != JsonValue::Kind::kObject) {
+        if (error)
+            *error = "top level is not an object";
+        return false;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || events->kind != JsonValue::Kind::kArray) {
+        if (error)
+            *error = "missing traceEvents array";
+        return false;
+    }
+    for (size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &e = events->array[i];
+        const std::string where =
+            "traceEvents[" + std::to_string(i) + "]";
+        if (e.kind != JsonValue::Kind::kObject) {
+            if (error)
+                *error = where + " is not an object";
+            return false;
+        }
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *name = e.find("name");
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (!ph || ph->kind != JsonValue::Kind::kString ||
+            ph->str.empty() || !name ||
+            name->kind != JsonValue::Kind::kString || !pid ||
+            pid->kind != JsonValue::Kind::kNumber || !tid ||
+            tid->kind != JsonValue::Kind::kNumber) {
+            if (error)
+                *error = where + " lacks ph/name/pid/tid";
+            return false;
+        }
+        if (ph->str != "M") {
+            const JsonValue *ts = e.find("ts");
+            if (!ts || ts->kind != JsonValue::Kind::kNumber ||
+                ts->number < 0) {
+                if (error)
+                    *error = where + " lacks a valid ts";
+                return false;
+            }
+            if (ph->str == "X") {
+                const JsonValue *dur = e.find("dur");
+                if (!dur ||
+                    dur->kind != JsonValue::Kind::kNumber ||
+                    dur->number < 0) {
+                    if (error)
+                        *error = where + " (X) lacks a valid dur";
+                    return false;
+                }
+            }
+        }
+    }
+    if (num_events)
+        *num_events = events->array.size();
+    return true;
+}
+
+} // namespace pimeval

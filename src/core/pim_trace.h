@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Low-overhead event tracer for the simulator itself (host-side
+ * observability, not PIM modeling): scoped spans and instant events
+ * recorded into per-thread ring buffers and exported as Chrome
+ * trace-event JSON (loadable in Perfetto / chrome://tracing) or
+ * compact CSV.
+ *
+ * Dual clocks: every event carries the host wall clock (nanoseconds
+ * since trace begin). Events emitted at statistics-commit time
+ * additionally carry the modeled PIM clock (accumulated modeled
+ * kernel+copy seconds), so the export contains two aligned timelines —
+ * one process of host threads and one process of modeled PIM time.
+ * All cores of a command run in lockstep, so the modeled timeline is
+ * one device-aggregate track (per-core tracks would be N identical
+ * copies); each modeled span records the cores it occupied in its
+ * args.
+ *
+ * Concurrency model: each thread owns one ring buffer and appends to
+ * it without locks. A reader/writer gate (shared lock per recorded
+ * event, exclusive at begin/end/export) quiesces writers so that
+ * control operations and exports are race-free — including under
+ * ThreadSanitizer. The runtime-disabled fast path is one relaxed
+ * atomic load and branch per hook; with -DPIMEVAL_TRACING=OFF the
+ * hooks compile away entirely (see the macros at the bottom).
+ */
+
+#ifndef PIMEVAL_CORE_PIM_TRACE_H_
+#define PIMEVAL_CORE_PIM_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#ifndef PIMEVAL_TRACING_ENABLED
+#define PIMEVAL_TRACING_ENABLED 1
+#endif
+
+namespace pimeval {
+
+enum class TraceEventType : uint8_t {
+    kSpan = 0,    ///< complete event with a duration (Chrome "X")
+    kInstant,     ///< point event (Chrome "i")
+    kCounter,     ///< sampled value (Chrome "C")
+    kModeledSpan, ///< span on the modeled-PIM-time track
+};
+
+/**
+ * One recorded event. Names and categories must be string literals or
+ * strings interned through PimTracer::intern (the tracer stores the
+ * pointer, not a copy).
+ */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    const char *category = nullptr;
+    uint64_t ts_ns = 0;  ///< host clock, ns since trace begin
+    uint64_t dur_ns = 0; ///< span duration (spans only)
+    /** Modeled PIM clock at the event (seconds); < 0 when the event
+     *  has no modeled-time meaning. */
+    double modeled_sec = -1.0;
+    /** Modeled duration (modeled spans) or counter value. */
+    double modeled_dur_sec = 0.0;
+    uint64_t arg = 0; ///< generic payload (bytes, seq, elements, ...)
+    TraceEventType type = TraceEventType::kInstant;
+};
+
+/**
+ * Process-wide tracer. All methods are thread-safe. Inactive by
+ * default; activate with begin() (or the PIMEVAL_TRACE environment
+ * variable, honored at device creation) and export with end() or
+ * dump().
+ */
+class PimTracer
+{
+  public:
+    static PimTracer &instance();
+
+    /** Hook fast path: one relaxed load, safe before instance(). */
+    static bool enabled()
+    {
+        return enabled_flag_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start (or restart) tracing: clears all buffers, re-arms the
+     * epoch, and remembers @p path as the default export target.
+     * Ring capacity is kDefaultCapacity events per thread, or
+     * PIMEVAL_TRACE_CAPACITY when that env var holds a number.
+     */
+    void begin(const std::string &path);
+
+    /**
+     * Stop tracing and export to @p path (empty = the begin() path).
+     * Buffers are retained until the next begin(), so dump() can still
+     * re-export. @return false when the file cannot be written.
+     */
+    bool end(const std::string &path = "");
+
+    /** Export a snapshot without stopping. Path extension selects the
+     *  format: ".csv" writes compact CSV, everything else Chrome
+     *  trace-event JSON. */
+    bool dump(const std::string &path) const;
+
+    bool active() const { return enabled(); }
+    const std::string &outputPath() const { return path_; }
+
+    /** Host clock in ns since the trace epoch. */
+    uint64_t nowNs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /** Record a completed span [start_ns, end_ns) on this thread. */
+    void recordSpan(const char *name, const char *category,
+                    uint64_t start_ns, uint64_t end_ns,
+                    uint64_t arg = 0);
+
+    /** Record an instant event on this thread. */
+    void recordInstant(const char *name, const char *category,
+                       uint64_t arg = 0);
+
+    /** Record a counter sample (Chrome "C" track). */
+    void recordCounter(const char *name, double value);
+
+    /**
+     * Record a span on the modeled-PIM-time track: the command named
+     * @p name occupied modeled time [modeled_start_sec,
+     * modeled_start_sec + modeled_dur_sec). @p arg carries the cores
+     * used. Also timestamps the host clock, giving the dual-clock
+     * correspondence.
+     */
+    void recordModeledSpan(const char *name,
+                           double modeled_start_sec,
+                           double modeled_dur_sec, uint64_t arg = 0);
+
+    /**
+     * Name the calling thread's track in the export (e.g.
+     * "pipeline-worker-0"). Cheap; callable whether or not tracing is
+     * active.
+     */
+    void setThreadName(const std::string &name);
+
+    /**
+     * Intern a dynamic string, returning a pointer that stays valid
+     * for the process lifetime (event names must outlive the trace).
+     */
+    const char *intern(const std::string &s);
+
+    /** All currently buffered events (oldest first per thread), for
+     *  tests and exporters. Quiesces writers while copying. */
+    std::vector<TraceEvent> snapshotEvents() const;
+
+    /** Events lost to ring overwrite since begin(). */
+    uint64_t droppedEvents() const;
+
+    /** Default per-thread ring capacity (events). */
+    static constexpr size_t kDefaultCapacity = size_t{1} << 15;
+
+  private:
+    PimTracer() = default;
+
+    /** One thread's ring. Written lock-free by its owner under the
+     *  shared gate; read only under the exclusive gate. */
+    struct ThreadBuffer
+    {
+        std::vector<TraceEvent> ring;
+        /** Total events ever written this session; slot = n % size. */
+        std::atomic<uint64_t> count{0};
+        std::string name;
+        uint32_t tid = 0;
+    };
+
+    ThreadBuffer &localBuffer();
+    void record(const TraceEvent &event);
+    bool exportJson(const std::string &path) const;
+    bool exportCsv(const std::string &path) const;
+
+    static std::atomic<bool> enabled_flag_;
+
+    /** Writers hold shared; begin/end/export/snapshot hold
+     *  exclusive. */
+    mutable std::shared_mutex gate_;
+    mutable std::mutex registry_mutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    std::string path_;
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    size_t capacity_ = kDefaultCapacity;
+
+    std::mutex intern_mutex_;
+    std::unordered_set<std::string> interned_;
+};
+
+/**
+ * RAII span: stamps the start on construction (when tracing is
+ * enabled) and records the completed span on destruction. Use through
+ * PIM_TRACE_SCOPE so the whole object disappears under
+ * -DPIMEVAL_TRACING=OFF.
+ */
+class PimTraceScope
+{
+  public:
+    PimTraceScope(const char *name, const char *category,
+                  uint64_t arg = 0)
+    {
+        if (PimTracer::enabled()) {
+            name_ = name;
+            category_ = category;
+            arg_ = arg;
+            start_ns_ = PimTracer::instance().nowNs() + 1;
+        }
+    }
+
+    ~PimTraceScope()
+    {
+        if (start_ns_ != 0) {
+            PimTracer &tracer = PimTracer::instance();
+            tracer.recordSpan(name_, category_, start_ns_ - 1,
+                              tracer.nowNs(), arg_);
+        }
+    }
+
+    PimTraceScope(const PimTraceScope &) = delete;
+    PimTraceScope &operator=(const PimTraceScope &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    const char *category_ = nullptr;
+    uint64_t arg_ = 0;
+    /** 0 = disabled at construction (nowNs()+1 keeps 0 reserved). */
+    uint64_t start_ns_ = 0;
+};
+
+/**
+ * Minimal JSON validation of an exported Chrome trace file: the whole
+ * file must parse as JSON and contain a "traceEvents" array whose
+ * entries carry the required ph/name/pid/tid/ts fields. Used by
+ * test_trace and the trace_smoke ctest.
+ * @param num_events out: number of trace events (may be null).
+ * @param error      out: first problem found (may be null).
+ */
+bool pimValidateChromeTraceFile(const std::string &path,
+                                size_t *num_events, std::string *error);
+
+} // namespace pimeval
+
+// ---------------------------------------------------------------------------
+// Hook macros. With PIMEVAL_TRACING=OFF (CMake option) every hook
+// compiles to an empty statement; with tracing compiled in but not
+// begun, each hook costs one relaxed atomic load and branch.
+// ---------------------------------------------------------------------------
+
+#if PIMEVAL_TRACING_ENABLED
+
+#define PIM_TRACE_CONCAT_INNER_(a, b) a##b
+#define PIM_TRACE_CONCAT_(a, b) PIM_TRACE_CONCAT_INNER_(a, b)
+
+/** Scoped span covering the rest of the enclosing block. */
+#define PIM_TRACE_SCOPE(name, category)                                \
+    ::pimeval::PimTraceScope PIM_TRACE_CONCAT_(pim_trace_scope_,       \
+                                               __LINE__)((name),       \
+                                                         (category))
+
+/** Scoped span with a numeric payload (bytes, elements, seq...). */
+#define PIM_TRACE_SCOPE_ARG(name, category, arg)                       \
+    ::pimeval::PimTraceScope PIM_TRACE_CONCAT_(pim_trace_scope_,       \
+                                               __LINE__)(              \
+        (name), (category), static_cast<uint64_t>(arg))
+
+/** Instant event. */
+#define PIM_TRACE_INSTANT(name, category, arg)                         \
+    do {                                                               \
+        if (::pimeval::PimTracer::enabled())                           \
+            ::pimeval::PimTracer::instance().recordInstant(            \
+                (name), (category), static_cast<uint64_t>(arg));       \
+    } while (0)
+
+/** Counter sample (renders as a counter track in Perfetto). */
+#define PIM_TRACE_COUNTER(name, value)                                 \
+    do {                                                               \
+        if (::pimeval::PimTracer::enabled())                           \
+            ::pimeval::PimTracer::instance().recordCounter(            \
+                (name), static_cast<double>(value));                   \
+    } while (0)
+
+#else // !PIMEVAL_TRACING_ENABLED
+
+#define PIM_TRACE_SCOPE(name, category)                                \
+    do {                                                               \
+    } while (0)
+#define PIM_TRACE_SCOPE_ARG(name, category, arg)                       \
+    do {                                                               \
+    } while (0)
+#define PIM_TRACE_INSTANT(name, category, arg)                         \
+    do {                                                               \
+    } while (0)
+#define PIM_TRACE_COUNTER(name, value)                                 \
+    do {                                                               \
+    } while (0)
+
+#endif // PIMEVAL_TRACING_ENABLED
+
+#endif // PIMEVAL_CORE_PIM_TRACE_H_

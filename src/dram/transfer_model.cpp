@@ -10,6 +10,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "core/pim_metrics.h"
 #include "dram/dram_channel.h"
 
 namespace pimeval {
@@ -48,6 +49,7 @@ TransferModel::simulateChannel(uint64_t bytes, bool is_write) const
         std::shared_lock<std::shared_mutex> lock(cache_mutex_);
         const auto hit = cache_.find(key);
         if (hit != cache_.end()) {
+            PIM_METRIC_COUNT("cache.transfer.hit", 1);
             TransferResult result;
             const double scale = static_cast<double>(num_columns) /
                 static_cast<double>(simulated);
@@ -61,6 +63,7 @@ TransferModel::simulateChannel(uint64_t bytes, bool is_write) const
         }
     }
 
+    PIM_METRIC_COUNT("cache.transfer.miss", 1);
     const uint32_t cols_per_row =
         row_bytes_ / DramTiming::kBytesPerColumn;
 

@@ -7,6 +7,7 @@
 
 #include <cassert>
 
+#include "core/pim_metrics.h"
 #include "fulcrum/alpu_kernels.h"
 
 namespace pimeval {
@@ -141,6 +142,8 @@ FulcrumCore::processElements(AlpuOp op, unsigned elem_bits,
 {
     assert(elem_bits <= alu_bits_ && elem_bits <= 64);
     assert(static_cast<uint64_t>(num_elements) * elem_bits <= row_bits_);
+    // Batched per row of elements, not per element.
+    PIM_METRIC_COUNT("substrate.fulcrum.elements", num_elements);
     const unsigned cycles =
         alpuCyclesForOp(op, /*has_native_popcount=*/alu_bits_ >= 64);
     for (uint32_t i = 0; i < num_elements; ++i) {

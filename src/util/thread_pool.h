@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/pim_metrics.h"
+
 namespace pimeval {
 
 /**
@@ -79,9 +81,11 @@ class ThreadPool
         const size_t num_workers = workers_.size();
         if (num_workers <= 1 || total < kMinParallelTotal ||
             inWorkerThread()) {
+            PIM_METRIC_COUNT("threadpool.inline_runs", 1);
             body(begin, end);
             return;
         }
+        PIM_METRIC_COUNT("threadpool.parallel_for", 1);
 
         // Enough chunks for balance, but never smaller than the grain
         // (tiny chunks defeat vectorized kernels and thrash the index).
@@ -93,13 +97,15 @@ class ThreadPool
 
         std::atomic<size_t> next{0};
         auto steal = [&]() {
+            size_t claimed = 0;
             for (;;) {
                 const size_t c =
                     next.fetch_add(1, std::memory_order_relaxed);
                 const size_t lo = begin + c * chunk;
                 if (lo >= end)
-                    return;
+                    return claimed;
                 body(lo, std::min(end, lo + chunk));
+                ++claimed;
             }
         };
 
@@ -107,11 +113,13 @@ class ThreadPool
         // shared index until the range is exhausted.
         const size_t helpers = std::min(num_workers, num_chunks);
         std::atomic<size_t> live{helpers};
+        std::atomic<size_t> stolen{0};
         std::mutex done_mutex;
         std::condition_variable done_cv;
         for (size_t w = 0; w < helpers; ++w) {
             enqueue([&] {
-                steal();
+                stolen.fetch_add(steal(),
+                                 std::memory_order_relaxed);
                 if (live.fetch_sub(1, std::memory_order_acq_rel) ==
                     1) {
                     std::lock_guard<std::mutex> lock(done_mutex);
@@ -120,13 +128,23 @@ class ThreadPool
             });
         }
 
-        steal();
+        const size_t caller_chunks = steal();
 
         // Helpers reference this stack frame; wait for all of them.
         std::unique_lock<std::mutex> lock(done_mutex);
         done_cv.wait(lock, [&] {
             return live.load(std::memory_order_acquire) == 0;
         });
+        // Batched per invocation, not per chunk: the claims
+        // themselves stay a single relaxed fetch_add.
+        if (caller_chunks)
+            PIM_METRIC_COUNT("threadpool.chunks_caller",
+                             caller_chunks);
+        const size_t helper_chunks =
+            stolen.load(std::memory_order_relaxed);
+        if (helper_chunks)
+            PIM_METRIC_COUNT("threadpool.chunks_stolen",
+                             helper_chunks);
     }
 
     /**

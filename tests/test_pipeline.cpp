@@ -299,6 +299,55 @@ TEST_P(PipelineTest, ModeSwitchDrains)
     pimFree(a);
 }
 
+/**
+ * pimResetStats with commands in flight: the reset drains the
+ * pipeline and clears under the pipeline mutex (drainAndRun), so no
+ * pre-reset command can commit into the cleared state and no
+ * post-reset command can be lost. Regression test for the former
+ * sync-then-reset window.
+ */
+TEST_P(PipelineTest, ResetStatsAtomicWithInFlightWork)
+{
+    const uint64_t n = 2048;
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+
+    const PimObjId a = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    ASSERT_GE(a, 0);
+    pimBroadcastInt(a, 5);
+    for (int i = 0; i < 20; ++i)
+        pimAddScalar(a, a, 2);
+
+    // No explicit sync: the commands above may still be in flight.
+    ASSERT_EQ(pimResetStats(), PimStatus::PIM_OK);
+
+    // Nothing from before the reset may leak into the cleared state.
+    const PimRunStats cleared = pimGetStats();
+    EXPECT_EQ(cleared.kernel_sec, 0.0);
+    EXPECT_EQ(cleared.kernel_j, 0.0);
+    EXPECT_EQ(cleared.copy_sec, 0.0);
+    EXPECT_EQ(cleared.bytes_h2d, 0u);
+    EXPECT_TRUE(pimGetOpMix().empty());
+
+    // Nothing issued after the reset may be lost: exactly 3 commands.
+    for (int i = 0; i < 3; ++i)
+        pimAddScalar(a, a, 1);
+    ASSERT_EQ(pimSync(), PimStatus::PIM_OK);
+    uint64_t total_cmds = 0;
+    for (const auto &[name, count] : pimGetOpMix())
+        total_cmds += count;
+    EXPECT_EQ(total_cmds, 3u);
+    EXPECT_GT(pimGetStats().kernel_sec, 0.0);
+
+    // The reset clears statistics only; functional state survives.
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(a, out.data());
+    EXPECT_EQ(out.front(), 5 + 20 * 2 + 3);
+    EXPECT_EQ(out.back(), 5 + 20 * 2 + 3);
+    pimFree(a);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllTargets, PipelineTest,
     ::testing::Values(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
