@@ -111,6 +111,35 @@ struct Operands
     }
 };
 
+/** AXPY as a fusable 2-op chain with one dead temporary. */
+void
+axpyChain(const Operands &o)
+{
+    const PimObjId t =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    pimMulScalar(o.a, t, 5);
+    pimAdd(t, o.b, o.d);
+    pimFree(t);
+    pimSync();
+}
+
+/** Linear-regression residual (w*x + b - y) as a fusable 3-op chain
+ *  with two dead temporaries. */
+void
+linregChain(const Operands &o)
+{
+    const PimObjId t0 =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    const PimObjId t1 =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    pimMulScalar(o.a, t0, 3);
+    pimAddScalar(t0, t1, 7);
+    pimSub(t1, o.b, o.d);
+    pimFree(t0);
+    pimFree(t1);
+    pimSync();
+}
+
 using CmdBody = std::function<void(const Operands &)>;
 
 /** One timed command: name + a body issuing it once over kNumElements. */
@@ -157,6 +186,27 @@ commandSpecs()
              static std::vector<int32_t> host(kNumElements);
              pimCopyDeviceToHost(o.a, host.data());
              benchmark::DoNotOptimize(host.data());
+         }},
+        // Fusion-chain microbenches: the same dead-temporary chains
+        // fused (begin/end region) and unfused, so BENCH_SIM.json
+        // tracks the fusion engine's speedup per target. AXPY as
+        // mulScalar->add; a linear-regression residual as
+        // mulScalar->addScalar->sub.
+        {"axpy_chain_unfused",
+         [](const Operands &o) { axpyChain(o); }},
+        {"axpy_chain_fused",
+         [](const Operands &o) {
+             pimBeginFusion();
+             axpyChain(o);
+             pimEndFusion();
+         }},
+        {"linreg_chain_unfused",
+         [](const Operands &o) { linregChain(o); }},
+        {"linreg_chain_fused",
+         [](const Operands &o) {
+             pimBeginFusion();
+             linregChain(o);
+             pimEndFusion();
          }},
     };
     return specs;

@@ -4,11 +4,19 @@
  * workloads under the synchronous and the asynchronous command
  * pipeline execution modes (pimSetExecMode).
  *
- * Each selected workload runs to completion in both modes on the same
- * target; the report compares end-to-end wall-clock (best of N
+ * Each selected workload runs to completion in four passes on the
+ * same target — sync and async, each with elementwise command fusion
+ * off and on; the report compares end-to-end wall-clock (best of N
  * repetitions) and checks that the modeled statistics — kernel/copy
- * time and energy, transfer bytes — are bit-identical across modes,
- * the pipeline's correctness contract (in-order stats commit).
+ * time and energy, transfer bytes — are bit-identical across all four
+ * passes, the correctness contract of both the pipeline (in-order
+ * stats commit) and the fusion pass (per-original-command costing).
+ *
+ * A fusion microbenchmark rides along: AXPY expressed as a
+ * mulScalar->add chain and a linear-regression residual
+ * (mulScalar->addScalar->sub), each timed fusion-off vs fusion-on
+ * over identical command streams, with a bit-identity check on the
+ * outputs. Its results land in the JSON as "fusion_metrics".
  *
  * Results are always written as JSON to BENCH_SUITE.json in the
  * current directory (override with PIMEVAL_BENCH_SUITE_JSON). Scale
@@ -33,6 +41,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <thread>
@@ -108,6 +117,9 @@ struct PassMetrics
     uint64_t hazard_war = 0;
     double transfer_cache_hit_rate = 0.0;
     double freelist_hit_rate = 0.0;
+    uint64_t fusion_chains = 0;
+    uint64_t fusion_ops_fused = 0;
+    uint64_t fusion_temps_elided = 0;
 };
 
 /** Same worker-count default as PimPipeline (occupancy denominator). */
@@ -154,6 +166,12 @@ collectPassMetrics(double pass_wall_sec)
     const double fl_miss = metricOr("freelist.miss", 0.0);
     if (fl_hit + fl_miss > 0.0)
         m.freelist_hit_rate = fl_hit / (fl_hit + fl_miss);
+    m.fusion_chains =
+        static_cast<uint64_t>(metricOr("fusion.chains", 0.0));
+    m.fusion_ops_fused =
+        static_cast<uint64_t>(metricOr("fusion.ops_fused", 0.0));
+    m.fusion_temps_elided =
+        static_cast<uint64_t>(metricOr("fusion.temps_elided", 0.0));
     return m;
 }
 
@@ -176,8 +194,111 @@ emitPassMetricsJson(std::ostream &os, const char *key,
        << ", \"war_edges\": " << m.hazard_war << "},\n"
        << "    \"transfer_cache_hit_rate\": "
        << m.transfer_cache_hit_rate << ",\n"
-       << "    \"freelist_hit_rate\": " << m.freelist_hit_rate << "\n"
+       << "    \"freelist_hit_rate\": " << m.freelist_hit_rate << ",\n"
+       << "    \"fusion\": {\"chains\": " << m.fusion_chains
+       << ", \"ops_fused\": " << m.fusion_ops_fused
+       << ", \"temps_elided\": " << m.fusion_temps_elided << "}\n"
        << "  }";
+}
+
+/** One fusion microbench measurement (fusion off vs on over the same
+ *  command stream; single pool worker on small hosts). */
+struct FusionMicro
+{
+    double unfused_sec = std::numeric_limits<double>::infinity();
+    double fused_sec = std::numeric_limits<double>::infinity();
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return fused_sec > 0.0 ? unfused_sec / fused_sec : 0.0;
+    }
+};
+
+/**
+ * Time one fusable producer->consumer chain, fusion off vs on.
+ *
+ * @p linreg false: AXPY as a 2-op chain (t = a*x; d = t + y) with one
+ * dead temporary; true: a linear-regression residual as a 3-op chain
+ * (t0 = w*x; t1 = t0 + b; d = t1 - y) with two dead temporaries. The
+ * temporaries are born and freed inside the fusion window, so the
+ * fused pass elides them entirely (and their recycled buffers stay
+ * pristine). Outputs of the two variants are compared bit-for-bit.
+ */
+FusionMicro
+runFusionMicro(bool linreg, uint64_t n, unsigned reps)
+{
+    FusionMicro micro;
+    std::vector<int> x(n), y(n), out_unfused(n), out_fused(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        x[i] = static_cast<int>(i % 1000) - 500;
+        y[i] = static_cast<int>(i % 77);
+    }
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    if (obj_x < 0)
+        return micro;
+    const PimObjId obj_y =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    const PimObjId obj_d =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    if (obj_y < 0 || obj_d < 0) {
+        pimFree(obj_x);
+        return micro;
+    }
+    pimCopyHostToDevice(x.data(), obj_x);
+    pimCopyHostToDevice(y.data(), obj_y);
+
+    const auto chain = [&]() {
+        const PimObjId t0 =
+            pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+        if (linreg) {
+            const PimObjId t1 =
+                pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+            pimMulScalar(obj_x, t0, 3);
+            pimAddScalar(t0, t1, 7);
+            pimSub(t1, obj_y, obj_d);
+            pimFree(t0);
+            pimFree(t1);
+        } else {
+            pimMulScalar(obj_x, t0, 5);
+            pimAdd(t0, obj_y, obj_d);
+            pimFree(t0);
+        }
+        pimSync();
+    };
+
+    // One variant at a time, first rep as warmup: interleaving the
+    // variants would hand the fused run's pristine recycled buffer to
+    // the next *unfused* alloc (and vice versa), so each variant must
+    // reach its own freelist steady state before being timed.
+    pimSetFusionEnabled(false);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        chain();
+        if (r > 0)
+            micro.unfused_sec =
+                std::min(micro.unfused_sec, nowSec() - start);
+    }
+    pimCopyDeviceToHost(obj_d, out_unfused.data());
+
+    pimSetFusionEnabled(true);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        chain();
+        if (r > 0)
+            micro.fused_sec =
+                std::min(micro.fused_sec, nowSec() - start);
+    }
+    pimCopyDeviceToHost(obj_d, out_fused.data());
+    pimSetFusionEnabled(false);
+    micro.identical = out_unfused == out_fused;
+    pimFree(obj_x);
+    pimFree(obj_y);
+    pimFree(obj_d);
+    return micro;
 }
 
 /** Modeled-stats equality: the bit-identity contract. Host time is
@@ -232,21 +353,41 @@ main()
               << ", reps=" << reps << ", host threads="
               << std::thread::hardware_concurrency() << ")\n";
 
+    // Pass order: unfused pair first, fused pair second (fusion ON in
+    // the fused passes is the identity gate this bench enforces).
+    struct ModePass
+    {
+        PimExecEnum mode;
+        bool fused;
+        const char *name;
+    };
+    constexpr ModePass kPasses[] = {
+        {PimExecEnum::PIM_EXEC_SYNC, false, "sync"},
+        {PimExecEnum::PIM_EXEC_ASYNC, false, "async"},
+        {PimExecEnum::PIM_EXEC_SYNC, true, "sync_fused"},
+        {PimExecEnum::PIM_EXEC_ASYNC, true, "async_fused"},
+    };
+    constexpr size_t kNumPasses = std::size(kPasses);
+
     struct AppRow
     {
         std::string app;
-        ModeRun sync;
-        ModeRun async;
+        ModeRun runs[kNumPasses];
     };
     std::vector<AppRow> rows;
     for (const char *app : kApps)
-        rows.push_back(AppRow{app, ModeRun{}, ModeRun{}});
+        rows.push_back(AppRow{app, {}});
 
-    // Whole-pass structure (all apps per mode, not all modes per app)
-    // so per-mode metrics and traces cover one mode cleanly.
+    // Whole-pass structure (all apps per pass, not all passes per app)
+    // so per-pass metrics and traces cover one configuration cleanly.
     const char *trace_base = std::getenv("PIMEVAL_TRACE");
     const bool tracing = trace_base != nullptr && *trace_base != '\0';
-    PassMetrics sync_metrics, async_metrics;
+    PassMetrics pass_metrics[kNumPasses];
+    FusionMicro axpy_micro, linreg_micro;
+    // The microbench needs kernel-dominated sizes (per-command setup
+    // would swamp the fused/unfused delta at app tiny scale), so its
+    // problem size is independent of the suite scale.
+    const uint64_t micro_n = 1ull << 21;
 
     for (const auto &[device, target_name] : pimTargets()) {
         if (device != PimDeviceEnum::PIM_DEVICE_FULCRUM)
@@ -256,15 +397,18 @@ main()
             std::cerr << "device creation failed\n";
             return 1;
         }
-        struct ModePass
-        {
-            PimExecEnum mode;
-            const char *name;
-        };
-        for (const ModePass pass :
-             {ModePass{PimExecEnum::PIM_EXEC_SYNC, "sync"},
-              ModePass{PimExecEnum::PIM_EXEC_ASYNC, "async"}}) {
+        // Fusion microbench first, on the still-pristine process:
+        // dead-temporary chains, fusion off vs on. (Running it after
+        // the app passes measurably deflates both variants — the
+        // allocator state the suite leaves behind costs the
+        // large-buffer chains far more than the fused/unfused delta.)
+        axpy_micro = runFusionMicro(false, micro_n, reps);
+        linreg_micro = runFusionMicro(true, micro_n, reps);
+
+        for (size_t p = 0; p < kNumPasses; ++p) {
+            const ModePass &pass = kPasses[p];
             pimSetExecMode(pass.mode);
+            pimSetFusionEnabled(pass.fused);
             if (tracing) {
                 const std::string path = std::string(trace_base) +
                     "." + pass.name + ".json";
@@ -274,50 +418,54 @@ main()
             }
             pimResetMetrics();
             double pass_wall_sec = 0.0;
-            for (auto &row : rows) {
-                ModeRun &slot =
-                    pass.mode == PimExecEnum::PIM_EXEC_SYNC
-                        ? row.sync
-                        : row.async;
-                slot = runApp(row.app, scale, reps, &pass_wall_sec);
-            }
-            (pass.mode == PimExecEnum::PIM_EXEC_SYNC ? sync_metrics
-                                                     : async_metrics) =
-                collectPassMetrics(pass_wall_sec);
+            for (auto &row : rows)
+                row.runs[p] =
+                    runApp(row.app, scale, reps, &pass_wall_sec);
+            pass_metrics[p] = collectPassMetrics(pass_wall_sec);
             if (tracing)
                 pimTraceEnd(nullptr);
         }
+        pimSetFusionEnabled(false);
         pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
     }
 
     pimeval::TableWriter table(
         "Suite wall-clock: sync vs async pipeline (Fulcrum)",
-        {"Application", "Sync s", "Async s", "Speedup", "Stats match",
-         "Verified"});
-    double sync_total = 0.0, async_total = 0.0;
+        {"Application", "Sync s", "Async s", "Speedup", "Fused s",
+         "Stats match", "Verified"});
+    double totals[kNumPasses] = {};
     bool all_match = true, all_verified = true;
     for (const auto &row : rows) {
-        const bool match =
-            modeledStatsMatch(row.sync.stats, row.async.stats);
-        const bool verified = row.sync.verified && row.async.verified;
+        bool match = true, verified = true;
+        for (size_t p = 0; p < kNumPasses; ++p) {
+            match = match &&
+                modeledStatsMatch(row.runs[0].stats,
+                                  row.runs[p].stats);
+            verified = verified && row.runs[p].verified;
+            totals[p] += row.runs[p].best_wall_sec;
+        }
         all_match = all_match && match;
         all_verified = all_verified && verified;
-        sync_total += row.sync.best_wall_sec;
-        async_total += row.async.best_wall_sec;
-        char sync_s[32], async_s[32], speedup_s[32];
+        char sync_s[32], async_s[32], speedup_s[32], fused_s[32];
         std::snprintf(sync_s, sizeof sync_s, "%.3f",
-                      row.sync.best_wall_sec);
+                      row.runs[0].best_wall_sec);
         std::snprintf(async_s, sizeof async_s, "%.3f",
-                      row.async.best_wall_sec);
+                      row.runs[1].best_wall_sec);
         std::snprintf(speedup_s, sizeof speedup_s, "%.2fx",
-                      row.sync.best_wall_sec / row.async.best_wall_sec);
-        table.addRow({row.app, sync_s, async_s, speedup_s,
+                      row.runs[0].best_wall_sec /
+                          row.runs[1].best_wall_sec);
+        std::snprintf(fused_s, sizeof fused_s, "%.3f",
+                      row.runs[2].best_wall_sec);
+        table.addRow({row.app, sync_s, async_s, speedup_s, fused_s,
                       match ? "yes" : "NO", verified ? "yes" : "NO"});
     }
     emitTable(table);
+    const double sync_total = totals[0], async_total = totals[1];
     std::cout << "suite wall-clock: sync " << sync_total << " s, async "
               << async_total << " s, speedup "
-              << sync_total / async_total << "x\n";
+              << sync_total / async_total << "x (fused: sync "
+              << totals[2] << " s, async " << totals[3] << " s)\n";
+    const PassMetrics &async_metrics = pass_metrics[1];
     std::printf("async pipeline: occupancy %.1f%%, mean queue depth "
                 "%.1f, %llu commands (%llu stalled at issue, "
                 "hazard edges raw/waw/war %llu/%llu/%llu)\n",
@@ -332,6 +480,20 @@ main()
                     async_metrics.hazard_waw),
                 static_cast<unsigned long long>(
                     async_metrics.hazard_war));
+    std::printf("fusion (sync pass): %llu chains, %llu ops fused, "
+                "%llu temps elided; micro axpy %.2fx, linreg %.2fx "
+                "(%llu elements, outputs %s)\n",
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_chains),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_ops_fused),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_temps_elided),
+                axpy_micro.speedup(), linreg_micro.speedup(),
+                static_cast<unsigned long long>(micro_n),
+                axpy_micro.identical && linreg_micro.identical
+                    ? "identical"
+                    : "DIVERGED");
 
     std::ofstream json_out(json_path);
     if (!json_out) {
@@ -348,38 +510,89 @@ main()
              << "  \"suite_sync_wall_sec\": " << sync_total << ",\n"
              << "  \"suite_async_wall_sec\": " << async_total << ",\n"
              << "  \"suite_speedup\": " << sync_total / async_total
+             << ",\n"
+             << "  \"suite_sync_fused_wall_sec\": " << totals[2]
+             << ",\n"
+             << "  \"suite_async_fused_wall_sec\": " << totals[3]
              << ",\n";
-    emitPassMetricsJson(json_out, "sync_metrics", sync_metrics);
+    emitPassMetricsJson(json_out, "sync_metrics", pass_metrics[0]);
     json_out << ",\n";
-    emitPassMetricsJson(json_out, "async_metrics", async_metrics);
+    emitPassMetricsJson(json_out, "async_metrics", pass_metrics[1]);
+    json_out << ",\n";
+    emitPassMetricsJson(json_out, "sync_fused_metrics",
+                        pass_metrics[2]);
+    json_out << ",\n";
+    emitPassMetricsJson(json_out, "async_fused_metrics",
+                        pass_metrics[3]);
+    json_out << ",\n  \"fusion_metrics\": {\n"
+             << "    \"chains\": " << pass_metrics[2].fusion_chains
+             << ",\n"
+             << "    \"ops_fused\": "
+             << pass_metrics[2].fusion_ops_fused << ",\n"
+             << "    \"temps_elided\": "
+             << pass_metrics[2].fusion_temps_elided << ",\n"
+             << "    \"micro_elements\": " << micro_n << ",\n"
+             << "    \"axpy_unfused_sec\": " << axpy_micro.unfused_sec
+             << ",\n"
+             << "    \"axpy_fused_sec\": " << axpy_micro.fused_sec
+             << ",\n"
+             << "    \"axpy_fused_speedup\": " << axpy_micro.speedup()
+             << ",\n"
+             << "    \"linreg_unfused_sec\": "
+             << linreg_micro.unfused_sec << ",\n"
+             << "    \"linreg_fused_sec\": " << linreg_micro.fused_sec
+             << ",\n"
+             << "    \"linreg_fused_speedup\": "
+             << linreg_micro.speedup() << ",\n"
+             << "    \"micro_outputs_identical\": "
+             << (axpy_micro.identical && linreg_micro.identical
+                     ? "true"
+                     : "false")
+             << "\n  }";
     json_out << ",\n  \"results\": [\n";
     bool first = true;
     for (const auto &row : rows) {
         if (!first)
             json_out << ",\n";
         first = false;
+        bool match = true;
+        for (size_t p = 1; p < kNumPasses; ++p)
+            match = match &&
+                modeledStatsMatch(row.runs[0].stats,
+                                  row.runs[p].stats);
+        bool verified = true;
+        for (size_t p = 0; p < kNumPasses; ++p)
+            verified = verified && row.runs[p].verified;
         json_out << "    {\"app\": \"" << jsonEscape(row.app)
-                 << "\", \"sync_wall_sec\": " << row.sync.best_wall_sec
-                 << ", \"async_wall_sec\": " << row.async.best_wall_sec
+                 << "\", \"sync_wall_sec\": "
+                 << row.runs[0].best_wall_sec
+                 << ", \"async_wall_sec\": "
+                 << row.runs[1].best_wall_sec
                  << ", \"speedup\": "
-                 << row.sync.best_wall_sec / row.async.best_wall_sec
+                 << row.runs[0].best_wall_sec /
+                        row.runs[1].best_wall_sec
+                 << ", \"sync_fused_wall_sec\": "
+                 << row.runs[2].best_wall_sec
+                 << ", \"async_fused_wall_sec\": "
+                 << row.runs[3].best_wall_sec
                  << ", \"modeled_stats_match\": "
-                 << (modeledStatsMatch(row.sync.stats, row.async.stats)
-                         ? "true"
-                         : "false")
-                 << ", \"verified\": "
-                 << (row.sync.verified && row.async.verified ? "true"
-                                                             : "false")
+                 << (match ? "true" : "false")
+                 << ", \"verified\": " << (verified ? "true" : "false")
                  << "}";
     }
     json_out << "\n  ]\n}\n";
     std::cout << "[json written: " << json_path << "]\n";
 
     // The bit-identity contract is load-bearing: fail loudly if any
-    // workload's modeled stats diverged between modes.
+    // workload's modeled stats diverged between exec modes or between
+    // fused and unfused execution, or the microbench outputs differ.
     if (!all_match || !all_verified) {
         std::cerr << (all_match ? "verification" : "modeled stats")
-                  << " mismatch between exec modes\n";
+                  << " mismatch across exec/fusion passes\n";
+        return 1;
+    }
+    if (!axpy_micro.identical || !linreg_micro.identical) {
+        std::cerr << "fusion microbench output mismatch\n";
         return 1;
     }
     return 0;

@@ -4,7 +4,7 @@
  * tracing layer end to end and bounds the cost of the
  * runtime-disabled fast path.
  *
- * Two checks, both fatal on failure:
+ * Three checks, all fatal on failure:
  *
  *  1. Export validity: a traced workload produces a Chrome trace-event
  *     file that parses back (pimValidateChromeTraceFile) and contains
@@ -17,6 +17,10 @@
  *     the measured per-command simulation time. A direct A/B
  *     wall-clock comparison would be noise-bound on small machines;
  *     the per-hook measurement is deterministic and far stricter.
+ *
+ *  3. Guarded export: PimScopedTraceExport begun in an inner scope
+ *     exports a valid trace when the scope exits without an explicit
+ *     pimTraceEnd — the early-error path quickstart guards against.
  */
 
 #include <chrono>
@@ -164,6 +168,44 @@ main()
                      overhead_frac * 100.0);
         return 1;
     }
+
+    // --- Check 3: scoped guard exports on early-exit paths. ---
+    // Mimic a program that errors out of a scope without reaching its
+    // explicit export: the guard must still write a valid file.
+    const std::string guard_path = "trace_smoke_guard.json";
+    {
+        PimScopedTraceExport guard(guard_path);
+        if (!PimTracer::enabled()) {
+            std::fprintf(
+                stderr,
+                "trace_smoke: guard did not arm tracing\n");
+            return 1;
+        }
+        runWorkload(1 << 12, 2);
+        // "Early error": leave the scope without pimTraceEnd.
+    }
+    if (PimTracer::enabled()) {
+        std::fprintf(stderr,
+                     "trace_smoke: guard left tracing armed\n");
+        return 1;
+    }
+    size_t guard_events = 0;
+    if (!pimValidateChromeTraceFile(guard_path, &guard_events,
+                                    &error)) {
+        std::fprintf(stderr,
+                     "trace_smoke: guard trace invalid: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    if (guard_events == 0) {
+        std::fprintf(stderr,
+                     "trace_smoke: guard trace is empty\n");
+        return 1;
+    }
+    std::printf("trace_smoke: guard exported %zu events on scope "
+                "exit\n",
+                guard_events);
+    std::remove(guard_path.c_str());
 
     pimDeleteDevice();
     std::printf("trace_smoke: PASSED\n");

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/pim_api.h"
+#include "core/pim_trace.h"
 #include "util/string_utils.h"
 
 namespace {
@@ -83,6 +84,14 @@ main(int argc, char **argv)
 
     std::cout << "Running AXPY on PIM for vector length: " << n
               << "\n\n";
+
+    // Normally pimDeleteDevice() exports the PIMEVAL_TRACE trace; the
+    // guard keeps the early-error returns below from leaking an
+    // armed, never-exported trace (no-op when the env var is unset).
+    const char *trace_env = std::getenv("PIMEVAL_TRACE");
+    pimeval::PimScopedTraceExport trace_guard(
+        trace_env != nullptr ? trace_env : "");
+
     if (pimCreateDevice(device, 4) != PimStatus::PIM_OK)
         return 1;
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Vertical-I/O fused chain execution for the bit-serial target.
+ */
+
+#include "bitserial/bitserial_fused.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bitserial/microprograms.h"
+
+namespace pimeval {
+
+BitSerialFusedChain::BitSerialFusedChain(unsigned bits,
+                                         uint32_t tile_cols)
+    : bits_(bits), tile_cols_(tile_cols)
+{
+    assert(bits_ >= 1 && bits_ <= 64);
+    assert(tile_cols_ > 0);
+}
+
+int
+BitSerialFusedChain::addInput(const uint64_t *data, size_t n)
+{
+    assert(inputs_.empty() || n == n_);
+    n_ = n;
+    inputs_.push_back(data);
+    return static_cast<int>(inputs_.size()) - 1;
+}
+
+void
+BitSerialFusedChain::addStep(BitSerialFusedOpKind kind, int rhs_input)
+{
+    assert(rhs_input >= 0 &&
+           rhs_input < static_cast<int>(inputs_.size()));
+    steps_.push_back({kind, rhs_input, 0});
+}
+
+void
+BitSerialFusedChain::addScalarStep(BitSerialFusedOpKind kind,
+                                   uint64_t scalar)
+{
+    const uint64_t mask =
+        bits_ >= 64 ? ~0ULL : ((1ULL << bits_) - 1);
+    steps_.push_back({kind, -1, scalar & mask});
+}
+
+std::vector<MicroProgram>
+BitSerialFusedChain::buildPrograms(
+    const std::vector<uint32_t> &lhs_rows,
+    const std::vector<uint32_t> &dest_rows) const
+{
+    std::vector<MicroProgram> programs;
+    programs.reserve(steps_.size());
+    for (size_t k = 0; k < steps_.size(); ++k) {
+        const Step &st = steps_[k];
+        const uint32_t lhs = lhs_rows[k];
+        const uint32_t dst = dest_rows[k];
+        const uint32_t rhs =
+            st.rhs >= 0 ? inputRow(static_cast<size_t>(st.rhs)) : 0;
+        switch (st.kind) {
+          case BitSerialFusedOpKind::kAdd:
+            programs.push_back(MicroPrograms::add(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kSub:
+            programs.push_back(MicroPrograms::sub(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kMul:
+            programs.push_back(MicroPrograms::mul(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kAnd:
+            programs.push_back(
+                MicroPrograms::andOp(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kOr:
+            programs.push_back(
+                MicroPrograms::orOp(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kXor:
+            programs.push_back(
+                MicroPrograms::xorOp(lhs, rhs, dst, bits_));
+            break;
+          case BitSerialFusedOpKind::kAddScalar:
+            programs.push_back(
+                MicroPrograms::addScalar(lhs, dst, bits_, st.scalar));
+            break;
+          case BitSerialFusedOpKind::kSubScalar:
+            programs.push_back(
+                MicroPrograms::subScalar(lhs, dst, bits_, st.scalar));
+            break;
+          case BitSerialFusedOpKind::kMulScalar:
+            programs.push_back(
+                MicroPrograms::mulScalar(lhs, dst, bits_, st.scalar));
+            break;
+        }
+    }
+    return programs;
+}
+
+BitSerialFusedStats
+BitSerialFusedChain::run(uint64_t *dest)
+{
+    BitSerialFusedStats stats;
+    assert(!inputs_.empty());
+
+    // Per-step row bases: the chain value starts at input 0 and
+    // ping-pongs between the two result regions (the mul programs
+    // forbid dest aliasing an operand).
+    std::vector<uint32_t> lhs_rows(steps_.size());
+    std::vector<uint32_t> dest_rows(steps_.size());
+    uint32_t value_row = inputRow(0);
+    for (size_t k = 0; k < steps_.size(); ++k) {
+        lhs_rows[k] = value_row;
+        dest_rows[k] = resultRow(k % 2 == 0 ? 0 : 1);
+        value_row = dest_rows[k];
+    }
+    const std::vector<MicroProgram> programs =
+        buildPrograms(lhs_rows, dest_rows);
+
+    const uint32_t num_rows =
+        static_cast<uint32_t>(inputs_.size() + 2) * bits_;
+    BitSerialVm vm(num_rows, tile_cols_);
+
+    for (size_t base = 0; base < n_; base += tile_cols_) {
+        const uint32_t cnt = static_cast<uint32_t>(
+            std::min<size_t>(tile_cols_, n_ - base));
+        // One transpose-in per input per tile; the chain runs on the
+        // resident bit-planes, so intermediates never leave the VM.
+        for (size_t i = 0; i < inputs_.size(); ++i) {
+            vm.writeVerticalBulk(0, inputRow(i), bits_,
+                                 inputs_[i] + base, cnt);
+            stats.elems_in += cnt;
+        }
+        for (const MicroProgram &program : programs)
+            vm.run(program);
+        vm.readVerticalBulk(0, value_row, bits_, dest + base, cnt);
+        stats.elems_out += cnt;
+        ++stats.tiles;
+    }
+    stats.micro_ops = vm.opsExecuted();
+    return stats;
+}
+
+BitSerialFusedStats
+BitSerialFusedChain::runUnfused(uint64_t *dest)
+{
+    BitSerialFusedStats stats;
+    assert(!inputs_.empty());
+
+    // Per-command execution: every step writes its operands into the
+    // subarray, runs, and reads the result back out — the transpose
+    // tax fusion removes. Fixed rows: lhs at 0, rhs above it, dest
+    // above both (never aliasing).
+    const uint32_t lhs_row = 0;
+    const uint32_t dst_row = 2 * bits_;
+    BitSerialVm vm(3 * bits_, tile_cols_);
+
+    std::vector<uint64_t> value(inputs_[0], inputs_[0] + n_);
+    std::vector<uint64_t> result(n_);
+    for (const Step &st : steps_) {
+        // Build this command's program with lhs at the conventional
+        // base (operand row bases are per-command in unfused mode).
+        BitSerialFusedChain one(bits_, tile_cols_);
+        one.addInput(value.data(), n_);
+        const uint64_t *rhs_data =
+            st.rhs >= 0 ? inputs_[static_cast<size_t>(st.rhs)]
+                        : nullptr;
+        if (rhs_data != nullptr)
+            one.inputs_.push_back(rhs_data);
+        Step local = st;
+        if (local.rhs >= 0)
+            local.rhs = 1; // rhs is input 1 of this command's layout
+        one.steps_.push_back(local);
+        const std::vector<MicroProgram> programs = one.buildPrograms(
+            {lhs_row}, {dst_row});
+
+        for (size_t base = 0; base < n_; base += tile_cols_) {
+            const uint32_t cnt = static_cast<uint32_t>(
+                std::min<size_t>(tile_cols_, n_ - base));
+            vm.writeVerticalBulk(0, lhs_row, bits_,
+                                 value.data() + base, cnt);
+            stats.elems_in += cnt;
+            if (rhs_data != nullptr) {
+                vm.writeVerticalBulk(0, one.inputRow(1), bits_,
+                                     rhs_data + base, cnt);
+                stats.elems_in += cnt;
+            }
+            vm.run(programs.front());
+            vm.readVerticalBulk(0, dst_row, bits_,
+                                result.data() + base, cnt);
+            stats.elems_out += cnt;
+            ++stats.tiles;
+        }
+        value.swap(result);
+    }
+    std::copy(value.begin(), value.end(), dest);
+    stats.micro_ops = vm.opsExecuted();
+    return stats;
+}
+
+} // namespace pimeval

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Vertical-I/O fusion for the bit-serial target.
+ *
+ * Unfused bit-serial execution pays a transpose at every command
+ * boundary: operands are written vertically (host elements scattered
+ * into bit-plane rows), the microprogram runs, and the result is read
+ * back out — so a chain of k commands transposes its data in and out
+ * k times. This runner executes a whole producer->consumer chain
+ * chunk-by-chunk on one subarray-sized tile kept hot: each input is
+ * transposed in once per tile, every microprogram of the chain runs on
+ * the resident bit-planes (intermediates never leave the subarray),
+ * and only the final result is transposed out.
+ *
+ * The microprograms themselves are the unmodified MicroPrograms
+ * generators, so fused results are bit-identical to per-command
+ * execution; only the vertical I/O count changes. The runner reports
+ * micro-op and transpose-element counts so tests and benches can
+ * verify both the identity and the saved I/O.
+ */
+
+#ifndef PIMEVAL_BITSERIAL_BITSERIAL_FUSED_H_
+#define PIMEVAL_BITSERIAL_BITSERIAL_FUSED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bitserial/bitserial_vm.h"
+#include "bitserial/micro_op.h"
+
+namespace pimeval {
+
+/** Chain step operations (the fusable elementwise subset that has
+ *  two-operand or scalar bit-serial microprograms). */
+enum class BitSerialFusedOpKind : uint8_t {
+    kAdd,
+    kSub,
+    kMul,
+    kAnd,
+    kOr,
+    kXor,
+    kAddScalar,
+    kSubScalar,
+    kMulScalar,
+};
+
+/** I/O and micro-op accounting of one chain execution. */
+struct BitSerialFusedStats
+{
+    uint64_t micro_ops = 0;     ///< row-wide micro-ops executed
+    uint64_t elems_in = 0;      ///< elements transposed into the VM
+    uint64_t elems_out = 0;     ///< elements transposed out
+    uint64_t tiles = 0;         ///< column tiles processed
+};
+
+/**
+ * One linear fusion chain over vertically laid-out data.
+ *
+ * value = input0; then for each step: value = value OP rhs, where rhs
+ * is another registered input (binary steps) or a scalar baked into
+ * the microcode (scalar steps). run() fuses at the vertical-I/O
+ * level; runUnfused() executes the same programs with per-command
+ * transposes, as the baseline for tests and benches.
+ */
+class BitSerialFusedChain
+{
+  public:
+    /**
+     * @param bits element width of every operand.
+     * @param tile_cols columns per tile (one subarray row-slice worth
+     *        of elements processed per transpose).
+     */
+    explicit BitSerialFusedChain(unsigned bits,
+                                 uint32_t tile_cols = 512);
+
+    /** Register an input vector (canonical one-word-per-element
+     *  storage). All inputs must be the same length. @return input
+     *  index for addStep. Input 0 seeds the chain. */
+    int addInput(const uint64_t *data, size_t n);
+
+    /** Append a binary step: value = value OP input[rhs_input]. */
+    void addStep(BitSerialFusedOpKind kind, int rhs_input);
+
+    /** Append a scalar step: value = value OP scalar. */
+    void addScalarStep(BitSerialFusedOpKind kind, uint64_t scalar);
+
+    /** Execute the chain fused (inputs transposed once per tile,
+     *  intermediates stay vertical). Writes n elements to @p dest. */
+    BitSerialFusedStats run(uint64_t *dest);
+
+    /** Execute the chain with per-command vertical I/O (the unfused
+     *  baseline): every step transposes its operands in and its
+     *  result out. Same results as run(), more I/O. */
+    BitSerialFusedStats runUnfused(uint64_t *dest);
+
+  private:
+    struct Step
+    {
+        BitSerialFusedOpKind kind;
+        int rhs = -1;
+        uint64_t scalar = 0;
+    };
+
+    /** Row base of input @p idx (inputs stack bottom-up). */
+    uint32_t inputRow(size_t idx) const
+    {
+        return static_cast<uint32_t>(idx) * bits_;
+    }
+    /** Ping/pong result row bases above the inputs (mul/mulScalar
+     *  microprograms forbid dest aliasing their operands). */
+    uint32_t resultRow(unsigned pp) const
+    {
+        return static_cast<uint32_t>(inputs_.size() + pp) * bits_;
+    }
+
+    /** Build the chain's microprograms against fixed row bases:
+     *  step k reads @p lhs_rows[k] and writes @p dest_rows[k]. */
+    std::vector<MicroProgram>
+    buildPrograms(const std::vector<uint32_t> &lhs_rows,
+                  const std::vector<uint32_t> &dest_rows) const;
+
+    unsigned bits_;
+    uint32_t tile_cols_;
+    std::vector<const uint64_t *> inputs_;
+    size_t n_ = 0;
+    std::vector<Step> steps_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_BITSERIAL_BITSERIAL_FUSED_H_

@@ -102,6 +102,45 @@ pimSync()
     return PimStatus::PIM_OK;
 }
 
+PimStatus
+pimSetFusionEnabled(bool enabled)
+{
+    PimDevice *dev = activeDevice("pimSetFusionEnabled");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->setFusionEnabled(enabled);
+    return PimStatus::PIM_OK;
+}
+
+bool
+pimGetFusionEnabled()
+{
+    PimDevice *dev = PimSim::instance().device();
+    return dev ? dev->fusionEnabled() : false;
+}
+
+PimStatus
+pimBeginFusion()
+{
+    PIM_TRACE_INSTANT("pimBeginFusion", "api", 0);
+    PimDevice *dev = activeDevice("pimBeginFusion");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    dev->beginFusion();
+    return PimStatus::PIM_OK;
+}
+
+PimStatus
+pimEndFusion()
+{
+    PIM_TRACE_INSTANT("pimEndFusion", "api", 0);
+    PimDevice *dev = activeDevice("pimEndFusion");
+    if (!dev)
+        return PimStatus::PIM_ERROR;
+    return dev->endFusion() ? PimStatus::PIM_OK
+                            : PimStatus::PIM_ERROR;
+}
+
 PimObjId
 pimAlloc(PimAllocEnum alloc_type, uint64_t num_elements,
          unsigned bits_per_element, PimDataType data_type)

@@ -73,6 +73,38 @@ PimExecEnum pimGetExecMode();
 PimStatus pimSync();
 
 // ---------------------------------------------------------------------------
+// Elementwise command fusion (docs/PERFORMANCE.md). Fusion is a
+// functional-simulation optimization: chained elementwise commands
+// execute as one pass over memory with dead temporaries elided, while
+// perf/energy statistics stay bit-identical to unfused execution.
+// PIMEVAL_FUSION=1 enables it device-wide at creation.
+// ---------------------------------------------------------------------------
+
+/**
+ * Enable or disable elementwise command fusion on the active device.
+ * Disabling flushes any pending fusion window first. Independent of
+ * explicit pimBeginFusion/pimEndFusion regions, which capture even
+ * while the global toggle is off.
+ */
+PimStatus pimSetFusionEnabled(bool enabled);
+
+/** Whether device-wide fusion is enabled (false if no device). */
+bool pimGetFusionEnabled();
+
+/**
+ * Open an explicit fusion region: elementwise commands buffer for
+ * fusion until the matching pimEndFusion, regardless of the global
+ * toggle. Regions nest; only the outermost pimEndFusion flushes.
+ * Non-fusable calls (copies, reductions, broadcasts, pimSync, stats
+ * queries) inside a region flush the pending window and execute in
+ * order, so a region never changes observable semantics.
+ */
+PimStatus pimBeginFusion();
+
+/** Close the innermost fusion region, flushing pending commands. */
+PimStatus pimEndFusion();
+
+// ---------------------------------------------------------------------------
 // Resource management
 // ---------------------------------------------------------------------------
 

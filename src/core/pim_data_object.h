@@ -88,13 +88,22 @@ class PimDataObject
      * Reset identity for allocator free-list reuse: shape, layout, and
      * row placement stay; the object gets a fresh id, the (same-width)
      * element type, and data cleared to the fresh-allocation state.
+     * Pristine objects (fusion-elided dead temporaries whose stores
+     * never happened) are already all-zero, so the fill is skipped.
      */
     void recycle(PimObjId id, PimDataType data_type)
     {
         id_ = id;
         data_type_ = data_type;
-        std::fill(data_.begin(), data_.end(), 0);
+        if (!pristine_)
+            std::fill(data_.begin(), data_.end(), 0);
+        pristine_ = false;
     }
+
+    /** Storage is known all-zero (never written since the last
+     *  zeroing); recycle() may skip its fill. */
+    bool isPristine() const { return pristine_; }
+    void markPristine() { pristine_ = true; }
 
   private:
     PimObjId id_;
@@ -103,6 +112,7 @@ class PimDataObject
     unsigned bits_per_element_;
     bool v_layout_;
     uint64_t mask_;
+    bool pristine_ = false;
     std::vector<PimRegion> regions_;
     std::vector<uint64_t> data_;
 };

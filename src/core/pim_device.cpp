@@ -9,7 +9,9 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 #include "core/pim_metrics.h"
 #include "core/pim_trace.h"
@@ -101,188 +103,16 @@ cmdToAlpuOp(PimCmdEnum cmd, AlpuOp &op)
 // Chunked kernel execution engine.
 //
 // Functional simulation of element-wise commands runs through
-// op-specialized chunk kernels: the AlpuOp dispatch happens once per
-// command (selecting a function pointer), not once per element, so
-// the inner loops are tight ALU/logic loops over the masked uint64_t
-// lanes that the compiler can unroll and autovectorize. Chunks are
-// handed to ThreadPool::parallelForChunks, which distributes
-// contiguous [lo, hi) ranges across workers through an atomic
-// work-stealing index. See docs/PERFORMANCE.md.
+// op-specialized chunk kernels (fulcrum/alpu_kernels.h): the AlpuOp
+// dispatch happens once per command (selecting a function pointer),
+// not once per element, so the inner loops are tight ALU/logic loops
+// over the masked uint64_t lanes that the compiler can unroll and
+// autovectorize. Chunks are handed to ThreadPool::parallelForChunks,
+// which distributes contiguous [lo, hi) ranges across workers through
+// an atomic work-stealing index. When command fusion is active,
+// chains of these commands lower to expression tapes instead
+// (core/pim_fusion.h). See docs/PERFORMANCE.md.
 // ---------------------------------------------------------------------------
-
-/** dest[i] = op(a[i], b[i]) & mask, with NE realized as !EQ. */
-template <AlpuOp Op, bool Negate, bool Signed>
-void
-binaryChunk(const uint64_t *a, const uint64_t *b, uint64_t *d,
-            size_t lo, size_t hi, unsigned bits, uint64_t mask)
-{
-    for (size_t i = lo; i < hi; ++i) {
-        uint64_t r = alpuComputeT<Op>(a[i], b[i], bits, Signed);
-        if constexpr (Negate)
-            r ^= 1ull;
-        d[i] = r & mask;
-    }
-}
-
-using BinaryChunkFn = void (*)(const uint64_t *, const uint64_t *,
-                               uint64_t *, size_t, size_t, unsigned,
-                               uint64_t);
-
-// Signedness is a compile-time parameter of every kernel: the signed
-// compare/extend paths otherwise carry a per-element branch that
-// defeats autovectorization of min/max/abs/compare loops.
-template <bool Negate>
-BinaryChunkFn
-binaryChunkFor(AlpuOp op, bool sgn)
-{
-    switch (op) {
-      case AlpuOp::kAdd:
-        return sgn ? &binaryChunk<AlpuOp::kAdd, Negate, true>
-                   : &binaryChunk<AlpuOp::kAdd, Negate, false>;
-      case AlpuOp::kSub:
-        return sgn ? &binaryChunk<AlpuOp::kSub, Negate, true>
-                   : &binaryChunk<AlpuOp::kSub, Negate, false>;
-      case AlpuOp::kMul:
-        return sgn ? &binaryChunk<AlpuOp::kMul, Negate, true>
-                   : &binaryChunk<AlpuOp::kMul, Negate, false>;
-      case AlpuOp::kDiv:
-        return sgn ? &binaryChunk<AlpuOp::kDiv, Negate, true>
-                   : &binaryChunk<AlpuOp::kDiv, Negate, false>;
-      case AlpuOp::kMin:
-        return sgn ? &binaryChunk<AlpuOp::kMin, Negate, true>
-                   : &binaryChunk<AlpuOp::kMin, Negate, false>;
-      case AlpuOp::kMax:
-        return sgn ? &binaryChunk<AlpuOp::kMax, Negate, true>
-                   : &binaryChunk<AlpuOp::kMax, Negate, false>;
-      case AlpuOp::kAnd:
-        return sgn ? &binaryChunk<AlpuOp::kAnd, Negate, true>
-                   : &binaryChunk<AlpuOp::kAnd, Negate, false>;
-      case AlpuOp::kOr:
-        return sgn ? &binaryChunk<AlpuOp::kOr, Negate, true>
-                   : &binaryChunk<AlpuOp::kOr, Negate, false>;
-      case AlpuOp::kXor:
-        return sgn ? &binaryChunk<AlpuOp::kXor, Negate, true>
-                   : &binaryChunk<AlpuOp::kXor, Negate, false>;
-      case AlpuOp::kXnor:
-        return sgn ? &binaryChunk<AlpuOp::kXnor, Negate, true>
-                   : &binaryChunk<AlpuOp::kXnor, Negate, false>;
-      case AlpuOp::kNot:
-        return sgn ? &binaryChunk<AlpuOp::kNot, Negate, true>
-                   : &binaryChunk<AlpuOp::kNot, Negate, false>;
-      case AlpuOp::kAbs:
-        return sgn ? &binaryChunk<AlpuOp::kAbs, Negate, true>
-                   : &binaryChunk<AlpuOp::kAbs, Negate, false>;
-      case AlpuOp::kGT:
-        return sgn ? &binaryChunk<AlpuOp::kGT, Negate, true>
-                   : &binaryChunk<AlpuOp::kGT, Negate, false>;
-      case AlpuOp::kLT:
-        return sgn ? &binaryChunk<AlpuOp::kLT, Negate, true>
-                   : &binaryChunk<AlpuOp::kLT, Negate, false>;
-      case AlpuOp::kEQ:
-        return sgn ? &binaryChunk<AlpuOp::kEQ, Negate, true>
-                   : &binaryChunk<AlpuOp::kEQ, Negate, false>;
-      case AlpuOp::kShiftL:
-        return sgn ? &binaryChunk<AlpuOp::kShiftL, Negate, true>
-                   : &binaryChunk<AlpuOp::kShiftL, Negate, false>;
-      case AlpuOp::kShiftR:
-        return sgn ? &binaryChunk<AlpuOp::kShiftR, Negate, true>
-                   : &binaryChunk<AlpuOp::kShiftR, Negate, false>;
-      case AlpuOp::kPopCount:
-        return sgn ? &binaryChunk<AlpuOp::kPopCount, Negate, true>
-                   : &binaryChunk<AlpuOp::kPopCount, Negate, false>;
-    }
-    return nullptr;
-}
-
-/** dest[i] = op(a[i], scalar) & mask; unary ops pass scalar = 0. */
-template <AlpuOp Op, bool Signed>
-void
-scalarChunk(const uint64_t *a, uint64_t s, uint64_t *d, size_t lo,
-            size_t hi, unsigned bits, uint64_t mask)
-{
-    for (size_t i = lo; i < hi; ++i)
-        d[i] = alpuComputeT<Op>(a[i], s, bits, Signed) & mask;
-}
-
-using ScalarChunkFn = void (*)(const uint64_t *, uint64_t, uint64_t *,
-                               size_t, size_t, unsigned, uint64_t);
-
-ScalarChunkFn
-scalarChunkFor(AlpuOp op, bool sgn)
-{
-    switch (op) {
-      case AlpuOp::kAdd:
-        return sgn ? &scalarChunk<AlpuOp::kAdd, true>
-                   : &scalarChunk<AlpuOp::kAdd, false>;
-      case AlpuOp::kSub:
-        return sgn ? &scalarChunk<AlpuOp::kSub, true>
-                   : &scalarChunk<AlpuOp::kSub, false>;
-      case AlpuOp::kMul:
-        return sgn ? &scalarChunk<AlpuOp::kMul, true>
-                   : &scalarChunk<AlpuOp::kMul, false>;
-      case AlpuOp::kDiv:
-        return sgn ? &scalarChunk<AlpuOp::kDiv, true>
-                   : &scalarChunk<AlpuOp::kDiv, false>;
-      case AlpuOp::kMin:
-        return sgn ? &scalarChunk<AlpuOp::kMin, true>
-                   : &scalarChunk<AlpuOp::kMin, false>;
-      case AlpuOp::kMax:
-        return sgn ? &scalarChunk<AlpuOp::kMax, true>
-                   : &scalarChunk<AlpuOp::kMax, false>;
-      case AlpuOp::kAnd:
-        return sgn ? &scalarChunk<AlpuOp::kAnd, true>
-                   : &scalarChunk<AlpuOp::kAnd, false>;
-      case AlpuOp::kOr:
-        return sgn ? &scalarChunk<AlpuOp::kOr, true>
-                   : &scalarChunk<AlpuOp::kOr, false>;
-      case AlpuOp::kXor:
-        return sgn ? &scalarChunk<AlpuOp::kXor, true>
-                   : &scalarChunk<AlpuOp::kXor, false>;
-      case AlpuOp::kXnor:
-        return sgn ? &scalarChunk<AlpuOp::kXnor, true>
-                   : &scalarChunk<AlpuOp::kXnor, false>;
-      case AlpuOp::kNot:
-        return sgn ? &scalarChunk<AlpuOp::kNot, true>
-                   : &scalarChunk<AlpuOp::kNot, false>;
-      case AlpuOp::kAbs:
-        return sgn ? &scalarChunk<AlpuOp::kAbs, true>
-                   : &scalarChunk<AlpuOp::kAbs, false>;
-      case AlpuOp::kGT:
-        return sgn ? &scalarChunk<AlpuOp::kGT, true>
-                   : &scalarChunk<AlpuOp::kGT, false>;
-      case AlpuOp::kLT:
-        return sgn ? &scalarChunk<AlpuOp::kLT, true>
-                   : &scalarChunk<AlpuOp::kLT, false>;
-      case AlpuOp::kEQ:
-        return sgn ? &scalarChunk<AlpuOp::kEQ, true>
-                   : &scalarChunk<AlpuOp::kEQ, false>;
-      case AlpuOp::kShiftL:
-        return sgn ? &scalarChunk<AlpuOp::kShiftL, true>
-                   : &scalarChunk<AlpuOp::kShiftL, false>;
-      case AlpuOp::kShiftR:
-        return sgn ? &scalarChunk<AlpuOp::kShiftR, true>
-                   : &scalarChunk<AlpuOp::kShiftR, false>;
-      case AlpuOp::kPopCount:
-        return sgn ? &scalarChunk<AlpuOp::kPopCount, true>
-                   : &scalarChunk<AlpuOp::kPopCount, false>;
-    }
-    return nullptr;
-}
-
-/** dest[i] = (a[i] * scalar + b[i]) & mask (the AXPY inner op). */
-template <bool Signed>
-void
-scaledAddChunk(const uint64_t *a, const uint64_t *b, uint64_t s,
-               uint64_t *d, size_t lo, size_t hi, unsigned bits,
-               uint64_t mask)
-{
-    for (size_t i = lo; i < hi; ++i) {
-        const uint64_t prod =
-            alpuComputeT<AlpuOp::kMul>(a[i], s, bits, Signed);
-        d[i] = alpuComputeT<AlpuOp::kAdd>(prod, b[i], bits, Signed) &
-            mask;
-    }
-}
 
 /**
  * Host<->device element conversion with the element width hoisted out
@@ -372,6 +202,43 @@ PimDevice::PimDevice(const PimDeviceConfig &config)
                    config_.colsPerCore(), " columns."));
     logInfo(strCat("Created thread pool with ", pool_.size(),
                    " threads."));
+    // Fusion defaults off; PIMEVAL_FUSION=1 (any value but "0")
+    // enables it device-wide, mirroring pimSetFusionEnabled.
+    const char *fusion_env = std::getenv("PIMEVAL_FUSION");
+    if (fusion_env && *fusion_env &&
+        std::strcmp(fusion_env, "0") != 0)
+        fusion_on_ = true;
+}
+
+PimDevice::~PimDevice()
+{
+    flushFusion();
+}
+
+void
+PimDevice::setFusionEnabled(bool on)
+{
+    if (!on)
+        flushFusion();
+    fusion_on_ = on;
+}
+
+void
+PimDevice::beginFusion()
+{
+    ++fusion_region_depth_;
+}
+
+bool
+PimDevice::endFusion()
+{
+    if (fusion_region_depth_ == 0) {
+        logError("pimEndFusion: no matching pimBeginFusion");
+        return false;
+    }
+    if (--fusion_region_depth_ == 0 && !fusion_on_)
+        flushFusion();
+    return true;
 }
 
 PimObjId
@@ -383,8 +250,19 @@ PimDevice::alloc(PimAllocEnum alloc_type, uint64_t num_elements,
         v_layout = true;
     else if (alloc_type == PimAllocEnum::PIM_ALLOC_H)
         v_layout = false;
-    PimDataObject *obj =
-        resources_.alloc(num_elements, data_type, v_layout);
+    // Allocations do not flush the fusion window; objects born while
+    // it captures are the dead-temporary elision candidates. But when
+    // capacity is exhausted, the rows we need may be held by frees the
+    // window has deferred — flush and retry before giving up.
+    const bool can_retry = !fusion_window_.empty();
+    PimDataObject *obj = resources_.alloc(num_elements, data_type,
+                                          v_layout, can_retry);
+    if (!obj && can_retry) {
+        flushFusion();
+        obj = resources_.alloc(num_elements, data_type, v_layout);
+    }
+    if (obj && fusionCapturing())
+        fusion_window_.noteAlloc(obj->id());
     return obj ? obj->id() : -1;
 }
 
@@ -396,13 +274,38 @@ PimDevice::allocAssociated(PimObjId ref, PimDataType data_type)
         logError("pimAllocAssociated: unknown reference object");
         return -1;
     }
-    PimDataObject *obj = resources_.allocAssociated(*ref_obj, data_type);
+    // Capacity may be parked in the window's deferred frees: try
+    // quietly, then flush the window and retry.
+    const bool can_retry = !fusion_window_.empty();
+    PimDataObject *obj =
+        resources_.allocAssociated(*ref_obj, data_type, can_retry);
+    if (!obj && can_retry) {
+        flushFusion();
+        // The flush ran deferred frees: re-fetch the reference.
+        ref_obj = resources_.get(ref);
+        if (!ref_obj) {
+            logError("pimAllocAssociated: reference object freed");
+            return -1;
+        }
+        obj = resources_.allocAssociated(*ref_obj, data_type);
+    }
+    if (obj && fusionCapturing())
+        fusion_window_.noteAlloc(obj->id());
     return obj ? obj->id() : -1;
 }
 
 bool
 PimDevice::free(PimObjId id)
 {
+    if (!fusion_window_.empty()) {
+        // A free of a pending dest is deferred to the flush — exactly
+        // the alloc -> written -> freed-unread pattern elision needs.
+        // A free of an object the window only reads flushes first.
+        if (fusion_window_.noteFree(id))
+            return true; // a pending command writes it: defer to flush
+        if (fusion_window_.touches(id))
+            flushFusion();
+    }
     // Drain the object's dependency cone: every in-flight command
     // reading or writing it must execute before the storage goes away
     // (it may be recycled by the allocator's free-list immediately).
@@ -416,6 +319,7 @@ PimDevice::setExecMode(PimExecEnum mode)
 {
     if (mode == exec_mode_)
         return;
+    flushFusion();
     if (pipeline_)
         pipeline_->sync();
     exec_mode_ = mode;
@@ -426,6 +330,7 @@ PimDevice::setExecMode(PimExecEnum mode)
 void
 PimDevice::sync()
 {
+    flushFusion();
     if (pipeline_)
         pipeline_->sync();
 }
@@ -433,6 +338,9 @@ PimDevice::sync()
 void
 PimDevice::resetStats()
 {
+    // Buffered commands were issued before the reset: their stats must
+    // commit first so the reset drops them like any other drained work.
+    flushFusion();
     if (pipeline_)
         pipeline_->drainAndRun([this] { stats_.reset(); });
     else
@@ -443,6 +351,7 @@ PimStatus
 PimDevice::copyHostToDevice(const void *src, PimObjId dest,
                             uint64_t idx_begin, uint64_t idx_end)
 {
+    flushFusion(); // copies are not fusable: keep issue order
     PimDataObject *obj = resources_.get(dest);
     if (!obj || !src) {
         logError("pimCopyHostToDevice: bad arguments");
@@ -504,6 +413,7 @@ PimStatus
 PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
                             uint64_t idx_end)
 {
+    flushFusion();
     PimDataObject *obj = resources_.get(src);
     if (!obj || !dest) {
         logError("pimCopyDeviceToHost: bad arguments");
@@ -547,6 +457,7 @@ PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
 PimStatus
 PimDevice::copyDeviceToDevice(PimObjId src, PimObjId dest)
 {
+    flushFusion();
     PimDataObject *s = resources_.get(src);
     PimDataObject *d = resources_.get(dest);
     if (!checkCompatible(s, nullptr, d, "pimCopyDeviceToDevice"))
@@ -570,6 +481,7 @@ PimDevice::copyDeviceToDevice(PimObjId src, PimObjId dest)
 PimStatus
 PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
 {
+    flushFusion(); // inter-element movement is not fusable
     PimDataObject *obj = resources_.get(obj_id);
     if (!obj) {
         logError("pimShift/RotateElements: unknown object id");
@@ -634,6 +546,7 @@ PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
 void
 PimDevice::addHostWork(uint64_t bytes, uint64_t ops)
 {
+    flushFusion(); // host seconds accumulate in issue order
     // Single-core host phase on the Table II CPU: the greater of the
     // streaming time at the per-core share of peak bandwidth and the
     // scalar op time at the core clock.
@@ -679,6 +592,7 @@ PimDevice::stopHostTimer()
 void
 PimDevice::addHostTime(double seconds)
 {
+    flushFusion();
     issue({}, {}, [this, seconds](PimStatsDelta *delta) {
         if (delta)
             delta->host_measured_sec += seconds;
@@ -813,6 +727,28 @@ PimDevice::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
     const CmdKeyInfo key = keyFor(cmd, *oa);
 
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = cmd;
+        fop.op = op;
+        fop.a = a;
+        fop.b = b;
+        fop.dest = dest;
+        fop.pa = pa;
+        fop.pb = pb;
+        fop.pd = pd;
+        fop.kern2 = kernel;
+        fop.sgn = sgn;
+        fop.bits = bits;
+        fop.dmask = dmask;
+        fop.n = n;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
+
     return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
@@ -846,6 +782,27 @@ PimDevice::executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest)
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, 0);
     const CmdKeyInfo key = keyFor(cmd, *oa);
+
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = cmd;
+        fop.op = op;
+        fop.a = a;
+        fop.dest = dest;
+        fop.pa = pa;
+        fop.pd = pd;
+        fop.kern1 = kernel;
+        fop.sgn = sgn;
+        fop.scalar = 0;
+        fop.bits = bits;
+        fop.dmask = dmask;
+        fop.n = n;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
 
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
@@ -882,6 +839,27 @@ PimDevice::executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const size_t n = oa->raw().size();
     const PimOpProfile profile = makeProfile(cmd, *oa, s, 0);
     const CmdKeyInfo key = keyFor(cmd, *oa);
+
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = cmd;
+        fop.op = op;
+        fop.a = a;
+        fop.dest = dest;
+        fop.pa = pa;
+        fop.pd = pd;
+        fop.kern1 = kernel;
+        fop.sgn = sgn;
+        fop.scalar = s;
+        fop.bits = bits;
+        fop.dmask = dmask;
+        fop.n = n;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
 
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
@@ -921,6 +899,28 @@ PimDevice::executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
         makeProfile(PimCmdEnum::kScaledAdd, *oa, s, 0);
     const CmdKeyInfo key = keyFor(PimCmdEnum::kScaledAdd, *oa);
 
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = PimCmdEnum::kScaledAdd;
+        fop.a = a;
+        fop.b = b;
+        fop.dest = dest;
+        fop.pa = pa;
+        fop.pb = pb;
+        fop.pd = pd;
+        fop.kern_sa = kernel;
+        fop.sgn = sgn;
+        fop.scalar = s;
+        fop.bits = bits;
+        fop.dmask = dmask;
+        fop.n = n;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
+
     return issue({a, b}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
@@ -952,6 +952,27 @@ PimDevice::executeShift(PimCmdEnum cmd, PimObjId a, PimObjId dest,
     const PimOpProfile profile = makeProfile(cmd, *oa, 0, amount);
     const CmdKeyInfo key = keyFor(cmd, *oa);
 
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = cmd;
+        fop.op = op;
+        fop.a = a;
+        fop.dest = dest;
+        fop.pa = pa;
+        fop.pd = pd;
+        fop.kern1 = kernel;
+        fop.sgn = sgn;
+        fop.scalar = amount;
+        fop.bits = bits;
+        fop.dmask = dmask;
+        fop.n = n;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
+
     return issue({a}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
         pool_.parallelForChunks(0, n, [=](size_t lo, size_t hi) {
@@ -965,6 +986,7 @@ PimStatus
 PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
                          int64_t *result)
 {
+    flushFusion(); // the reduction reads whatever the window produces
     PimDataObject *oa = resources_.get(a);
     if (!oa || !result) {
         logError("pimRedSum: bad arguments");
@@ -1027,6 +1049,7 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
 PimStatus
 PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
 {
+    flushFusion(); // broadcast is a write the planner does not model
     PimDataObject *od = resources_.get(dest);
     if (!od) {
         logError("pimBroadcast: unknown object id");
@@ -1046,6 +1069,163 @@ PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
         });
         commitCmd(delta, key.id, model_->costOp(profile));
     });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise command fusion (core/pim_fusion.h).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Interned execution-span name for a fused chain of @p len ops. */
+const char *
+fusedTraceName(size_t len)
+{
+    static const char *cache[kMaxFusionChainLen + 1] = {};
+    if (len > kMaxFusionChainLen)
+        len = kMaxFusionChainLen;
+    if (!cache[len])
+        cache[len] =
+            PimTracer::instance().intern(strCat("fused.x", len));
+    return cache[len];
+}
+
+} // namespace
+
+void
+PimDevice::recordFusion(const PimFusedOp &op)
+{
+    if (fusion_window_.full())
+        flushFusion();
+    fusion_window_.record(op);
+}
+
+void
+PimDevice::flushFusion()
+{
+    if (fusion_window_.empty())
+        return;
+    const std::vector<PimFusedOp> &ops = fusion_window_.ops();
+    std::unordered_set<PimObjId> elided;
+    if (!ops.empty()) {
+        const std::vector<PimFusionChain> chains =
+            fusion_window_.plan();
+        uint64_t fused_chains = 0;
+        uint64_t fused_ops = 0;
+        for (const PimFusionChain &chain : chains) {
+            if (chain.size() == 1) {
+                runFusedOp(ops[chain.front().op]);
+                continue;
+            }
+            ++fused_chains;
+            fused_ops += chain.size();
+            for (const PimFusionStep &st : chain) {
+                if (st.elide_store)
+                    elided.insert(ops[st.op].dest);
+            }
+            executeFusedChain(ops, chain);
+        }
+        if (fused_chains > 0) {
+            PIM_METRIC_COUNT("fusion.chains", fused_chains);
+            PIM_METRIC_COUNT("fusion.ops_fused", fused_ops);
+        }
+        if (!elided.empty())
+            PIM_METRIC_COUNT("fusion.temps_elided", elided.size());
+    }
+    // Deferred frees: elided temporaries never materialized (and never
+    // entered the pipeline's hazard sets), so their storage goes back
+    // to the allocator pristine. Stored temporaries free normally.
+    for (PimObjId id : fusion_window_.deferredFrees()) {
+        if (elided.count(id) > 0) {
+            resources_.freeElided(id);
+        } else {
+            if (pipelineActive())
+                pipeline_->waitObject(id);
+            resources_.free(id);
+        }
+    }
+    fusion_window_.clear();
+}
+
+void
+PimDevice::runFusedOp(const PimFusedOp &op)
+{
+    std::vector<PimObjId> reads{op.a};
+    if (op.b >= 0)
+        reads.push_back(op.b);
+    issue(reads, {op.dest}, [op, this](PimStatsDelta *delta) {
+        PIM_TRACE_SCOPE_ARG(op.trace_name, "exec", op.n);
+        pool_.parallelForChunks(0, op.n, [&op](size_t lo, size_t hi) {
+            if (op.kern2)
+                op.kern2(op.pa, op.pb, op.pd, lo, hi, op.bits,
+                         op.dmask);
+            else if (op.kern_sa)
+                op.kern_sa(op.pa, op.pb, op.scalar, op.pd, lo, hi,
+                           op.bits, op.dmask);
+            else
+                op.kern1(op.pa, op.scalar, op.pd, lo, hi, op.bits,
+                         op.dmask);
+        });
+        commitCmd(delta, op.key_id, model_->costOp(op.profile));
+    });
+}
+
+void
+PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
+                             const PimFusionChain &chain)
+{
+    PimFusedTape tape = pimBuildFusedTape(ops, chain);
+
+    // Hazard sets exclude elided temporaries: they never materialize,
+    // so no command outside this chain can depend on them.
+    std::unordered_set<PimObjId> elided;
+    for (const PimFusionStep &st : chain) {
+        if (st.elide_store)
+            elided.insert(ops[st.op].dest);
+    }
+    std::vector<PimObjId> reads;
+    std::vector<PimObjId> writes;
+    for (const PimFusionStep &st : chain) {
+        const PimFusedOp &op = ops[st.op];
+        if (op.a >= 0 && elided.count(op.a) == 0)
+            reads.push_back(op.a);
+        if (op.b >= 0 && elided.count(op.b) == 0)
+            reads.push_back(op.b);
+        if (elided.count(op.dest) == 0)
+            writes.push_back(op.dest);
+    }
+    const auto dedupe = [](std::vector<PimObjId> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedupe(reads);
+    dedupe(writes);
+
+    // Per-member stats commits in issue order from issue-time
+    // profiles — exactly what the unfused commands would commit.
+    struct ChainCommit
+    {
+        PimStatsMgr::CmdKeyId id;
+        PimOpProfile profile;
+    };
+    std::vector<ChainCommit> commits;
+    commits.reserve(chain.size());
+    for (const PimFusionStep &st : chain)
+        commits.push_back({ops[st.op].key_id, ops[st.op].profile});
+
+    const char *trace_name = fusedTraceName(chain.size());
+    const size_t n = tape.n;
+    issue(reads, writes,
+          [=, this, tape = std::move(tape),
+           commits = std::move(commits)](PimStatsDelta *delta) {
+              PIM_TRACE_SCOPE_ARG(trace_name, "exec", n);
+              pool_.parallelForChunks(
+                  0, n, [&tape](size_t lo, size_t hi) {
+                      tape.run(lo, hi);
+                  });
+              for (const ChainCommit &c : commits)
+                  commitCmd(delta, c.id, model_->costOp(c.profile));
+          });
 }
 
 } // namespace pimeval

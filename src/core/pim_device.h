@@ -19,6 +19,7 @@
 
 #include "core/perf_energy_model.h"
 #include "core/pim_data_object.h"
+#include "core/pim_fusion.h"
 #include "core/pim_params.h"
 #include "core/pim_pipeline.h"
 #include "core/pim_resource_mgr.h"
@@ -31,6 +32,9 @@ class PimDevice
 {
   public:
     explicit PimDevice(const PimDeviceConfig &config);
+
+    /** Flushes any pending fusion window before members tear down. */
+    ~PimDevice();
 
     const PimDeviceConfig &config() const { return config_; }
 
@@ -67,6 +71,26 @@ class PimDevice
     /** Drain the command pipeline: all commands executed and all
      *  statistics committed. No-op in sync mode. */
     void sync();
+
+    // --- Elementwise command fusion (core/pim_fusion.h) ---
+
+    /**
+     * Fusion toggle (PIMEVAL_FUSION env, pimSetFusionEnabled). While
+     * enabled, every fusable elementwise command is buffered in the
+     * fusion window; disabling flushes pending commands first.
+     */
+    void setFusionEnabled(bool on);
+    bool fusionEnabled() const { return fusion_on_; }
+
+    /**
+     * Explicit fusion region (pimBeginFusion/pimEndFusion): captures
+     * commands regardless of the global toggle until the matching
+     * endFusion, which flushes. Regions nest; only the outermost
+     * endFusion flushes. endFusion returns false when there is no
+     * matching beginFusion.
+     */
+    void beginFusion();
+    bool endFusion();
 
     // --- Resource management ---
     PimObjId alloc(PimAllocEnum alloc_type, uint64_t num_elements,
@@ -199,6 +223,34 @@ class PimDevice
                          const PimDataObject *dest,
                          const char *what) const;
 
+    /** True while fusable elementwise commands should be buffered in
+     *  the fusion window instead of issued. */
+    bool fusionCapturing() const
+    {
+        return fusion_on_ || fusion_region_depth_ > 0;
+    }
+
+    /** Buffer one captured command (flushing first if the window is
+     *  full). */
+    void recordFusion(const PimFusedOp &op);
+
+    /**
+     * Plan and execute the pending fusion window: singleton chains run
+     * exactly like unfused commands, multi-op chains lower to
+     * expression tapes, and deferred frees resolve (elided temporaries
+     * return pristine to the allocator). No-op when empty.
+     */
+    void flushFusion();
+
+    /** Execute one window command through the normal issue path (a
+     *  singleton chain — identical to the unfused command). */
+    void runFusedOp(const PimFusedOp &op);
+
+    /** Execute one multi-op chain as a single pipeline command that
+     *  commits every member's stats in issue order. */
+    void executeFusedChain(const std::vector<PimFusedOp> &ops,
+                           const PimFusionChain &chain);
+
     PimDeviceConfig config_;
     PimResourceMgr resources_;
     std::unique_ptr<PerfEnergyModel> model_;
@@ -206,6 +258,11 @@ class PimDevice
     ThreadPool pool_;
     double modeling_scale_ = 1.0;
     PimExecEnum exec_mode_ = PimExecEnum::PIM_EXEC_SYNC;
+
+    /** Fusion issue window (issuing thread only). */
+    PimFusionWindow fusion_window_;
+    bool fusion_on_ = false;
+    int fusion_region_depth_ = 0;
 
     /** Host-phase wall-clock timer (issuing thread only). */
     std::chrono::high_resolution_clock::time_point host_timer_start_;

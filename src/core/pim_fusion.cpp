@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Fusion pass implementation: chain planning, tape lowering, and the
+ * tile interpreter.
+ */
+
+#include "core/pim_fusion.h"
+
+#include <algorithm>
+
+namespace pimeval {
+
+namespace {
+
+/** Tile size of the tape interpreter: 8 KiB of uint64_t lanes — the
+ *  whole working set of a tape step stays L1-resident, so a chain of
+ *  kernel sweeps over one tile costs close to a single fused loop. */
+constexpr size_t kFusionTileWords = 1024;
+
+} // namespace
+
+std::vector<PimFusionChain>
+pimPlanFusionChains(const std::vector<PimFusionOpView> &ops,
+                    const std::unordered_set<PimObjId> &born,
+                    const std::unordered_set<PimObjId> &freed)
+{
+    std::vector<PimFusionChain> chains;
+    const size_t n = ops.size();
+    size_t i = 0;
+    while (i < n) {
+        PimFusionChain chain{{i, false}};
+        size_t tail = i;
+        while (chain.size() < kMaxFusionChainLen && tail + 1 < n) {
+            const PimObjId d = ops[tail].dest;
+            const PimFusionOpView &next = ops[tail + 1];
+            if (next.a != d && next.b != d)
+                break;
+            ++tail;
+            chain.push_back({tail, false});
+        }
+
+        // Dead-temporary elision for non-final steps: born in the
+        // window, freed in the window, written only here, and read
+        // only by the immediate successor.
+        for (size_t k = 0; k + 1 < chain.size(); ++k) {
+            const size_t op_idx = chain[k].op;
+            const PimObjId d = ops[op_idx].dest;
+            if (born.find(d) == born.end() ||
+                freed.find(d) == freed.end())
+                continue;
+            const size_t successor = chain[k + 1].op;
+            bool elide = true;
+            for (size_t j = 0; j < n && elide; ++j) {
+                if (j != op_idx && ops[j].dest == d)
+                    elide = false; // another writer
+                if (j != successor &&
+                    (ops[j].a == d || ops[j].b == d))
+                    elide = false; // read outside the chain link
+            }
+            chain[k].elide_store = elide;
+        }
+        chains.push_back(std::move(chain));
+        i = tail + 1;
+    }
+    return chains;
+}
+
+bool
+PimFusionWindow::noteFree(PimObjId id)
+{
+    if (freed_.find(id) != freed_.end())
+        return false; // double free: resolved by the flush + caller
+    const bool written = std::any_of(
+        ops_.begin(), ops_.end(),
+        [id](const PimFusedOp &op) { return op.dest == id; });
+    if (!written)
+        return false;
+    freed_.insert(id);
+    deferred_frees_.push_back(id);
+    return true;
+}
+
+bool
+PimFusionWindow::touches(PimObjId id) const
+{
+    return std::any_of(ops_.begin(), ops_.end(),
+                       [id](const PimFusedOp &op) {
+                           return op.a == id || op.b == id ||
+                               op.dest == id;
+                       });
+}
+
+std::vector<PimFusionChain>
+PimFusionWindow::plan() const
+{
+    std::vector<PimFusionOpView> views;
+    views.reserve(ops_.size());
+    for (const PimFusedOp &op : ops_)
+        views.push_back({op.a, op.b, op.dest});
+    return pimPlanFusionChains(views, born_, freed_);
+}
+
+void
+PimFusionWindow::clear()
+{
+    ops_.clear();
+    born_.clear();
+    freed_.clear();
+    deferred_frees_.clear();
+}
+
+PimFusedTape
+pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
+                  const PimFusionChain &chain)
+{
+    PimFusedTape tape;
+    tape.steps.reserve(chain.size());
+    tape.n = ops[chain.front().op].n;
+
+    PimObjId prev_dest = -1;
+    for (size_t k = 0; k < chain.size(); ++k) {
+        const PimFusedOp &op = ops[chain[k].op];
+        PimFusedTapeStep st;
+        st.kern2 = op.kern2;
+        st.kern1 = op.kern1;
+        st.kern_sa = op.kern_sa;
+        st.a = op.pa;
+        st.b = op.pb;
+        // The chain value flows into whichever operand named the
+        // previous dest (possibly both, e.g. pimMul(t, t, d)).
+        if (k > 0) {
+            st.a_is_prev = (op.a == prev_dest);
+            st.b_is_prev = (op.b == prev_dest);
+        }
+        st.scalar = op.scalar;
+        st.bits = op.bits;
+        st.mask = op.dmask;
+        st.store = chain[k].elide_store ? nullptr : op.pd;
+        tape.steps.push_back(st);
+        prev_dest = op.dest;
+    }
+
+    // Register fast paths for 2-/3-step tapes: only when every
+    // intermediate is elided (nothing to store mid-chain), every step
+    // is a plain binary/scalar op with one flowing operand, and the
+    // signedness is uniform (a compile-time parameter of the fused
+    // kernels).
+    const size_t len = tape.steps.size();
+    if (len != 2 && len != 3)
+        return tape;
+    const bool sgn = ops[chain.front().op].sgn;
+    AlpuOp step_op[3];
+    for (size_t k = 0; k < len; ++k) {
+        const PimFusedOp &op = ops[chain[k].op];
+        const PimFusedTapeStep &st = tape.steps[k];
+        if (op.kern_sa || op.sgn != sgn)
+            return tape;
+        if (k + 1 < len && st.store != nullptr)
+            return tape; // materialized intermediate: tile path
+        if (k > 0 && st.a_is_prev && st.b_is_prev)
+            return tape; // both operands flow: needs the register file
+        if (k > 0 && !st.a_is_prev && !st.b_is_prev)
+            return tape; // unreachable by construction, but be safe
+        step_op[k] = op.op;
+    }
+
+    Fused3Args args;
+    args.a = tape.steps[0].a;
+    args.d = tape.steps[len - 1].store;
+    for (size_t k = 0; k < len; ++k) {
+        const PimFusedTapeStep &st = tape.steps[k];
+        args.bits[k] = st.bits;
+        args.m[k] = st.mask;
+        if (k == 0) {
+            // Step 0's second operand: vector b or the scalar.
+            args.o[0] = st.kern2 ? st.b : nullptr;
+            args.s[0] = st.scalar;
+        } else if (st.kern2) {
+            // One operand flows, the other is the named vector.
+            args.prev_rhs[k] = st.b_is_prev;
+            args.o[k] = st.b_is_prev ? st.a : st.b;
+        } else {
+            // Scalar/unary step consuming the flow through a.
+            args.o[k] = nullptr;
+            args.s[k] = st.scalar;
+        }
+    }
+
+    if (len == 2) {
+        tape.fast2 = fusedChunk2For(
+            step_op[0], step_op[1], sgn,
+            /*v0=*/args.o[0] != nullptr,
+            /*v1=*/args.o[1] != nullptr, args.prev_rhs[1]);
+    } else {
+        // The 3-op kernel resolves operand shape per loop-invariant
+        // flag, so any mix of vector/scalar steps shares one
+        // instantiation per (op, op, op, signed) combination.
+        tape.fast3 =
+            fusedChunk3For(step_op[0], step_op[1], step_op[2], sgn);
+    }
+    if (tape.fast2 || tape.fast3) {
+        tape.fast_args = args;
+        tape.fast_dest = args.d;
+    }
+    return tape;
+}
+
+void
+PimFusedTape::run(size_t lo, size_t hi) const
+{
+    if (fast2) {
+        fast2(fast_args.a, fast_args.o[0], fast_args.s[0],
+              fast_args.o[1], fast_args.s[1], fast_dest, lo, hi,
+              fast_args.bits[0], fast_args.m[0], fast_args.bits[1],
+              fast_args.m[1]);
+        return;
+    }
+    if (fast3) {
+        fast3(fast_args, lo, hi);
+        return;
+    }
+
+    // Tile interpreter: evaluate the whole tape over one L1-resident
+    // tile before moving on, so intermediates live in cache (or in
+    // the stack tile when elided) instead of streaming through memory
+    // once per command.
+    alignas(64) uint64_t tile[kFusionTileWords];
+    for (size_t base = lo; base < hi; base += kFusionTileWords) {
+        const size_t cnt = std::min(kFusionTileWords, hi - base);
+        const uint64_t *prev = nullptr;
+        for (const PimFusedTapeStep &st : steps) {
+            const uint64_t *a = st.a_is_prev ? prev : st.a + base;
+            uint64_t *out = st.store ? st.store + base : tile;
+            if (st.kern2) {
+                const uint64_t *b = st.b_is_prev ? prev : st.b + base;
+                st.kern2(a, b, out, 0, cnt, st.bits, st.mask);
+            } else if (st.kern_sa) {
+                const uint64_t *b = st.b_is_prev ? prev : st.b + base;
+                st.kern_sa(a, b, st.scalar, out, 0, cnt, st.bits,
+                           st.mask);
+            } else {
+                st.kern1(a, st.scalar, out, 0, cnt, st.bits, st.mask);
+            }
+            prev = out;
+        }
+    }
+}
+
+} // namespace pimeval

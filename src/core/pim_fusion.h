@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Elementwise command fusion: expression-tape lowering for chained PIM
+ * ops with dead-temporary elision (docs/PERFORMANCE.md).
+ *
+ * PIMbench workloads issue long chains of elementwise API calls
+ * (pimMulScalar -> pimAdd -> pimSub ...) where every intermediate is
+ * fully materialized, so simulator throughput is bounded by memory
+ * traffic over temporaries. When fusion is active (PIMEVAL_FUSION /
+ * pimSetFusionEnabled / a pimBeginFusion region), the device buffers
+ * fusable elementwise commands in a small issue window instead of
+ * executing them immediately. At a flush boundary the PimFusionWindow
+ * plans the window:
+ *
+ *  - pimPlanFusionChains greedily extracts linear producer->consumer
+ *    chains of adjacent commands (command j+1 reads command j's dest);
+ *    adjacency keeps per-command statistics commits in issue order,
+ *    which is what makes fused stats bit-identical to unfused runs.
+ *  - Each chain lowers to an expression tape (post-order op list +
+ *    operand slots). The tape interpreter evaluates the whole chain
+ *    over one L1-resident tile at a time with the same chunk kernels
+ *    as unfused execution — each step applies its own element width
+ *    and dest mask, so stored values are bit-identical by
+ *    construction. 2- and 3-op tapes over add/sub/mul take the
+ *    register fast paths in fulcrum/alpu_kernels.h (inputs loaded
+ *    once, one store per element).
+ *  - An intermediate born in the window, written once, freed inside
+ *    the window, and read only by its chain successor is *elided*: its
+ *    store is skipped, it never enters the pipeline's hazard sets, and
+ *    its storage returns to the allocator free-list still in the
+ *    pristine all-zero state (PimResourceMgr::freeElided), so the next
+ *    same-shape allocation skips the recycle zero-fill.
+ *
+ * Fusion is a functional-simulation optimization only: the modeled
+ * cost of every original command is still computed from its
+ * issue-time profile and committed per command in issue order.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_FUSION_H_
+#define PIMEVAL_CORE_PIM_FUSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/perf_energy_model.h"
+#include "core/pim_stats.h"
+#include "core/pim_types.h"
+#include "fulcrum/alpu_kernels.h"
+
+namespace pimeval {
+
+/** Window and chain bounds (small by design: the window only needs to
+ *  span one app-loop body between natural flush points). */
+constexpr size_t kMaxFusionWindowOps = 32;
+constexpr size_t kMaxFusionChainLen = 8;
+
+/**
+ * The operand view of one window command, as the chain planner sees
+ * it: object ids only. b is -1 for scalar/unary commands. Kept
+ * separate from PimFusedOp so chain extraction is unit-testable on
+ * synthetic hazard graphs.
+ */
+struct PimFusionOpView
+{
+    PimObjId a = -1;
+    PimObjId b = -1;
+    PimObjId dest = -1;
+};
+
+/** One tape step of a planned chain: window op index + whether its
+ *  dest store is elided (dead temporary). */
+struct PimFusionStep
+{
+    size_t op = 0;
+    bool elide_store = false;
+};
+
+using PimFusionChain = std::vector<PimFusionStep>;
+
+/**
+ * Greedy linear chain extraction over a command window.
+ *
+ * Walks the window in issue order; command j+1 joins the open chain
+ * when it reads the chain tail's dest (RAW link). Only adjacent
+ * commands link — fusing across unrelated commands would reorder
+ * per-command stats commits. A non-final step's dest store is elided
+ * when the object was born in the window (@p born), freed in the
+ * window (@p freed), written by no other window command, and read by
+ * no window command except its immediate successor.
+ *
+ * Every window op appears in exactly one chain; unfusable neighbors
+ * produce singleton chains (executed exactly like unfused commands).
+ */
+std::vector<PimFusionChain>
+pimPlanFusionChains(const std::vector<PimFusionOpView> &ops,
+                    const std::unordered_set<PimObjId> &born,
+                    const std::unordered_set<PimObjId> &freed);
+
+/**
+ * One buffered elementwise command with everything captured at issue
+ * time, exactly as the unfused execute* paths capture it: raw
+ * pointers, the op-specialized kernel, the cost profile, and the
+ * interned stats key.
+ */
+struct PimFusedOp
+{
+    PimCmdEnum cmd = PimCmdEnum::kAdd;
+    AlpuOp op = AlpuOp::kAdd;
+    PimObjId a = -1;
+    PimObjId b = -1; ///< -1 for scalar/unary/shift commands
+    PimObjId dest = -1;
+    const uint64_t *pa = nullptr;
+    const uint64_t *pb = nullptr;
+    uint64_t *pd = nullptr;
+    BinaryChunkFn kern2 = nullptr;      ///< vector-vector commands
+    ScalarChunkFn kern1 = nullptr;      ///< scalar/unary/shift commands
+    ScaledAddChunkFn kern_sa = nullptr; ///< dest = a*s + b
+    bool sgn = false;
+    uint64_t scalar = 0;
+    unsigned bits = 0;
+    uint64_t dmask = 0;
+    size_t n = 0; ///< raw words (one per element)
+    PimOpProfile profile;
+    PimStatsMgr::CmdKeyId key_id = 0;
+    const char *trace_name = nullptr;
+};
+
+/**
+ * One step of a lowered expression tape. A null @p store means the
+ * step's result only flows to the next step (elided dead temporary or
+ * the synthetic first half of a scaledAdd).
+ */
+struct PimFusedTapeStep
+{
+    BinaryChunkFn kern2 = nullptr;
+    ScalarChunkFn kern1 = nullptr;
+    ScaledAddChunkFn kern_sa = nullptr;
+    const uint64_t *a = nullptr;
+    const uint64_t *b = nullptr;
+    bool a_is_prev = false;
+    bool b_is_prev = false;
+    uint64_t scalar = 0;
+    unsigned bits = 0;
+    uint64_t mask = 0;
+    uint64_t *store = nullptr;
+};
+
+/**
+ * A lowered chain, executable over any [lo, hi) element range (the
+ * body handed to ThreadPool::parallelForChunks). Uses the register
+ * fast path when the shape allows, else interprets the tape over
+ * L1-resident tiles.
+ */
+struct PimFusedTape
+{
+    std::vector<PimFusedTapeStep> steps;
+    size_t n = 0;
+
+    /** Register fast paths (exclusive; tile path when both null). */
+    Fused2Fn fast2 = nullptr;
+    Fused3Fn fast3 = nullptr;
+    Fused3Args fast_args; ///< operand pack (fast2 uses slots 0-1)
+    uint64_t *fast_dest = nullptr;
+
+    void run(size_t lo, size_t hi) const;
+};
+
+/**
+ * Lower one planned chain over the window ops to an executable tape.
+ * scaledAdd commands stay one step (the scaledAddChunk kernel), so the
+ * chain value can flow into either of their operands.
+ */
+PimFusedTape pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
+                               const PimFusionChain &chain);
+
+/**
+ * The device's fusion issue window: buffered commands plus the
+ * birth/free bookkeeping the elision analysis needs. Single-threaded
+ * (issuing thread only); execution of the planned chains stays with
+ * PimDevice, which owns the thread pool and pipeline.
+ */
+class PimFusionWindow
+{
+  public:
+    bool empty() const
+    {
+        return ops_.empty() && deferred_frees_.empty();
+    }
+    size_t size() const { return ops_.size(); }
+    bool full() const { return ops_.size() >= kMaxFusionWindowOps; }
+
+    void record(const PimFusedOp &op) { ops_.push_back(op); }
+
+    /** An object allocated while fusion captures (cleared at flush):
+     *  only window-born temporaries are elision candidates. */
+    void noteAlloc(PimObjId id) { born_.insert(id); }
+
+    /**
+     * pimFree while the window holds a writer of @p id: the free is
+     * deferred to the flush (true). Returns false when the id is not a
+     * pending dest (or was already deferred) — the caller frees
+     * normally, flushing first if the window still reads the id.
+     */
+    bool noteFree(PimObjId id);
+
+    /** Whether any pending command reads or writes @p id. */
+    bool touches(PimObjId id) const;
+
+    const std::vector<PimFusedOp> &ops() const { return ops_; }
+    const std::vector<PimObjId> &deferredFrees() const
+    {
+        return deferred_frees_;
+    }
+
+    /** Plan the pending window (chain extraction + elision). */
+    std::vector<PimFusionChain> plan() const;
+
+    /** Reset after a flush: pending ops, deferred frees, and the
+     *  born-in-window set. */
+    void clear();
+
+  private:
+    std::vector<PimFusedOp> ops_;
+    std::unordered_set<PimObjId> born_;
+    std::unordered_set<PimObjId> freed_;
+    std::vector<PimObjId> deferred_frees_;
+};
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_FUSION_H_

@@ -212,7 +212,7 @@ PimResourceMgr::takeFromFreeList(uint64_t num_elements, unsigned bits,
 
 PimDataObject *
 PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
-                      bool v_layout)
+                      bool v_layout, bool quiet_exhaustion)
 {
     if (num_elements == 0) {
         logError("pimAlloc: zero-element allocation rejected");
@@ -247,7 +247,8 @@ PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
         if (flushed)
             flushFreeList();
         if (!flushed || !placeRegions(*obj, nonzero)) {
-            logError("pimAlloc: device capacity exhausted");
+            if (!quiet_exhaustion)
+                logError("pimAlloc: device capacity exhausted");
             return nullptr;
         }
     }
@@ -259,7 +260,8 @@ PimResourceMgr::alloc(uint64_t num_elements, PimDataType data_type,
 
 PimDataObject *
 PimResourceMgr::allocAssociated(const PimDataObject &ref,
-                                PimDataType data_type)
+                                PimDataType data_type,
+                                bool quiet_exhaustion)
 {
     const unsigned bits = pimBitsOfDataType(data_type);
     if (PimDataObject *hit = takeFromFreeList(ref.numElements(), bits,
@@ -278,7 +280,9 @@ PimResourceMgr::allocAssociated(const PimDataObject &ref,
         if (flushed)
             flushFreeList();
         if (!flushed || !placeRegions(*obj, counts)) {
-            logError("pimAllocAssociated: device capacity exhausted");
+            if (!quiet_exhaustion)
+                logError("pimAllocAssociated: device capacity "
+                         "exhausted");
             return nullptr;
         }
     }
@@ -306,6 +310,17 @@ PimResourceMgr::free(PimObjId id)
     releaseRows(*it->second);
     objects_.erase(it);
     return true;
+}
+
+bool
+PimResourceMgr::freeElided(PimObjId id)
+{
+    auto it = objects_.find(id);
+    if (it == objects_.end())
+        return false;
+    it->second->markPristine();
+    PIM_METRIC_COUNT("freelist.pristine", 1);
+    return free(id);
 }
 
 void

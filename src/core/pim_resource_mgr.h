@@ -65,19 +65,33 @@ class PimResourceMgr
     /**
      * Allocate an object spread across cores.
      * @param v_layout vertical (bit-serial) or horizontal placement.
+     * @param quiet_exhaustion suppress the capacity-exhausted error
+     *        log — for callers that can reclaim capacity (e.g. flush
+     *        fusion-deferred frees) and retry.
      * @return nullptr on failure (capacity exhausted).
      */
     PimDataObject *alloc(uint64_t num_elements, PimDataType data_type,
-                         bool v_layout);
+                         bool v_layout,
+                         bool quiet_exhaustion = false);
 
     /**
      * Allocate with the same element distribution as @p ref.
      */
     PimDataObject *allocAssociated(const PimDataObject &ref,
-                                   PimDataType data_type);
+                                   PimDataType data_type,
+                                   bool quiet_exhaustion = false);
 
     /** Free an object; @return false for unknown ids. */
     bool free(PimObjId id);
+
+    /**
+     * Free a fusion-elided dead temporary: the object was allocated,
+     * nominally written, and freed without its storage ever being
+     * touched, so it is still in the fresh-allocation all-zero state.
+     * Marks it pristine before parking it, letting the next same-shape
+     * recycle() skip the zero-fill.
+     */
+    bool freeElided(PimObjId id);
 
     /** Look up an object (nullptr if unknown). */
     PimDataObject *get(PimObjId id);

@@ -242,6 +242,54 @@ class PimTraceScope
 };
 
 /**
+ * RAII export guard for a whole trace session. A trace armed through
+ * the PIMEVAL_TRACE environment variable is normally exported by
+ * pimDeleteDevice(); a program that errors out early and returns
+ * before tearing the device down would leave the trace armed but
+ * never written. Construct one of these at the top of main (pass the
+ * intended output path, typically the PIMEVAL_TRACE value): if no
+ * trace is active yet it begins one, and whichever way the scope
+ * exits — early-error returns included — the destructor exports any
+ * still-active trace instead of dropping it.
+ *
+ * The guard stands down automatically when something else (e.g.
+ * pimDeleteDevice or an explicit pimTraceEnd) already exported the
+ * trace: the destructor only acts while tracing is still enabled.
+ * With an empty path, or under -DPIMEVAL_TRACING=OFF, it is a no-op.
+ */
+class PimScopedTraceExport
+{
+  public:
+    explicit PimScopedTraceExport(const std::string &path)
+    {
+#if PIMEVAL_TRACING_ENABLED
+        if (path.empty())
+            return;
+        path_ = path;
+        if (!PimTracer::enabled())
+            PimTracer::instance().begin(path_);
+#else
+        (void)path;
+#endif
+    }
+
+    ~PimScopedTraceExport()
+    {
+#if PIMEVAL_TRACING_ENABLED
+        if (!path_.empty() && PimTracer::enabled())
+            PimTracer::instance().end(path_);
+#endif
+    }
+
+    PimScopedTraceExport(const PimScopedTraceExport &) = delete;
+    PimScopedTraceExport &operator=(const PimScopedTraceExport &) =
+        delete;
+
+  private:
+    std::string path_;
+};
+
+/**
  * Minimal JSON validation of an exported Chrome trace file: the whole
  * file must parse as JSON and contain a "traceEvents" array whose
  * entries carry the required ph/name/pid/tid/ts fields. Used by

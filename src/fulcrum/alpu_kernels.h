@@ -16,6 +16,7 @@
 #define PIMEVAL_FULCRUM_ALPU_KERNELS_H_
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #include "fulcrum/fulcrum_core.h"
@@ -130,6 +131,398 @@ alpuComputeT(uint64_t a, uint64_t b, unsigned elem_bits, bool is_signed)
         result = static_cast<uint64_t>(std::popcount(ua));
     }
     return alpuTruncBits(result, elem_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk kernels: the op dispatch happens once per command (selecting a
+// function pointer through *ChunkFor), so each body is a tight masked
+// uint64_t loop the compiler can unroll and autovectorize. Shared by
+// the core simulator's execution engine and the fusion tape
+// interpreter (core/pim_fusion.h).
+// ---------------------------------------------------------------------------
+
+/** dest[i] = op(a[i], b[i]) & mask, with NE realized as !EQ. */
+template <AlpuOp Op, bool Negate, bool Signed>
+inline void
+binaryChunk(const uint64_t *a, const uint64_t *b, uint64_t *d,
+            size_t lo, size_t hi, unsigned bits, uint64_t mask)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        uint64_t r = alpuComputeT<Op>(a[i], b[i], bits, Signed);
+        if constexpr (Negate)
+            r ^= 1ull;
+        d[i] = r & mask;
+    }
+}
+
+using BinaryChunkFn = void (*)(const uint64_t *, const uint64_t *,
+                               uint64_t *, size_t, size_t, unsigned,
+                               uint64_t);
+
+// Signedness is a compile-time parameter of every kernel: the signed
+// compare/extend paths otherwise carry a per-element branch that
+// defeats autovectorization of min/max/abs/compare loops.
+template <bool Negate>
+inline BinaryChunkFn
+binaryChunkFor(AlpuOp op, bool sgn)
+{
+    switch (op) {
+      case AlpuOp::kAdd:
+        return sgn ? &binaryChunk<AlpuOp::kAdd, Negate, true>
+                   : &binaryChunk<AlpuOp::kAdd, Negate, false>;
+      case AlpuOp::kSub:
+        return sgn ? &binaryChunk<AlpuOp::kSub, Negate, true>
+                   : &binaryChunk<AlpuOp::kSub, Negate, false>;
+      case AlpuOp::kMul:
+        return sgn ? &binaryChunk<AlpuOp::kMul, Negate, true>
+                   : &binaryChunk<AlpuOp::kMul, Negate, false>;
+      case AlpuOp::kDiv:
+        return sgn ? &binaryChunk<AlpuOp::kDiv, Negate, true>
+                   : &binaryChunk<AlpuOp::kDiv, Negate, false>;
+      case AlpuOp::kMin:
+        return sgn ? &binaryChunk<AlpuOp::kMin, Negate, true>
+                   : &binaryChunk<AlpuOp::kMin, Negate, false>;
+      case AlpuOp::kMax:
+        return sgn ? &binaryChunk<AlpuOp::kMax, Negate, true>
+                   : &binaryChunk<AlpuOp::kMax, Negate, false>;
+      case AlpuOp::kAnd:
+        return sgn ? &binaryChunk<AlpuOp::kAnd, Negate, true>
+                   : &binaryChunk<AlpuOp::kAnd, Negate, false>;
+      case AlpuOp::kOr:
+        return sgn ? &binaryChunk<AlpuOp::kOr, Negate, true>
+                   : &binaryChunk<AlpuOp::kOr, Negate, false>;
+      case AlpuOp::kXor:
+        return sgn ? &binaryChunk<AlpuOp::kXor, Negate, true>
+                   : &binaryChunk<AlpuOp::kXor, Negate, false>;
+      case AlpuOp::kXnor:
+        return sgn ? &binaryChunk<AlpuOp::kXnor, Negate, true>
+                   : &binaryChunk<AlpuOp::kXnor, Negate, false>;
+      case AlpuOp::kNot:
+        return sgn ? &binaryChunk<AlpuOp::kNot, Negate, true>
+                   : &binaryChunk<AlpuOp::kNot, Negate, false>;
+      case AlpuOp::kAbs:
+        return sgn ? &binaryChunk<AlpuOp::kAbs, Negate, true>
+                   : &binaryChunk<AlpuOp::kAbs, Negate, false>;
+      case AlpuOp::kGT:
+        return sgn ? &binaryChunk<AlpuOp::kGT, Negate, true>
+                   : &binaryChunk<AlpuOp::kGT, Negate, false>;
+      case AlpuOp::kLT:
+        return sgn ? &binaryChunk<AlpuOp::kLT, Negate, true>
+                   : &binaryChunk<AlpuOp::kLT, Negate, false>;
+      case AlpuOp::kEQ:
+        return sgn ? &binaryChunk<AlpuOp::kEQ, Negate, true>
+                   : &binaryChunk<AlpuOp::kEQ, Negate, false>;
+      case AlpuOp::kShiftL:
+        return sgn ? &binaryChunk<AlpuOp::kShiftL, Negate, true>
+                   : &binaryChunk<AlpuOp::kShiftL, Negate, false>;
+      case AlpuOp::kShiftR:
+        return sgn ? &binaryChunk<AlpuOp::kShiftR, Negate, true>
+                   : &binaryChunk<AlpuOp::kShiftR, Negate, false>;
+      case AlpuOp::kPopCount:
+        return sgn ? &binaryChunk<AlpuOp::kPopCount, Negate, true>
+                   : &binaryChunk<AlpuOp::kPopCount, Negate, false>;
+    }
+    return nullptr;
+}
+
+/** dest[i] = op(a[i], scalar) & mask; unary ops pass scalar = 0. */
+template <AlpuOp Op, bool Signed>
+inline void
+scalarChunk(const uint64_t *a, uint64_t s, uint64_t *d, size_t lo,
+            size_t hi, unsigned bits, uint64_t mask)
+{
+    for (size_t i = lo; i < hi; ++i)
+        d[i] = alpuComputeT<Op>(a[i], s, bits, Signed) & mask;
+}
+
+using ScalarChunkFn = void (*)(const uint64_t *, uint64_t, uint64_t *,
+                               size_t, size_t, unsigned, uint64_t);
+
+inline ScalarChunkFn
+scalarChunkFor(AlpuOp op, bool sgn)
+{
+    switch (op) {
+      case AlpuOp::kAdd:
+        return sgn ? &scalarChunk<AlpuOp::kAdd, true>
+                   : &scalarChunk<AlpuOp::kAdd, false>;
+      case AlpuOp::kSub:
+        return sgn ? &scalarChunk<AlpuOp::kSub, true>
+                   : &scalarChunk<AlpuOp::kSub, false>;
+      case AlpuOp::kMul:
+        return sgn ? &scalarChunk<AlpuOp::kMul, true>
+                   : &scalarChunk<AlpuOp::kMul, false>;
+      case AlpuOp::kDiv:
+        return sgn ? &scalarChunk<AlpuOp::kDiv, true>
+                   : &scalarChunk<AlpuOp::kDiv, false>;
+      case AlpuOp::kMin:
+        return sgn ? &scalarChunk<AlpuOp::kMin, true>
+                   : &scalarChunk<AlpuOp::kMin, false>;
+      case AlpuOp::kMax:
+        return sgn ? &scalarChunk<AlpuOp::kMax, true>
+                   : &scalarChunk<AlpuOp::kMax, false>;
+      case AlpuOp::kAnd:
+        return sgn ? &scalarChunk<AlpuOp::kAnd, true>
+                   : &scalarChunk<AlpuOp::kAnd, false>;
+      case AlpuOp::kOr:
+        return sgn ? &scalarChunk<AlpuOp::kOr, true>
+                   : &scalarChunk<AlpuOp::kOr, false>;
+      case AlpuOp::kXor:
+        return sgn ? &scalarChunk<AlpuOp::kXor, true>
+                   : &scalarChunk<AlpuOp::kXor, false>;
+      case AlpuOp::kXnor:
+        return sgn ? &scalarChunk<AlpuOp::kXnor, true>
+                   : &scalarChunk<AlpuOp::kXnor, false>;
+      case AlpuOp::kNot:
+        return sgn ? &scalarChunk<AlpuOp::kNot, true>
+                   : &scalarChunk<AlpuOp::kNot, false>;
+      case AlpuOp::kAbs:
+        return sgn ? &scalarChunk<AlpuOp::kAbs, true>
+                   : &scalarChunk<AlpuOp::kAbs, false>;
+      case AlpuOp::kGT:
+        return sgn ? &scalarChunk<AlpuOp::kGT, true>
+                   : &scalarChunk<AlpuOp::kGT, false>;
+      case AlpuOp::kLT:
+        return sgn ? &scalarChunk<AlpuOp::kLT, true>
+                   : &scalarChunk<AlpuOp::kLT, false>;
+      case AlpuOp::kEQ:
+        return sgn ? &scalarChunk<AlpuOp::kEQ, true>
+                   : &scalarChunk<AlpuOp::kEQ, false>;
+      case AlpuOp::kShiftL:
+        return sgn ? &scalarChunk<AlpuOp::kShiftL, true>
+                   : &scalarChunk<AlpuOp::kShiftL, false>;
+      case AlpuOp::kShiftR:
+        return sgn ? &scalarChunk<AlpuOp::kShiftR, true>
+                   : &scalarChunk<AlpuOp::kShiftR, false>;
+      case AlpuOp::kPopCount:
+        return sgn ? &scalarChunk<AlpuOp::kPopCount, true>
+                   : &scalarChunk<AlpuOp::kPopCount, false>;
+    }
+    return nullptr;
+}
+
+/** dest[i] = (a[i] * scalar + b[i]) & mask (the AXPY inner op). */
+template <bool Signed>
+inline void
+scaledAddChunk(const uint64_t *a, const uint64_t *b, uint64_t s,
+               uint64_t *d, size_t lo, size_t hi, unsigned bits,
+               uint64_t mask)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        const uint64_t prod =
+            alpuComputeT<AlpuOp::kMul>(a[i], s, bits, Signed);
+        d[i] = alpuComputeT<AlpuOp::kAdd>(prod, b[i], bits, Signed) &
+            mask;
+    }
+}
+
+using ScaledAddChunkFn = void (*)(const uint64_t *, const uint64_t *,
+                                  uint64_t, uint64_t *, size_t, size_t,
+                                  unsigned, uint64_t);
+
+// ---------------------------------------------------------------------------
+// Fused register kernels: whole expression tapes of 2 or 3 elementwise
+// steps evaluated per element in registers — inputs loaded once, one
+// store at the end, no intermediate materialization. These are the
+// fast paths of the fusion tape interpreter (core/pim_fusion.h) for
+// the chain shapes that dominate PIMbench (AXPY mulScalar+add,
+// LinReg/K-means sub+mul+add). Each step applies its own width and
+// dest mask, so results are bit-identical to running the per-command
+// chunk kernels with a materialized intermediate.
+// ---------------------------------------------------------------------------
+
+/**
+ * Two-step tape: r = op1(a[i], x0); d[i] = op2(r, x1) (or op2(x1, r)
+ * when PrevRhs). X-operand k is o_k[i] when Vk, else the scalar s_k.
+ */
+template <AlpuOp Op1, AlpuOp Op2, bool Signed, bool V0, bool V1,
+          bool PrevRhs>
+inline void
+fusedChunk2(const uint64_t *a, const uint64_t *o0, uint64_t s0,
+            const uint64_t *o1, uint64_t s1, uint64_t *d, size_t lo,
+            size_t hi, unsigned bits0, uint64_t m0, unsigned bits1,
+            uint64_t m1)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        const uint64_t x0 = V0 ? o0[i] : s0;
+        const uint64_t r =
+            alpuComputeT<Op1>(a[i], x0, bits0, Signed) & m0;
+        const uint64_t x1 = V1 ? o1[i] : s1;
+        d[i] = (PrevRhs
+                    ? alpuComputeT<Op2>(x1, r, bits1, Signed)
+                    : alpuComputeT<Op2>(r, x1, bits1, Signed)) &
+            m1;
+    }
+}
+
+using Fused2Fn = void (*)(const uint64_t *, const uint64_t *, uint64_t,
+                          const uint64_t *, uint64_t, uint64_t *,
+                          size_t, size_t, unsigned, uint64_t, unsigned,
+                          uint64_t);
+
+namespace detail {
+
+template <AlpuOp Op1, AlpuOp Op2>
+inline Fused2Fn
+fused2Pick(bool sgn, bool v0, bool v1, bool prev_rhs)
+{
+    const unsigned idx = (sgn ? 8u : 0u) | (v0 ? 4u : 0u) |
+        (v1 ? 2u : 0u) | (prev_rhs ? 1u : 0u);
+    switch (idx) {
+      case 0:  return &fusedChunk2<Op1, Op2, false, false, false, false>;
+      case 1:  return &fusedChunk2<Op1, Op2, false, false, false, true>;
+      case 2:  return &fusedChunk2<Op1, Op2, false, false, true, false>;
+      case 3:  return &fusedChunk2<Op1, Op2, false, false, true, true>;
+      case 4:  return &fusedChunk2<Op1, Op2, false, true, false, false>;
+      case 5:  return &fusedChunk2<Op1, Op2, false, true, false, true>;
+      case 6:  return &fusedChunk2<Op1, Op2, false, true, true, false>;
+      case 7:  return &fusedChunk2<Op1, Op2, false, true, true, true>;
+      case 8:  return &fusedChunk2<Op1, Op2, true, false, false, false>;
+      case 9:  return &fusedChunk2<Op1, Op2, true, false, false, true>;
+      case 10: return &fusedChunk2<Op1, Op2, true, false, true, false>;
+      case 11: return &fusedChunk2<Op1, Op2, true, false, true, true>;
+      case 12: return &fusedChunk2<Op1, Op2, true, true, false, false>;
+      case 13: return &fusedChunk2<Op1, Op2, true, true, false, true>;
+      case 14: return &fusedChunk2<Op1, Op2, true, true, true, false>;
+      default: return &fusedChunk2<Op1, Op2, true, true, true, true>;
+    }
+}
+
+template <AlpuOp Op1>
+inline Fused2Fn
+fused2PickOp2(AlpuOp op2, bool sgn, bool v0, bool v1, bool prev_rhs)
+{
+    switch (op2) {
+      case AlpuOp::kAdd:
+        return fused2Pick<Op1, AlpuOp::kAdd>(sgn, v0, v1, prev_rhs);
+      case AlpuOp::kSub:
+        return fused2Pick<Op1, AlpuOp::kSub>(sgn, v0, v1, prev_rhs);
+      case AlpuOp::kMul:
+        return fused2Pick<Op1, AlpuOp::kMul>(sgn, v0, v1, prev_rhs);
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Register fast path for 2-op tapes over the add/sub/mul set (the
+ * dominant fused shapes). Returns nullptr for unsupported ops — the
+ * caller falls back to the tile interpreter.
+ */
+inline Fused2Fn
+fusedChunk2For(AlpuOp op1, AlpuOp op2, bool sgn, bool v0, bool v1,
+               bool prev_rhs)
+{
+    switch (op1) {
+      case AlpuOp::kAdd:
+        return detail::fused2PickOp2<AlpuOp::kAdd>(op2, sgn, v0, v1,
+                                                   prev_rhs);
+      case AlpuOp::kSub:
+        return detail::fused2PickOp2<AlpuOp::kSub>(op2, sgn, v0, v1,
+                                                   prev_rhs);
+      case AlpuOp::kMul:
+        return detail::fused2PickOp2<AlpuOp::kMul>(op2, sgn, v0, v1,
+                                                   prev_rhs);
+      default:
+        return nullptr;
+    }
+}
+
+/**
+ * Operand pack for 3-op register tapes. Step k's second operand is
+ * o[k][i] when o[k] is non-null, else the scalar s[k]; prev_rhs[k]
+ * puts the flowing value on the right-hand side of step k (k >= 1).
+ * All flags are loop-invariant, so the selects hoist out of the loop.
+ */
+struct Fused3Args
+{
+    const uint64_t *a = nullptr; ///< step 0 left operand (vector)
+    const uint64_t *o[3] = {nullptr, nullptr, nullptr};
+    uint64_t s[3] = {0, 0, 0};
+    bool prev_rhs[3] = {false, false, false};
+    uint64_t *d = nullptr;
+    unsigned bits[3] = {0, 0, 0};
+    uint64_t m[3] = {0, 0, 0};
+};
+
+template <AlpuOp Op1, AlpuOp Op2, AlpuOp Op3, bool Signed>
+inline void
+fusedChunk3(const Fused3Args &g, size_t lo, size_t hi)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        const uint64_t x0 = g.o[0] ? g.o[0][i] : g.s[0];
+        uint64_t r =
+            alpuComputeT<Op1>(g.a[i], x0, g.bits[0], Signed) & g.m[0];
+        const uint64_t x1 = g.o[1] ? g.o[1][i] : g.s[1];
+        r = (g.prev_rhs[1]
+                 ? alpuComputeT<Op2>(x1, r, g.bits[1], Signed)
+                 : alpuComputeT<Op2>(r, x1, g.bits[1], Signed)) &
+            g.m[1];
+        const uint64_t x2 = g.o[2] ? g.o[2][i] : g.s[2];
+        r = (g.prev_rhs[2]
+                 ? alpuComputeT<Op3>(x2, r, g.bits[2], Signed)
+                 : alpuComputeT<Op3>(r, x2, g.bits[2], Signed)) &
+            g.m[2];
+        g.d[i] = r;
+    }
+}
+
+using Fused3Fn = void (*)(const Fused3Args &, size_t, size_t);
+
+namespace detail {
+
+template <AlpuOp Op1, AlpuOp Op2>
+inline Fused3Fn
+fused3PickOp3(AlpuOp op3, bool sgn)
+{
+    switch (op3) {
+      case AlpuOp::kAdd:
+        return sgn ? &fusedChunk3<Op1, Op2, AlpuOp::kAdd, true>
+                   : &fusedChunk3<Op1, Op2, AlpuOp::kAdd, false>;
+      case AlpuOp::kSub:
+        return sgn ? &fusedChunk3<Op1, Op2, AlpuOp::kSub, true>
+                   : &fusedChunk3<Op1, Op2, AlpuOp::kSub, false>;
+      case AlpuOp::kMul:
+        return sgn ? &fusedChunk3<Op1, Op2, AlpuOp::kMul, true>
+                   : &fusedChunk3<Op1, Op2, AlpuOp::kMul, false>;
+      default:
+        return nullptr;
+    }
+}
+
+template <AlpuOp Op1>
+inline Fused3Fn
+fused3PickOp2(AlpuOp op2, AlpuOp op3, bool sgn)
+{
+    switch (op2) {
+      case AlpuOp::kAdd:
+        return fused3PickOp3<Op1, AlpuOp::kAdd>(op3, sgn);
+      case AlpuOp::kSub:
+        return fused3PickOp3<Op1, AlpuOp::kSub>(op3, sgn);
+      case AlpuOp::kMul:
+        return fused3PickOp3<Op1, AlpuOp::kMul>(op3, sgn);
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace detail
+
+/** Register fast path for 3-op tapes over the add/sub/mul set. */
+inline Fused3Fn
+fusedChunk3For(AlpuOp op1, AlpuOp op2, AlpuOp op3, bool sgn)
+{
+    switch (op1) {
+      case AlpuOp::kAdd:
+        return detail::fused3PickOp2<AlpuOp::kAdd>(op2, op3, sgn);
+      case AlpuOp::kSub:
+        return detail::fused3PickOp2<AlpuOp::kSub>(op2, op3, sgn);
+      case AlpuOp::kMul:
+        return detail::fused3PickOp2<AlpuOp::kMul>(op2, op3, sgn);
+      default:
+        return nullptr;
+    }
 }
 
 } // namespace pimeval

@@ -28,6 +28,7 @@ ThreadPool::ThreadPool(size_t num_threads)
     workers_.reserve(n);
     for (size_t i = 0; i < n; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    max_chunks_ = (workers_.size() + 1) * 4;
 }
 
 ThreadPool::~ThreadPool()

@@ -89,9 +89,11 @@ class ThreadPool
 
         // Enough chunks for balance, but never smaller than the grain
         // (tiny chunks defeat vectorized kernels and thrash the index).
-        const size_t participants = num_workers + 1;
+        // The participant-based ceiling depends only on the pool size,
+        // so it is computed once at construction (max_chunks_), not
+        // per call — fused tapes call in here per chain.
         const size_t num_chunks =
-            std::min(participants * 4,
+            std::min(max_chunks_,
                      std::max<size_t>(1, total / kMinGrain));
         const size_t chunk = (total + num_chunks - 1) / num_chunks;
 
@@ -145,6 +147,8 @@ class ThreadPool
         if (helper_chunks)
             PIM_METRIC_COUNT("threadpool.chunks_stolen",
                              helper_chunks);
+        PIM_METRIC_COUNT("threadpool.chunks",
+                         caller_chunks + helper_chunks);
     }
 
     /**
@@ -164,6 +168,10 @@ class ThreadPool
 
     void workerLoop();
     void enqueue(std::function<void()> task);
+
+    /** Chunk-count ceiling, 4x the participants (workers + caller);
+     *  cached at construction — the pool size never changes. */
+    size_t max_chunks_ = 4;
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

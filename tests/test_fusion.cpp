@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Tests of the elementwise command fusion pass (pimSetFusionEnabled /
+ * pimBeginFusion / pimEndFusion): chain planning on synthetic hazard
+ * graphs, fused-vs-unfused bit-identity of functional outputs AND
+ * modeled statistics on all three digital targets in both execution
+ * modes, dead-temporary elision accounting (fusion.temps_elided,
+ * freelist.pristine), window flush boundaries, the 2-/3-op fast-path
+ * shapes, and the bit-serial vertical-I/O fused runner. The
+ * async+fused tests double as the ThreadSanitizer workload for the
+ * fusion path (build with -DPIMEVAL_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bitserial/bitserial_fused.h"
+#include "core/pim_api.h"
+#include "core/pim_fusion.h"
+#include "util/logging.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+smallConfig(PimDeviceEnum device)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 4;
+    config.num_subarrays_per_bank = 4;
+    config.num_rows_per_subarray = 256;
+    config.num_cols_per_row = 256;
+    return config;
+}
+
+double
+metric(const char *name)
+{
+    double v = 0.0;
+    pimGetMetric(name, &v);
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Chain planning on synthetic hazard graphs (no device needed).
+// ---------------------------------------------------------------------
+
+/** Shorthand: op view writing @p d from @p a (and optional @p b). */
+PimFusionOpView
+opView(PimObjId a, PimObjId d, PimObjId b = -1)
+{
+    return PimFusionOpView{a, b, d};
+}
+
+TEST(FusionPlanner, LinearChainFusesWhole)
+{
+    // 1 -> 2 -> 3 -> 4: each op reads the previous dest.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(2, 3), opView(3, 4), opView(4, 5)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].size(), 4u);
+    for (size_t k = 0; k < chains[0].size(); ++k) {
+        EXPECT_EQ(chains[0][k].op, k);
+        EXPECT_FALSE(chains[0][k].elide_store); // nothing born/freed
+    }
+}
+
+TEST(FusionPlanner, BreaksWhereDataflowBreaks)
+{
+    // Op 1 does not read op 0's dest: two singleton chains; then a
+    // two-op chain.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(10, 11), opView(11, 12)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].size(), 1u);
+    EXPECT_EQ(chains[1].size(), 2u);
+}
+
+TEST(FusionPlanner, SecondOperandLinksChain)
+{
+    // Next op reads prev dest through operand b.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(7, 3, /*b=*/2)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].size(), 2u);
+}
+
+TEST(FusionPlanner, ElidesDeadTemporaryOnly)
+{
+    // t=2 is born+freed in-window, written once, read only by its
+    // successor: elided. The final dest (3) is never elided.
+    const std::vector<PimFusionOpView> ops = {opView(1, 2),
+                                              opView(2, 3)};
+    const std::unordered_set<PimObjId> born = {2};
+    const std::unordered_set<PimObjId> freed = {2};
+    const auto chains = pimPlanFusionChains(ops, born, freed);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_TRUE(chains[0][0].elide_store);
+    EXPECT_FALSE(chains[0][1].elide_store);
+}
+
+TEST(FusionPlanner, NoElisionWhenNotBornOrNotFreed)
+{
+    const std::vector<PimFusionOpView> ops = {opView(1, 2),
+                                              opView(2, 3)};
+    // Freed but pre-existing: keep the store (freed object may have
+    // been observable before the window).
+    auto chains = pimPlanFusionChains(ops, {}, {2});
+    EXPECT_FALSE(chains[0][0].elide_store);
+    // Born but survives the window: someone may read it later.
+    chains = pimPlanFusionChains(ops, {2}, {});
+    EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, NoElisionWhenReadOutsideTheLink)
+{
+    // Op 2 (outside the chain link) also reads the temporary: the
+    // store must be materialized for it.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(2, 3), opView(2, 9, /*b=*/7)};
+    const auto chains =
+        pimPlanFusionChains(ops, {2}, {2});
+    EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, NoElisionWithSecondWriter)
+{
+    // A later op rewrites the temporary.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(2, 3), opView(7, 2)};
+    const auto chains = pimPlanFusionChains(ops, {2}, {2});
+    EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, ChainLengthCapped)
+{
+    std::vector<PimFusionOpView> ops;
+    for (PimObjId v = 1; v <= static_cast<PimObjId>(2 * kMaxFusionChainLen); ++v)
+        ops.push_back(opView(v, v + 1));
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_GE(chains.size(), 2u);
+    EXPECT_EQ(chains[0].size(), kMaxFusionChainLen);
+}
+
+// ---------------------------------------------------------------------
+// Device-level identity: fused == unfused, outputs and stats, on all
+// three targets in both exec modes.
+// ---------------------------------------------------------------------
+
+/** Everything one workload run produces, for cross-config compare. */
+struct RunOutcome
+{
+    std::vector<int> d1, d2, d3, d4;
+    PimRunStats stats;
+    std::map<std::string, uint64_t> op_mix;
+};
+
+/**
+ * Chained workload covering the fusion shapes: a 2-op fast-path chain
+ * (mulScalar->add), a 3-op fast-path chain with two dead temporaries
+ * (mulScalar->addScalar->sub), a tile-interpreter chain through a
+ * non-fast op (abs->max), and a scaledAdd producer link. Temporaries
+ * are allocated and freed inside the capture region.
+ */
+RunOutcome
+runChainWorkload(uint64_t n)
+{
+    RunOutcome outcome;
+    Prng rng(11);
+    const std::vector<int> xs = rng.intVector(n, -1000, 1000);
+    const std::vector<int> ys = rng.intVector(n, -1000, 1000);
+
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId y = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d1 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d2 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d3 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d4 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    EXPECT_TRUE(x >= 0 && y >= 0 && d1 >= 0 && d2 >= 0 && d3 >= 0 &&
+                d4 >= 0);
+    pimCopyHostToDevice(xs.data(), x);
+    pimCopyHostToDevice(ys.data(), y);
+
+    for (int round = 0; round < 3; ++round) {
+        // 2-op fast path, one dead temporary.
+        PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+        pimMulScalar(x, t, 5);
+        pimAdd(t, y, d1);
+        pimFree(t);
+
+        // 3-op fast path, two dead temporaries.
+        PimObjId u0 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+        PimObjId u1 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+        pimMulScalar(x, u0, 3);
+        pimAddScalar(u0, u1, 7);
+        pimSub(u1, y, d2);
+        pimFree(u0);
+        pimFree(u1);
+
+        // Tile-interpreter chain (abs has no fused fast path).
+        PimObjId v = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+        pimAbs(x, v);
+        pimMax(v, y, d3);
+        pimFree(v);
+
+        // scaledAdd producer feeding a consumer.
+        PimObjId w = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+        pimScaledAdd(x, y, w, 2);
+        pimXorScalar(w, d4, 0x5a);
+        pimFree(w);
+    }
+
+    outcome.d1.resize(n);
+    outcome.d2.resize(n);
+    outcome.d3.resize(n);
+    outcome.d4.resize(n);
+    pimCopyDeviceToHost(d1, outcome.d1.data());
+    pimCopyDeviceToHost(d2, outcome.d2.data());
+    pimCopyDeviceToHost(d3, outcome.d3.data());
+    pimCopyDeviceToHost(d4, outcome.d4.data());
+
+    pimFree(x);
+    pimFree(y);
+    pimFree(d1);
+    pimFree(d2);
+    pimFree(d3);
+    pimFree(d4);
+
+    outcome.stats = pimGetStats();
+    outcome.op_mix = pimGetOpMix();
+    return outcome;
+}
+
+void
+expectOutcomesIdentical(const RunOutcome &a, const RunOutcome &b)
+{
+    EXPECT_EQ(a.d1, b.d1);
+    EXPECT_EQ(a.d2, b.d2);
+    EXPECT_EQ(a.d3, b.d3);
+    EXPECT_EQ(a.d4, b.d4);
+    // Bit-identical stats: fused execution computes and commits cost
+    // per original command in issue order, so even floating-point
+    // accumulation order is unchanged.
+    EXPECT_EQ(a.stats.kernel_sec, b.stats.kernel_sec);
+    EXPECT_EQ(a.stats.kernel_j, b.stats.kernel_j);
+    EXPECT_EQ(a.stats.copy_sec, b.stats.copy_sec);
+    EXPECT_EQ(a.stats.copy_j, b.stats.copy_j);
+    EXPECT_EQ(a.stats.bytes_h2d, b.stats.bytes_h2d);
+    EXPECT_EQ(a.stats.bytes_d2h, b.stats.bytes_d2h);
+    EXPECT_EQ(a.stats.bytes_d2d, b.stats.bytes_d2d);
+    EXPECT_EQ(a.op_mix, b.op_mix);
+}
+
+class FusionTest : public ::testing::TestWithParam<PimDeviceEnum>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LogConfig::setThreshold(LogLevel::Error);
+        ASSERT_EQ(pimCreateDeviceFromConfig(smallConfig(GetParam())),
+                  PimStatus::PIM_OK);
+    }
+
+    void
+    TearDown() override
+    {
+        pimDeleteDevice();
+    }
+};
+
+} // namespace
+
+TEST_P(FusionTest, FusedMatchesUnfusedBitIdenticalSync)
+{
+    const uint64_t n = 2000;
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+
+    pimSetFusionEnabled(false);
+    pimResetStats();
+    const RunOutcome unfused = runChainWorkload(n);
+
+    pimSetFusionEnabled(true);
+    EXPECT_TRUE(pimGetFusionEnabled());
+    pimResetStats();
+    const RunOutcome fused = runChainWorkload(n);
+    pimSetFusionEnabled(false);
+
+    expectOutcomesIdentical(unfused, fused);
+}
+
+TEST_P(FusionTest, FusedMatchesUnfusedBitIdenticalAsync)
+{
+    const uint64_t n = 2000;
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    pimSetFusionEnabled(false);
+    pimResetStats();
+    const RunOutcome unfused_sync = runChainWorkload(n);
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+    pimSetFusionEnabled(true);
+    pimResetStats();
+    const RunOutcome fused_async = runChainWorkload(n);
+    pimSetFusionEnabled(false);
+
+    expectOutcomesIdentical(unfused_sync, fused_async);
+}
+
+TEST_P(FusionTest, FusionRegionCapturesWithoutGlobalToggle)
+{
+    const uint64_t n = 600;
+    pimResetMetrics();
+    const std::vector<int> xs(n, 3), ys(n, 4);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId y = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+    pimCopyHostToDevice(ys.data(), y);
+
+    EXPECT_FALSE(pimGetFusionEnabled());
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimMulScalar(x, t, 5);
+    pimAdd(t, y, d);
+    pimFree(t);
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(d, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], 3 * 5 + 4);
+    }
+    EXPECT_GE(metric("fusion.chains"), 1.0);
+    EXPECT_GE(metric("fusion.ops_fused"), 2.0);
+    EXPECT_GE(metric("fusion.temps_elided"), 1.0);
+
+    // Unbalanced end is rejected.
+    EXPECT_EQ(pimEndFusion(), PimStatus::PIM_ERROR);
+
+    pimFree(x);
+    pimFree(y);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, DeadTemporaryElisionAccounting)
+{
+    const uint64_t n = 800;
+    const std::vector<int> xs(n, 2), ys(n, 9);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId y = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+    pimCopyHostToDevice(ys.data(), y);
+
+    pimResetMetrics();
+    pimSetFusionEnabled(true);
+    const PimObjId t0 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId t1 = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimMulScalar(x, t0, 3);
+    pimAddScalar(t0, t1, 1);
+    pimSub(t1, y, d);
+    pimFree(t0);
+    pimFree(t1);
+    pimSync();
+    pimSetFusionEnabled(false);
+
+    EXPECT_EQ(metric("fusion.chains"), 1.0);
+    EXPECT_EQ(metric("fusion.ops_fused"), 3.0);
+    EXPECT_EQ(metric("fusion.temps_elided"), 2.0);
+    // Elided buffers were never written, so the freelist can recycle
+    // them without the zero-fill.
+    EXPECT_EQ(metric("freelist.pristine"), 2.0);
+
+    // A recycled pristine buffer must still read back as zeros.
+    const PimObjId fresh =
+        pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    std::vector<int> out(n, -1);
+    pimCopyDeviceToHost(fresh, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], 0);
+    }
+    std::vector<int> dres(n, 0);
+    pimCopyDeviceToHost(d, dres.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(dres[i], (2 * 3 + 1) - 9);
+    }
+    pimFree(fresh);
+    pimFree(x);
+    pimFree(y);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, FlushOnIntermediateReadAndWindowOverflow)
+{
+    const uint64_t n = 512;
+    const std::vector<int> xs(n, 10);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    pimSetFusionEnabled(true);
+
+    // Reading a window intermediate must flush and observe its value.
+    pimAddScalar(x, t, 1);
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(t, out.data());
+    EXPECT_EQ(out[0], 11);
+    EXPECT_EQ(out[n - 1], 11);
+
+    // Overflowing the window must flush transparently: a long
+    // self-chain still computes the right value.
+    for (int i = 0; i < static_cast<int>(kMaxFusionWindowOps) + 5; ++i)
+        pimAddScalar(t, t, 1);
+    pimCopyDeviceToHost(t, out.data());
+    EXPECT_EQ(out[0],
+              11 + static_cast<int>(kMaxFusionWindowOps) + 5);
+
+    // Disabling fusion flushes whatever is pending.
+    pimMulScalar(t, t, 2);
+    pimSetFusionEnabled(false);
+    pimCopyDeviceToHost(t, out.data());
+    EXPECT_EQ(out[0],
+              (11 + static_cast<int>(kMaxFusionWindowOps) + 5) * 2);
+
+    pimFree(x);
+    pimFree(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, FusionTest,
+    ::testing::Values(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                      PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                      PimDeviceEnum::PIM_DEVICE_BANK_LEVEL),
+    [](const ::testing::TestParamInfo<PimDeviceEnum> &info) {
+        switch (info.param) {
+          case PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP:
+            return "BitSerial";
+          case PimDeviceEnum::PIM_DEVICE_FULCRUM:
+            return "Fulcrum";
+          default:
+            return "BankLevel";
+        }
+    });
+
+// ---------------------------------------------------------------------
+// Bit-serial vertical-I/O fusion.
+// ---------------------------------------------------------------------
+
+TEST(BitSerialFused, ChainMatchesUnfusedAndSavesTransposes)
+{
+    constexpr unsigned kBits = 16;
+    constexpr size_t kN = 1200;
+    constexpr uint64_t kMask = (1ull << kBits) - 1;
+    Prng rng(5);
+    std::vector<uint64_t> x(kN), y(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        x[i] = rng.next() & kMask;
+        y[i] = rng.next() & kMask;
+    }
+
+    // value = ((x * 3) + y) ^ y - 7
+    BitSerialFusedChain chain(kBits, /*tile_cols=*/256);
+    const int in_x = chain.addInput(x.data(), kN);
+    const int in_y = chain.addInput(y.data(), kN);
+    EXPECT_EQ(in_x, 0);
+    chain.addScalarStep(BitSerialFusedOpKind::kMulScalar, 3);
+    chain.addStep(BitSerialFusedOpKind::kAdd, in_y);
+    chain.addStep(BitSerialFusedOpKind::kXor, in_y);
+    chain.addScalarStep(BitSerialFusedOpKind::kSubScalar, 7);
+
+    std::vector<uint64_t> fused(kN, 0), unfused(kN, 0);
+    const BitSerialFusedStats fs = chain.run(fused.data());
+    const BitSerialFusedStats us = chain.runUnfused(unfused.data());
+
+    // Same elements, same microprograms: identical results.
+    EXPECT_EQ(fused, unfused);
+    for (size_t i = 0; i < kN; ++i) {
+        uint64_t v = (x[i] * 3) & kMask;
+        v = (v + y[i]) & kMask;
+        v = (v ^ y[i]) & kMask;
+        v = (v - 7) & kMask;
+        ASSERT_EQ(fused[i], v) << "element " << i;
+    }
+
+    // Fused: each input transposed in once per tile (2 inputs), one
+    // result out. Unfused: every step writes its operands in and its
+    // result out (4 steps, 2 of them binary -> 6 writes per tile).
+    EXPECT_EQ(fs.elems_in, 2 * kN);
+    EXPECT_EQ(fs.elems_out, kN);
+    EXPECT_EQ(us.elems_in, 6 * kN);
+    EXPECT_EQ(us.elems_out, 4 * kN);
+    // The row-wide compute is the same microprograms either way.
+    EXPECT_EQ(fs.micro_ops, us.micro_ops);
+    EXPECT_GT(fs.tiles, 0u);
+}
+
+TEST(BitSerialFused, SingleBinaryStep)
+{
+    constexpr unsigned kBits = 8;
+    constexpr size_t kN = 300;
+    std::vector<uint64_t> a(kN), b(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        a[i] = i & 0xff;
+        b[i] = (3 * i + 1) & 0xff;
+    }
+    BitSerialFusedChain chain(kBits, 128);
+    chain.addInput(a.data(), kN);
+    const int in_b = chain.addInput(b.data(), kN);
+    chain.addStep(BitSerialFusedOpKind::kSub, in_b);
+
+    std::vector<uint64_t> fused(kN, 0), unfused(kN, 0);
+    chain.run(fused.data());
+    chain.runUnfused(unfused.data());
+    EXPECT_EQ(fused, unfused);
+    for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(fused[i], (a[i] - b[i]) & 0xff);
+    }
+}
