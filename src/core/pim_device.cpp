@@ -731,6 +731,7 @@ PimDevice::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
         PimFusedOp fop;
         fop.cmd = cmd;
         fop.op = op;
+        fop.op_exact = !is_ne; // NE: op says kEQ, kernel negates
         fop.a = a;
         fop.b = b;
         fop.dest = dest;
@@ -1103,8 +1104,16 @@ PimDevice::recordFusion(const PimFusedOp &op)
 void
 PimDevice::flushFusion()
 {
-    if (fusion_window_.empty())
+    if (fusion_window_.empty()) {
+        // Even an empty flush is a write barrier: whatever runs next
+        // (copies, broadcasts, non-captured elementwise ops) may write
+        // objects allocated during capture, so they are no longer
+        // provably untouched and must stop being elision candidates.
+        // Clearing here keeps noteAlloc's born-set scoped to the
+        // window that actually executes.
+        fusion_window_.clear();
         return;
+    }
     const std::vector<PimFusedOp> &ops = fusion_window_.ops();
     std::unordered_set<PimObjId> elided;
     if (!ops.empty()) {

@@ -153,7 +153,7 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
     for (size_t k = 0; k < len; ++k) {
         const PimFusedOp &op = ops[chain[k].op];
         const PimFusedTapeStep &st = tape.steps[k];
-        if (op.kern_sa || op.sgn != sgn)
+        if (op.kern_sa || !op.op_exact || op.sgn != sgn)
             return tape;
         if (k + 1 < len && st.store != nullptr)
             return tape; // materialized intermediate: tile path

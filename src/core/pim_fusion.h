@@ -117,6 +117,11 @@ struct PimFusedOp
     BinaryChunkFn kern2 = nullptr;      ///< vector-vector commands
     ScalarChunkFn kern1 = nullptr;      ///< scalar/unary/shift commands
     ScaledAddChunkFn kern_sa = nullptr; ///< dest = a*s + b
+    /** False when the captured kernel computes something other than
+     *  what @p op alone implies (kNE captures op=kEQ plus a negating
+     *  kernel). Such steps must never take an op-keyed register fast
+     *  path; only the captured kernel has the right semantics. */
+    bool op_exact = true;
     bool sgn = false;
     uint64_t scalar = 0;
     unsigned bits = 0;

@@ -155,6 +155,57 @@ TEST(FusionPlanner, ChainLengthCapped)
 }
 
 // ---------------------------------------------------------------------
+// Tape lowering: fast-path gating (no device needed).
+// ---------------------------------------------------------------------
+
+TEST(FusionTape, InexactOpNeverTakesRegisterFastPath)
+{
+    // kNE is captured with op = kEQ and the negation folded into the
+    // kernel only; op_exact = false must keep such a step off the
+    // op-keyed register fast paths no matter what the selector tables
+    // support, since only the captured kernel has the right semantics.
+    alignas(64) static uint64_t buf[4] = {};
+    PimFusedOp mul;
+    mul.cmd = PimCmdEnum::kMulScalar;
+    mul.op = AlpuOp::kMul;
+    mul.a = 1;
+    mul.dest = 2;
+    mul.pa = buf;
+    mul.pd = buf;
+    mul.kern1 = scalarChunkFor(AlpuOp::kMul, false);
+    mul.scalar = 3;
+    mul.bits = 32;
+    mul.dmask = 0xffffffffull;
+    mul.n = 4;
+
+    PimFusedOp add = mul;
+    add.cmd = PimCmdEnum::kAdd;
+    add.op = AlpuOp::kAdd;
+    add.a = 2;
+    add.b = 3;
+    add.dest = 4;
+    add.kern1 = nullptr;
+    add.pb = buf;
+    add.kern2 = binaryChunkFor<false>(AlpuOp::kAdd, false);
+
+    const PimFusionChain chain{{0, true}, {1, false}};
+    const PimFusedTape fast = pimBuildFusedTape({mul, add}, chain);
+    ASSERT_NE(fast.fast2, nullptr); // sanity: this shape qualifies
+
+    PimFusedOp ne = add; // same shape, but NE-captured semantics
+    ne.cmd = PimCmdEnum::kNE;
+    ne.op = AlpuOp::kEQ;
+    ne.op_exact = false;
+    ne.kern2 = binaryChunkFor<true>(AlpuOp::kEQ, false);
+    const PimFusedTape tape = pimBuildFusedTape({mul, ne}, chain);
+    EXPECT_EQ(tape.fast2, nullptr);
+    EXPECT_EQ(tape.fast3, nullptr);
+    ASSERT_EQ(tape.steps.size(), 2u);
+    // The tile path keeps the captured (negating) kernel.
+    EXPECT_EQ(tape.steps[1].kern2, ne.kern2);
+}
+
+// ---------------------------------------------------------------------
 // Device-level identity: fused == unfused, outputs and stats, on all
 // three targets in both exec modes.
 // ---------------------------------------------------------------------
@@ -406,6 +457,55 @@ TEST_P(FusionTest, DeadTemporaryElisionAccounting)
     pimFree(fresh);
     pimFree(x);
     pimFree(y);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, NonFusedWriteBlocksElisionAndPristineRecycle)
+{
+    // Regression: an object allocated while fusion captures and then
+    // written by a non-fused path (the host copy flushes a still-empty
+    // window first) must stop counting as born-in-window. Eliding it
+    // later would skip its chain store while freeElided marks the
+    // storage pristine, so the next same-shape allocation would skip
+    // the recycle zero-fill and read back the copied data.
+    const uint64_t n = 400;
+    const std::vector<int> xs(n, 7), junk(n, 0x5a5a5a);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    pimResetMetrics();
+    pimSetFusionEnabled(true);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(junk.data(), t); // non-fused write to t
+    pimMulScalar(x, t, 3);               // chain overwrites t...
+    pimAdd(t, x, d);                     // ...reads it once...
+    pimFree(t);                          // ...and frees it in-window
+    pimSync();
+    pimSetFusionEnabled(false);
+
+    // t was written outside the window: not elidable, not pristine.
+    EXPECT_EQ(metric("fusion.temps_elided"), 0.0);
+    EXPECT_EQ(metric("freelist.pristine"), 0.0);
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(d, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], 7 * 3 + 7);
+    }
+
+    // A recycled same-shape allocation must read back zeros, not the
+    // junk the host copy left in t's storage.
+    const PimObjId fresh =
+        pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    std::vector<int> zs(n, -1);
+    pimCopyDeviceToHost(fresh, zs.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(zs[i], 0);
+    }
+    pimFree(fresh);
+    pimFree(x);
     pimFree(d);
 }
 
