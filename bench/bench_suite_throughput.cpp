@@ -18,6 +18,16 @@
  * over identical command streams, with a bit-identity check on the
  * outputs. Its results land in the JSON as "fusion_metrics".
  *
+ * A multi-target sweep (API v2 contexts) also rides along: the same
+ * workloads run on all three PIM targets — bit-serial, Fulcrum, and
+ * bank-level — first sequentially (one context at a time), then
+ * concurrently on three host threads, each thread pinned to its own
+ * pimCreateContext device. Per-target modeled statistics must be
+ * bit-identical between the two schedules; the measured wall-clock
+ * speedup of the concurrent schedule lands in the JSON as
+ * "sweep_metrics" (honest numbers: on a single host core the two
+ * schedules tie).
+ *
  * Results are always written as JSON to BENCH_SUITE.json in the
  * current directory (override with PIMEVAL_BENCH_SUITE_JSON). Scale
  * and repetitions come from PIMEVAL_BENCH_SUITE_SCALE (tiny|small,
@@ -48,6 +58,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/pim_context.h"
+#include "core/pim_error.h"
 
 using namespace pimbench;
 
@@ -312,6 +324,32 @@ modeledStatsMatch(const PimRunStats &a, const PimRunStats &b)
         a.bytes_d2d == b.bytes_d2d;
 }
 
+/** One target's leg of the multi-target context sweep. */
+struct SweepTarget
+{
+    PimDeviceEnum device = PimDeviceEnum::PIM_DEVICE_NONE;
+    std::string name;
+    double seq_wall_sec = 0.0;  ///< whole leg, sequential schedule
+    double conc_wall_sec = 0.0; ///< this thread's leg, concurrent
+    std::vector<AppResult> seq, conc;
+};
+
+/**
+ * Run the suite apps once with @p ctx pinned as the calling thread's
+ * current context (the apps themselves use the unchanged global API).
+ * @return wall seconds for the whole leg.
+ */
+double
+runSweepLeg(PimContext ctx, SuiteScale scale,
+            std::vector<AppResult> *out)
+{
+    pimeval::PimContextScope scope(ctx);
+    const double start = nowSec();
+    for (const char *app : kApps)
+        out->push_back(runBenchmarkByName(app, scale));
+    return nowSec() - start;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -429,6 +467,86 @@ main()
         pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC);
     }
 
+    // Multi-target sweep: the same workloads on all three targets,
+    // first one context at a time, then three contexts on three host
+    // threads. Each leg routes the unchanged global API through the
+    // thread's pinned context, so per-target modeled stats must be
+    // bit-identical between the two schedules.
+    std::vector<SweepTarget> sweep;
+    for (const auto &[device, target_name] : pimTargets())
+        sweep.push_back(
+            SweepTarget{device, target_name, 0.0, 0.0, {}, {}});
+
+    bool sweep_ok = true;
+    double sweep_seq_total = 0.0;
+    for (auto &t : sweep) {
+        const PimContext ctx = pimCreateContextFromConfig(
+            benchConfig(t.device, 32), (t.name + " seq").c_str());
+        if (ctx == nullptr) {
+            std::cerr << "sweep: context creation failed for "
+                      << t.name << ": " << pimGetLastErrorMessage()
+                      << "\n";
+            sweep_ok = false;
+            break;
+        }
+        t.seq_wall_sec = runSweepLeg(ctx, scale, &t.seq);
+        sweep_seq_total += t.seq_wall_sec;
+        pimDestroyContext(ctx);
+    }
+
+    double sweep_conc_wall = 0.0;
+    if (sweep_ok) {
+        std::vector<PimContext> ctxs;
+        for (const auto &t : sweep)
+            ctxs.push_back(pimCreateContextFromConfig(
+                benchConfig(t.device, 32), t.name.c_str()));
+        for (const PimContext ctx : ctxs)
+            sweep_ok = sweep_ok && ctx != nullptr;
+        if (sweep_ok) {
+            const double start = nowSec();
+            std::vector<std::thread> threads;
+            for (size_t i = 0; i < sweep.size(); ++i)
+                threads.emplace_back([&ctxs, &sweep, scale, i]() {
+                    sweep[i].conc_wall_sec = runSweepLeg(
+                        ctxs[i], scale, &sweep[i].conc);
+                });
+            for (auto &th : threads)
+                th.join();
+            sweep_conc_wall = nowSec() - start;
+        }
+        for (const PimContext ctx : ctxs) {
+            if (ctx != nullptr)
+                pimDestroyContext(ctx);
+        }
+    }
+
+    bool sweep_match = sweep_ok, sweep_verified = sweep_ok;
+    pimeval::TableWriter sweep_table(
+        "Multi-target sweep: one context at a time vs three"
+        " concurrent contexts",
+        {"Target", "Sequential s", "Concurrent s", "Stats match",
+         "Verified"});
+    for (const auto &t : sweep) {
+        bool match = t.seq.size() == t.conc.size();
+        bool verified = match;
+        for (size_t a = 0; match && a < t.seq.size(); ++a) {
+            match = modeledStatsMatch(t.seq[a].stats, t.conc[a].stats);
+            verified = verified && t.seq[a].verified &&
+                t.conc[a].verified;
+        }
+        sweep_match = sweep_match && match;
+        sweep_verified = sweep_verified && verified;
+        char seq_s[32], conc_s[32];
+        std::snprintf(seq_s, sizeof seq_s, "%.3f", t.seq_wall_sec);
+        std::snprintf(conc_s, sizeof conc_s, "%.3f", t.conc_wall_sec);
+        sweep_table.addRow({t.name, seq_s, conc_s,
+                            match ? "yes" : "NO",
+                            verified ? "yes" : "NO"});
+    }
+    const double sweep_speedup = sweep_conc_wall > 0.0
+        ? sweep_seq_total / sweep_conc_wall
+        : 0.0;
+
     pimeval::TableWriter table(
         "Suite wall-clock: sync vs async pipeline (Fulcrum)",
         {"Application", "Sync s", "Async s", "Speedup", "Fused s",
@@ -494,6 +612,12 @@ main()
                 axpy_micro.identical && linreg_micro.identical
                     ? "identical"
                     : "DIVERGED");
+    emitTable(sweep_table);
+    std::printf("multi-target sweep: sequential %.3f s, concurrent "
+                "%.3f s, speedup %.2fx on %u host threads (stats %s)\n",
+                sweep_seq_total, sweep_conc_wall, sweep_speedup,
+                std::thread::hardware_concurrency(),
+                sweep_match ? "identical" : "DIVERGED");
 
     std::ofstream json_out(json_path);
     if (!json_out) {
@@ -549,6 +673,27 @@ main()
                      ? "true"
                      : "false")
              << "\n  }";
+    json_out << ",\n  \"sweep_metrics\": {\n"
+             << "    \"host_threads\": "
+             << std::thread::hardware_concurrency() << ",\n"
+             << "    \"sequential_total_wall_sec\": " << sweep_seq_total
+             << ",\n"
+             << "    \"concurrent_wall_sec\": " << sweep_conc_wall
+             << ",\n"
+             << "    \"concurrent_speedup\": " << sweep_speedup << ",\n"
+             << "    \"stats_identical\": "
+             << (sweep_match ? "true" : "false") << ",\n"
+             << "    \"verified\": "
+             << (sweep_verified ? "true" : "false") << ",\n"
+             << "    \"targets\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const SweepTarget &t = sweep[i];
+        json_out << "      {\"target\": \"" << jsonEscape(t.name)
+                 << "\", \"sequential_wall_sec\": " << t.seq_wall_sec
+                 << ", \"concurrent_wall_sec\": " << t.conc_wall_sec
+                 << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json_out << "    ]\n  }";
     json_out << ",\n  \"results\": [\n";
     bool first = true;
     for (const auto &row : rows) {
@@ -593,6 +738,14 @@ main()
     }
     if (!axpy_micro.identical || !linreg_micro.identical) {
         std::cerr << "fusion microbench output mismatch\n";
+        return 1;
+    }
+    if (!sweep_ok || !sweep_match || !sweep_verified) {
+        std::cerr << "multi-target sweep "
+                  << (!sweep_ok ? "setup failed"
+                                : "stats/verification mismatch between"
+                                  " sequential and concurrent runs")
+                  << "\n";
         return 1;
     }
     return 0;

@@ -7,6 +7,7 @@
 
 #include <fstream>
 
+#include "core/pim_error.h"
 #include "core/pim_sim.h"
 #include "core/pim_trace.h"
 #include "util/logging.h"
@@ -178,7 +179,10 @@ pimFree(PimObjId obj)
     PimDevice *dev = activeDevice("pimFree");
     if (!dev)
         return PimStatus::PIM_ERROR;
-    return dev->free(obj) ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+    if (!dev->free(obj))
+        return pimeval::fail(
+            pimeval::strCat("pimFree: unknown object id ", obj));
+    return PimStatus::PIM_OK;
 }
 
 PimStatus
@@ -357,88 +361,42 @@ pimPopCount(PimObjId a, PimObjId dest)
 
 // --- Scalar ops -------------------------------------------------------------
 
-PimStatus
-pimAddScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+namespace {
+
+/** Stable trace/error label per scalar command — identical to the
+ *  labels the twelve per-op entry points used to emit. */
+const char *
+scalarOpName(PimCmdEnum cmd)
 {
-    return scalarOp(PimCmdEnum::kAddScalar, a, dest, scalar,
-                    "pimAddScalar");
+    switch (cmd) {
+      case PimCmdEnum::kAddScalar: return "pimAddScalar";
+      case PimCmdEnum::kSubScalar: return "pimSubScalar";
+      case PimCmdEnum::kMulScalar: return "pimMulScalar";
+      case PimCmdEnum::kDivScalar: return "pimDivScalar";
+      case PimCmdEnum::kMinScalar: return "pimMinScalar";
+      case PimCmdEnum::kMaxScalar: return "pimMaxScalar";
+      case PimCmdEnum::kAndScalar: return "pimAndScalar";
+      case PimCmdEnum::kOrScalar:  return "pimOrScalar";
+      case PimCmdEnum::kXorScalar: return "pimXorScalar";
+      case PimCmdEnum::kGTScalar:  return "pimGTScalar";
+      case PimCmdEnum::kLTScalar:  return "pimLTScalar";
+      case PimCmdEnum::kEQScalar:  return "pimEQScalar";
+      default:                     return "pimOpScalar";
+    }
 }
 
-PimStatus
-pimSubScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kSubScalar, a, dest, scalar,
-                    "pimSubScalar");
-}
+} // namespace
 
 PimStatus
-pimMulScalar(PimObjId a, PimObjId dest, uint64_t scalar)
+pimOpScalar(PimCmdEnum op, PimObjId a, PimObjId dest, uint64_t scalar)
 {
-    return scalarOp(PimCmdEnum::kMulScalar, a, dest, scalar,
-                    "pimMulScalar");
-}
-
-PimStatus
-pimDivScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kDivScalar, a, dest, scalar,
-                    "pimDivScalar");
-}
-
-PimStatus
-pimMinScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kMinScalar, a, dest, scalar,
-                    "pimMinScalar");
-}
-
-PimStatus
-pimMaxScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kMaxScalar, a, dest, scalar,
-                    "pimMaxScalar");
-}
-
-PimStatus
-pimAndScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kAndScalar, a, dest, scalar,
-                    "pimAndScalar");
-}
-
-PimStatus
-pimOrScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kOrScalar, a, dest, scalar,
-                    "pimOrScalar");
-}
-
-PimStatus
-pimXorScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kXorScalar, a, dest, scalar,
-                    "pimXorScalar");
-}
-
-PimStatus
-pimGTScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kGTScalar, a, dest, scalar,
-                    "pimGTScalar");
-}
-
-PimStatus
-pimLTScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kLTScalar, a, dest, scalar,
-                    "pimLTScalar");
-}
-
-PimStatus
-pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar)
-{
-    return scalarOp(PimCmdEnum::kEQScalar, a, dest, scalar,
-                    "pimEQScalar");
+    // Only the contiguous *Scalar block is legal here; kScaledAdd has
+    // its own three-operand entry point.
+    if (op < PimCmdEnum::kAddScalar || op > PimCmdEnum::kEQScalar)
+        return pimeval::fail(
+            pimeval::strCat("pimOpScalar: '", pimCmdName(op),
+                            "' is not a scalar-operand command"));
+    return scalarOp(op, a, dest, scalar, scalarOpName(op));
 }
 
 PimStatus
@@ -572,7 +530,11 @@ pimDumpStats(const char *path)
         return PimStatus::PIM_ERROR;
     }
     dev->stats().dumpJson(os);
-    return os ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+    if (!os)
+        return pimeval::fail(
+            std::string("pimDumpStats: write failed for '") + path +
+            "'");
+    return PimStatus::PIM_OK;
 }
 
 PimStatus
@@ -688,7 +650,10 @@ pimTraceEnd(const char *path)
         dev->sync(); // in-flight spans land in the trace
     const bool ok =
         PimTracer::instance().end(path ? std::string(path) : "");
-    return ok ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+    if (!ok)
+        return pimeval::fail(
+            "pimTraceEnd: no active trace or export failed");
+    return PimStatus::PIM_OK;
 }
 
 PimStatus
@@ -700,8 +665,10 @@ pimTraceDump(const char *path)
     }
     if (PimDevice *dev = PimSim::instance().device())
         dev->sync();
-    return PimTracer::instance().dump(path) ? PimStatus::PIM_OK
-                                            : PimStatus::PIM_ERROR;
+    if (!PimTracer::instance().dump(path))
+        return pimeval::fail(
+            "pimTraceDump: no active trace or export failed");
+    return PimStatus::PIM_OK;
 }
 
 bool
@@ -728,7 +695,9 @@ PimStatus
 pimDumpMetrics(std::ostream &os)
 {
     pimeval::PimMetrics::instance().dumpJson(os);
-    return os ? PimStatus::PIM_OK : PimStatus::PIM_ERROR;
+    if (!os)
+        return pimeval::fail("pimDumpMetrics: write failed");
+    return PimStatus::PIM_OK;
 }
 
 PimStatus

@@ -177,18 +177,34 @@ PimStatus pimPopCount(PimObjId a, PimObjId dest);
 // Scalar-operand computation
 // ---------------------------------------------------------------------------
 
-PimStatus pimAddScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimSubScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimMulScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimDivScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimMinScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimMaxScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimAndScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimOrScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimXorScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimGTScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimLTScalar(PimObjId a, PimObjId dest, uint64_t scalar);
-PimStatus pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar);
+/**
+ * Single entry point for every vector-op-scalar command: dest[i] =
+ * a[i] <op> scalar. @p op must be one of the *Scalar members of
+ * PimCmdEnum (kAddScalar ... kEQScalar); anything else fails. The
+ * scalar is interpreted in the object's data type: pass negative
+ * values for signed types bit-cast to uint64_t (e.g. via
+ * static_cast<uint64_t>(int64_t{-5})); the device masks and
+ * sign-extends to the element width.
+ *
+ * The pim<Op>Scalar names below are source-compatible wrappers.
+ */
+PimStatus pimOpScalar(PimCmdEnum op, PimObjId a, PimObjId dest,
+                      uint64_t scalar);
+
+// clang-format off
+inline PimStatus pimAddScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kAddScalar, a, dest, scalar); }
+inline PimStatus pimSubScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kSubScalar, a, dest, scalar); }
+inline PimStatus pimMulScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kMulScalar, a, dest, scalar); }
+inline PimStatus pimDivScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kDivScalar, a, dest, scalar); }
+inline PimStatus pimMinScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kMinScalar, a, dest, scalar); }
+inline PimStatus pimMaxScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kMaxScalar, a, dest, scalar); }
+inline PimStatus pimAndScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kAndScalar, a, dest, scalar); }
+inline PimStatus pimOrScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kOrScalar, a, dest, scalar); }
+inline PimStatus pimXorScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kXorScalar, a, dest, scalar); }
+inline PimStatus pimGTScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kGTScalar, a, dest, scalar); }
+inline PimStatus pimLTScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kLTScalar, a, dest, scalar); }
+inline PimStatus pimEQScalar(PimObjId a, PimObjId dest, uint64_t scalar) { return pimOpScalar(PimCmdEnum::kEQScalar, a, dest, scalar); }
+// clang-format on
 
 /** dest = a * scalar + b (the AXPY inner operation). */
 PimStatus pimScaledAdd(PimObjId a, PimObjId b, PimObjId dest,

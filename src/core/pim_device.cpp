@@ -184,14 +184,19 @@ deviceToHostChunkForBits(unsigned bits)
 
 } // namespace
 
-PimDevice::PimDevice(const PimDeviceConfig &config)
-    : config_(config), resources_(config),
-      model_(PerfEnergyModel::create(config)),
+PimDevice::PimDevice(const PimDeviceConfig &config, uint32_t ctx_id,
+                     const std::string &label)
+    : config_(config), ctx_id_(ctx_id ? ctx_id : 1), label_(label),
+      resources_(config), model_(PerfEnergyModel::create(config)),
       pool_(0)
 {
     // The thread constructing the device is the issuing thread of the
     // pipeline threading model; label its trace track accordingly.
-    PimTracer::instance().setThreadName("issue-thread");
+    // Concurrent contexts each name their own issuing thread.
+    PimTracer::instance().setThreadName(
+        label_.empty() ? "issue-thread" : label_ + ".issue");
+    stats_.setTraceContext(ctx_id_);
+    PimTracer::instance().registerContext(ctx_id_, label_);
     logInfo(strCat("Current Device = PIM_FUNCTIONAL, Simulation Target = ",
                    pimDeviceName(config_.device)));
     logInfo(config_.summary());
@@ -324,7 +329,10 @@ PimDevice::setExecMode(PimExecEnum mode)
         pipeline_->sync();
     exec_mode_ = mode;
     if (mode == PimExecEnum::PIM_EXEC_ASYNC && !pipeline_)
-        pipeline_ = std::make_unique<PimPipeline>(stats_);
+        pipeline_ = std::make_unique<PimPipeline>(
+            stats_, 0,
+            label_.empty() ? std::string()
+                           : label_ + ".pipeline-worker-");
 }
 
 void
@@ -496,6 +504,7 @@ PimDevice::executeElementShift(PimCmdEnum cmd, PimObjId obj_id)
       case PimCmdEnum::kRotateElementsLeft:
         break;
       default:
+        logError("pimShift/RotateElements: unsupported command");
         return PimStatus::PIM_ERROR;
     }
 

@@ -31,12 +31,27 @@ namespace pimeval {
 class PimDevice
 {
   public:
-    explicit PimDevice(const PimDeviceConfig &config);
+    /**
+     * @param ctx_id owning context id (1 = the process-default
+     *        context); stamps this device's modeled trace spans so
+     *        each context exports its own modeled-time track.
+     * @param label  human-readable context label for trace track and
+     *        log naming (empty for the default context).
+     */
+    explicit PimDevice(const PimDeviceConfig &config,
+                       uint32_t ctx_id = 1,
+                       const std::string &label = std::string());
 
     /** Flushes any pending fusion window before members tear down. */
     ~PimDevice();
 
     const PimDeviceConfig &config() const { return config_; }
+
+    /** Owning context id (1 = process default). */
+    uint32_t contextId() const { return ctx_id_; }
+
+    /** Context label ("" for the default context). */
+    const std::string &label() const { return label_; }
 
     /**
      * Modeling scale factor (paper-size what-if): functional
@@ -252,6 +267,8 @@ class PimDevice
                            const PimFusionChain &chain);
 
     PimDeviceConfig config_;
+    uint32_t ctx_id_ = 1;
+    std::string label_;
     PimResourceMgr resources_;
     std::unique_ptr<PerfEnergyModel> model_;
     PimStatsMgr stats_;

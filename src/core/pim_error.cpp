@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Last-error API: thin veneer over the logger's thread-local state.
+ */
+
+#include "core/pim_error.h"
+
+#include "util/logging.h"
+
+namespace pimeval {
+
+PimStatus
+fail(const std::string &detail)
+{
+    logError(detail);
+    return PimStatus::PIM_ERROR;
+}
+
+} // namespace pimeval
+
+PimStatus
+pimGetLastError()
+{
+    return pimeval::hasLastError() ? PimStatus::PIM_ERROR
+                                   : PimStatus::PIM_OK;
+}
+
+const char *
+pimGetLastErrorMessage()
+{
+    return pimeval::lastErrorMessage();
+}
+
+void
+pimClearLastError()
+{
+    pimeval::clearLastError();
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Thread-local last-error reporting for the PIM API (API v2).
+ *
+ * Every API entry point that fails emits a "PIM-Error" log line; the
+ * logger records that message as the calling thread's last error, so
+ * after any failing call pimGetLastError()/pimGetLastErrorMessage()
+ * return the status and the human-readable detail — even when error
+ * logging is silenced by the verbosity threshold. The state is
+ * errno-style sticky: a failing call overwrites it, successful calls
+ * leave it untouched, and pimClearLastError() resets it. Being
+ * thread-local, concurrent host threads driving different contexts
+ * each see their own errors.
+ */
+
+#ifndef PIMEVAL_CORE_PIM_ERROR_H_
+#define PIMEVAL_CORE_PIM_ERROR_H_
+
+#include <string>
+
+#include "core/pim_types.h"
+
+/**
+ * Status of the calling thread's most recent failing PIM API call
+ * (PIM_OK when no call has failed since start / the last clear).
+ */
+PimStatus pimGetLastError();
+
+/**
+ * Detail string for the calling thread's most recent failing call,
+ * e.g. "pimAdd: no active PIM device". Empty when no call has failed.
+ * The pointer stays valid until the next failing call (or
+ * pimClearLastError) on this thread.
+ */
+const char *pimGetLastErrorMessage();
+
+/** Reset the calling thread's error state to PIM_OK / "". */
+void pimClearLastError();
+
+namespace pimeval {
+
+/**
+ * Log @p detail as a "PIM-Error" (recording it as the thread's last
+ * error) and return PIM_ERROR, so failure paths read
+ * `return fail("pimAdd: no active device");`.
+ */
+PimStatus fail(const std::string &detail);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_CORE_PIM_ERROR_H_

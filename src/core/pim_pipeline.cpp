@@ -27,7 +27,8 @@ PimStatsDelta::applyTo(PimStatsMgr &stats) const
         stats.addHostTime(host_measured_sec);
 }
 
-PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers)
+PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers,
+                         const std::string &name_prefix)
     : stats_(stats)
 {
     if (num_workers == 0) {
@@ -37,11 +38,13 @@ PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers)
         // chains because intra-command kernels use the shared pool.
         num_workers = std::clamp<size_t>(hw, 2, 6);
     }
+    const std::string prefix =
+        name_prefix.empty() ? "pipeline-worker-" : name_prefix;
     workers_.reserve(num_workers);
     for (size_t i = 0; i < num_workers; ++i) {
-        workers_.emplace_back([this, i] {
+        workers_.emplace_back([this, i, prefix] {
             PimTracer::instance().setThreadName(
-                "pipeline-worker-" + std::to_string(i));
+                prefix + std::to_string(i));
             workerLoop();
         });
     }

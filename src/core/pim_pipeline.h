@@ -41,6 +41,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -98,8 +99,14 @@ class PimPipeline
      * @param num_workers worker thread count; 0 picks a default based
      *                    on hardware concurrency (minimum 2 so the
      *                    machinery is exercised even on one core).
+     * @param name_prefix trace track name prefix for the worker
+     *                    threads (empty = "pipeline-worker-"); each
+     *                    context's pipeline labels its workers so
+     *                    concurrent contexts stay distinguishable in
+     *                    the Chrome trace.
      */
-    explicit PimPipeline(PimStatsMgr &stats, size_t num_workers = 0);
+    explicit PimPipeline(PimStatsMgr &stats, size_t num_workers = 0,
+                         const std::string &name_prefix = "");
     ~PimPipeline();
 
     PimPipeline(const PimPipeline &) = delete;

@@ -1,16 +1,38 @@
 /**
  * @file
- * PimSim implementation.
+ * Context registry implementation.
+ *
+ * Locking: the registry mutex guards the context list and the
+ * default-context slot during create/destroy; the hot path (device())
+ * is a thread-local read plus one relaxed atomic load and takes no
+ * lock. Destroying a context other threads are still using is a
+ * caller error, as with any handle API; setCurrentContext validates
+ * its handle against the live set before pinning.
  */
 
 #include "core/pim_sim.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "core/pim_error.h"
+#include "core/pim_metrics.h"
 #include "core/pim_trace.h"
 #include "util/logging.h"
 
 namespace pimeval {
+
+namespace {
+
+/**
+ * The calling thread's pinned context. Destroying a context while
+ * another thread still has it pinned is a caller error (the same
+ * use-after-destroy contract as every handle API); destroyContext
+ * does clear the destroying thread's own pin.
+ */
+thread_local PimContextRec *tls_current = nullptr;
+
+} // namespace
 
 PimSim &
 PimSim::instance()
@@ -19,18 +41,39 @@ PimSim::instance()
     return sim;
 }
 
+PimContextRec *
+PimSim::registerContext(const PimDeviceConfig &config,
+                        const std::string &label, bool is_default)
+{
+    if (config.device == PimDeviceEnum::PIM_DEVICE_NONE)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint32_t id = next_ctx_id_++;
+    auto rec = std::make_unique<PimContextRec>();
+    rec->id = id;
+    rec->label = label;
+    rec->is_default = is_default;
+    rec->device = std::make_unique<PimDevice>(config, id, label);
+    PimContextRec *raw = rec.get();
+    contexts_.push_back(std::move(rec));
+    if (is_default)
+        default_ctx_.store(raw, std::memory_order_release);
+    PIM_METRIC_COUNT("context.created", 1);
+    PIM_METRIC_RECORD("context.live", contexts_.size());
+    return raw;
+}
+
 PimStatus
 PimSim::createDevice(const PimDeviceConfig &config)
 {
-    if (device_) {
-        logError("pimCreateDevice: a device is already active");
-        return PimStatus::PIM_ERROR;
-    }
-    if (config.device == PimDeviceEnum::PIM_DEVICE_NONE) {
-        logError("pimCreateDevice: no device type selected");
-        return PimStatus::PIM_ERROR;
-    }
-    device_ = std::make_unique<PimDevice>(config);
+    if (defaultContext())
+        return fail("pimCreateDevice: a device is already active");
+    if (config.device == PimDeviceEnum::PIM_DEVICE_NONE)
+        return fail("pimCreateDevice: no device type selected");
+    PimContextRec *rec =
+        registerContext(config, std::string(), /*is_default=*/true);
+    if (!rec)
+        return fail("pimCreateDevice: device creation failed");
 #if PIMEVAL_TRACING_ENABLED
     // PIMEVAL_TRACE=<path> arms tracing for the device's lifetime;
     // the trace exports to <path> when the device is deleted.
@@ -48,18 +91,106 @@ PimSim::createDevice(const PimDeviceConfig &config)
 PimStatus
 PimSim::deleteDevice()
 {
-    if (!device_) {
-        logError("pimDeleteDevice: no active device");
-        return PimStatus::PIM_ERROR;
-    }
-    device_.reset();
+    PimContextRec *rec = defaultContext();
+    if (!rec)
+        return fail("pimDeleteDevice: no active device");
+    const PimStatus status = destroyContext(rec);
 #if PIMEVAL_TRACING_ENABLED
-    if (!env_trace_path_.empty()) {
+    if (status == PimStatus::PIM_OK && !env_trace_path_.empty()) {
         PimTracer::instance().end(env_trace_path_);
         env_trace_path_.clear();
     }
 #endif
+    return status;
+}
+
+PimContextRec *
+PimSim::createContext(const PimDeviceConfig &config,
+                      const std::string &label)
+{
+    PimContextRec *rec =
+        registerContext(config, label, /*is_default=*/false);
+    if (!rec)
+        fail("pimCreateContext: no device type selected");
+    return rec;
+}
+
+PimStatus
+PimSim::destroyContext(PimContextRec *ctx)
+{
+    std::unique_ptr<PimContextRec> dying;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = std::find_if(
+            contexts_.begin(), contexts_.end(),
+            [ctx](const std::unique_ptr<PimContextRec> &rec) {
+                return rec.get() == ctx;
+            });
+        if (it == contexts_.end())
+            return fail("pimDestroyContext: unknown or already "
+                        "destroyed context");
+        if (ctx == default_ctx_.load(std::memory_order_acquire))
+            default_ctx_.store(nullptr, std::memory_order_release);
+        dying = std::move(*it);
+        contexts_.erase(it);
+        if (tls_current == ctx)
+            tls_current = nullptr;
+        PIM_METRIC_COUNT("context.destroyed", 1);
+        PIM_METRIC_RECORD("context.live", contexts_.size());
+    }
+    // Device teardown (pipeline drain, fusion flush) happens outside
+    // the registry lock so other contexts keep creating/destroying.
+    dying.reset();
     return PimStatus::PIM_OK;
+}
+
+bool
+PimSim::validContext(const PimContextRec *ctx)
+{
+    if (!ctx)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::any_of(
+        contexts_.begin(), contexts_.end(),
+        [ctx](const std::unique_ptr<PimContextRec> &rec) {
+            return rec.get() == ctx;
+        });
+}
+
+PimStatus
+PimSim::setCurrentContext(PimContextRec *ctx)
+{
+    if (ctx && !validContext(ctx))
+        return fail("pimSetCurrentContext: unknown or destroyed "
+                    "context");
+    tls_current = ctx;
+    return PimStatus::PIM_OK;
+}
+
+PimContextRec *
+PimSim::currentContext()
+{
+    return tls_current;
+}
+
+PimDevice *
+PimSim::device()
+{
+    // Hot path of every global API call: thread-local first, process
+    // default second. A pinned context destroyed by another thread is
+    // the caller's race to avoid (documented in pimDestroyContext);
+    // destroyContext clears the destroying thread's own pin.
+    if (tls_current)
+        return tls_current->device.get();
+    PimContextRec *def = default_ctx_.load(std::memory_order_acquire);
+    return def ? def->device.get() : nullptr;
+}
+
+size_t
+PimSim::numContexts()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return contexts_.size();
 }
 
 } // namespace pimeval

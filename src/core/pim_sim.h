@@ -1,21 +1,50 @@
 /**
  * @file
- * Simulator singleton holding the active PIM device.
+ * Simulator context registry holding every active PIM device.
  *
- * The public C-style PIM API (pim_api.h) dispatches through this
- * object, mirroring the original PIMeval library structure where one
- * simulated device is active per process.
+ * Historically one simulated device was active per process behind a
+ * singleton; the registry generalizes that to N independent contexts
+ * (pimCreateContext in core/pim_context.h), each owning its own
+ * PimDevice — resource manager, command pipeline, fusion window, and
+ * statistics included — so contexts execute concurrently on host
+ * threads with zero shared mutable state between them.
+ *
+ * The original global C API keeps working unchanged: it resolves the
+ * calling thread's *current* context (a thread-local set by
+ * pimSetCurrentContext), falling back to the *process-default*
+ * context, which is exactly the device pimCreateDevice creates. A
+ * program that never touches the context API behaves as before; a
+ * program that pins a different context per host thread runs the same
+ * global calls against per-thread devices concurrently.
  */
 
 #ifndef PIMEVAL_CORE_PIM_SIM_H_
 #define PIMEVAL_CORE_PIM_SIM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/pim_device.h"
 
 namespace pimeval {
+
+/**
+ * One registered context: an id (stable, never reused within a
+ * process), a label for trace/report naming, and the owned device.
+ * The public opaque handle PimContext points at one of these.
+ */
+struct PimContextRec
+{
+    uint32_t id = 0;
+    std::string label;
+    std::unique_ptr<PimDevice> device;
+    /** True for the context pimCreateDevice manages. */
+    bool is_default = false;
+};
 
 class PimSim
 {
@@ -26,21 +55,83 @@ class PimSim
     PimSim(const PimSim &) = delete;
     PimSim &operator=(const PimSim &) = delete;
 
-    /** Create the active device; fails if one already exists. */
+    // --- Legacy global-API path (process-default context) ---
+
+    /** Create the process-default device; fails if one already
+     *  exists. Honors PIMEVAL_TRACE (trace armed for the device's
+     *  lifetime, exported at deleteDevice). */
     PimStatus createDevice(const PimDeviceConfig &config);
 
-    /** Destroy the active device. */
+    /** Destroy the process-default device. */
     PimStatus deleteDevice();
 
-    /** Active device, or nullptr. */
-    PimDevice *device() { return device_.get(); }
+    /**
+     * Device of the calling thread's current context: the context set
+     * by setCurrentContext on this thread, else the process default.
+     * nullptr when neither exists. This is the single dispatch point
+     * of the global C API.
+     */
+    PimDevice *device();
 
-    bool hasDevice() const { return device_ != nullptr; }
+    bool hasDevice() { return device() != nullptr; }
+
+    // --- Context registry (API v2) ---
+
+    /**
+     * Register a new independent context. @return the record, or
+     * nullptr on failure (device type NONE). Thread-safe.
+     */
+    PimContextRec *createContext(const PimDeviceConfig &config,
+                                 const std::string &label);
+
+    /**
+     * Destroy a context. Fails on unknown/already-destroyed handles.
+     * The caller must ensure no other thread is executing in the
+     * context. A destroyed context that is some thread's current
+     * context simply stops resolving (falls back to the default).
+     */
+    PimStatus destroyContext(PimContextRec *ctx);
+
+    /** Whether @p ctx is a live registered context. */
+    bool validContext(const PimContextRec *ctx);
+
+    /** The process-default context record (nullptr when none). */
+    PimContextRec *defaultContext()
+    {
+        return default_ctx_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Pin @p ctx as the calling thread's current context (nullptr
+     * unpins, restoring default-context resolution). Validated;
+     * returns PIM_ERROR for dead handles.
+     */
+    PimStatus setCurrentContext(PimContextRec *ctx);
+
+    /** The calling thread's pinned context (nullptr when unpinned or
+     *  the pinned context has been destroyed). */
+    PimContextRec *currentContext();
+
+    /** Live context count (for tests and reports). */
+    size_t numContexts();
 
   private:
     PimSim() = default;
 
-    std::unique_ptr<PimDevice> device_;
+    /** Register under the lock; assigns the next context id. */
+    PimContextRec *registerContext(const PimDeviceConfig &config,
+                                   const std::string &label,
+                                   bool is_default);
+
+    std::mutex mutex_;
+    /** Live contexts; erase on destroy. */
+    std::vector<std::unique_ptr<PimContextRec>> contexts_;
+    /** Ids start at 1: the first (default) context keeps the legacy
+     *  modeled-trace pid 2 = 1 + id. Never reused. */
+    uint32_t next_ctx_id_ = 1;
+
+    /** Hot-path default-context pointer (global API fallback). */
+    std::atomic<PimContextRec *> default_ctx_{nullptr};
 
     /** Export path when tracing was armed via PIMEVAL_TRACE. */
     std::string env_trace_path_;

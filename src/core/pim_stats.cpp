@@ -90,7 +90,7 @@ PimStatsMgr::recordCmd(CmdKeyId id, const PimOpCost &cost)
             slot.trace_name = PimTracer::instance().intern(slot.key);
         PimTracer::instance().recordModeledSpan(
             slot.trace_name, kernel_sec_ + copy_sec_,
-            cost.runtime_sec, stat.count);
+            cost.runtime_sec, stat.count, trace_ctx_);
     }
 #endif
     kernel_sec_ += cost.runtime_sec;
@@ -128,7 +128,7 @@ PimStatsMgr::recordCopy(PimCopyEnum direction, uint64_t bytes,
     if (PimTracer::enabled() && trace_name) {
         PimTracer::instance().recordModeledSpan(
             trace_name, kernel_sec_ + copy_sec_, cost.runtime_sec,
-            bytes);
+            bytes, trace_ctx_);
     }
 #else
     (void)trace_name;

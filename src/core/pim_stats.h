@@ -142,6 +142,15 @@ class PimStatsMgr
      *  tests/benches; built on demand from the interned slots). */
     std::map<std::string, PimCmdStat> cmdStats() const;
 
+    /**
+     * Owning context id for trace attribution: modeled spans emitted
+     * at commit time land on this context's modeled-time track
+     * (pid = 1 + id in the Chrome export). Set once at device
+     * creation, before any command records.
+     */
+    void setTraceContext(uint32_t ctx) { trace_ctx_ = ctx ? ctx : 1; }
+    uint32_t traceContext() const { return trace_ctx_; }
+
     /** Reset everything. */
     void reset();
 
@@ -181,6 +190,8 @@ class PimStatsMgr
     uint64_t bytes_d2d_ = 0;
     std::chrono::high_resolution_clock::time_point host_start_;
     bool host_timing_ = false;
+    /** Context id stamped on modeled trace spans (default ctx = 1). */
+    uint32_t trace_ctx_ = 1;
 };
 
 } // namespace pimeval

@@ -7,6 +7,7 @@
 
 #include "core/pim_trace.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -158,7 +159,8 @@ PimTracer::recordCounter(const char *name, double value)
 void
 PimTracer::recordModeledSpan(const char *name,
                              double modeled_start_sec,
-                             double modeled_dur_sec, uint64_t arg)
+                             double modeled_dur_sec, uint64_t arg,
+                             uint32_t ctx)
 {
     TraceEvent e;
     e.type = TraceEventType::kModeledSpan;
@@ -168,7 +170,23 @@ PimTracer::recordModeledSpan(const char *name,
     e.modeled_sec = modeled_start_sec;
     e.modeled_dur_sec = modeled_dur_sec;
     e.arg = arg;
+    e.ctx = ctx == 0 ? 1 : ctx;
     record(e);
+}
+
+void
+PimTracer::registerContext(uint32_t id, const std::string &label)
+{
+    if (id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (auto &[cid, clabel] : contexts_) {
+        if (cid == id) {
+            clabel = label;
+            return;
+        }
+    }
+    contexts_.emplace_back(id, label);
 }
 
 void
@@ -255,8 +273,14 @@ formatUs(double us)
     return tmp;
 }
 
-constexpr int kHostPid = 1;    ///< host-thread tracks
-constexpr int kModeledPid = 2; ///< modeled-PIM-time track
+constexpr int kHostPid = 1; ///< host-thread tracks
+/** Modeled-PIM-time tracks: one process per context, pid = 1 + ctx.
+ *  The default context (ctx 1) keeps the legacy pid 2. */
+constexpr int
+modeledPid(uint32_t ctx)
+{
+    return 1 + static_cast<int>(ctx == 0 ? 1 : ctx);
+}
 
 } // namespace
 
@@ -279,14 +303,35 @@ PimTracer::exportJson(const std::string &path) const
     emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kHostPid) +
          ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
          "\"pimeval host\"}}");
-    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kModeledPid) +
-         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
-         "\"modeled PIM device\"}}");
-    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kModeledPid) +
-         ",\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":"
-         "\"modeled time (committed order)\"}}");
 
     std::lock_guard<std::mutex> reg(registry_mutex_);
+    // One modeled-time process per context. The default context keeps
+    // the legacy "modeled PIM device" name (and pid 2); additional
+    // contexts appear as their own processes, named by their labels.
+    {
+        std::vector<std::pair<uint32_t, std::string>> ctxs = contexts_;
+        const bool has_default =
+            std::any_of(ctxs.begin(), ctxs.end(),
+                        [](const auto &c) { return c.first == 1; });
+        if (!has_default)
+            ctxs.emplace_back(1, std::string());
+        std::sort(ctxs.begin(), ctxs.end());
+        for (const auto &[id, label] : ctxs) {
+            std::string pname = "modeled PIM device";
+            if (!label.empty())
+                pname += ": " + label;
+            else if (id != 1)
+                pname += " (ctx " + std::to_string(id) + ")";
+            emit("{\"ph\":\"M\",\"pid\":" +
+                 std::to_string(modeledPid(id)) +
+                 ",\"tid\":0,\"name\":\"process_name\",\"args\":{"
+                 "\"name\":\"" + jsonEscape(pname.c_str()) + "\"}}");
+            emit("{\"ph\":\"M\",\"pid\":" +
+                 std::to_string(modeledPid(id)) +
+                 ",\"tid\":1,\"name\":\"thread_name\",\"args\":{"
+                 "\"name\":\"modeled time (committed order)\"}}");
+        }
+    }
     for (const auto &buf : buffers_) {
         const std::string name =
             buf->name.empty() ? "thread-" + std::to_string(buf->tid)
@@ -336,7 +381,9 @@ PimTracer::exportJson(const std::string &path) const
                 // Modeled PIM clock: ts is the modeled start (µs of
                 // modeled time), host_ts_us ties it back to the host
                 // timeline (the dual-clock correspondence).
-                line = "{\"ph\":\"X\",\"pid\":2,\"tid\":1" +
+                line = "{\"ph\":\"X\",\"pid\":" +
+                       std::to_string(modeledPid(e.ctx)) +
+                       ",\"tid\":1" +
                        std::string(",\"name\":\"") + name +
                        "\",\"cat\":\"" + cat +
                        "\",\"ts\":" + formatUs(e.modeled_sec * 1e6) +

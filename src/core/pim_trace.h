@@ -68,6 +68,10 @@ struct TraceEvent
     /** Modeled duration (modeled spans) or counter value. */
     double modeled_dur_sec = 0.0;
     uint64_t arg = 0; ///< generic payload (bytes, seq, elements, ...)
+    /** Owning PIM context of a modeled span (context ids start at 1;
+     *  the default context is 1, so its modeled track keeps the
+     *  legacy pid 2 = 1 + ctx in the export). */
+    uint32_t ctx = 1;
     TraceEventType type = TraceEventType::kInstant;
 };
 
@@ -137,11 +141,22 @@ class PimTracer
      * @p name occupied modeled time [modeled_start_sec,
      * modeled_start_sec + modeled_dur_sec). @p arg carries the cores
      * used. Also timestamps the host clock, giving the dual-clock
-     * correspondence.
+     * correspondence. @p ctx is the owning context id (each context
+     * exports its own modeled-time process, pid = 1 + ctx).
      */
     void recordModeledSpan(const char *name,
                            double modeled_start_sec,
-                           double modeled_dur_sec, uint64_t arg = 0);
+                           double modeled_dur_sec, uint64_t arg = 0,
+                           uint32_t ctx = 1);
+
+    /**
+     * Register a PIM context for export labeling: the context's
+     * modeled-time track (pid = 1 + @p id) is named after @p label in
+     * the Chrome trace metadata. Idempotent; callable whether or not
+     * tracing is active. Context 1 (the process default) keeps the
+     * legacy "modeled PIM device" name when its label is empty.
+     */
+    void registerContext(uint32_t id, const std::string &label);
 
     /**
      * Name the calling thread's track in the export (e.g.
@@ -192,6 +207,8 @@ class PimTracer
     mutable std::shared_mutex gate_;
     mutable std::mutex registry_mutex_;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    /** Context id -> label for export metadata (registerContext). */
+    std::vector<std::pair<uint32_t, std::string>> contexts_;
     std::string path_;
     std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();

@@ -73,10 +73,53 @@ logWarn(const std::string &msg)
     logMessage(LogLevel::Warning, msg);
 }
 
+namespace {
+
+/** Thread-local last "PIM-Error" message (core/pim_error.h). */
+struct LastError
+{
+    std::string message;
+    bool set = false;
+};
+
+LastError &
+lastError()
+{
+    thread_local LastError e;
+    return e;
+}
+
+} // namespace
+
 void
 logError(const std::string &msg)
 {
+    // Recorded before the threshold filter: the last-error state must
+    // reflect failures even when error logging is silenced.
+    LastError &e = lastError();
+    e.message = msg;
+    e.set = true;
     logMessage(LogLevel::Error, msg);
+}
+
+const char *
+lastErrorMessage()
+{
+    return lastError().message.c_str();
+}
+
+bool
+hasLastError()
+{
+    return lastError().set;
+}
+
+void
+clearLastError()
+{
+    LastError &e = lastError();
+    e.message.clear();
+    e.set = false;
 }
 
 } // namespace pimeval

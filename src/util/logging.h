@@ -46,7 +46,19 @@ void logMessage(LogLevel level, const std::string &msg);
 void logDebug(const std::string &msg);
 void logInfo(const std::string &msg);
 void logWarn(const std::string &msg);
+
+/**
+ * Emit a "PIM-Error" message and record it as the calling thread's
+ * last error (read back through pimGetLastError/pimGetLastErrorMessage
+ * in core/pim_error.h). Recording happens even when the message is
+ * suppressed by the verbosity threshold.
+ */
 void logError(const std::string &msg);
+
+/** Thread-local last-error accessors backing core/pim_error.h. */
+const char *lastErrorMessage();
+bool hasLastError();
+void clearLastError();
 
 /** Format helper: join stream-style arguments into a std::string. */
 template <typename... Args>

@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "core/pim_api.h"
+#include "core/pim_error.h"
 #include "util/logging.h"
 #include "util/prng.h"
 
@@ -440,6 +441,109 @@ TEST_P(PimApiTest, StatsAccounting)
 
     pimFree(oa);
     pimFree(ob);
+}
+
+namespace {
+
+/**
+ * Run pim{Add,Sub,Mul,Div,Min,Max,GT,LT}Scalar with a *negative*
+ * scalar on a signed type and verify against the CPU reference:
+ * the uint64_t scalar argument must sign-extend to the element width
+ * end to end (API entry, fusion tape, and the per-target kernels).
+ */
+template <typename T>
+void
+checkNegativeScalars(PimDataType dtype, unsigned bits)
+{
+    const uint64_t n = 257;
+    const T scalar = static_cast<T>(-23);
+    const uint64_t raw =
+        static_cast<uint64_t>(static_cast<int64_t>(scalar));
+    std::vector<T> a(n);
+    for (uint64_t i = 0; i < n; ++i)
+        a[i] = static_cast<T>(static_cast<int64_t>(i) * 7 - 800);
+
+    const PimObjId oa =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, bits, dtype);
+    const PimObjId od = pimAllocAssociated(bits, oa, dtype);
+    ASSERT_GE(oa, 0);
+    ASSERT_GE(od, 0);
+    ASSERT_EQ(pimCopyHostToDevice(a.data(), oa), PimStatus::PIM_OK);
+
+    struct Case
+    {
+        const char *name;
+        PimStatus (*run)(PimObjId, PimObjId, uint64_t);
+        T (*ref)(T, T);
+    };
+    const Case cases[] = {
+        {"add", pimAddScalar, [](T x, T s) -> T { return x + s; }},
+        {"sub", pimSubScalar, [](T x, T s) -> T { return x - s; }},
+        {"mul", pimMulScalar, [](T x, T s) -> T { return x * s; }},
+        {"div", pimDivScalar, [](T x, T s) -> T { return x / s; }},
+        {"min", pimMinScalar,
+         [](T x, T s) -> T { return x < s ? x : s; }},
+        {"max", pimMaxScalar,
+         [](T x, T s) -> T { return x > s ? x : s; }},
+        {"gt", pimGTScalar, [](T x, T s) -> T { return x > s; }},
+        {"lt", pimLTScalar, [](T x, T s) -> T { return x < s; }},
+    };
+
+    std::vector<T> out(n);
+    for (const Case &c : cases) {
+        ASSERT_EQ(c.run(oa, od, raw), PimStatus::PIM_OK) << c.name;
+        ASSERT_EQ(pimCopyDeviceToHost(od, out.data()),
+                  PimStatus::PIM_OK);
+        for (uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i], c.ref(a[i], scalar))
+                << c.name << " scalar mismatch at " << i;
+    }
+
+    // dest = a * (-23) + a through the three-operand path.
+    ASSERT_EQ(pimScaledAdd(oa, oa, od, raw), PimStatus::PIM_OK);
+    ASSERT_EQ(pimCopyDeviceToHost(od, out.data()), PimStatus::PIM_OK);
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], static_cast<T>(a[i] * scalar + a[i]))
+            << "scaled_add mismatch at " << i;
+
+    pimFree(oa);
+    pimFree(od);
+}
+
+} // namespace
+
+TEST_P(PimApiTest, NegativeScalarSignExtension)
+{
+    // Plain sync path plus the fusion-capture and async-pipeline
+    // paths: the masked scalar must survive each capture/replay.
+    checkNegativeScalars<int8_t>(PimDataType::PIM_INT8, 8);
+    checkNegativeScalars<int16_t>(PimDataType::PIM_INT16, 16);
+    checkNegativeScalars<int32_t>(PimDataType::PIM_INT32, 32);
+
+    ASSERT_EQ(pimSetFusionEnabled(true), PimStatus::PIM_OK);
+    checkNegativeScalars<int8_t>(PimDataType::PIM_INT8, 8);
+    checkNegativeScalars<int32_t>(PimDataType::PIM_INT32, 32);
+    ASSERT_EQ(pimSetFusionEnabled(false), PimStatus::PIM_OK);
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+    checkNegativeScalars<int16_t>(PimDataType::PIM_INT16, 16);
+    checkNegativeScalars<int32_t>(PimDataType::PIM_INT32, 32);
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+}
+
+TEST_P(PimApiTest, OpScalarEntryPoint)
+{
+    // The consolidated entry point rejects non-scalar commands and
+    // reports through the last-error state.
+    pimClearLastError();
+    EXPECT_EQ(pimOpScalar(PimCmdEnum::kAdd, 0, 0, 1),
+              PimStatus::PIM_ERROR);
+    EXPECT_EQ(pimGetLastError(), PimStatus::PIM_ERROR);
+    EXPECT_NE(
+        std::string(pimGetLastErrorMessage()).find("pimOpScalar"),
+        std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(
