@@ -140,6 +140,22 @@ linregChain(const Operands &o)
     pimSync();
 }
 
+/** Dot product as a fusable compute+reduce chain: the mul's dead
+ *  temporary feeds a pimRedSum terminator, so the fused form never
+ *  materializes the product vector. */
+void
+dotChain(const Operands &o)
+{
+    const PimObjId t =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    int64_t sum = 0;
+    pimMul(o.a, o.b, t);
+    pimRedSum(t, &sum);
+    pimFree(t);
+    pimSync();
+    benchmark::DoNotOptimize(sum);
+}
+
 using CmdBody = std::function<void(const Operands &)>;
 
 /** One timed command: name + a body issuing it once over kNumElements. */
@@ -206,6 +222,17 @@ commandSpecs()
          [](const Operands &o) {
              pimBeginFusion();
              linregChain(o);
+             pimEndFusion();
+         }},
+        // Reduction-terminated chain (mul -> redSum = dot product):
+        // fused, the product tape step feeds the accumulator directly
+        // and the dead temporary is never written.
+        {"dot_chain_unfused",
+         [](const Operands &o) { dotChain(o); }},
+        {"dot_chain_fused",
+         [](const Operands &o) {
+             pimBeginFusion();
+             dotChain(o);
              pimEndFusion();
          }},
     };

@@ -132,6 +132,8 @@ struct PassMetrics
     uint64_t fusion_chains = 0;
     uint64_t fusion_ops_fused = 0;
     uint64_t fusion_temps_elided = 0;
+    uint64_t fusion_reduction_chains = 0;
+    uint64_t fusion_scalar_folds = 0;
 };
 
 /** Same worker-count default as PimPipeline (occupancy denominator). */
@@ -184,6 +186,10 @@ collectPassMetrics(double pass_wall_sec)
         static_cast<uint64_t>(metricOr("fusion.ops_fused", 0.0));
     m.fusion_temps_elided =
         static_cast<uint64_t>(metricOr("fusion.temps_elided", 0.0));
+    m.fusion_reduction_chains = static_cast<uint64_t>(
+        metricOr("fusion.reduction_chains", 0.0));
+    m.fusion_scalar_folds =
+        static_cast<uint64_t>(metricOr("fusion.scalar_folds", 0.0));
     return m;
 }
 
@@ -209,7 +215,9 @@ emitPassMetricsJson(std::ostream &os, const char *key,
        << "    \"freelist_hit_rate\": " << m.freelist_hit_rate << ",\n"
        << "    \"fusion\": {\"chains\": " << m.fusion_chains
        << ", \"ops_fused\": " << m.fusion_ops_fused
-       << ", \"temps_elided\": " << m.fusion_temps_elided << "}\n"
+       << ", \"temps_elided\": " << m.fusion_temps_elided
+       << ", \"reduction_chains\": " << m.fusion_reduction_chains
+       << ", \"scalar_folds\": " << m.fusion_scalar_folds << "}\n"
        << "  }";
 }
 
@@ -310,6 +318,70 @@ runFusionMicro(bool linreg, uint64_t n, unsigned reps)
     pimFree(obj_x);
     pimFree(obj_y);
     pimFree(obj_d);
+    return micro;
+}
+
+/**
+ * Time a reduction-terminated chain (x·y dot product: mul into a
+ * dead temporary, then pimRedSum), fusion off vs on. Fused, the
+ * chain runs as one compute+accumulate sweep — the product vector is
+ * never materialized. Identity compares the two variants' sums.
+ */
+FusionMicro
+runDotMicro(uint64_t n, unsigned reps)
+{
+    FusionMicro micro;
+    std::vector<int> x(n), y(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        x[i] = static_cast<int>(i % 1000) - 500;
+        y[i] = static_cast<int>(i % 77) - 38;
+    }
+    const PimObjId obj_x =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    if (obj_x < 0)
+        return micro;
+    const PimObjId obj_y =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    if (obj_y < 0) {
+        pimFree(obj_x);
+        return micro;
+    }
+    pimCopyHostToDevice(x.data(), obj_x);
+    pimCopyHostToDevice(y.data(), obj_y);
+
+    int64_t sum = 0;
+    const auto chain = [&]() {
+        const PimObjId t =
+            pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+        pimMul(obj_x, obj_y, t);
+        pimRedSum(t, &sum);
+        pimFree(t);
+        pimSync();
+    };
+
+    pimSetFusionEnabled(false);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        chain();
+        if (r > 0)
+            micro.unfused_sec =
+                std::min(micro.unfused_sec, nowSec() - start);
+    }
+    const int64_t sum_unfused = sum;
+
+    pimSetFusionEnabled(true);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        chain();
+        if (r > 0)
+            micro.fused_sec =
+                std::min(micro.fused_sec, nowSec() - start);
+    }
+    pimSetFusionEnabled(false);
+    micro.identical = sum == sum_unfused;
+    pimFree(obj_x);
+    pimFree(obj_y);
     return micro;
 }
 
@@ -421,7 +493,7 @@ main()
     const char *trace_base = std::getenv("PIMEVAL_TRACE");
     const bool tracing = trace_base != nullptr && *trace_base != '\0';
     PassMetrics pass_metrics[kNumPasses];
-    FusionMicro axpy_micro, linreg_micro;
+    FusionMicro axpy_micro, linreg_micro, dot_micro;
     // The microbench needs kernel-dominated sizes (per-command setup
     // would swamp the fused/unfused delta at app tiny scale), so its
     // problem size is independent of the suite scale.
@@ -442,6 +514,7 @@ main()
         // large-buffer chains far more than the fused/unfused delta.)
         axpy_micro = runFusionMicro(false, micro_n, reps);
         linreg_micro = runFusionMicro(true, micro_n, reps);
+        dot_micro = runDotMicro(micro_n, reps);
 
         for (size_t p = 0; p < kNumPasses; ++p) {
             const ModePass &pass = kPasses[p];
@@ -598,18 +671,25 @@ main()
                     async_metrics.hazard_waw),
                 static_cast<unsigned long long>(
                     async_metrics.hazard_war));
-    std::printf("fusion (sync pass): %llu chains, %llu ops fused, "
-                "%llu temps elided; micro axpy %.2fx, linreg %.2fx "
+    std::printf("fusion (sync pass): %llu chains (%llu reductions, "
+                "%llu scalar folds), %llu ops fused, %llu temps "
+                "elided; micro axpy %.2fx, linreg %.2fx, dot %.2fx "
                 "(%llu elements, outputs %s)\n",
                 static_cast<unsigned long long>(
                     pass_metrics[2].fusion_chains),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_reduction_chains),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_scalar_folds),
                 static_cast<unsigned long long>(
                     pass_metrics[2].fusion_ops_fused),
                 static_cast<unsigned long long>(
                     pass_metrics[2].fusion_temps_elided),
                 axpy_micro.speedup(), linreg_micro.speedup(),
+                dot_micro.speedup(),
                 static_cast<unsigned long long>(micro_n),
-                axpy_micro.identical && linreg_micro.identical
+                axpy_micro.identical && linreg_micro.identical &&
+                        dot_micro.identical
                     ? "identical"
                     : "DIVERGED");
     emitTable(sweep_table);
@@ -655,6 +735,10 @@ main()
              << pass_metrics[2].fusion_ops_fused << ",\n"
              << "    \"temps_elided\": "
              << pass_metrics[2].fusion_temps_elided << ",\n"
+             << "    \"reduction_chains\": "
+             << pass_metrics[2].fusion_reduction_chains << ",\n"
+             << "    \"scalar_folds\": "
+             << pass_metrics[2].fusion_scalar_folds << ",\n"
              << "    \"micro_elements\": " << micro_n << ",\n"
              << "    \"axpy_unfused_sec\": " << axpy_micro.unfused_sec
              << ",\n"
@@ -668,8 +752,15 @@ main()
              << ",\n"
              << "    \"linreg_fused_speedup\": "
              << linreg_micro.speedup() << ",\n"
+             << "    \"dot_unfused_sec\": " << dot_micro.unfused_sec
+             << ",\n"
+             << "    \"dot_fused_sec\": " << dot_micro.fused_sec
+             << ",\n"
+             << "    \"dot_fused_speedup\": " << dot_micro.speedup()
+             << ",\n"
              << "    \"micro_outputs_identical\": "
-             << (axpy_micro.identical && linreg_micro.identical
+             << (axpy_micro.identical && linreg_micro.identical &&
+                         dot_micro.identical
                      ? "true"
                      : "false")
              << "\n  }";

@@ -141,12 +141,23 @@ runKmeans(const KmeansParams &params)
             pimAnd(obj_mask, obj_tmp, obj_mask);
             pimOr(obj_assigned, obj_mask, obj_assigned);
 
+            // The three reductions share one fusion region: each
+            // mask product fuses with its reduction into a single
+            // dot-product sweep, and the product temporaries are
+            // born and freed inside the window so their stores
+            // elide. Results are valid once pimEndFusion flushes.
             int64_t count = 0, sum_x = 0, sum_y = 0;
+            pimBeginFusion();
             pimRedSum(obj_mask, &count);
-            pimMul(obj_x, obj_mask, obj_tmp);
-            pimRedSum(obj_tmp, &sum_x);
-            pimMul(obj_y, obj_mask, obj_tmp);
-            pimRedSum(obj_tmp, &sum_y);
+            const PimObjId obj_px = assoc();
+            pimMul(obj_x, obj_mask, obj_px);
+            pimRedSum(obj_px, &sum_x);
+            pimFree(obj_px);
+            const PimObjId obj_py = assoc();
+            pimMul(obj_y, obj_mask, obj_py);
+            pimRedSum(obj_py, &sum_y);
+            pimFree(obj_py);
+            pimEndFusion();
 
             // Host: centroid update (constant work).
             pimAddHostWork(4 * sizeof(int64_t), 8);

@@ -34,25 +34,35 @@ runLinearRegression(const LinearRegressionParams &params)
                  PimDataType::PIM_INT32);
     const PimObjId obj_y =
         pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
-    const PimObjId obj_t =
-        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
-    if (obj_x < 0 || obj_y < 0 || obj_t < 0)
+    if (obj_x < 0 || obj_y < 0)
         return result;
 
     pimCopyHostToDevice(xs.data(), obj_x);
     pimCopyHostToDevice(ys.data(), obj_y);
 
+    // All four reductions in one fusion region: each product chain
+    // (mul + redSum) fuses into a single dot-product sweep, and the
+    // product temporaries are born and freed inside the window so
+    // their stores elide entirely. Reduction results are deferred
+    // until pimEndFusion flushes the region.
     int64_t sum_x = 0, sum_y = 0, sum_xy = 0, sum_xx = 0;
+    pimBeginFusion();
     pimRedSum(obj_x, &sum_x);
     pimRedSum(obj_y, &sum_y);
-    pimMul(obj_x, obj_y, obj_t);
-    pimRedSum(obj_t, &sum_xy);
-    pimMul(obj_x, obj_x, obj_t);
-    pimRedSum(obj_t, &sum_xx);
+    const PimObjId obj_t1 =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    pimMul(obj_x, obj_y, obj_t1);
+    pimRedSum(obj_t1, &sum_xy);
+    pimFree(obj_t1);
+    const PimObjId obj_t2 =
+        pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    pimMul(obj_x, obj_x, obj_t2);
+    pimRedSum(obj_t2, &sum_xx);
+    pimFree(obj_t2);
+    pimEndFusion();
 
     pimFree(obj_x);
     pimFree(obj_y);
-    pimFree(obj_t);
 
     // Host epilogue: least-squares solve.
     const double dn = static_cast<double>(n);

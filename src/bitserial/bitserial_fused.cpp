@@ -143,6 +143,61 @@ BitSerialFusedChain::run(uint64_t *dest)
 }
 
 BitSerialFusedStats
+BitSerialFusedChain::runRedSum(bool is_signed, int64_t *sum)
+{
+    BitSerialFusedStats stats;
+    assert(!inputs_.empty());
+
+    // Identical staging to run(): the chain value ping-pongs between
+    // the result regions (or sits at input 0 for a bare reduction).
+    std::vector<uint32_t> lhs_rows(steps_.size());
+    std::vector<uint32_t> dest_rows(steps_.size());
+    uint32_t value_row = inputRow(0);
+    for (size_t k = 0; k < steps_.size(); ++k) {
+        lhs_rows[k] = value_row;
+        dest_rows[k] = resultRow(k % 2 == 0 ? 0 : 1);
+        value_row = dest_rows[k];
+    }
+    const std::vector<MicroProgram> programs =
+        buildPrograms(lhs_rows, dest_rows);
+
+    const uint32_t num_rows =
+        static_cast<uint32_t>(inputs_.size() + 2) * bits_;
+    BitSerialVm vm(num_rows, tile_cols_);
+
+    uint64_t acc = 0;
+    for (size_t base = 0; base < n_; base += tile_cols_) {
+        const uint32_t cnt = static_cast<uint32_t>(
+            std::min<size_t>(tile_cols_, n_ - base));
+        for (size_t i = 0; i < inputs_.size(); ++i) {
+            vm.writeVerticalBulk(0, inputRow(i), bits_,
+                                 inputs_[i] + base, cnt);
+            stats.elems_in += cnt;
+        }
+        for (const MicroProgram &program : programs)
+            vm.run(program);
+        // Reduce in place: popcount only the first cnt columns of
+        // each result bit-plane (a short final tile leaves stale
+        // columns from the previous tile above cnt). The top plane
+        // carries -2^(bits-1) when signed because sign extension of
+        // v is v - 2^bits for negative v:
+        //   sum = sum_b pop(plane_b)*2^b - pop(plane_top)*2^bits
+        //       = sum_{b<top} pop(plane_b)*2^b - pop(plane_top)*2^top
+        // (mod 2^64, which also makes bits == 64 fall out naturally).
+        for (unsigned b = 0; b < bits_; ++b) {
+            uint64_t weight = 1ull << b;
+            if (is_signed && b == bits_ - 1)
+                weight = ~weight + 1;
+            acc += vm.rowPopcount(value_row + b, cnt) * weight;
+        }
+        ++stats.tiles;
+    }
+    *sum = static_cast<int64_t>(acc);
+    stats.micro_ops = vm.opsExecuted();
+    return stats;
+}
+
+BitSerialFusedStats
 BitSerialFusedChain::runUnfused(uint64_t *dest)
 {
     BitSerialFusedStats stats;

@@ -94,6 +94,18 @@ class BitSerialFusedChain
      *  result out. Same results as run(), more I/O. */
     BitSerialFusedStats runUnfused(uint64_t *dest);
 
+    /**
+     * Execute the chain fused and terminate it with a sum reduction
+     * performed in place: each tile's result bit-planes are
+     * popcounted row-wise (weight 2^b per plane, the top plane
+     * weighted -2^(bits-1) when @p is_signed), so the chain value is
+     * never transposed back out — stats.elems_out stays 0. The
+     * accumulation is wrapping 64-bit arithmetic, bit-identical to
+     * summing run()'s output elements (sign-extended when signed) on
+     * the host.
+     */
+    BitSerialFusedStats runRedSum(bool is_signed, int64_t *sum);
+
   private:
     struct Step
     {

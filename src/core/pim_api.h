@@ -95,9 +95,14 @@ bool pimGetFusionEnabled();
  * Open an explicit fusion region: elementwise commands buffer for
  * fusion until the matching pimEndFusion, regardless of the global
  * toggle. Regions nest; only the outermost pimEndFusion flushes.
- * Non-fusable calls (copies, reductions, broadcasts, pimSync, stats
- * queries) inside a region flush the pending window and execute in
- * order, so a region never changes observable semantics.
+ * Full-object pimRedSum captures as a chain terminator and
+ * pimBroadcastInt as a chain head, so compute+reduce sequences fuse;
+ * a reduction result captured inside a region is deferred and must
+ * only be read after the outermost pimEndFusion (or an intervening
+ * flush such as pimSync). Other non-fusable calls (copies, ranged
+ * reductions, stats queries) inside a region flush the pending
+ * window and execute in order, so a region never changes final
+ * observable semantics.
  */
 PimStatus pimBeginFusion();
 

@@ -406,8 +406,15 @@ PimDevice::copyHostToDevice(const void *src, PimObjId dest,
     // Snapshot the host buffer at issue: the caller's pointer need not
     // stay valid once the call returns (apps rebuild staging buffers
     // every iteration), and snapshotting removes all host-memory
-    // hazards from H2D commands.
+    // hazards from H2D commands. The single-core bypass runs the
+    // body before this call returns, so the snapshot is pure
+    // overhead there — read the caller's buffer directly instead.
     const auto *first = static_cast<const uint8_t *>(src);
+    if (pipeline_->beginInline()) {
+        run(first, nullptr);
+        pipeline_->endInline();
+        return PimStatus::PIM_OK;
+    }
     std::vector<uint8_t> snapshot(first, first + host_bytes);
     pipeline_->enqueue(
         {}, {dest},
@@ -996,7 +1003,6 @@ PimStatus
 PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
                          int64_t *result)
 {
-    flushFusion(); // the reduction reads whatever the window produces
     PimDataObject *oa = resources_.get(a);
     if (!oa || !result) {
         logError("pimRedSum: bad arguments");
@@ -1014,10 +1020,41 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
     const uint64_t *pa = oa->raw().data();
     const PimOpProfile profile =
         makeProfile(PimCmdEnum::kRedSum, *oa, 0, 0);
+    const CmdKeyInfo key = keyFor(PimCmdEnum::kRedSum, *oa);
+
+    // A full-object reduction no longer breaks the fusion window: it
+    // captures as a chain *terminator*, so mul+redSum lowers to one
+    // compute+accumulate sweep with no materialized product. Outside
+    // an explicit region the window flushes immediately after the
+    // capture, preserving the blocking contract (*result is ready on
+    // return); inside pimBeginFusion/pimEndFusion the reduction is
+    // deferred and *result is guaranteed at the next flush (see
+    // docs/API.md).
+    if (fusionCapturing() && idx_begin == 0 &&
+        idx_end == oa->numElements()) {
+        PimFusedOp fop;
+        fop.cmd = PimCmdEnum::kRedSum;
+        fop.a = a;
+        fop.pa = pa;
+        fop.sgn = sgn;
+        fop.bits = bits;
+        fop.n = oa->raw().size();
+        fop.is_reduce = true;
+        fop.red_result = result;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        if (fusion_region_depth_ == 0)
+            flushFusion();
+        return PimStatus::PIM_OK;
+    }
+    // Ranged reductions keep the flush-and-execute path: the planner
+    // only models whole-object dataflow.
+    flushFusion();
     const double fraction =
         static_cast<double>(idx_end - idx_begin) /
         static_cast<double>(oa->numElements());
-    const CmdKeyInfo key = keyFor(PimCmdEnum::kRedSum, *oa);
 
     // Blocking issue: the scalar result goes back to the host.
     return issue(
@@ -1059,7 +1096,6 @@ PimDevice::executeRedSum(PimObjId a, uint64_t idx_begin, uint64_t idx_end,
 PimStatus
 PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
 {
-    flushFusion(); // broadcast is a write the planner does not model
     PimDataObject *od = resources_.get(dest);
     if (!od) {
         logError("pimBroadcast: unknown object id");
@@ -1071,6 +1107,28 @@ PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
     const PimOpProfile profile =
         makeProfile(PimCmdEnum::kBroadcast, *od, v, 0);
     const CmdKeyInfo key = keyFor(PimCmdEnum::kBroadcast, *od);
+
+    // Broadcast captures as a fill: it can open a chain, and an
+    // elided fill consumed on the right-hand side of a binary op
+    // folds into that op as a scalar immediate (fusion.scalar_folds)
+    // — no chain break, no materialized constant vector.
+    if (fusionCapturing()) {
+        PimFusedOp fop;
+        fop.cmd = PimCmdEnum::kBroadcast;
+        fop.dest = dest;
+        fop.pd = pd;
+        fop.sgn = od->isSigned();
+        fop.scalar = v;
+        fop.bits = od->bitsPerElement();
+        fop.dmask = od->elementMask();
+        fop.n = n;
+        fop.is_fill = true;
+        fop.profile = profile;
+        fop.key_id = key.id;
+        fop.trace_name = key.trace_name;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
 
     return issue({}, {dest}, [=, this](PimStatsDelta *delta) {
         PIM_TRACE_SCOPE_ARG(key.trace_name, "exec", n);
@@ -1130,6 +1188,8 @@ PimDevice::flushFusion()
             fusion_window_.plan();
         uint64_t fused_chains = 0;
         uint64_t fused_ops = 0;
+        uint64_t reduction_chains = 0;
+        uint64_t scalar_folds = 0;
         for (const PimFusionChain &chain : chains) {
             if (chain.size() == 1) {
                 runFusedOp(ops[chain.front().op]);
@@ -1137,16 +1197,23 @@ PimDevice::flushFusion()
             }
             ++fused_chains;
             fused_ops += chain.size();
+            if (ops[chain.back().op].is_reduce)
+                ++reduction_chains;
             for (const PimFusionStep &st : chain) {
                 if (st.elide_store)
                     elided.insert(ops[st.op].dest);
             }
-            executeFusedChain(ops, chain);
+            scalar_folds += executeFusedChain(ops, chain);
         }
         if (fused_chains > 0) {
             PIM_METRIC_COUNT("fusion.chains", fused_chains);
             PIM_METRIC_COUNT("fusion.ops_fused", fused_ops);
         }
+        if (reduction_chains > 0)
+            PIM_METRIC_COUNT("fusion.reduction_chains",
+                             reduction_chains);
+        if (scalar_folds > 0)
+            PIM_METRIC_COUNT("fusion.scalar_folds", scalar_folds);
         if (!elided.empty())
             PIM_METRIC_COUNT("fusion.temps_elided", elided.size());
     }
@@ -1168,6 +1235,48 @@ PimDevice::flushFusion()
 void
 PimDevice::runFusedOp(const PimFusedOp &op)
 {
+    if (op.is_reduce) {
+        // Singleton reduction: the chain planner found no producer to
+        // fuse with, so this is the unfused blocking path verbatim
+        // (full-object sums only reach the window).
+        issue(
+            {op.a}, {},
+            [op, this](PimStatsDelta *delta) {
+                PIM_TRACE_SCOPE_ARG(op.trace_name, "exec", op.n);
+                std::atomic<int64_t> total{0};
+                pool_.parallelForChunks(
+                    0, op.n, [&](size_t lo, size_t hi) {
+                        int64_t part = 0;
+                        if (op.sgn) {
+                            for (size_t i = lo; i < hi; ++i)
+                                part +=
+                                    alpuSignExtend(op.pa[i], op.bits);
+                        } else {
+                            for (size_t i = lo; i < hi; ++i)
+                                part += static_cast<int64_t>(op.pa[i]);
+                        }
+                        total.fetch_add(part,
+                                        std::memory_order_relaxed);
+                    });
+                *op.red_result =
+                    total.load(std::memory_order_relaxed);
+                commitCmd(delta, op.key_id,
+                          model_->costOp(op.profile));
+            },
+            /*blocking=*/true);
+        return;
+    }
+    if (op.is_fill) {
+        issue({}, {op.dest}, [op, this](PimStatsDelta *delta) {
+            PIM_TRACE_SCOPE_ARG(op.trace_name, "exec", op.n);
+            pool_.parallelForChunks(
+                0, op.n, [&op](size_t lo, size_t hi) {
+                    std::fill(op.pd + lo, op.pd + hi, op.scalar);
+                });
+            commitCmd(delta, op.key_id, model_->costOp(op.profile));
+        });
+        return;
+    }
     std::vector<PimObjId> reads{op.a};
     if (op.b >= 0)
         reads.push_back(op.b);
@@ -1188,7 +1297,7 @@ PimDevice::runFusedOp(const PimFusedOp &op)
     });
 }
 
-void
+size_t
 PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
                              const PimFusionChain &chain)
 {
@@ -1209,7 +1318,7 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
             reads.push_back(op.a);
         if (op.b >= 0 && elided.count(op.b) == 0)
             reads.push_back(op.b);
-        if (elided.count(op.dest) == 0)
+        if (op.dest >= 0 && elided.count(op.dest) == 0)
             writes.push_back(op.dest);
     }
     const auto dedupe = [](std::vector<PimObjId> &v) {
@@ -1231,19 +1340,38 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
     for (const PimFusionStep &st : chain)
         commits.push_back({ops[st.op].key_id, ops[st.op].profile});
 
+    // A reduction-terminated chain blocks like the unfused reduction:
+    // the scalar result goes back to the host. Per-chunk tape
+    // partials tree-combine through one atomic accumulator (wrapping
+    // addition is associative, so chunk order cannot change the
+    // result).
+    const bool has_reduce = ops[chain.back().op].is_reduce;
+    int64_t *red_result =
+        has_reduce ? ops[chain.back().op].red_result : nullptr;
+
     const char *trace_name = fusedTraceName(chain.size());
     const size_t n = tape.n;
+    const size_t folded = tape.folded_fills;
     issue(reads, writes,
           [=, this, tape = std::move(tape),
            commits = std::move(commits)](PimStatsDelta *delta) {
               PIM_TRACE_SCOPE_ARG(trace_name, "exec", n);
+              std::atomic<uint64_t> total{0};
               pool_.parallelForChunks(
-                  0, n, [&tape](size_t lo, size_t hi) {
-                      tape.run(lo, hi);
+                  0, n, [&tape, &total](size_t lo, size_t hi) {
+                      const uint64_t part = tape.run(lo, hi);
+                      if (part)
+                          total.fetch_add(part,
+                                          std::memory_order_relaxed);
                   });
+              if (red_result)
+                  *red_result = static_cast<int64_t>(
+                      total.load(std::memory_order_relaxed));
               for (const ChainCommit &c : commits)
                   commitCmd(delta, c.id, model_->costOp(c.profile));
-          });
+          },
+          /*blocking=*/has_reduce);
+    return folded;
 }
 
 } // namespace pimeval

@@ -174,6 +174,15 @@ class PimDevice
             body(static_cast<PimStatsDelta *>(nullptr));
             return PimStatus::PIM_OK;
         }
+        // Single-core bypass: an idle inline-when-idle pipeline runs
+        // the body right here in sync style (direct stats recording
+        // — same commit order, nothing is in flight), skipping the
+        // per-command closure/hazard/delta machinery.
+        if (pipeline_->beginInline()) {
+            body(static_cast<PimStatsDelta *>(nullptr));
+            pipeline_->endInline();
+            return PimStatus::PIM_OK;
+        }
         const uint64_t seq = pipeline_->enqueue(
             reads, writes,
             [b = std::forward<Body>(body)](PimStatsDelta &delta) mutable {
@@ -258,13 +267,17 @@ class PimDevice
     void flushFusion();
 
     /** Execute one window command through the normal issue path (a
-     *  singleton chain — identical to the unfused command). */
+     *  singleton chain — identical to the unfused command, including
+     *  singleton reductions and broadcast fills). */
     void runFusedOp(const PimFusedOp &op);
 
     /** Execute one multi-op chain as a single pipeline command that
-     *  commits every member's stats in issue order. */
-    void executeFusedChain(const std::vector<PimFusedOp> &ops,
-                           const PimFusionChain &chain);
+     *  commits every member's stats in issue order; blocks when the
+     *  chain ends in a reduction (the scalar result goes back to the
+     *  host). Returns the number of broadcast fills folded into
+     *  their consumers as scalar immediates. */
+    size_t executeFusedChain(const std::vector<PimFusedOp> &ops,
+                             const PimFusionChain &chain);
 
     PimDeviceConfig config_;
     uint32_t ctx_id_ = 1;

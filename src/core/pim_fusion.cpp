@@ -31,7 +31,14 @@ pimPlanFusionChains(const std::vector<PimFusionOpView> &ops,
         PimFusionChain chain{{i, false}};
         size_t tail = i;
         while (chain.size() < kMaxFusionChainLen && tail + 1 < n) {
+            // A reduction terminates its chain, and an op with no dest
+            // (dest == -1) can never be read: both guards matter, or a
+            // reduce/fill's -1 operands would spuriously "link".
+            if (ops[tail].is_reduce)
+                break;
             const PimObjId d = ops[tail].dest;
+            if (d < 0)
+                break;
             const PimFusionOpView &next = ops[tail + 1];
             if (next.a != d && next.b != d)
                 break;
@@ -96,7 +103,8 @@ PimFusionWindow::plan() const
     std::vector<PimFusionOpView> views;
     views.reserve(ops_.size());
     for (const PimFusedOp &op : ops_)
-        views.push_back({op.a, op.b, op.dest});
+        views.push_back(
+            {op.a, op.b, op.dest, op.is_reduce, op.is_fill});
     return pimPlanFusionChains(views, born_, freed_);
 }
 
@@ -120,6 +128,15 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
     PimObjId prev_dest = -1;
     for (size_t k = 0; k < chain.size(); ++k) {
         const PimFusedOp &op = ops[chain[k].op];
+        if (op.is_reduce) {
+            // Reduction terminator: no elementwise step — the tape
+            // accumulates the flowing value. The planner guarantees
+            // the reduce is the last chain member.
+            tape.has_reduce = true;
+            tape.red_sgn = op.sgn;
+            tape.red_bits = op.bits;
+            break;
+        }
         PimFusedTapeStep st;
         st.kern2 = op.kern2;
         st.kern1 = op.kern1;
@@ -136,24 +153,55 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
         st.bits = op.bits;
         st.mask = op.dmask;
         st.store = chain[k].elide_store ? nullptr : op.pd;
+        st.is_fill = op.is_fill;
+        st.op = op.op;
+        st.op_exact = op.op_exact;
+        st.sgn = op.sgn;
         tape.steps.push_back(st);
         prev_dest = op.dest;
     }
 
-    // Register fast paths for 2-/3-step tapes: only when every
-    // intermediate is elided (nothing to store mid-chain), every step
-    // is a plain binary/scalar op with one flowing operand, and the
-    // signedness is uniform (a compile-time parameter of the fused
-    // kernels).
+    // Scalar folding: an elided broadcast fill whose consumer is a
+    // plain binary op with the fill on the right-hand side collapses
+    // into the consumer as a scalar immediate — scalarChunk computes
+    // op(a[i], s) & mask, bit-identical to binaryChunk with b[i] == s
+    // for every i (op_exact excludes the negated-kernel kNE capture).
+    if (tape.steps.size() >= 2 && tape.steps[0].is_fill &&
+        tape.steps[0].store == nullptr) {
+        const PimFusedTapeStep &c = tape.steps[1];
+        if (c.kern2 && c.op_exact && c.b_is_prev && !c.a_is_prev) {
+            PimFusedTapeStep folded = c;
+            folded.kern2 = nullptr;
+            folded.kern1 = scalarChunkFor(c.op, c.sgn);
+            folded.scalar = tape.steps[0].scalar;
+            folded.b = nullptr;
+            folded.b_is_prev = false;
+            tape.steps.erase(tape.steps.begin());
+            tape.steps[0] = folded;
+            ++tape.folded_fills;
+        }
+    }
+
+    // Register fast paths: 2-/3-step elementwise tapes and 1-/2-step
+    // tapes terminated by a reduction. Only when every intermediate is
+    // elided (nothing to store mid-chain), every step is a plain
+    // binary/scalar op with one flowing operand, and the signedness is
+    // uniform (a compile-time parameter of the fused kernels). A
+    // reduction-terminated tape may keep its final store (the Store
+    // kernel variant); the reduction width/signedness must match the
+    // final step's, which type compatibility already guarantees.
     const size_t len = tape.steps.size();
-    if (len != 2 && len != 3)
+    if (tape.has_reduce) {
+        if (len != 1 && len != 2)
+            return tape;
+    } else if (len != 2 && len != 3) {
         return tape;
-    const bool sgn = ops[chain.front().op].sgn;
-    AlpuOp step_op[3];
+    }
+    const bool sgn = tape.steps[0].sgn;
+    AlpuOp step_op[3] = {AlpuOp::kAdd, AlpuOp::kAdd, AlpuOp::kAdd};
     for (size_t k = 0; k < len; ++k) {
-        const PimFusedOp &op = ops[chain[k].op];
         const PimFusedTapeStep &st = tape.steps[k];
-        if (op.kern_sa || !op.op_exact || op.sgn != sgn)
+        if (st.kern_sa || st.is_fill || !st.op_exact || st.sgn != sgn)
             return tape;
         if (k + 1 < len && st.store != nullptr)
             return tape; // materialized intermediate: tile path
@@ -161,12 +209,16 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
             return tape; // both operands flow: needs the register file
         if (k > 0 && !st.a_is_prev && !st.b_is_prev)
             return tape; // unreachable by construction, but be safe
-        step_op[k] = op.op;
+        step_op[k] = st.op;
     }
+    const PimFusedTapeStep &last = tape.steps[len - 1];
+    if (tape.has_reduce &&
+        (tape.red_sgn != sgn || tape.red_bits != last.bits))
+        return tape;
 
     Fused3Args args;
     args.a = tape.steps[0].a;
-    args.d = tape.steps[len - 1].store;
+    args.d = last.store;
     for (size_t k = 0; k < len; ++k) {
         const PimFusedTapeStep &st = tape.steps[k];
         args.bits[k] = st.bits;
@@ -186,7 +238,16 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
         }
     }
 
-    if (len == 2) {
+    if (tape.has_reduce) {
+        const bool store = last.store != nullptr;
+        if (len == 1) {
+            tape.fast_r1 = fusedRedChunk1For(
+                step_op[0], sgn, /*v0=*/args.o[0] != nullptr, store);
+        } else {
+            tape.fast_r2 =
+                fusedRedChunk2For(step_op[0], step_op[1], sgn, store);
+        }
+    } else if (len == 2) {
         tape.fast2 = fusedChunk2For(
             step_op[0], step_op[1], sgn,
             /*v0=*/args.o[0] != nullptr,
@@ -198,14 +259,14 @@ pimBuildFusedTape(const std::vector<PimFusedOp> &ops,
         tape.fast3 =
             fusedChunk3For(step_op[0], step_op[1], step_op[2], sgn);
     }
-    if (tape.fast2 || tape.fast3) {
+    if (tape.fast2 || tape.fast3 || tape.fast_r1 || tape.fast_r2) {
         tape.fast_args = args;
         tape.fast_dest = args.d;
     }
     return tape;
 }
 
-void
+uint64_t
 PimFusedTape::run(size_t lo, size_t hi) const
 {
     if (fast2) {
@@ -213,24 +274,37 @@ PimFusedTape::run(size_t lo, size_t hi) const
               fast_args.o[1], fast_args.s[1], fast_dest, lo, hi,
               fast_args.bits[0], fast_args.m[0], fast_args.bits[1],
               fast_args.m[1]);
-        return;
+        return 0;
     }
     if (fast3) {
         fast3(fast_args, lo, hi);
-        return;
+        return 0;
     }
+    if (fast_r1)
+        return fast_r1(fast_args.a, fast_args.o[0], fast_args.s[0],
+                       fast_dest, lo, hi, fast_args.bits[0],
+                       fast_args.m[0]);
+    if (fast_r2)
+        return fast_r2(fast_args, lo, hi);
 
     // Tile interpreter: evaluate the whole tape over one L1-resident
     // tile before moving on, so intermediates live in cache (or in
     // the stack tile when elided) instead of streaming through memory
-    // once per command.
+    // once per command. A reduction terminator accumulates the tile's
+    // flowing value while it is still cache-hot.
+    uint64_t part = 0;
     alignas(64) uint64_t tile[kFusionTileWords];
     for (size_t base = lo; base < hi; base += kFusionTileWords) {
         const size_t cnt = std::min(kFusionTileWords, hi - base);
         const uint64_t *prev = nullptr;
         for (const PimFusedTapeStep &st : steps) {
-            const uint64_t *a = st.a_is_prev ? prev : st.a + base;
             uint64_t *out = st.store ? st.store + base : tile;
+            if (st.is_fill) {
+                std::fill(out, out + cnt, st.scalar);
+                prev = out;
+                continue;
+            }
+            const uint64_t *a = st.a_is_prev ? prev : st.a + base;
             if (st.kern2) {
                 const uint64_t *b = st.b_is_prev ? prev : st.b + base;
                 st.kern2(a, b, out, 0, cnt, st.bits, st.mask);
@@ -243,7 +317,18 @@ PimFusedTape::run(size_t lo, size_t hi) const
             }
             prev = out;
         }
+        if (has_reduce) {
+            if (red_sgn) {
+                for (size_t i = 0; i < cnt; ++i)
+                    part += static_cast<uint64_t>(
+                        alpuSignExtend(prev[i], red_bits));
+            } else {
+                for (size_t i = 0; i < cnt; ++i)
+                    part += prev[i];
+            }
+        }
     }
+    return part;
 }
 
 } // namespace pimeval

@@ -67,6 +67,12 @@ struct PimFusionOpView
     PimObjId a = -1;
     PimObjId b = -1;
     PimObjId dest = -1;
+    /** Reduction terminator (pimRedSum): reads a, writes no object.
+     *  May only end a chain — nothing can consume its dest. */
+    bool is_reduce = false;
+    /** Broadcast fill (pimBroadcast*): writes dest, reads nothing.
+     *  May only start a chain. */
+    bool is_fill = false;
 };
 
 /** One tape step of a planned chain: window op index + whether its
@@ -85,10 +91,12 @@ using PimFusionChain = std::vector<PimFusionStep>;
  * Walks the window in issue order; command j+1 joins the open chain
  * when it reads the chain tail's dest (RAW link). Only adjacent
  * commands link — fusing across unrelated commands would reorder
- * per-command stats commits. A non-final step's dest store is elided
- * when the object was born in the window (@p born), freed in the
- * window (@p freed), written by no other window command, and read by
- * no window command except its immediate successor.
+ * per-command stats commits. A reduction (is_reduce) joins a chain as
+ * its terminator and never extends further; a fill (is_fill) reads
+ * nothing, so it can only open a chain. A non-final step's dest store
+ * is elided when the object was born in the window (@p born), freed in
+ * the window (@p freed), written by no other window command, and read
+ * by no window command except its immediate successor.
  *
  * Every window op appears in exactly one chain; unfusable neighbors
  * produce singleton chains (executed exactly like unfused commands).
@@ -127,6 +135,13 @@ struct PimFusedOp
     unsigned bits = 0;
     uint64_t dmask = 0;
     size_t n = 0; ///< raw words (one per element)
+    /** Reduction terminator (kRedSum over the full object): reads a,
+     *  writes *red_result instead of an object. */
+    bool is_reduce = false;
+    int64_t *red_result = nullptr;
+    /** Broadcast fill: writes @p scalar (pre-masked) to every element
+     *  of dest; reads nothing. */
+    bool is_fill = false;
     PimOpProfile profile;
     PimStatsMgr::CmdKeyId key_id = 0;
     const char *trace_name = nullptr;
@@ -150,6 +165,14 @@ struct PimFusedTapeStep
     unsigned bits = 0;
     uint64_t mask = 0;
     uint64_t *store = nullptr;
+    /** Fill step (all kernels null): write @p scalar to every element
+     *  of the output; the value then flows like any step result. */
+    bool is_fill = false;
+    /** Op metadata mirrored from the source PimFusedOp so fast-path
+     *  qualification can run on the lowered (post-folding) steps. */
+    AlpuOp op = AlpuOp::kAdd;
+    bool op_exact = true;
+    bool sgn = false;
 };
 
 /**
@@ -163,13 +186,32 @@ struct PimFusedTape
     std::vector<PimFusedTapeStep> steps;
     size_t n = 0;
 
-    /** Register fast paths (exclusive; tile path when both null). */
+    /** Reduction terminator: after the elementwise steps, the flowing
+     *  value is accumulated (wrapping int64, sign-extended to
+     *  red_bits when red_sgn) instead of — or in addition to — being
+     *  stored. run() returns the partial for its range; partials
+     *  combine across chunks by wrapping addition, which is
+     *  associative, so the total is bit-identical to a sequential
+     *  executeRedSum over the materialized intermediate. */
+    bool has_reduce = false;
+    bool red_sgn = false;
+    unsigned red_bits = 0;
+
+    /** Broadcast fills folded into their consumer as scalar
+     *  immediates during lowering (fusion.scalar_folds). */
+    unsigned folded_fills = 0;
+
+    /** Register fast paths (exclusive; tile path when all null). */
     Fused2Fn fast2 = nullptr;
     Fused3Fn fast3 = nullptr;
-    Fused3Args fast_args; ///< operand pack (fast2 uses slots 0-1)
+    FusedRed1Fn fast_r1 = nullptr; ///< 1 elementwise op + reduce
+    FusedRed2Fn fast_r2 = nullptr; ///< 2 elementwise ops + reduce
+    Fused3Args fast_args; ///< operand pack (2-op forms use slots 0-1)
     uint64_t *fast_dest = nullptr;
 
-    void run(size_t lo, size_t hi) const;
+    /** Evaluate [lo, hi); returns the reduction partial (wrapping
+     *  uint64 lane arithmetic; 0 when the tape has no reduction). */
+    uint64_t run(size_t lo, size_t hi) const;
 };
 
 /**

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "core/pim_metrics.h"
 #include "core/pim_trace.h"
@@ -38,6 +39,15 @@ PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers,
         // chains because intra-command kernels use the shared pool.
         num_workers = std::clamp<size_t>(hw, 2, 6);
     }
+    // On a single-core host a worker thread cannot overlap with the
+    // issuer — handing a hazard-free command to a worker only buys a
+    // context-switch round trip per command. Execute such commands
+    // inline at enqueue instead (see enqueue()). Overridable for
+    // tests via PIMEVAL_PIPELINE_INLINE=0/1.
+    if (const char *env = std::getenv("PIMEVAL_PIPELINE_INLINE"))
+        inline_when_idle_ = (*env != '0');
+    else
+        inline_when_idle_ = std::thread::hardware_concurrency() <= 1;
     const std::string prefix =
         name_prefix.empty() ? "pipeline-worker-" : name_prefix;
     workers_.reserve(num_workers);
@@ -109,9 +119,14 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
     std::unique_lock<std::mutex> lock(mutex_);
     if (next_seq_ - base_seq_ >= kMaxInFlight) {
         PIM_METRIC_COUNT("pipeline.backpressure", 1);
-        done_cv_.wait(lock, [&] {
-            return next_seq_ - base_seq_ < kMaxInFlight;
-        });
+        while (next_seq_ - base_seq_ >= kMaxInFlight) {
+            if (helpExecuteOne(lock))
+                continue;
+            done_cv_.wait(lock, [&] {
+                return next_seq_ - base_seq_ < kMaxInFlight ||
+                    !ready_.empty();
+            });
+        }
     }
 
     const uint64_t seq = next_seq_++;
@@ -194,6 +209,16 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
     PIM_METRIC_RECORD("pipeline.depth", next_seq_ - base_seq_);
     PIM_TRACE_INSTANT("pipeline.issue", "pipeline", seq);
     PIM_TRACE_COUNTER("pipeline.in_flight", next_seq_ - base_seq_);
+    // Single-core fast path: a hazard-free command with nothing else
+    // in flight IS the commit frontier — executing it here preserves
+    // in-order commit exactly and skips the worker wake/sleep round
+    // trip that dominates small-command dispatch on one core.
+    if (unmet == 0 && inline_when_idle_ &&
+        next_seq_ - base_seq_ == 1) {
+        PIM_METRIC_COUNT("pipeline.inline_exec", 1);
+        executeOne(seq, lock);
+        return seq;
+    }
     if (unmet == 0)
         markReady(seq);
     return seq;
@@ -203,10 +228,17 @@ void
 PimPipeline::waitSeq(uint64_t seq)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
+    for (;;) {
         const Command *cmd = command(seq);
-        return cmd == nullptr || cmd->executed;
-    });
+        if (cmd == nullptr || cmd->executed)
+            return;
+        if (helpExecuteOne(lock))
+            continue;
+        done_cv_.wait(lock, [&] {
+            const Command *c = command(seq);
+            return c == nullptr || c->executed || !ready_.empty();
+        });
+    }
 }
 
 void
@@ -222,14 +254,20 @@ PimPipeline::waitObject(PimObjId obj)
     std::vector<uint64_t> targets = it->second.readers;
     if (it->second.last_writer != ObjAccess::kNone)
         targets.push_back(it->second.last_writer);
-    done_cv_.wait(lock, [&] {
+    const auto pending = [&] {
         for (const uint64_t seq : targets) {
             const Command *cmd = command(seq);
             if (cmd && !cmd->executed)
-                return false;
+                return true;
         }
-        return true;
-    });
+        return false;
+    };
+    while (pending()) {
+        if (helpExecuteOne(lock))
+            continue;
+        done_cv_.wait(
+            lock, [&] { return !pending() || !ready_.empty(); });
+    }
     objects_.erase(obj);
 }
 
@@ -237,14 +275,26 @@ void
 PimPipeline::sync()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return base_seq_ == next_seq_; });
+    while (base_seq_ != next_seq_) {
+        if (helpExecuteOne(lock))
+            continue;
+        done_cv_.wait(lock, [&] {
+            return base_seq_ == next_seq_ || !ready_.empty();
+        });
+    }
 }
 
 void
 PimPipeline::drainAndRun(const std::function<void()> &fn)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return base_seq_ == next_seq_; });
+    while (base_seq_ != next_seq_) {
+        if (helpExecuteOne(lock))
+            continue;
+        done_cv_.wait(lock, [&] {
+            return base_seq_ == next_seq_ || !ready_.empty();
+        });
+    }
     // Still holding the mutex: enqueue and commitFrontier are
     // excluded, so fn observes (and may clear) a fully quiesced
     // statistics state.
@@ -258,6 +308,84 @@ PimPipeline::idle() const
     return base_seq_ == next_seq_;
 }
 
+bool
+PimPipeline::beginInline()
+{
+    if (!inline_when_idle_)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (base_seq_ != next_seq_)
+            return false;
+        // Reserve the sequence number so concurrent observers
+        // (idle(), another context's monitoring) see the command in
+        // flight. commands_ stays empty: command() reports the seq
+        // as retired, which is what waitSeq/waitObject need.
+        ++next_seq_;
+    }
+    PIM_METRIC_COUNT("pipeline.issued", 1);
+    PIM_METRIC_COUNT("pipeline.inline_exec", 1);
+    PIM_METRIC_RECORD("pipeline.depth", 1);
+    return true;
+}
+
+void
+PimPipeline::endInline()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++base_seq_;
+    }
+    PIM_METRIC_COUNT("pipeline.executed", 1);
+    PIM_METRIC_COUNT("pipeline.committed", 1);
+    done_cv_.notify_all();
+}
+
+void
+PimPipeline::executeOne(uint64_t seq,
+                        std::unique_lock<std::mutex> &lock)
+{
+    Command *cmd = command(seq);
+    lock.unlock();
+
+    {
+        PIM_TRACE_SCOPE_ARG("pipeline.execute", "pipeline", seq);
+        const auto exec_start = std::chrono::steady_clock::now();
+        cmd->fn(cmd->delta);
+        const auto exec_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - exec_start)
+                .count();
+        PIM_METRIC_COUNT("pipeline.exec_ns", exec_ns);
+        PIM_METRIC_COUNT("pipeline.executed", 1);
+    }
+    // Release the closure eagerly: H2D snapshots live in the
+    // bound arguments, and commit may lag behind execution.
+    cmd->fn = nullptr;
+
+    lock.lock();
+    cmd->executed = true;
+    for (const uint64_t dependent : cmd->dependents) {
+        Command *dep_cmd = command(dependent);
+        if (dep_cmd && --dep_cmd->unmet_deps == 0)
+            markReady(dependent);
+    }
+    commitFrontier();
+    done_cv_.notify_all();
+}
+
+bool
+PimPipeline::helpExecuteOne(std::unique_lock<std::mutex> &lock)
+{
+    if (ready_.empty())
+        return false;
+    const uint64_t seq = ready_.front();
+    ready_.pop_front();
+    executeOne(seq, lock);
+    PIM_METRIC_COUNT("pipeline.issuer_executed", 1);
+    return true;
+}
+
 void
 PimPipeline::workerLoop()
 {
@@ -269,34 +397,7 @@ PimPipeline::workerLoop()
             return;
         const uint64_t seq = ready_.front();
         ready_.pop_front();
-        Command *cmd = command(seq);
-        lock.unlock();
-
-        {
-            PIM_TRACE_SCOPE_ARG("pipeline.execute", "pipeline", seq);
-            const auto exec_start =
-                std::chrono::steady_clock::now();
-            cmd->fn(cmd->delta);
-            const auto exec_ns =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - exec_start)
-                    .count();
-            PIM_METRIC_COUNT("pipeline.exec_ns", exec_ns);
-            PIM_METRIC_COUNT("pipeline.executed", 1);
-        }
-        // Release the closure eagerly: H2D snapshots live in the
-        // bound arguments, and commit may lag behind execution.
-        cmd->fn = nullptr;
-
-        lock.lock();
-        cmd->executed = true;
-        for (const uint64_t dependent : cmd->dependents) {
-            Command *dep_cmd = command(dependent);
-            if (dep_cmd && --dep_cmd->unmet_deps == 0)
-                markReady(dependent);
-        }
-        commitFrontier();
-        done_cv_.notify_all();
+        executeOne(seq, lock);
     }
 }
 

@@ -29,7 +29,12 @@
  * Blocking points drain only the dependency cone they need:
  * waitSeq()/waitObject() wait for execution (not commit) of the
  * transitive dependencies of one command or object, while sync()
- * drains and commits everything.
+ * drains and commits everything. A blocked issuer does not sleep
+ * while ready commands exist: it executes them itself
+ * (helpExecuteOne), so on hosts with few cores a serialized
+ * dependency chain runs inline on the issuing thread — async
+ * dispatch stays at parity with synchronous execution instead of
+ * paying a worker wake/sleep round trip per command.
  */
 
 #ifndef PIMEVAL_CORE_PIM_PIPELINE_H_
@@ -85,7 +90,8 @@ struct PimStatsDelta
  *
  * Thread model: enqueue/wait/sync are called from the single issuing
  * (application) thread; command bodies run on the pipeline's worker
- * threads. A command body receives the command's PimStatsDelta and
+ * threads, or on the issuing thread itself while it is blocked in a
+ * wait (work-helping). A command body receives the command's PimStatsDelta and
  * must record all statistics there instead of touching the
  * PimStatsMgr directly.
  */
@@ -151,6 +157,26 @@ class PimPipeline
     /** True when no command is pending execution or commit. */
     bool idle() const;
 
+    /**
+     * Single-core issue bypass. When the pipeline is idle on an
+     * inline-when-idle host, an incoming command can have no hazards
+     * and would execute inline at enqueue anyway — but still pay for
+     * a Command allocation, a type-erased closure, hazard-map
+     * updates, and a stats delta. beginInline() detects that case
+     * and reserves the command's sequence number; the caller then
+     * runs the body directly in sync style (recording statistics
+     * straight into the stats manager — identical commit order, the
+     * pipeline is empty) and finishes with endInline(). Because the
+     * body runs before the issuing call returns, callers may also
+     * skip issue-time defensive copies (the H2D host-buffer
+     * snapshot). Returns false when the bypass does not apply; the
+     * caller must then enqueue normally. Issuing-thread only.
+     */
+    bool beginInline();
+
+    /** Close a beginInline() bypass: retire the reserved command. */
+    void endInline();
+
   private:
     struct Command
     {
@@ -181,6 +207,24 @@ class PimPipeline
     /** Mark ready and wake a worker; requires the pipeline mutex. */
     void markReady(uint64_t seq);
 
+    /**
+     * Issuer work-helping: pop one ready command and execute it on
+     * the calling thread (the mutex is dropped around the body and
+     * re-held on return). Returns false when the ready queue is
+     * empty. Called from the blocking paths (waitSeq, waitObject,
+     * sync, drainAndRun, enqueue backpressure) so a blocked issuer
+     * drains its own dependency cone instead of sleeping — on a
+     * single-core host this removes the worker wake/sleep ping-pong
+     * that made async dispatch slower than synchronous execution.
+     */
+    bool helpExecuteOne(std::unique_lock<std::mutex> &lock);
+
+    /** Execute command @p seq: drop the lock around the body, then
+     *  re-acquire it to mark executed, wake dependents, and commit
+     *  the executed frontier. Shared by workerLoop and
+     *  helpExecuteOne. */
+    void executeOne(uint64_t seq, std::unique_lock<std::mutex> &lock);
+
     /** Commit the executed prefix in issue order; requires the
      *  pipeline mutex. */
     void commitFrontier();
@@ -202,6 +246,10 @@ class PimPipeline
 
     std::vector<std::thread> workers_;
     bool stopping_ = false;
+
+    /** Execute hazard-free commands inline at enqueue when nothing
+     *  else is in flight (single-core hosts; see ctor). */
+    bool inline_when_idle_ = false;
 
     /** Backpressure: cap issued-but-unretired commands. */
     static constexpr size_t kMaxInFlight = 4096;

@@ -61,6 +61,26 @@ opView(PimObjId a, PimObjId d, PimObjId b = -1)
     return PimFusionOpView{a, b, d};
 }
 
+/** Reduction view: reads @p a, writes no object (dest stays -1). */
+PimFusionOpView
+reduceView(PimObjId a)
+{
+    PimFusionOpView view;
+    view.a = a;
+    view.is_reduce = true;
+    return view;
+}
+
+/** Broadcast-fill view: writes @p d, reads nothing. */
+PimFusionOpView
+fillView(PimObjId d)
+{
+    PimFusionOpView view;
+    view.dest = d;
+    view.is_fill = true;
+    return view;
+}
+
 TEST(FusionPlanner, LinearChainFusesWhole)
 {
     // 1 -> 2 -> 3 -> 4: each op reads the previous dest.
@@ -152,6 +172,71 @@ TEST(FusionPlanner, ChainLengthCapped)
     const auto chains = pimPlanFusionChains(ops, {}, {});
     ASSERT_GE(chains.size(), 2u);
     EXPECT_EQ(chains[0].size(), kMaxFusionChainLen);
+}
+
+TEST(FusionPlanner, ReductionTerminatesChain)
+{
+    // mul -> redSum fuses into one chain; the op after the reduce
+    // starts a fresh chain (a reduce can only end one).
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), reduceView(2), opView(1, 3), opView(3, 4)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 2u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    EXPECT_EQ(chains[0][1].op, 1u);
+    EXPECT_EQ(chains[1].size(), 2u);
+}
+
+TEST(FusionPlanner, ReduceInputTemporaryElided)
+{
+    // The reduce is the in-chain consumer of the dead product
+    // temporary, so its store elides: the fused sweep accumulates
+    // the product without ever materializing it.
+    const std::vector<PimFusionOpView> ops = {opView(1, 2, /*b=*/5),
+                                              reduceView(2)};
+    const auto chains = pimPlanFusionChains(ops, {2}, {2});
+    ASSERT_EQ(chains.size(), 1u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    EXPECT_TRUE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, NoSpuriousLinkThroughReduce)
+{
+    // Back-to-back reductions both have dest == -1: the second must
+    // not chain onto the first through the unset dest id.
+    const std::vector<PimFusionOpView> ops = {reduceView(1),
+                                              reduceView(2)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].size(), 1u);
+    EXPECT_EQ(chains[1].size(), 1u);
+}
+
+TEST(FusionPlanner, FillOpensChainButNeverContinuesOne)
+{
+    // A broadcast fill reads nothing: it can head a chain whose next
+    // op consumes the filled object, but it cannot extend a chain —
+    // even one whose dest it rewrites.
+    const std::vector<PimFusionOpView> ops = {
+        fillView(2), opView(1, 3, /*b=*/2), opView(1, 9), fillView(9)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 3u);
+    EXPECT_EQ(chains[0].size(), 2u);
+    EXPECT_EQ(chains[1].size(), 1u);
+    EXPECT_EQ(chains[2].size(), 1u);
+}
+
+TEST(FusionPlanner, FillMulReduceChainElidesBothTemporaries)
+{
+    // fill(c) -> mul(x, c, t) -> redSum(t) with c and t both dead:
+    // the whole chain collapses to a scalar-immediate sweep.
+    const std::vector<PimFusionOpView> ops = {
+        fillView(7), opView(1, 8, /*b=*/7), reduceView(8)};
+    const auto chains = pimPlanFusionChains(ops, {7, 8}, {7, 8});
+    ASSERT_EQ(chains.size(), 1u);
+    ASSERT_EQ(chains[0].size(), 3u);
+    EXPECT_TRUE(chains[0][0].elide_store);
+    EXPECT_TRUE(chains[0][1].elide_store);
 }
 
 // ---------------------------------------------------------------------
@@ -315,6 +400,159 @@ expectOutcomesIdentical(const RunOutcome &a, const RunOutcome &b)
     EXPECT_EQ(a.op_mix, b.op_mix);
 }
 
+/** Everything the reduction workload produces, for compare. */
+struct ReduceOutcome
+{
+    int64_t dot = 0;    ///< mul + redSum through a dead temporary
+    int64_t chain2 = 0; ///< 2-op chain ending in a kept-store reduce
+    int64_t folded = 0; ///< broadcast fill folded into the chain
+    int64_t plain = 0;  ///< bare full-object redSum
+    int64_t ranged = 0; ///< ranged redSum (always flush-and-execute)
+    std::vector<int> d; ///< kept store of the chain2 sweep
+    PimRunStats stats;
+    std::map<std::string, uint64_t> op_mix;
+};
+
+/**
+ * Reduction-terminated chains: a dot product through a dead
+ * temporary, a 2-op elementwise chain whose kept store feeds the
+ * reduce, a broadcast-scalar producer foldable to an immediate, a
+ * bare full-object redSum, and a ranged redSum. With @p fused_regions
+ * each group runs inside pimBeginFusion/pimEndFusion (reduction
+ * results are deferred until the region flushes); without, the same
+ * command sequence executes unfused.
+ */
+ReduceOutcome
+runReduceWorkload(uint64_t n, bool fused_regions)
+{
+    ReduceOutcome o;
+    Prng rng(23);
+    const std::vector<int> xs = rng.intVector(n, -1000, 1000);
+    const std::vector<int> ys = rng.intVector(n, -1000, 1000);
+
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId y = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    EXPECT_TRUE(x >= 0 && y >= 0 && d >= 0);
+    pimCopyHostToDevice(xs.data(), x);
+    pimCopyHostToDevice(ys.data(), y);
+    auto assoc = [&]() {
+        return pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    };
+    auto begin = [&]() {
+        if (fused_regions) {
+            EXPECT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+        }
+    };
+    auto end = [&]() {
+        if (fused_regions) {
+            EXPECT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+        }
+    };
+
+    // Dot product: the mul's dead temporary feeds the reduction, so
+    // the fused sweep never materializes the product vector.
+    begin();
+    {
+        const PimObjId t = assoc();
+        pimMul(x, y, t);
+        pimRedSum(t, &o.dot);
+        pimFree(t);
+    }
+    end();
+
+    // Two elementwise ops, then a reduce over the kept store d.
+    begin();
+    {
+        const PimObjId t = assoc();
+        pimMulScalar(x, t, 3);
+        pimSub(t, y, d);
+        pimRedSum(d, &o.chain2);
+        pimFree(t);
+    }
+    end();
+
+    // Broadcast-scalar producer: fused, the fill folds into the mul
+    // as a tape immediate and both temporaries stay dead.
+    begin();
+    {
+        const PimObjId c = assoc();
+        const PimObjId t = assoc();
+        pimBroadcastInt(c, 5);
+        pimMul(x, c, t);
+        pimRedSum(t, &o.folded);
+        pimFree(c);
+        pimFree(t);
+    }
+    end();
+
+    // Bare full-object reduce (singleton chain) and the ranged
+    // variant, which always flushes and executes directly.
+    begin();
+    pimRedSum(x, &o.plain);
+    end();
+    pimRedSumRanged(y, 3, n - 5, &o.ranged);
+
+    o.d.resize(n);
+    pimCopyDeviceToHost(d, o.d.data());
+    pimFree(x);
+    pimFree(y);
+    pimFree(d);
+
+    o.stats = pimGetStats();
+    o.op_mix = pimGetOpMix();
+    return o;
+}
+
+void
+expectReduceOutcomesIdentical(const ReduceOutcome &a,
+                              const ReduceOutcome &b)
+{
+    EXPECT_EQ(a.dot, b.dot);
+    EXPECT_EQ(a.chain2, b.chain2);
+    EXPECT_EQ(a.folded, b.folded);
+    EXPECT_EQ(a.plain, b.plain);
+    EXPECT_EQ(a.ranged, b.ranged);
+    EXPECT_EQ(a.d, b.d);
+    // Bit-identical modeled stats: fused reductions commit the same
+    // per-command costs in issue order as unfused execution.
+    EXPECT_EQ(a.stats.kernel_sec, b.stats.kernel_sec);
+    EXPECT_EQ(a.stats.kernel_j, b.stats.kernel_j);
+    EXPECT_EQ(a.stats.copy_sec, b.stats.copy_sec);
+    EXPECT_EQ(a.stats.copy_j, b.stats.copy_j);
+    EXPECT_EQ(a.stats.bytes_h2d, b.stats.bytes_h2d);
+    EXPECT_EQ(a.stats.bytes_d2h, b.stats.bytes_d2h);
+    EXPECT_EQ(a.stats.bytes_d2d, b.stats.bytes_d2d);
+    EXPECT_EQ(a.op_mix, b.op_mix);
+}
+
+/** Host reference for the reduction workload sums. */
+void
+expectReduceOutcomeCorrect(const ReduceOutcome &o, uint64_t n)
+{
+    Prng rng(23);
+    const std::vector<int> xs = rng.intVector(n, -1000, 1000);
+    const std::vector<int> ys = rng.intVector(n, -1000, 1000);
+    int64_t dot = 0, chain2 = 0, folded = 0, plain = 0, ranged = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        dot += static_cast<int64_t>(xs[i]) * ys[i];
+        chain2 += static_cast<int64_t>(xs[i]) * 3 - ys[i];
+        folded += static_cast<int64_t>(xs[i]) * 5;
+        plain += xs[i];
+        if (i >= 3 && i < n - 5)
+            ranged += ys[i];
+    }
+    EXPECT_EQ(o.dot, dot);
+    EXPECT_EQ(o.chain2, chain2);
+    EXPECT_EQ(o.folded, folded);
+    EXPECT_EQ(o.plain, plain);
+    EXPECT_EQ(o.ranged, ranged);
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(o.d[i], xs[i] * 3 - ys[i]) << "element " << i;
+    }
+}
+
 class FusionTest : public ::testing::TestWithParam<PimDeviceEnum>
 {
   protected:
@@ -372,6 +610,98 @@ TEST_P(FusionTest, FusedMatchesUnfusedBitIdenticalAsync)
     pimSetFusionEnabled(false);
 
     expectOutcomesIdentical(unfused_sync, fused_async);
+}
+
+TEST_P(FusionTest, ReductionFusedMatchesUnfusedBitIdenticalSync)
+{
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    // 2000 crosses the 1024-element fusion tile with a non-divisible
+    // 976-element tail; 1537 leaves a 513-element tail.
+    for (const uint64_t n : {uint64_t{2000}, uint64_t{1537}}) {
+        pimResetStats();
+        const ReduceOutcome unfused = runReduceWorkload(n, false);
+        pimResetStats();
+        const ReduceOutcome fused = runReduceWorkload(n, true);
+        expectReduceOutcomesIdentical(unfused, fused);
+        expectReduceOutcomeCorrect(fused, n);
+    }
+}
+
+TEST_P(FusionTest, ReductionFusedMatchesUnfusedBitIdenticalAsync)
+{
+    const uint64_t n = 2000;
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    pimResetStats();
+    const ReduceOutcome unfused_sync = runReduceWorkload(n, false);
+
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+              PimStatus::PIM_OK);
+    pimResetStats();
+    const ReduceOutcome fused_async = runReduceWorkload(n, true);
+    pimResetStats();
+    const ReduceOutcome unfused_async = runReduceWorkload(n, false);
+
+    expectReduceOutcomesIdentical(unfused_sync, fused_async);
+    expectReduceOutcomesIdentical(unfused_sync, unfused_async);
+    expectReduceOutcomeCorrect(fused_async, n);
+}
+
+TEST_P(FusionTest, RedSumImmediateUnderGlobalToggle)
+{
+    // Outside an explicit region the global toggle still defers
+    // nothing observable: a full-object redSum flushes its window
+    // right after capturing, so the result is valid on return.
+    const uint64_t n = 700;
+    const std::vector<int> xs(n, 4), ys(n, 9);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId y = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+    pimCopyHostToDevice(ys.data(), y);
+
+    pimSetFusionEnabled(true);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    int64_t sum = 0;
+    pimMul(x, y, t);
+    pimRedSum(t, &sum);
+    EXPECT_EQ(sum, static_cast<int64_t>(n) * 4 * 9);
+    pimFree(t);
+    pimSetFusionEnabled(false);
+
+    pimFree(x);
+    pimFree(y);
+}
+
+TEST_P(FusionTest, ReductionAndScalarFoldMetrics)
+{
+    const uint64_t n = 600;
+    const std::vector<int> xs(n, 2);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    pimResetMetrics();
+    int64_t sum = 0;
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    const PimObjId c = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimBroadcastInt(c, 5);
+    pimMul(x, c, t);
+    pimRedSum(t, &sum);
+    pimFree(c);
+    pimFree(t);
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+
+    EXPECT_EQ(sum, static_cast<int64_t>(n) * 2 * 5);
+    // One chain ended in a reduce; the broadcast folded to a tape
+    // immediate; both temporaries' stores elided.
+    EXPECT_GE(metric("fusion.reduction_chains"), 1.0);
+    EXPECT_GE(metric("fusion.scalar_folds"), 1.0);
+    EXPECT_GE(metric("fusion.temps_elided"), 2.0);
+
+    pimFree(x);
 }
 
 TEST_P(FusionTest, FusionRegionCapturesWithoutGlobalToggle)
@@ -612,6 +942,78 @@ TEST(BitSerialFused, ChainMatchesUnfusedAndSavesTransposes)
     // The row-wide compute is the same microprograms either way.
     EXPECT_EQ(fs.micro_ops, us.micro_ops);
     EXPECT_GT(fs.tiles, 0u);
+}
+
+TEST(BitSerialFused, RedSumMatchesHostSumOfUnfused)
+{
+    constexpr unsigned kBits = 16;
+    constexpr size_t kN = 1200; // 4 full 256-col tiles + a 176 tail
+    constexpr uint64_t kMask = (1ull << kBits) - 1;
+    Prng rng(9);
+    std::vector<uint64_t> x(kN), y(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        x[i] = rng.next() & kMask;
+        y[i] = rng.next() & kMask;
+    }
+
+    // value = (x * 3) + y, reduced in the subarray.
+    BitSerialFusedChain chain(kBits, /*tile_cols=*/256);
+    chain.addInput(x.data(), kN);
+    const int in_y = chain.addInput(y.data(), kN);
+    chain.addScalarStep(BitSerialFusedOpKind::kMulScalar, 3);
+    chain.addStep(BitSerialFusedOpKind::kAdd, in_y);
+
+    std::vector<uint64_t> unfused(kN, 0);
+    chain.runUnfused(unfused.data());
+
+    // Unsigned: wrapping sum of the kBits-wide chain values.
+    int64_t sum = 0;
+    const BitSerialFusedStats rs = chain.runRedSum(false, &sum);
+    uint64_t expect_u = 0;
+    for (const uint64_t v : unfused)
+        expect_u += v;
+    EXPECT_EQ(static_cast<uint64_t>(sum), expect_u);
+    // The reduction pops counts in place: inputs transpose in once
+    // per tile, nothing ever transposes out.
+    EXPECT_EQ(rs.elems_in, 2 * kN);
+    EXPECT_EQ(rs.elems_out, 0u);
+    EXPECT_GT(rs.tiles, 0u);
+
+    // Signed: the top bit-plane carries weight -2^(bits-1).
+    int64_t ssum = 0;
+    chain.runRedSum(true, &ssum);
+    int64_t expect_s = 0;
+    for (const uint64_t v : unfused) {
+        const int64_t sv = (v & (1ull << (kBits - 1)))
+            ? static_cast<int64_t>(v) - (1ll << kBits)
+            : static_cast<int64_t>(v);
+        expect_s += sv;
+    }
+    EXPECT_EQ(ssum, expect_s);
+}
+
+TEST(BitSerialFused, RedSumOfBareInput)
+{
+    // No compute steps: reduce input 0 directly. The short 44-column
+    // final tile must not pick up stale columns from the fuller
+    // previous tile (masked popcount tail).
+    constexpr unsigned kBits = 8;
+    constexpr size_t kN = 300; // tiles of 128: 128 + 128 + 44
+    std::vector<uint64_t> a(kN);
+    uint64_t expect = 0;
+    for (size_t i = 0; i < kN; ++i) {
+        a[i] = (7 * i + 3) & 0xff;
+        expect += a[i];
+    }
+    BitSerialFusedChain chain(kBits, 128);
+    chain.addInput(a.data(), kN);
+
+    int64_t sum = 0;
+    const BitSerialFusedStats rs = chain.runRedSum(false, &sum);
+    EXPECT_EQ(static_cast<uint64_t>(sum), expect);
+    EXPECT_EQ(rs.elems_in, kN);
+    EXPECT_EQ(rs.elems_out, 0u);
+    EXPECT_EQ(rs.tiles, 3u);
 }
 
 TEST(BitSerialFused, SingleBinaryStep)
