@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/perf_energy_model.h"
 #include "core/pim_api.h"
 #include "util/logging.h"
 #include "util/prng.h"
@@ -262,6 +263,46 @@ runCommand(benchmark::State &state, PimDeviceEnum device,
 }
 
 /**
+ * Cold-shape costCopy micro: every iteration costs a transfer size
+ * the model has never seen, so the cycle backend pays a fresh channel
+ * drain each time while the LUT answers from its calibrated table.
+ * This is the measured speedup behind making LUT the default (and the
+ * CI bench-regression gate: lut must be >= 10x cycle here).
+ */
+void
+runCostCopyCold(benchmark::State &state, PimMemBackend kind)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    config.num_ranks = 8;
+    config.num_channels = 2;
+    config.mem_backend = kind;
+    const auto model = PerfEnergyModel::create(config);
+    if (!model) {
+        state.SkipWithError("model creation failed");
+        return;
+    }
+    // First touch outside the timed loop: LUT calibration (one-time,
+    // process-wide) must not count against steady-state lookups.
+    benchmark::DoNotOptimize(
+        model->costCopy(PimCopyEnum::PIM_COPY_H2D, 64).runtime_sec);
+
+    uint64_t k = 0;
+    double acc = 0.0;
+    for (auto _ : state) {
+        // Distinct per-channel column count each iteration (wraps far
+        // beyond any plausible iteration count for the cycle model).
+        const uint64_t columns = 1000 + (k++ % 60000);
+        const uint64_t bytes = columns * 2 * 64; // 2 channels
+        acc += model->costCopy(PimCopyEnum::PIM_COPY_H2D, bytes)
+                   .runtime_sec;
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+/**
  * Console reporter that additionally captures every run so main() can
  * emit BENCH_SIM.json without depending on --benchmark_out plumbing
  * (which varies across google-benchmark versions).
@@ -355,6 +396,26 @@ registerAll()
                     runCommand(state, device, body);
                 });
         }
+    }
+    // Memory-backend costCopy micros (target "model": these time the
+    // perf model directly, not a simulated device).
+    const struct
+    {
+        const char *name;
+        PimMemBackend kind;
+    } backends[] = {
+        {"costcopy_cold_cycle", PimMemBackend::PIM_MEM_BACKEND_CYCLE},
+        {"costcopy_cold_lut", PimMemBackend::PIM_MEM_BACKEND_LUT},
+        {"costcopy_cold_analytical",
+         PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL},
+    };
+    for (const auto &backend : backends) {
+        const std::string name = std::string("sim_throughput/") +
+            backend.name + "/model";
+        benchmark::RegisterBenchmark(
+            name.c_str(), [kind = backend.kind](benchmark::State &s) {
+                runCostCopyCold(s, kind);
+            });
     }
 }
 

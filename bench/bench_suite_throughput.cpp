@@ -60,6 +60,7 @@
 #include "bench_common.h"
 #include "core/pim_context.h"
 #include "core/pim_error.h"
+#include "dram/mem_timing_backend.h"
 
 using namespace pimbench;
 
@@ -593,6 +594,102 @@ main()
         }
     }
 
+    // Memory-backend comparison pass: copy-heavy workloads once per
+    // timing backend (cycle / lut / analytical) on their own contexts.
+    // Records the modeled copy seconds per backend, the LUT's relative
+    // error against the cycle model, and the cycle pass's channel
+    // telemetry (utilization, row-hit rate) for BENCH_SUITE.json's
+    // "backend_metrics" block.
+    const char *const kBackendApps[] = {"Histogram",
+                                        "Image Downsampling",
+                                        "Radix Sort"};
+    struct BackendApp
+    {
+        std::string app;
+        double cycle_copy_sec = 0.0;
+        double lut_copy_sec = 0.0;
+        double analytical_copy_sec = 0.0;
+        double lut_rel_err = 0.0;
+        bool verified = true;
+    };
+    std::vector<BackendApp> backend_apps;
+    for (const char *app : kBackendApps)
+        backend_apps.push_back(BackendApp{app, 0, 0, 0, 0, true});
+
+    struct ChannelTelemetry
+    {
+        double util = 0.0;
+        double row_hit_rate = 0.0;
+        uint64_t requests = 0;
+        uint64_t row_hits = 0;
+        uint64_t row_misses = 0;
+        uint64_t activates = 0;
+    } channel_telemetry;
+    double lut_lookups = 0.0, lut_calibrations = 0.0;
+    double lut_calibration_ms = 0.0;
+    bool backend_ok = true;
+
+    const PimMemBackend kBackendKinds[] = {
+        PimMemBackend::PIM_MEM_BACKEND_CYCLE,
+        PimMemBackend::PIM_MEM_BACKEND_LUT,
+        PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL,
+    };
+    for (const PimMemBackend kind : kBackendKinds) {
+        pimeval::PimDeviceConfig config =
+            benchConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM, 32);
+        config.mem_backend = kind;
+        const PimContext ctx = pimCreateContextFromConfig(
+            config, pimMemBackendName(kind).c_str());
+        if (ctx == nullptr) {
+            backend_ok = false;
+            break;
+        }
+        pimeval::PimContextScope scope(ctx);
+        pimResetMetrics();
+        for (auto &row : backend_apps) {
+            const AppResult result = runBenchmarkByName(row.app, scale);
+            row.verified = row.verified && result.verified;
+            switch (kind) {
+              case PimMemBackend::PIM_MEM_BACKEND_CYCLE:
+                row.cycle_copy_sec = result.stats.copy_sec;
+                break;
+              case PimMemBackend::PIM_MEM_BACKEND_LUT:
+                row.lut_copy_sec = result.stats.copy_sec;
+                break;
+              default:
+                row.analytical_copy_sec = result.stats.copy_sec;
+                break;
+            }
+        }
+        if (kind == PimMemBackend::PIM_MEM_BACKEND_CYCLE) {
+            channel_telemetry.util = metricOr("dram.channel.util", 0.0);
+            channel_telemetry.row_hit_rate =
+                metricOr("dram.channel.row_hit_rate", 0.0);
+            channel_telemetry.requests = static_cast<uint64_t>(
+                metricOr("dram.channel.requests", 0.0));
+            channel_telemetry.row_hits = static_cast<uint64_t>(
+                metricOr("dram.channel.row_hits", 0.0));
+            channel_telemetry.row_misses = static_cast<uint64_t>(
+                metricOr("dram.channel.row_misses", 0.0));
+            channel_telemetry.activates = static_cast<uint64_t>(
+                metricOr("dram.channel.activates", 0.0));
+        } else if (kind == PimMemBackend::PIM_MEM_BACKEND_LUT) {
+            lut_lookups = metricOr("dram.lut.lookups", 0.0);
+            lut_calibrations = metricOr("dram.lut.calibrations", 0.0);
+            lut_calibration_ms =
+                metricOr("dram.lut.calibration_ms", 0.0);
+        }
+        pimDestroyContext(ctx);
+    }
+    double lut_max_rel_err = 0.0;
+    for (auto &row : backend_apps) {
+        if (row.cycle_copy_sec > 0.0)
+            row.lut_rel_err =
+                std::abs(row.lut_copy_sec - row.cycle_copy_sec) /
+                row.cycle_copy_sec;
+        lut_max_rel_err = std::max(lut_max_rel_err, row.lut_rel_err);
+    }
+
     bool sweep_match = sweep_ok, sweep_verified = sweep_ok;
     pimeval::TableWriter sweep_table(
         "Multi-target sweep: one context at a time vs three"
@@ -699,6 +796,31 @@ main()
                 std::thread::hardware_concurrency(),
                 sweep_match ? "identical" : "DIVERGED");
 
+    pimeval::TableWriter backend_table(
+        "Memory-timing backends: modeled copy seconds per app"
+        " (Fulcrum, 32 ranks)",
+        {"Application", "Cycle s", "LUT s", "Analytical s",
+         "LUT rel err"});
+    for (const auto &row : backend_apps) {
+        char cyc[32], lut[32], ana[32], err[32];
+        std::snprintf(cyc, sizeof cyc, "%.3e", row.cycle_copy_sec);
+        std::snprintf(lut, sizeof lut, "%.3e", row.lut_copy_sec);
+        std::snprintf(ana, sizeof ana, "%.3e",
+                      row.analytical_copy_sec);
+        std::snprintf(err, sizeof err, "%.4f%%",
+                      row.lut_rel_err * 100.0);
+        backend_table.addRow({row.app, cyc, lut, ana, err});
+    }
+    emitTable(backend_table);
+    std::printf("memory backends: LUT max rel err %.4f%% vs cycle; "
+                "cycle channel util %.1f%%, row-hit rate %.1f%%; "
+                "%.0f LUT lookups over %.0f calibration(s) "
+                "(%.1f ms)\n",
+                lut_max_rel_err * 100.0,
+                channel_telemetry.util * 100.0,
+                channel_telemetry.row_hit_rate * 100.0, lut_lookups,
+                lut_calibrations, lut_calibration_ms);
+
     std::ofstream json_out(json_path);
     if (!json_out) {
         std::cerr << "cannot open " << json_path << " for writing\n";
@@ -785,6 +907,38 @@ main()
                  << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
     json_out << "    ]\n  }";
+    json_out << ",\n  \"backend_metrics\": {\n"
+             << "    \"default_backend\": \""
+             << pimMemBackendName(
+                    pimeval::MemTimingBackend::resolve(
+                        PimMemBackend::PIM_MEM_BACKEND_DEFAULT, false))
+             << "\",\n"
+             << "    \"cycle_channel\": {\"utilization\": "
+             << channel_telemetry.util
+             << ", \"row_hit_rate\": " << channel_telemetry.row_hit_rate
+             << ", \"requests\": " << channel_telemetry.requests
+             << ", \"row_hits\": " << channel_telemetry.row_hits
+             << ", \"row_misses\": " << channel_telemetry.row_misses
+             << ", \"activates\": " << channel_telemetry.activates
+             << "},\n"
+             << "    \"lut\": {\"lookups\": " << lut_lookups
+             << ", \"calibrations\": " << lut_calibrations
+             << ", \"calibration_ms\": " << lut_calibration_ms
+             << ", \"max_rel_err\": " << lut_max_rel_err << "},\n"
+             << "    \"apps\": [\n";
+    for (size_t i = 0; i < backend_apps.size(); ++i) {
+        const BackendApp &row = backend_apps[i];
+        json_out << "      {\"app\": \"" << jsonEscape(row.app)
+                 << "\", \"cycle_copy_sec\": " << row.cycle_copy_sec
+                 << ", \"lut_copy_sec\": " << row.lut_copy_sec
+                 << ", \"analytical_copy_sec\": "
+                 << row.analytical_copy_sec
+                 << ", \"lut_rel_err\": " << row.lut_rel_err
+                 << ", \"verified\": "
+                 << (row.verified ? "true" : "false") << "}"
+                 << (i + 1 < backend_apps.size() ? "," : "") << "\n";
+    }
+    json_out << "    ]\n  }";
     json_out << ",\n  \"results\": [\n";
     bool first = true;
     for (const auto &row : rows) {
@@ -836,6 +990,14 @@ main()
                   << (!sweep_ok ? "setup failed"
                                 : "stats/verification mismatch between"
                                   " sequential and concurrent runs")
+                  << "\n";
+        return 1;
+    }
+    if (!backend_ok || lut_max_rel_err > 0.05) {
+        std::cerr << "memory-backend pass "
+                  << (!backend_ok
+                          ? "setup failed"
+                          : "LUT error above the 5% calibration gate")
                   << "\n";
         return 1;
     }

@@ -10,27 +10,42 @@
 #include "core/perf_energy_analog.h"
 #include "core/perf_energy_bitserial.h"
 #include "core/perf_energy_fulcrum.h"
+#include "core/pim_metrics.h"
 
 namespace pimeval {
 
 PerfEnergyModel::PerfEnergyModel(const PimDeviceConfig &config)
     : config_(config), power_(config)
 {
-    if (config_.use_dram_timing) {
-        const uint64_t channels = config_.num_channels
-            ? config_.num_channels
-            : config_.num_ranks; // paper's rank-per-channel view
-        const uint64_t ranks_per_channel =
-            std::max<uint64_t>(1,
-                               (config_.num_ranks + channels - 1) /
-                                   channels);
-        transfer_model_ = std::make_unique<TransferModel>(
-            DramTiming{}, static_cast<uint32_t>(channels),
-            static_cast<uint32_t>(ranks_per_channel),
-            // Physical banks visible on the channel: one chip rank's
-            // worth (16 banks of an x8 part).
-            16u,
-            static_cast<uint32_t>(config_.num_cols_per_row / 8));
+    MemTopology topology;
+    const uint64_t channels = config_.num_channels
+        ? config_.num_channels
+        : config_.num_ranks; // paper's rank-per-channel view
+    topology.num_channels =
+        static_cast<uint32_t>(std::max<uint64_t>(1, channels));
+    topology.ranks_per_channel = static_cast<uint32_t>(
+        std::max<uint64_t>(1, (config_.num_ranks + channels - 1) /
+                                  channels));
+    // Physical banks visible on the channel: one chip rank's worth
+    // (16 banks of an x8 part).
+    topology.banks_per_rank = 16u;
+    topology.row_bytes =
+        static_cast<uint32_t>(config_.num_cols_per_row / 8);
+    topology.addr_map = config_.addr_map;
+    topology.flat_bw_bytes_per_sec = config_.hostBandwidthBytesPerSec();
+    const PimMemBackend kind = MemTimingBackend::resolve(
+        config_.mem_backend, config_.use_dram_timing);
+    mem_backend_ = MemTimingBackend::create(kind, topology);
+    switch (kind) {
+      case PimMemBackend::PIM_MEM_BACKEND_CYCLE:
+        PIM_METRIC_COUNT("dram.backend.cycle", 1);
+        break;
+      case PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL:
+        PIM_METRIC_COUNT("dram.backend.analytical", 1);
+        break;
+      default:
+        PIM_METRIC_COUNT("dram.backend.lut", 1);
+        break;
     }
 }
 
@@ -41,14 +56,9 @@ PerfEnergyModel::costCopy(PimCopyEnum direction, uint64_t bytes) const
     switch (direction) {
       case PimCopyEnum::PIM_COPY_H2D:
       case PimCopyEnum::PIM_COPY_D2H: {
-        if (transfer_model_) {
-            const TransferResult result = transfer_model_->transfer(
-                bytes, direction == PimCopyEnum::PIM_COPY_H2D);
-            cost.runtime_sec = result.seconds;
-        } else {
-            const double bw = config_.hostBandwidthBytesPerSec();
-            cost.runtime_sec = static_cast<double>(bytes) / bw;
-        }
+        const TransferResult result = mem_backend_->transfer(
+            bytes, direction == PimCopyEnum::PIM_COPY_H2D);
+        cost.runtime_sec = result.seconds;
         cost.energy_j = power_.dataTransferEnergy(
             bytes, cost.runtime_sec,
             direction == PimCopyEnum::PIM_COPY_D2H);

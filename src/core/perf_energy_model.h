@@ -15,7 +15,7 @@
 
 #include "core/pim_params.h"
 #include "core/pim_types.h"
-#include "dram/transfer_model.h"
+#include "dram/mem_timing_backend.h"
 #include "energy/micron_power_model.h"
 
 namespace pimeval {
@@ -79,6 +79,11 @@ class PerfEnergyModel
     const PimDeviceConfig &config() const { return config_; }
     const MicronPowerModel &power() const { return power_; }
 
+    /** The memory-timing backend costing H2D/D2H transfers. */
+    const MemTimingBackend &memBackend() const { return *mem_backend_; }
+    /** Resolved backend kind (never DEFAULT). */
+    PimMemBackend memBackendKind() const { return mem_backend_->kind(); }
+
     /** Factory for the selected device type. */
     static std::unique_ptr<PerfEnergyModel>
     create(const PimDeviceConfig &config);
@@ -92,8 +97,9 @@ class PerfEnergyModel
 
     PimDeviceConfig config_;
     MicronPowerModel power_;
-    /** Cycle-level transfer timing (set when use_dram_timing). */
-    std::unique_ptr<TransferModel> transfer_model_;
+    /** Always-constructed memory-timing backend (resolved from
+     *  config/env; LUT by default). */
+    std::unique_ptr<MemTimingBackend> mem_backend_;
 };
 
 } // namespace pimeval

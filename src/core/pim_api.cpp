@@ -75,6 +75,15 @@ pimGetDeviceConfig()
     return PimSim::instance().device()->config();
 }
 
+PimMemBackend
+pimGetMemBackend()
+{
+    PimDevice *dev = PimSim::instance().device();
+    return dev && dev->model()
+        ? dev->model()->memBackendKind()
+        : PimMemBackend::PIM_MEM_BACKEND_DEFAULT;
+}
+
 PimStatus
 pimSetExecMode(PimExecEnum mode)
 {

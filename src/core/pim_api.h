@@ -51,6 +51,15 @@ bool pimIsDeviceActive();
 const pimeval::PimDeviceConfig &pimGetDeviceConfig();
 
 /**
+ * Resolved memory-timing backend of the active device (docs/
+ * PERFORMANCE.md): the implementation costing H2D/D2H transfers.
+ * Selection: PimDeviceConfig::mem_backend, else PIMEVAL_MEM_BACKEND
+ * (cycle|analytical|lut), else use_dram_timing implies CYCLE, else
+ * LUT. Returns PIM_MEM_BACKEND_DEFAULT when no device is active.
+ */
+PimMemBackend pimGetMemBackend();
+
+/**
  * Select the execution mode of the active device. PIM_EXEC_SYNC (the
  * default) runs every call to completion before returning. In
  * PIM_EXEC_ASYNC, non-blocking calls enqueue into the device command

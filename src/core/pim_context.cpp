@@ -63,3 +63,11 @@ pimContextDeviceType(PimContext ctx)
         ? ctx->device->config().device
         : PimDeviceEnum::PIM_DEVICE_NONE;
 }
+
+PimMemBackend
+pimContextMemBackend(PimContext ctx)
+{
+    return ctx && ctx->device && ctx->device->model()
+        ? ctx->device->model()->memBackendKind()
+        : PimMemBackend::PIM_MEM_BACKEND_DEFAULT;
+}

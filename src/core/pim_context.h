@@ -81,6 +81,11 @@ const char *pimContextLabel(PimContext ctx);
 /** Device type a context simulates (PIM_DEVICE_NONE for nullptr). */
 PimDeviceEnum pimContextDeviceType(PimContext ctx);
 
+/** Resolved memory-timing backend costing this context's H2D/D2H
+ *  transfers (never PIM_MEM_BACKEND_DEFAULT for a live context;
+ *  DEFAULT for nullptr / dead handles). */
+PimMemBackend pimContextMemBackend(PimContext ctx);
+
 namespace pimeval {
 
 /**

@@ -47,6 +47,9 @@ class PimDevice
 
     const PimDeviceConfig &config() const { return config_; }
 
+    /** The architecture's performance/energy model. */
+    const PerfEnergyModel *model() const { return model_.get(); }
+
     /** Owning context id (1 = process default). */
     uint32_t contextId() const { return ctx_id_; }
 

@@ -134,9 +134,24 @@ struct PimDeviceConfig
      * DRAMsim3-integration future work).
      */
     bool use_dram_timing = false;
-    /** Independent channels when use_dram_timing is set (0 = one
-     *  channel per rank, i.e., the paper's simplification). */
+    /** Independent channels for the cycle/LUT timing backends (0 =
+     *  one channel per rank, i.e., the paper's simplification). */
     uint64_t num_channels = 0;
+
+    /**
+     * Memory-timing backend for host<->device transfer costing
+     * (src/dram/mem_timing_backend.h). DEFAULT resolves at device
+     * creation: explicit value > PIMEVAL_MEM_BACKEND env >
+     * use_dram_timing (legacy alias for CYCLE) > LUT. The LUT fast
+     * path — calibrated from the cycle backend, O(1) per costCopy —
+     * is the simulator-wide default; ANALYTICAL restores the paper's
+     * flat bytes/bandwidth model exactly.
+     */
+    PimMemBackend mem_backend = PimMemBackend::PIM_MEM_BACKEND_DEFAULT;
+
+    /** Address-interleave order of the cycle-level transfer model
+     *  (and the LUT calibrated from it). */
+    PimAddrMap addr_map = PimAddrMap::PIM_ADDR_MAP_BANK_FIRST;
 
     /**
      * LISA inter-subarray links (Chang et al.): Fulcrum assumes

@@ -165,6 +165,36 @@ pimExecModeName(PimExecEnum mode)
 }
 
 std::string
+pimMemBackendName(PimMemBackend backend)
+{
+    switch (backend) {
+      case PimMemBackend::PIM_MEM_BACKEND_DEFAULT:
+        return "default";
+      case PimMemBackend::PIM_MEM_BACKEND_CYCLE:
+        return "cycle";
+      case PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL:
+        return "analytical";
+      case PimMemBackend::PIM_MEM_BACKEND_LUT:
+        return "lut";
+    }
+    return "unknown";
+}
+
+std::string
+pimAddrMapName(PimAddrMap map)
+{
+    switch (map) {
+      case PimAddrMap::PIM_ADDR_MAP_BANK_FIRST:
+        return "bank_first";
+      case PimAddrMap::PIM_ADDR_MAP_RANK_FIRST:
+        return "rank_first";
+      case PimAddrMap::PIM_ADDR_MAP_ROW_FIRST:
+        return "row_first";
+    }
+    return "unknown";
+}
+
+std::string
 pimCmdName(PimCmdEnum cmd)
 {
     return cmdInfo(cmd).name;

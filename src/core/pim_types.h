@@ -73,6 +73,49 @@ enum class PimCopyEnum {
 };
 
 /**
+ * Memory-timing backend costing host<->device transfers
+ * (PimDeviceConfig::mem_backend, PIMEVAL_MEM_BACKEND).
+ *
+ * DEFAULT resolves at device creation: an explicit config value wins,
+ * then the PIMEVAL_MEM_BACKEND environment variable
+ * (cycle|analytical|lut), then the legacy use_dram_timing flag (a
+ * compatibility alias for CYCLE), and finally LUT — the calibrated
+ * fast path is the simulator-wide default.
+ */
+enum class PimMemBackend {
+    PIM_MEM_BACKEND_DEFAULT = 0,
+    /** Cycle-stepped channel model ("DRAMsim3-lite"): per-bank state
+     *  machines, row-buffer policy, shared bus, rank-switch bubbles.
+     *  Exact but pays a full channel drain per uncached shape. */
+    PIM_MEM_BACKEND_CYCLE,
+    /** The paper's flat bytes/bandwidth model (Section V-C),
+     *  preserved for reproduction parity. */
+    PIM_MEM_BACKEND_ANALYTICAL,
+    /** Lookup table calibrated from the cycle backend once per
+     *  (timing, topology, mapping) tuple; O(1) lock-free reads,
+     *  within a few percent of CYCLE. */
+    PIM_MEM_BACKEND_LUT,
+};
+
+/**
+ * DRAM address-interleave order used by the cycle-level transfer
+ * model (and the LUT calibrated from it) when laying a sequential
+ * byte stream out as column accesses.
+ */
+enum class PimAddrMap {
+    /** Consecutive 64B blocks rotate across banks; rank switches at
+     *  row-group granularity (default; maximizes bank-level
+     *  parallelism, amortizes rank-switch bubbles). */
+    PIM_ADDR_MAP_BANK_FIRST = 0,
+    /** Consecutive blocks rotate across ranks first: exposes the
+     *  rank-to-rank data-bus switch penalty on every access. */
+    PIM_ADDR_MAP_RANK_FIRST,
+    /** Fill a whole row in one bank before advancing: maximal row
+     *  hits, but same-bank column timing bounds the stream. */
+    PIM_ADDR_MAP_ROW_FIRST,
+};
+
+/**
  * Execution mode of the active device (pimSetExecMode).
  *
  * In PIM_EXEC_SYNC every API call runs functional execution and
@@ -168,6 +211,13 @@ std::string pimDeviceName(PimDeviceEnum device);
 
 /** Execution mode name, e.g., "PIM_EXEC_ASYNC". */
 std::string pimExecModeName(PimExecEnum mode);
+
+/** Backend name as used by PIMEVAL_MEM_BACKEND: "cycle",
+ *  "analytical", "lut" ("default" for the unresolved sentinel). */
+std::string pimMemBackendName(PimMemBackend backend);
+
+/** Address-map name: "bank_first", "rank_first", "row_first". */
+std::string pimAddrMapName(PimAddrMap map);
 
 /** Command mnemonic, e.g., "add", "redsum". */
 std::string pimCmdName(PimCmdEnum cmd);

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * LUT backend implementation: calibration sweep, process-wide table
+ * cache, and the O(1) lock-free lookup path.
+ */
+
+#include "dram/mem_backend_lut.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pim_metrics.h"
+#include "dram/transfer_model.h"
+
+namespace pimeval {
+
+namespace {
+
+/** Cycle-model extrapolation cap: streams are simulated up to this
+ *  many columns and scaled linearly beyond (transfer_model.cpp). */
+constexpr uint64_t kCapColumns = 1ull << 16;
+
+/** One direction's calibrated curve. */
+struct DirectionTable
+{
+    /** seconds for exactly n columns, n in [0, kLutDenseColumns]. */
+    std::vector<double> dense_sec;
+    std::vector<double> dense_hit;
+    /** Log grid over [kLutDenseColumns, kCapColumns]: ln(columns),
+     *  ln(seconds), and the row-hit rate at each sample. */
+    std::vector<double> ln_n;
+    std::vector<double> ln_sec;
+    std::vector<double> hit;
+    std::vector<uint64_t> sample_n;
+};
+
+struct LutTable
+{
+    DirectionTable dir[2]; ///< [0]=read, [1]=write
+    double tck_ns = 0.0;
+};
+
+/** Column count of log-grid sample @p j (monotone in j). */
+uint64_t
+sampleColumns(size_t j)
+{
+    const double exact = static_cast<double>(kLutDenseColumns) *
+        std::exp2(static_cast<double>(j) /
+                  static_cast<double>(kLutSamplesPerOctave));
+    return static_cast<uint64_t>(std::llround(exact));
+}
+
+/** Number of log-grid samples covering [dense, cap] inclusive. */
+size_t
+numSamples()
+{
+    size_t j = 0;
+    while (sampleColumns(j) < kCapColumns)
+        ++j;
+    return j + 1;
+}
+
+/**
+ * Calibration key: every field the per-channel drain depends on. The
+ * channel count is deliberately excluded — transfers split bytes
+ * across channels and simulate one, so all channel counts share a
+ * table. Floats are rendered in hex so distinct timing sets never
+ * collide.
+ */
+std::string
+tableKey(const MemTopology &t)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%a|%u.%u.%u.%u.%u.%u.%u.%u.%u.%u.%u.%u.%u|r%u.b%u.w%u.m%d",
+        t.timing.tck_ns, t.timing.tRCD, t.timing.tRP, t.timing.tCL,
+        t.timing.tCWL, t.timing.tRAS, t.timing.tRC, t.timing.tBURST,
+        t.timing.tCCD, t.timing.tRRD, t.timing.tFAW, t.timing.tRTP,
+        t.timing.tWR, t.timing.tCS, t.ranks_per_channel,
+        t.banks_per_rank, t.row_bytes, static_cast<int>(t.addr_map));
+    return buf;
+}
+
+/** Run the calibration sweep on a single-channel cycle model. */
+std::unique_ptr<const LutTable>
+buildTable(const MemTopology &topology)
+{
+    const auto start = std::chrono::steady_clock::now();
+    // One channel: transfer(n * 64) then simulates exactly n columns
+    // (scale 1), the same per-channel stream the cycle backend drains
+    // for any channel count. Quiet: calibration traffic must not
+    // pollute the workload's dram.channel.* statistics.
+    TransferModel model(topology.timing, /*num_channels=*/1,
+                        topology.ranks_per_channel,
+                        topology.banks_per_rank, topology.row_bytes,
+                        topology.addr_map, /*quiet=*/true);
+
+    auto table = std::make_unique<LutTable>();
+    table->tck_ns = topology.timing.tck_ns;
+    const size_t samples = numSamples();
+    for (int w = 0; w < 2; ++w) {
+        DirectionTable &dir = table->dir[w];
+        dir.dense_sec.resize(kLutDenseColumns + 1, 0.0);
+        dir.dense_hit.resize(kLutDenseColumns + 1, 0.0);
+        for (uint64_t n = 1; n <= kLutDenseColumns; ++n) {
+            const TransferResult r = model.transfer(
+                n * DramTiming::kBytesPerColumn, w == 1);
+            dir.dense_sec[n] = r.seconds;
+            dir.dense_hit[n] = r.row_hit_rate;
+        }
+        dir.ln_n.reserve(samples);
+        dir.ln_sec.reserve(samples);
+        dir.hit.reserve(samples);
+        dir.sample_n.reserve(samples);
+        for (size_t j = 0; j < samples; ++j) {
+            const uint64_t n = std::min(sampleColumns(j), kCapColumns);
+            const TransferResult r = model.transfer(
+                n * DramTiming::kBytesPerColumn, w == 1);
+            dir.sample_n.push_back(n);
+            dir.ln_n.push_back(
+                std::log(static_cast<double>(n)));
+            dir.ln_sec.push_back(std::log(r.seconds));
+            dir.hit.push_back(r.row_hit_rate);
+        }
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    PIM_METRIC_COUNT("dram.lut.calibrations", 1);
+    PIM_METRIC_GAUGE("dram.lut.calibration_ms", ms);
+    return table;
+}
+
+/** Process-wide calibration cache. Entries live for the process
+ *  lifetime, so raw pointers handed to backends stay valid. */
+const LutTable &
+tableFor(const MemTopology &topology)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::unique_ptr<const LutTable>>
+        tables;
+    const std::string key = tableKey(topology);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = tables.find(key);
+    if (it == tables.end())
+        it = tables.emplace(key, buildTable(topology)).first;
+    return *it->second;
+}
+
+class LutMemBackend : public MemTimingBackend
+{
+  public:
+    explicit LutMemBackend(const MemTopology &topology)
+        : MemTimingBackend(topology)
+    {
+    }
+
+    PimMemBackend
+    kind() const override
+    {
+        return PimMemBackend::PIM_MEM_BACKEND_LUT;
+    }
+
+    TransferResult
+    transfer(uint64_t bytes, bool is_write) const override
+    {
+        PIM_METRIC_COUNT("dram.lut.lookups", 1);
+        // Mirror the cycle backend's shape math exactly: split across
+        // channels, then columns per channel.
+        const uint64_t per_channel =
+            (bytes + topology_.num_channels - 1) /
+            topology_.num_channels;
+        const uint64_t n =
+            (per_channel + DramTiming::kBytesPerColumn - 1) /
+            DramTiming::kBytesPerColumn;
+        if (n == 0)
+            return {};
+
+        const LutTable &table = acquireTable();
+        const DirectionTable &dir = table.dir[is_write ? 1 : 0];
+
+        double seconds = 0.0;
+        double hit = 0.0;
+        if (n <= kLutDenseColumns) {
+            // Dense region: exact (the cycle backend simulated this
+            // very column count during calibration).
+            seconds = dir.dense_sec[n];
+            hit = dir.dense_hit[n];
+        } else if (n >= kCapColumns) {
+            // Beyond the cap both backends extrapolate linearly from
+            // the same 64K-column drain.
+            const double cap_sec = dir.ln_sec.empty()
+                ? 0.0
+                : std::exp(dir.ln_sec.back());
+            seconds = cap_sec *
+                (static_cast<double>(n) /
+                 static_cast<double>(kCapColumns));
+            hit = dir.hit.empty() ? 0.0 : dir.hit.back();
+        } else {
+            // Log region: bracket n and interpolate in log-space.
+            const double ln_n = std::log(static_cast<double>(n));
+            size_t j = static_cast<size_t>(
+                std::log2(static_cast<double>(n) /
+                          static_cast<double>(kLutDenseColumns)) *
+                kLutSamplesPerOctave);
+            if (j >= dir.sample_n.size() - 1)
+                j = dir.sample_n.size() - 2;
+            // Float rounding can land one sample off; fix up.
+            while (j > 0 && dir.sample_n[j] > n)
+                --j;
+            while (j + 2 < dir.sample_n.size() &&
+                   dir.sample_n[j + 1] < n)
+                ++j;
+            const double t = (ln_n - dir.ln_n[j]) /
+                (dir.ln_n[j + 1] - dir.ln_n[j]);
+            seconds = std::exp(dir.ln_sec[j] +
+                               t * (dir.ln_sec[j + 1] -
+                                    dir.ln_sec[j]));
+            hit = dir.hit[j];
+        }
+
+        TransferResult result;
+        result.seconds = seconds;
+        result.achieved_gbps = seconds > 0
+            ? static_cast<double>(bytes) / seconds / 1e9
+            : 0.0;
+        result.row_hit_rate = hit;
+        result.total_cycles = static_cast<uint64_t>(
+            seconds / (table.tck_ns * 1e-9));
+        return result;
+    }
+
+  private:
+    /** Lock-free after the first call; the first call builds or
+     *  fetches the process-wide table for this topology tuple. */
+    const LutTable &
+    acquireTable() const
+    {
+        const LutTable *table =
+            table_.load(std::memory_order_acquire);
+        if (!table) {
+            table = &tableFor(topology_);
+            table_.store(table, std::memory_order_release);
+        }
+        return *table;
+    }
+
+    mutable std::atomic<const LutTable *> table_{nullptr};
+};
+
+} // namespace
+
+std::unique_ptr<MemTimingBackend>
+makeLutBackend(const MemTopology &topology)
+{
+    return std::make_unique<LutMemBackend>(topology);
+}
+
+} // namespace pimeval

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Calibrated lookup-table memory-timing backend (the default).
+ *
+ * Built once per (timing, topology-per-channel, mapping) tuple by
+ * sampling the cycle backend: every per-channel column count up to
+ * kDenseColumns is simulated exactly, then log-spaced samples
+ * (kSamplesPerOctave per octave) run up to the cycle model's 64K
+ * column extrapolation cap. Lookups are O(1) and lock-free after the
+ * first: dense sizes are exact, log-region sizes interpolate in
+ * log-space, and beyond-cap sizes extrapolate linearly exactly like
+ * the cycle backend itself. Tables are cached process-wide, keyed by
+ * the calibration tuple, so contexts sharing a configuration share
+ * one calibration.
+ */
+
+#ifndef PIMEVAL_DRAM_MEM_BACKEND_LUT_H_
+#define PIMEVAL_DRAM_MEM_BACKEND_LUT_H_
+
+#include <memory>
+
+#include "dram/mem_timing_backend.h"
+
+namespace pimeval {
+
+/** Largest per-channel column count sampled exactly. */
+inline constexpr uint64_t kLutDenseColumns = 256;
+/** Log-spaced samples per octave above the dense region. */
+inline constexpr unsigned kLutSamplesPerOctave = 8;
+
+/** Build a LUT backend over @p topology (calibration is lazy: the
+ *  table is built — or fetched from the process-wide cache — on the
+ *  first transfer). */
+std::unique_ptr<MemTimingBackend>
+makeLutBackend(const MemTopology &topology);
+
+} // namespace pimeval
+
+#endif // PIMEVAL_DRAM_MEM_BACKEND_LUT_H_

@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+
 #include "core/pim_api.h"
 #include "dram/dram_channel.h"
+#include "dram/mem_backend_lut.h"
+#include "dram/mem_timing_backend.h"
 #include "dram/transfer_model.h"
 #include "util/logging.h"
 
@@ -145,11 +150,12 @@ TEST(TransferModel, CopyCostIntegration)
     PimDeviceConfig flat;
     flat.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
     flat.num_ranks = 8;
+    flat.mem_backend = PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL;
     const auto flat_model = PerfEnergyModel::create(flat);
 
     // Cycle-timed: the same 8 ranks share 2 physical channels.
     PimDeviceConfig timed = flat;
-    timed.use_dram_timing = true;
+    timed.mem_backend = PimMemBackend::PIM_MEM_BACKEND_CYCLE;
     timed.num_channels = 2;
     const auto timed_model = PerfEnergyModel::create(timed);
 
@@ -164,4 +170,257 @@ TEST(TransferModel, CopyCostIntegration)
     // by roughly ranks/channels when streams are efficient.
     EXPECT_GT(timed_sec, 2.0 * flat_sec);
     EXPECT_LT(timed_sec, 8.0 * flat_sec);
+}
+
+namespace {
+
+MemTopology
+defaultTopology(uint32_t channels = 1)
+{
+    MemTopology topology;
+    topology.num_channels = channels;
+    return topology;
+}
+
+} // namespace
+
+TEST(TransferModel, ZeroAndSubColumnBytes)
+{
+    DramTiming timing;
+    TransferModel model(timing, 1, 1, 16, 1024);
+
+    const TransferResult zero = model.transfer(0, false);
+    EXPECT_EQ(zero.seconds, 0.0);
+    EXPECT_EQ(zero.achieved_gbps, 0.0);
+
+    // Anything up to one column costs exactly one column.
+    const TransferResult one_byte = model.transfer(1, false);
+    const TransferResult full_col =
+        model.transfer(DramTiming::kBytesPerColumn, false);
+    EXPECT_GT(one_byte.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(one_byte.seconds, full_col.seconds);
+}
+
+TEST(TransferModel, CacheHitKeepsFullResult)
+{
+    // Regression: the shape cache used to store only seconds, so a
+    // cache hit returned row_hit_rate == 0 while the first call
+    // reported the simulated rate.
+    DramTiming timing;
+    TransferModel model(timing, 1, 1, 16, 1024);
+    const uint64_t bytes = 8ull << 20;
+    const TransferResult miss = model.transfer(bytes, false);
+    const TransferResult hit = model.transfer(bytes, false);
+    EXPECT_DOUBLE_EQ(hit.seconds, miss.seconds);
+    EXPECT_DOUBLE_EQ(hit.row_hit_rate, miss.row_hit_rate);
+    EXPECT_EQ(hit.total_cycles, miss.total_cycles);
+    EXPECT_GT(hit.row_hit_rate, 0.5);
+
+    // Distinct byte counts sharing a column shape share the timing
+    // but report their own achieved bandwidth.
+    const TransferResult a = model.transfer(100, false);
+    const TransferResult b = model.transfer(128, false);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_LT(a.achieved_gbps, b.achieved_gbps);
+}
+
+TEST(TransferModel, ExtrapolationCapStraddle)
+{
+    // The cycle model simulates at most 64K columns (4 MiB) per
+    // channel and extrapolates linearly beyond. Sizes straddling the
+    // cap must stay monotone and scale linearly past it.
+    DramTiming timing;
+    TransferModel model(timing, 1, 1, 16, 1024);
+    const uint64_t cap_bytes = (1ull << 16) *
+        DramTiming::kBytesPerColumn;
+
+    const double below =
+        model.transfer(cap_bytes - DramTiming::kBytesPerColumn, false)
+            .seconds;
+    const double at = model.transfer(cap_bytes, false).seconds;
+    // Non-pow2 sizes straddling the cap.
+    const double above = model.transfer(cap_bytes + 12345, false).seconds;
+    const double triple = model.transfer(3 * cap_bytes + 777, false).seconds;
+    EXPECT_LE(below, at);
+    EXPECT_LE(at, above);
+    EXPECT_LT(above, triple);
+    // Linear extrapolation: doubling the columns doubles the time.
+    const double twice = model.transfer(2 * cap_bytes, false).seconds;
+    EXPECT_NEAR(twice / at, 2.0, 1e-9);
+}
+
+TEST(MemBackend, ResolutionPrecedence)
+{
+    // Preserve any suite-wide override (CI forces cycle this way).
+    const char *saved_env = std::getenv("PIMEVAL_MEM_BACKEND");
+    const std::string saved = saved_env ? saved_env : "";
+
+    // Explicit config wins over everything.
+    ::setenv("PIMEVAL_MEM_BACKEND", "analytical", 1);
+    EXPECT_EQ(MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_CYCLE, false),
+              PimMemBackend::PIM_MEM_BACKEND_CYCLE);
+    // Env wins over the legacy flag.
+    EXPECT_EQ(MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_DEFAULT, true),
+              PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL);
+    ::unsetenv("PIMEVAL_MEM_BACKEND");
+    // Legacy use_dram_timing aliases to CYCLE.
+    EXPECT_EQ(MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_DEFAULT, true),
+              PimMemBackend::PIM_MEM_BACKEND_CYCLE);
+    // Nothing configured: the LUT fast path.
+    EXPECT_EQ(MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_DEFAULT, false),
+              PimMemBackend::PIM_MEM_BACKEND_LUT);
+    // Unknown env values are ignored.
+    ::setenv("PIMEVAL_MEM_BACKEND", "bogus", 1);
+    EXPECT_EQ(MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_DEFAULT, false),
+              PimMemBackend::PIM_MEM_BACKEND_LUT);
+
+    if (saved_env)
+        ::setenv("PIMEVAL_MEM_BACKEND", saved.c_str(), 1);
+    else
+        ::unsetenv("PIMEVAL_MEM_BACKEND");
+}
+
+TEST(MemBackend, ApiReportsResolvedBackend)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+    EXPECT_EQ(pimGetMemBackend(),
+              PimMemBackend::PIM_MEM_BACKEND_DEFAULT); // no device
+
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    config.num_ranks = 2;
+    config.mem_backend = PimMemBackend::PIM_MEM_BACKEND_CYCLE;
+    ASSERT_EQ(pimCreateDeviceFromConfig(config), PimStatus::PIM_OK);
+    EXPECT_EQ(pimGetMemBackend(),
+              PimMemBackend::PIM_MEM_BACKEND_CYCLE);
+    pimDeleteDevice();
+
+    // Unconfigured: whatever resolution yields here (LUT unless the
+    // suite runs under a PIMEVAL_MEM_BACKEND override).
+    config.mem_backend = PimMemBackend::PIM_MEM_BACKEND_DEFAULT;
+    ASSERT_EQ(pimCreateDeviceFromConfig(config), PimStatus::PIM_OK);
+    EXPECT_EQ(pimGetMemBackend(),
+              MemTimingBackend::resolve(
+                  PimMemBackend::PIM_MEM_BACKEND_DEFAULT, false));
+    pimDeleteDevice();
+}
+
+TEST(MemBackend, AnalyticalMatchesFlatFormula)
+{
+    MemTopology topology = defaultTopology(4);
+    topology.flat_bw_bytes_per_sec = 4 * 25.6e9;
+    const auto backend = MemTimingBackend::create(
+        PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL, topology);
+    const uint64_t bytes = 1ull << 28;
+    EXPECT_DOUBLE_EQ(backend->transfer(bytes, true).seconds,
+                     static_cast<double>(bytes) / (4 * 25.6e9));
+    EXPECT_DOUBLE_EQ(backend->streamingBandwidth(), 4 * 25.6e9);
+    EXPECT_EQ(backend->transfer(0, false).seconds, 0.0);
+}
+
+TEST(MemBackend, LutExactInDenseRegion)
+{
+    // Dense per-channel column counts were simulated exactly during
+    // calibration, so the LUT reproduces the cycle backend
+    // bit-identically there.
+    const MemTopology topology = defaultTopology(2);
+    const auto cycle = MemTimingBackend::create(
+        PimMemBackend::PIM_MEM_BACKEND_CYCLE, topology);
+    const auto lut = MemTimingBackend::create(
+        PimMemBackend::PIM_MEM_BACKEND_LUT, topology);
+    for (uint64_t bytes : {0ull, 1ull, 64ull, 100ull, 4096ull,
+                           2 * kLutDenseColumns * 64ull}) {
+        for (bool write : {false, true}) {
+            EXPECT_DOUBLE_EQ(lut->transfer(bytes, write).seconds,
+                             cycle->transfer(bytes, write).seconds)
+                << bytes << (write ? " write" : " read");
+        }
+    }
+}
+
+TEST(MemBackend, AllBackendsMonotoneInBytes)
+{
+    const MemTopology topology = defaultTopology(2);
+    for (auto kind : {PimMemBackend::PIM_MEM_BACKEND_CYCLE,
+                      PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL,
+                      PimMemBackend::PIM_MEM_BACKEND_LUT}) {
+        const auto backend = MemTimingBackend::create(kind, topology);
+        double prev = 0.0;
+        for (uint64_t bytes = 64; bytes <= (1ull << 30);
+             bytes = bytes * 2 + 37) {
+            const double sec = backend->transfer(bytes, false).seconds;
+            EXPECT_GE(sec, prev) << pimMemBackendName(kind) << " at "
+                                 << bytes;
+            prev = sec;
+        }
+    }
+}
+
+TEST(MemBackend, LutWithinFivePercentOfCycleAcrossDevices)
+{
+    LogConfig::setThreshold(LogLevel::Error);
+    // The acceptance gate: across suite-representative transfer
+    // shapes on all three device targets, the calibrated LUT stays
+    // within 5% of the cycle model's runtime.
+    const uint64_t shapes[] = {
+        64,          1000,        4096,        65536,
+        100000,      1ull << 20,  3u * 1000 * 1000, 16ull << 20,
+        50000000ull, 256ull << 20};
+    for (auto device : {PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
+                        PimDeviceEnum::PIM_DEVICE_FULCRUM,
+                        PimDeviceEnum::PIM_DEVICE_BANK_LEVEL}) {
+        PimDeviceConfig config;
+        config.device = device;
+        config.num_ranks = 8;
+        config.num_channels = 2;
+        config.mem_backend = PimMemBackend::PIM_MEM_BACKEND_CYCLE;
+        const auto cycle_model = PerfEnergyModel::create(config);
+        config.mem_backend = PimMemBackend::PIM_MEM_BACKEND_LUT;
+        const auto lut_model = PerfEnergyModel::create(config);
+        ASSERT_TRUE(cycle_model && lut_model);
+        for (uint64_t bytes : shapes) {
+            for (auto dir : {PimCopyEnum::PIM_COPY_H2D,
+                             PimCopyEnum::PIM_COPY_D2H}) {
+                const double c =
+                    cycle_model->costCopy(dir, bytes).runtime_sec;
+                const double l =
+                    lut_model->costCopy(dir, bytes).runtime_sec;
+                ASSERT_GT(c, 0.0);
+                EXPECT_LE(std::abs(l - c) / c, 0.05)
+                    << pimDeviceName(device) << " " << bytes
+                    << " bytes";
+            }
+        }
+    }
+}
+
+TEST(MemBackend, AddressMapsShapeTheStream)
+{
+    DramTiming timing;
+    const uint64_t bytes = 16ull << 20;
+
+    TransferModel bank_first(timing, 1, 2, 16, 1024,
+                             PimAddrMap::PIM_ADDR_MAP_BANK_FIRST);
+    TransferModel rank_first(timing, 1, 2, 16, 1024,
+                             PimAddrMap::PIM_ADDR_MAP_RANK_FIRST);
+    TransferModel row_first(timing, 1, 2, 16, 1024,
+                            PimAddrMap::PIM_ADDR_MAP_ROW_FIRST);
+
+    const TransferResult bank = bank_first.transfer(bytes, false);
+    const TransferResult rank = rank_first.transfer(bytes, false);
+    const TransferResult row = row_first.transfer(bytes, false);
+
+    // Rotating ranks fastest pays the rank-switch bubble on nearly
+    // every access; the default bank-first order amortizes it.
+    EXPECT_GT(rank.seconds, bank.seconds);
+    // Filling whole rows maximizes row hits.
+    EXPECT_GE(row.row_hit_rate, bank.row_hit_rate);
+    EXPECT_GT(row.row_hit_rate, 0.9);
+    for (const TransferResult *r : {&bank, &rank, &row})
+        EXPECT_GT(r->seconds, 0.0);
 }

@@ -25,6 +25,9 @@ class ModelingScaleTest : public ::testing::Test
         PimDeviceConfig config;
         config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
         config.num_ranks = 4;
+        // CostsScaleUp asserts exact linear copy-time scaling, which
+        // only the flat analytical backend guarantees.
+        config.mem_backend = PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL;
         ASSERT_EQ(pimCreateDeviceFromConfig(config),
                   PimStatus::PIM_OK);
     }

@@ -182,10 +182,14 @@ TEST(PerfModelFig6, BankSensitivity)
 
 TEST(PerfModelCopy, BandwidthScalesWithRanks)
 {
-    const PimDeviceConfig one =
+    // Exact flat-bandwidth math: the paper's analytical backend.
+    PimDeviceConfig one =
         configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM, 1);
-    const PimDeviceConfig thirty_two =
+    one.mem_backend = PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL;
+    PimDeviceConfig thirty_two =
         configFor(PimDeviceEnum::PIM_DEVICE_FULCRUM, 32);
+    thirty_two.mem_backend =
+        PimMemBackend::PIM_MEM_BACKEND_ANALYTICAL;
     const auto m1 = PerfEnergyModel::create(one);
     const auto m32 = PerfEnergyModel::create(thirty_two);
 
