@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/suite.h"
+#include "core/pim_profile.h"
 #include "host/baseline_models.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
@@ -107,6 +108,48 @@ inline void
 quietLogs()
 {
     pimeval::LogConfig::setThreshold(pimeval::LogLevel::Warning);
+}
+
+/**
+ * Emit the profiler's phase tree as a JSON array (key included), for
+ * the benches' per-phase breakdowns. The tree is whatever the last
+ * profiling session recorded — typically armed via PIMEVAL_PROFILE —
+ * and is empty when the profiler never ran (or under
+ * -DPIMEVAL_TRACING=OFF, where the snapshot stub returns nothing).
+ * @p indent prefixes every line (the benches use two spaces).
+ */
+inline void
+emitProfilePhasesJson(std::ostream &os,
+                      const pimeval::PimProfileSnapshot &snap,
+                      const std::string &indent)
+{
+    os << indent << "\"profile_phases\": [";
+    for (size_t i = 0; i < snap.phases.size(); ++i) {
+        const pimeval::PimProfilePhase &p = snap.phases[i];
+        std::string escaped;
+        for (char c : p.name) {
+            if (c == '"' || c == '\\')
+                escaped.push_back('\\');
+            escaped.push_back(c);
+        }
+        os << (i ? "," : "") << "\n"
+           << indent << "  {\"name\": \"" << escaped
+           << "\", \"parent\": " << p.parent
+           << ", \"depth\": " << p.depth << ", \"count\": " << p.count
+           << ",\n"
+           << indent << "   \"host_ns\": {\"total\": "
+           << p.host_ns_total << ", \"p50\": " << p.host_ns_p50
+           << ", \"p90\": " << p.host_ns_p90
+           << ", \"p99\": " << p.host_ns_p99 << "},\n"
+           << indent << "   \"modeled_sec\": {\"compute\": "
+           << p.kernel_sec << ", \"dram_transfer\": " << p.copy_sec
+           << ", \"host\": " << p.host_sec
+           << ", \"total\": " << p.modeledSec() << "},\n"
+           << indent << "   \"bytes\": {\"h2d\": " << p.bytes_h2d
+           << ", \"d2h\": " << p.bytes_d2h
+           << ", \"d2d\": " << p.bytes_d2d << "}}";
+    }
+    os << (snap.phases.empty() ? "" : "\n" + indent) << "]";
 }
 
 /**

@@ -939,6 +939,12 @@ main()
                  << (i + 1 < backend_apps.size() ? "," : "") << "\n";
     }
     json_out << "    ]\n  }";
+    // Per-phase breakdown of the exec-mode passes, recorded when
+    // PIMEVAL_PROFILE armed the profiler for the main device session
+    // (each suite app is a top-level phase with setup/h2d/compute/d2h
+    // children). Empty when the profiler never ran.
+    json_out << ",\n";
+    emitProfilePhasesJson(json_out, pimProfileSnapshot(), "  ");
     json_out << ",\n  \"results\": [\n";
     bool first = true;
     for (const auto &row : rows) {

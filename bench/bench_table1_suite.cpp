@@ -4,6 +4,13 @@
  * patterns, execution types, and per-run verification status. Runs
  * every benchmark on the Fulcrum target to collect the measured
  * execution-type and access-pattern characteristics.
+ *
+ * When PIMEVAL_BENCH_TABLE1_JSON=<path> is set, the rows are also
+ * written as JSON together with the profiler's per-phase breakdown
+ * (each app is one top-level phase with setup/h2d/compute/d2h
+ * children). The bench arms the profiler itself for that run if
+ * PIMEVAL_PROFILE did not already, exporting PROFILE.json + HTML
+ * next to the JSON.
  */
 
 #include "bench_common.h"
@@ -17,6 +24,18 @@ struct SuiteRow
     const char *domain;
     const char *name;
 };
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
 
 const SuiteRow kRows[] = {
     {"Linear Algebra", "Vector Addition"},
@@ -47,19 +66,39 @@ main()
     quietLogs();
     printConfigBanner("Table I -- PIMbench Suite");
 
+    const char *json_env = std::getenv("PIMEVAL_BENCH_TABLE1_JSON");
+    const std::string json_path =
+        (json_env && *json_env) ? json_env : "";
+
     DeviceSession session(
         benchConfig(PimDeviceEnum::PIM_DEVICE_FULCRUM, 32));
     if (!session.ok())
         return 1;
+
+    // JSON mode wants the per-phase breakdown, so make sure the
+    // profiler records this run even without PIMEVAL_PROFILE.
+    bool own_profile = false;
+    if (!json_path.empty() && !pimProfileActive()) {
+        own_profile = pimProfileStart(
+                          (json_path + ".profile.json").c_str()) ==
+            PimStatus::PIM_OK;
+    }
 
     pimeval::TableWriter table(
         "Table I: PIMbench Suite (laptop-scale inputs)",
         {"Domain", "Application", "Sequential", "Random",
          "Execution Type", "H2D Bytes", "Verified"});
 
+    struct RowResult
+    {
+        const SuiteRow *row;
+        AppResult result;
+    };
+    std::vector<RowResult> results;
     for (const auto &row : kRows) {
-        const AppResult result =
-            runBenchmarkByName(row.name, SuiteScale::kSmall);
+        results.push_back(
+            {&row, runBenchmarkByName(row.name, SuiteScale::kSmall)});
+        const AppResult &result = results.back().result;
         table.addRow({
             row.domain,
             row.name,
@@ -75,5 +114,44 @@ main()
     std::cout << "\nNote: paper Table I input sizes (e.g., 2.0e9 "
                  "int32 for vector addition) are scaled to laptop "
                  "sizes here; see EXPERIMENTS.md.\n";
+
+    if (!json_path.empty()) {
+        // Snapshot before stopping: stop() freezes but retains the
+        // tree, and exports PROFILE.json + HTML for the run.
+        const pimeval::PimProfileSnapshot snap =
+            pimProfileSnapshot();
+        if (own_profile)
+            pimProfileStop();
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot open " << json_path
+                      << " for writing\n";
+            return 1;
+        }
+        out << "{\n  \"bench\": \"table1_suite\",\n"
+            << "  \"target\": \"fulcrum\",\n  \"results\": [\n";
+        for (size_t i = 0; i < results.size(); ++i) {
+            const AppResult &r = results[i].result;
+            out << "    {\"domain\": \""
+                << escapeJson(results[i].row->domain)
+                << "\", \"app\": \"" << escapeJson(r.name)
+                << "\", \"sequential\": "
+                << (r.features.sequential_access ? "true" : "false")
+                << ", \"random\": "
+                << (r.features.random_access ? "true" : "false")
+                << ", \"uses_host\": "
+                << (r.features.uses_host ? "true" : "false")
+                << ", \"bytes_h2d\": " << r.stats.bytes_h2d
+                << ", \"kernel_sec\": " << r.stats.kernel_sec
+                << ", \"copy_sec\": " << r.stats.copy_sec
+                << ", \"verified\": "
+                << (r.verified ? "true" : "false") << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n";
+        emitProfilePhasesJson(out, snap, "  ");
+        out << "\n}\n";
+        std::cout << "[json written: " << json_path << "]\n";
+    }
     return 0;
 }

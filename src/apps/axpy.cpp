@@ -5,6 +5,7 @@
 
 #include "apps/axpy.h"
 
+#include "core/pim_profile.h"
 #include "util/prng.h"
 
 namespace pimbench {
@@ -22,19 +23,31 @@ runAxpy(const AxpyParams &params)
     std::vector<int> y = rng.intVector(n, -10000, 10000);
     const std::vector<int> y_in = y;
 
+    pimProfileBegin("setup");
     const PimObjId obj_x =
         pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
                  PimDataType::PIM_INT32);
     const PimObjId obj_y =
         pimAllocAssociated(32, obj_x, PimDataType::PIM_INT32);
+    pimProfileEnd();
     if (obj_x < 0 || obj_y < 0)
         return result;
 
-    pimCopyHostToDevice(x.data(), obj_x);
-    pimCopyHostToDevice(y.data(), obj_y);
-    pimScaledAdd(obj_x, obj_y, obj_y,
-                 static_cast<uint64_t>(static_cast<int64_t>(params.scale)));
-    pimCopyDeviceToHost(obj_y, y.data());
+    {
+        PIM_PROFILE_SCOPE("h2d");
+        pimCopyHostToDevice(x.data(), obj_x);
+        pimCopyHostToDevice(y.data(), obj_y);
+    }
+    {
+        PIM_PROFILE_SCOPE("compute");
+        pimScaledAdd(
+            obj_x, obj_y, obj_y,
+            static_cast<uint64_t>(static_cast<int64_t>(params.scale)));
+    }
+    {
+        PIM_PROFILE_SCOPE("d2h");
+        pimCopyDeviceToHost(obj_y, y.data());
+    }
 
     pimFree(obj_x);
     pimFree(obj_y);

@@ -5,12 +5,14 @@
 
 #include "apps/gemv.h"
 
+#include "core/pim_profile.h"
 #include "util/prng.h"
 
 namespace pimbench {
 
 GemvWorkspace::GemvWorkspace(uint64_t m)
 {
+    PIM_PROFILE_SCOPE("setup");
     cols_[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
                         PimDataType::PIM_INT32);
     ok_ = cols_[0] >= 0;
@@ -41,17 +43,28 @@ pimGemvColumnSweep(GemvWorkspace &ws, const std::vector<int> &matrix,
     if (!ws.ok())
         return y;
 
-    pimBroadcastInt(ws.acc(), 0);
-    for (uint64_t j = 0; j < n; ++j) {
-        // Rotating staging buffers: the copy into column j targets a
-        // different object than the scaled-add still consuming column
-        // j-1, so the async pipeline overlaps them.
-        const PimObjId col = ws.column(j);
-        pimCopyHostToDevice(matrix.data() + j * m, col);
-        pimScaledAdd(col, ws.acc(), ws.acc(),
-                     static_cast<uint64_t>(static_cast<int64_t>(v[j])));
+    {
+        // One phase for the whole sweep: the per-column H2D staging
+        // is deliberately interleaved with the scaled-adds, and the
+        // profiler's modeled split shows its transfer share anyway.
+        PIM_PROFILE_SCOPE("compute");
+        pimBroadcastInt(ws.acc(), 0);
+        for (uint64_t j = 0; j < n; ++j) {
+            // Rotating staging buffers: the copy into column j
+            // targets a different object than the scaled-add still
+            // consuming column j-1, so the async pipeline overlaps
+            // them.
+            const PimObjId col = ws.column(j);
+            pimCopyHostToDevice(matrix.data() + j * m, col);
+            pimScaledAdd(
+                col, ws.acc(), ws.acc(),
+                static_cast<uint64_t>(static_cast<int64_t>(v[j])));
+        }
     }
-    pimCopyDeviceToHost(ws.acc(), y.data());
+    {
+        PIM_PROFILE_SCOPE("d2h");
+        pimCopyDeviceToHost(ws.acc(), y.data());
+    }
     return y;
 }
 

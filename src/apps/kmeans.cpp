@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "core/pim_profile.h"
 #include "util/prng.h"
 
 namespace pimbench {
@@ -80,6 +81,7 @@ runKmeans(const KmeansParams &params)
     }
     const std::vector<Centroid> initial = centroids;
 
+    pimProfileBegin("setup");
     const PimObjId obj_x =
         pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
                  PimDataType::PIM_INT32);
@@ -107,12 +109,17 @@ runKmeans(const KmeansParams &params)
         d = assoc();
         alloc_ok = alloc_ok && d >= 0;
     }
+    pimProfileEnd();
     if (!alloc_ok)
         return result;
 
-    pimCopyHostToDevice(xs.data(), obj_x);
-    pimCopyHostToDevice(ys.data(), obj_y);
+    {
+        PIM_PROFILE_SCOPE("h2d");
+        pimCopyHostToDevice(xs.data(), obj_x);
+        pimCopyHostToDevice(ys.data(), obj_y);
+    }
 
+    pimProfileBegin("compute");
     for (unsigned it = 0; it < params.iterations; ++it) {
         // Distances per centroid.
         for (unsigned c = 0; c < k; ++c) {
@@ -167,6 +174,7 @@ runKmeans(const KmeansParams &params)
             }
         }
     }
+    pimProfileEnd();
 
     pimFree(obj_x);
     pimFree(obj_y);

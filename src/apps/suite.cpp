@@ -5,6 +5,8 @@
 
 #include "apps/suite.h"
 
+#include "core/pim_profile.h"
+
 #include "apps/aes_app.h"
 #include "apps/apriori.h"
 #include "apps/axpy.h"
@@ -100,6 +102,9 @@ paperScale(const std::string &name)
 AppResult
 runBenchmarkByName(const std::string &name, SuiteScale scale)
 {
+    // Each suite app is one top-level profile phase; the per-app
+    // setup/h2d/compute/d2h phases nest under it.
+    PIM_PROFILE_SCOPE(name.c_str());
     if (scale == SuiteScale::kPaper) {
         const PaperScale ps = paperScale(name);
         pimSetModelingScale(ps.elem_ratio);

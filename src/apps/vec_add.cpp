@@ -5,6 +5,7 @@
 
 #include "apps/vec_add.h"
 
+#include "core/pim_profile.h"
 #include "util/prng.h"
 
 namespace pimbench {
@@ -22,6 +23,7 @@ runVecAdd(const VecAddParams &params)
     const std::vector<int> b = rng.intVector(n, -100000, 100000);
 
     // PIM execution (paper Listing 1 structure).
+    pimProfileBegin("setup");
     const PimObjId obj_a =
         pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
                  PimDataType::PIM_INT32);
@@ -29,15 +31,25 @@ runVecAdd(const VecAddParams &params)
         pimAllocAssociated(32, obj_a, PimDataType::PIM_INT32);
     const PimObjId obj_c =
         pimAllocAssociated(32, obj_a, PimDataType::PIM_INT32);
+    pimProfileEnd();
     if (obj_a < 0 || obj_b < 0 || obj_c < 0)
         return result;
 
-    pimCopyHostToDevice(a.data(), obj_a);
-    pimCopyHostToDevice(b.data(), obj_b);
-    pimAdd(obj_a, obj_b, obj_c);
+    {
+        PIM_PROFILE_SCOPE("h2d");
+        pimCopyHostToDevice(a.data(), obj_a);
+        pimCopyHostToDevice(b.data(), obj_b);
+    }
+    {
+        PIM_PROFILE_SCOPE("compute");
+        pimAdd(obj_a, obj_b, obj_c);
+    }
 
     std::vector<int> c(n);
-    pimCopyDeviceToHost(obj_c, c.data());
+    {
+        PIM_PROFILE_SCOPE("d2h");
+        pimCopyDeviceToHost(obj_c, c.data());
+    }
 
     pimFree(obj_a);
     pimFree(obj_b);

@@ -187,14 +187,18 @@ deviceToHostChunkForBits(unsigned bits)
 PimDevice::PimDevice(const PimDeviceConfig &config, uint32_t ctx_id,
                      const std::string &label)
     : config_(config), ctx_id_(ctx_id ? ctx_id : 1), label_(label),
-      resources_(config), model_(PerfEnergyModel::create(config)),
-      pool_(0)
+      metric_domain_(ctx_id_), resources_(config),
+      model_(PerfEnergyModel::create(config)),
+      pool_(0, [slot = metric_domain_.slot] {
+          PimMetrics::setThreadDomain(slot);
+      })
 {
     // The thread constructing the device is the issuing thread of the
     // pipeline threading model; label its trace track accordingly.
     // Concurrent contexts each name their own issuing thread.
     PimTracer::instance().setThreadName(
         label_.empty() ? "issue-thread" : label_ + ".issue");
+    PimMetrics::setThreadDomain(metric_domain_.slot);
     stats_.setTraceContext(ctx_id_);
     PimTracer::instance().registerContext(ctx_id_, label_);
     logInfo(strCat("Current Device = PIM_FUNCTIONAL, Simulation Target = ",
@@ -332,7 +336,8 @@ PimDevice::setExecMode(PimExecEnum mode)
         pipeline_ = std::make_unique<PimPipeline>(
             stats_, 0,
             label_.empty() ? std::string()
-                           : label_ + ".pipeline-worker-");
+                           : label_ + ".pipeline-worker-",
+            metric_domain_.slot);
 }
 
 void

@@ -28,9 +28,19 @@ PimStatsDelta::applyTo(PimStatsMgr &stats) const
         stats.addHostTime(host_measured_sec);
 }
 
+uint64_t
+PimPipeline::monoNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers,
-                         const std::string &name_prefix)
-    : stats_(stats)
+                         const std::string &name_prefix,
+                         int metric_domain)
+    : stats_(stats), metric_domain_(metric_domain)
 {
     if (num_workers == 0) {
         const size_t hw = std::thread::hardware_concurrency();
@@ -55,6 +65,7 @@ PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers,
         workers_.emplace_back([this, i, prefix] {
             PimTracer::instance().setThreadName(
                 prefix + std::to_string(i));
+            PimMetrics::setThreadDomain(metric_domain_);
             workerLoop();
         });
     }
@@ -92,6 +103,12 @@ PimPipeline::addDep(std::vector<uint64_t> &deps, uint64_t dep) const
 void
 PimPipeline::markReady(uint64_t seq)
 {
+    if (Command *cmd = command(seq)) {
+        cmd->ready_ns = monoNs();
+        if (cmd->stalled && cmd->ready_ns > cmd->enqueue_ns)
+            PIM_METRIC_RECORD("pipeline.hazard_stall_ns",
+                              cmd->ready_ns - cmd->enqueue_ns);
+    }
     ready_.push_back(seq);
     ready_cv_.notify_one();
 }
@@ -132,6 +149,7 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
     const uint64_t seq = next_seq_++;
     auto cmd = std::make_unique<Command>();
     cmd->fn = std::move(fn);
+    cmd->enqueue_ns = monoNs();
 
     // Hazard collection. In-place updates list the object in both
     // sets; the write rules subsume the read rules for those.
@@ -202,6 +220,7 @@ PimPipeline::enqueue(const std::vector<PimObjId> &reads,
         }
     }
     cmd->unmet_deps = unmet;
+    cmd->stalled = unmet != 0;
     if (unmet)
         PIM_METRIC_COUNT("pipeline.issued_stalled", 1);
     commands_.push_back(std::move(cmd));
@@ -275,6 +294,9 @@ void
 PimPipeline::sync()
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (base_seq_ == next_seq_)
+        return;
+    const uint64_t drain_start_ns = monoNs();
     while (base_seq_ != next_seq_) {
         if (helpExecuteOne(lock))
             continue;
@@ -282,12 +304,16 @@ PimPipeline::sync()
             return base_seq_ == next_seq_ || !ready_.empty();
         });
     }
+    PIM_METRIC_RECORD("pipeline.sync_drain_ns",
+                      monoNs() - drain_start_ns);
 }
 
 void
 PimPipeline::drainAndRun(const std::function<void()> &fn)
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    const bool had_pending = base_seq_ != next_seq_;
+    const uint64_t drain_start_ns = had_pending ? monoNs() : 0;
     while (base_seq_ != next_seq_) {
         if (helpExecuteOne(lock))
             continue;
@@ -295,6 +321,9 @@ PimPipeline::drainAndRun(const std::function<void()> &fn)
             return base_seq_ == next_seq_ || !ready_.empty();
         });
     }
+    if (had_pending)
+        PIM_METRIC_RECORD("pipeline.sync_drain_ns",
+                          monoNs() - drain_start_ns);
     // Still holding the mutex: enqueue and commitFrontier are
     // excluded, so fn observes (and may clear) a fully quiesced
     // statistics state.
@@ -350,13 +379,15 @@ PimPipeline::executeOne(uint64_t seq,
 
     {
         PIM_TRACE_SCOPE_ARG("pipeline.execute", "pipeline", seq);
-        const auto exec_start = std::chrono::steady_clock::now();
+        const uint64_t exec_start_ns = monoNs();
+        // ready_ns is 0 for inline-bypass commands (never queued).
+        if (cmd->ready_ns && exec_start_ns > cmd->ready_ns)
+            PIM_METRIC_RECORD("pipeline.queue_wait_ns",
+                              exec_start_ns - cmd->ready_ns);
         cmd->fn(cmd->delta);
-        const auto exec_ns =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - exec_start)
-                .count();
+        const uint64_t exec_ns = monoNs() - exec_start_ns;
         PIM_METRIC_COUNT("pipeline.exec_ns", exec_ns);
+        PIM_METRIC_RECORD("pipeline.cmd_exec_ns", exec_ns);
         PIM_METRIC_COUNT("pipeline.executed", 1);
     }
     // Release the closure eagerly: H2D snapshots live in the

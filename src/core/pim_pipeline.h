@@ -110,9 +110,14 @@ class PimPipeline
      *                    context's pipeline labels its workers so
      *                    concurrent contexts stay distinguishable in
      *                    the Chrome trace.
+     * @param metric_domain per-context metric-domain slot the worker
+     *                    threads bind to (-1 = aggregate only), so
+     *                    metrics recorded from command bodies land in
+     *                    the owning context's domain.
      */
     explicit PimPipeline(PimStatsMgr &stats, size_t num_workers = 0,
-                         const std::string &name_prefix = "");
+                         const std::string &name_prefix = "",
+                         int metric_domain = -1);
     ~PimPipeline();
 
     PimPipeline(const PimPipeline &) = delete;
@@ -186,6 +191,10 @@ class PimPipeline
         std::vector<uint64_t> dependents;
         uint32_t unmet_deps = 0;
         bool executed = false;
+        /** Latency stamps feeding the pipeline.* histograms. */
+        uint64_t enqueue_ns = 0;
+        uint64_t ready_ns = 0; ///< 0 while hazards are unresolved
+        bool stalled = false;  ///< issued with unmet dependencies
     };
 
     /** Hazard state of one object id. */
@@ -231,7 +240,11 @@ class PimPipeline
 
     void workerLoop();
 
+    /** Monotonic nanoseconds for the latency stamps. */
+    static uint64_t monoNs();
+
     PimStatsMgr &stats_;
+    int metric_domain_ = -1;
 
     mutable std::mutex mutex_;
     std::condition_variable ready_cv_; ///< workers: ready queue

@@ -17,6 +17,7 @@
 
 #include "core/pim_error.h"
 #include "core/pim_metrics.h"
+#include "core/pim_profile.h"
 #include "core/pim_trace.h"
 #include "util/logging.h"
 
@@ -84,6 +85,16 @@ PimSim::createDevice(const PimDeviceConfig &config)
         logInfo("tracing to " + env_trace_path_ +
                 " (PIMEVAL_TRACE)");
     }
+    // PIMEVAL_PROFILE=<path> arms the phase profiler the same way;
+    // PROFILE.json (+ sibling HTML) exports when the device is
+    // deleted.
+    if (const char *path = std::getenv("PIMEVAL_PROFILE");
+        path && *path && !PimProfiler::enabled()) {
+        env_profile_path_ = path;
+        PimProfiler::instance().start(env_profile_path_);
+        logInfo("profiling to " + env_profile_path_ +
+                " (PIMEVAL_PROFILE)");
+    }
 #endif
     return PimStatus::PIM_OK;
 }
@@ -99,6 +110,10 @@ PimSim::deleteDevice()
     if (status == PimStatus::PIM_OK && !env_trace_path_.empty()) {
         PimTracer::instance().end(env_trace_path_);
         env_trace_path_.clear();
+    }
+    if (status == PimStatus::PIM_OK && !env_profile_path_.empty()) {
+        PimProfiler::instance().stop(env_profile_path_);
+        env_profile_path_.clear();
     }
 #endif
     return status;
@@ -180,10 +195,26 @@ PimSim::device()
     // default second. A pinned context destroyed by another thread is
     // the caller's race to avoid (documented in pimDestroyContext);
     // destroyContext clears the destroying thread's own pin.
-    if (tls_current)
-        return tls_current->device.get();
-    PimContextRec *def = default_ctx_.load(std::memory_order_acquire);
-    return def ? def->device.get() : nullptr;
+    PimDevice *dev;
+    if (tls_current) {
+        dev = tls_current->device.get();
+    } else {
+        PimContextRec *def =
+            default_ctx_.load(std::memory_order_acquire);
+        dev = def ? def->device.get() : nullptr;
+    }
+    // Bind the calling thread to the resolved context's metric
+    // domain, re-binding only when the context changes (context ids
+    // are never reused, so equal pointer + equal id ⇒ same device).
+    static thread_local PimDevice *bound_dev = nullptr;
+    static thread_local uint32_t bound_ctx = 0;
+    const uint32_t ctx = dev ? dev->contextId() : 0;
+    if (dev != bound_dev || ctx != bound_ctx) {
+        PimMetrics::setThreadDomain(dev ? dev->metricDomain() : -1);
+        bound_dev = dev;
+        bound_ctx = ctx;
+    }
+    return dev;
 }
 
 size_t
@@ -191,6 +222,17 @@ PimSim::numContexts()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return contexts_.size();
+}
+
+std::vector<std::pair<uint32_t, std::string>>
+PimSim::listContexts()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<uint32_t, std::string>> out;
+    out.reserve(contexts_.size());
+    for (const auto &rec : contexts_)
+        out.emplace_back(rec->id, rec->label);
+    return out;
 }
 
 } // namespace pimeval

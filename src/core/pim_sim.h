@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pim_device.h"
@@ -115,6 +116,10 @@ class PimSim
     /** Live context count (for tests and reports). */
     size_t numContexts();
 
+    /** (id, label) of every live context, for reports (the profiler
+     *  exports each context's metric domain under these). */
+    std::vector<std::pair<uint32_t, std::string>> listContexts();
+
   private:
     PimSim() = default;
 
@@ -135,6 +140,9 @@ class PimSim
 
     /** Export path when tracing was armed via PIMEVAL_TRACE. */
     std::string env_trace_path_;
+
+    /** Export path when profiling was armed via PIMEVAL_PROFILE. */
+    std::string env_profile_path_;
 };
 
 } // namespace pimeval

@@ -7,6 +7,8 @@
 
 #include "core/pim_trace.h"
 
+#include "core/pim_json.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -433,242 +435,9 @@ PimTracer::exportCsv(const std::string &path) const
 }
 
 // ---------------------------------------------------------------------------
-// Trace validation: a minimal JSON reader, enough to parse back what
-// exportJson writes and check the Chrome trace-event schema.
+// Trace validation: parse back what exportJson writes (shared reader
+// in core/pim_json.h) and check the Chrome trace-event schema.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/** Tiny JSON DOM (objects keep only what validation needs). */
-struct JsonValue
-{
-    enum class Kind {
-        kNull,
-        kBool,
-        kNumber,
-        kString,
-        kArray,
-        kObject
-    };
-    Kind kind = Kind::kNull;
-    double number = 0.0;
-    bool boolean = false;
-    std::string str;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &text, std::string *error)
-        : text_(text), error_(error)
-    {
-    }
-
-    bool parse(JsonValue *out)
-    {
-        skipWs();
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        if (pos_ != text_.size())
-            return fail("trailing characters after JSON value");
-        return true;
-    }
-
-  private:
-    bool fail(const std::string &msg)
-    {
-        if (error_ && error_->empty())
-            *error_ = msg + " (offset " + std::to_string(pos_) + ")";
-        return false;
-    }
-
-    void skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool parseValue(JsonValue *out)
-    {
-        if (pos_ >= text_.size())
-            return fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out->kind = JsonValue::Kind::kString;
-            return parseString(&out->str);
-        }
-        if (c == 't' || c == 'f') {
-            const char *word = c == 't' ? "true" : "false";
-            const size_t len = c == 't' ? 4 : 5;
-            if (text_.compare(pos_, len, word) != 0)
-                return fail("bad literal");
-            out->kind = JsonValue::Kind::kBool;
-            out->boolean = c == 't';
-            pos_ += len;
-            return true;
-        }
-        if (c == 'n') {
-            if (text_.compare(pos_, 4, "null") != 0)
-                return fail("bad literal");
-            out->kind = JsonValue::Kind::kNull;
-            pos_ += 4;
-            return true;
-        }
-        return parseNumber(out);
-    }
-
-    bool parseString(std::string *out)
-    {
-        ++pos_; // opening quote
-        out->clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return fail("bad escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': *out += '"'; break;
-                  case '\\': *out += '\\'; break;
-                  case '/': *out += '/'; break;
-                  case 'n': *out += '\n'; break;
-                  case 't': *out += '\t'; break;
-                  case 'r': *out += '\r'; break;
-                  case 'b': *out += '\b'; break;
-                  case 'f': *out += '\f'; break;
-                  case 'u':
-                    if (pos_ + 4 > text_.size())
-                        return fail("bad \\u escape");
-                    // Validation only: keep the raw escape text.
-                    *out += "\\u" + text_.substr(pos_, 4);
-                    pos_ += 4;
-                    break;
-                  default:
-                    return fail("bad escape");
-                }
-            } else {
-                *out += c;
-            }
-        }
-        return fail("unterminated string");
-    }
-
-    bool parseNumber(JsonValue *out)
-    {
-        const size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(
-                    static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start)
-            return fail("expected a JSON value");
-        try {
-            out->number = std::stod(text_.substr(start, pos_ - start));
-        } catch (...) {
-            return fail("bad number");
-        }
-        out->kind = JsonValue::Kind::kNumber;
-        return true;
-    }
-
-    bool parseArray(JsonValue *out)
-    {
-        out->kind = JsonValue::Kind::kArray;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            JsonValue elem;
-            skipWs();
-            if (!parseValue(&elem))
-                return false;
-            out->array.push_back(std::move(elem));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated array");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool parseObject(JsonValue *out)
-    {
-        out->kind = JsonValue::Kind::kObject;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected object key");
-            std::string key;
-            if (!parseString(&key))
-                return false;
-            skipWs();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return fail("expected ':'");
-            ++pos_;
-            skipWs();
-            JsonValue value;
-            if (!parseValue(&value))
-                return false;
-            out->object.emplace_back(std::move(key),
-                                     std::move(value));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated object");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    const std::string &text_;
-    std::string *error_;
-    size_t pos_ = 0;
-};
-
-} // namespace
 
 bool
 pimValidateChromeTraceFile(const std::string &path, size_t *num_events,

@@ -18,7 +18,9 @@ thread_local const ThreadPool *tls_worker_pool = nullptr;
 
 } // namespace
 
-ThreadPool::ThreadPool(size_t num_threads)
+ThreadPool::ThreadPool(size_t num_threads,
+                       std::function<void()> thread_init)
+    : thread_init_(std::move(thread_init))
 {
     size_t n = num_threads;
     if (n == 0) {
@@ -62,6 +64,8 @@ void
 ThreadPool::workerLoop()
 {
     tls_worker_pool = this;
+    if (thread_init_)
+        thread_init_();
     for (;;) {
         std::function<void()> task;
         {

@@ -48,8 +48,13 @@ class ThreadPool
      * Create a pool.
      * @param num_threads Worker count; 0 means hardware_concurrency - 1
      *                    (minimum 1).
+     * @param thread_init Optional hook each worker runs once at
+     *                    startup, before taking tasks — used to bind
+     *                    thread-local state such as the per-context
+     *                    metric domain.
      */
-    explicit ThreadPool(size_t num_threads = 0);
+    explicit ThreadPool(size_t num_threads = 0,
+                        std::function<void()> thread_init = nullptr);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -174,6 +179,7 @@ class ThreadPool
     size_t max_chunks_ = 4;
 
     std::vector<std::thread> workers_;
+    std::function<void()> thread_init_;
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;
     std::condition_variable cv_;
