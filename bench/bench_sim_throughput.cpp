@@ -157,6 +157,61 @@ dotChain(const Operands &o)
     benchmark::DoNotOptimize(sum);
 }
 
+/** One pseudo-random host "matrix column" shared by the GEMV/GEMM
+ *  chain micros (the copy payload, not the values, is what's timed). */
+const std::vector<int32_t> &
+hostColumn()
+{
+    static const std::vector<int32_t> column = [] {
+        std::vector<int32_t> v(kNumElements);
+        Prng rng(7);
+        for (auto &x : v)
+            x = static_cast<int32_t>(rng.next());
+        return v;
+    }();
+    return column;
+}
+
+/** GEMV column sweep: per column a full-object H2D copy into one
+ *  staging buffer feeding a scaled-add accumulation. Unfused, every
+ *  copy is a flush barrier; fused, the copies become tape loads, the
+ *  staging stores are WAW-elided, and the window runs as one sweep.
+ *  Column snapshots are captured at issue and all live until the
+ *  window flushes, so the sweep width bounds the snapshot working
+ *  set (cols x 4 MiB here) — size it to stay LLC-resident or the
+ *  tape re-reads every snapshot from DRAM. */
+void
+gemvChain(const Operands &o, unsigned cols)
+{
+    const PimObjId col =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    pimBroadcastInt(o.d, 0);
+    for (unsigned j = 0; j < cols; ++j) {
+        pimCopyHostToDevice(hostColumn().data(), col);
+        pimScaledAdd(col, o.d, o.d, j + 1);
+    }
+    pimFree(col);
+    pimSync();
+}
+
+/** GEMM as batched GEMV: two output-column sweeps back to back over
+ *  the shared staging buffer (the apps' batched formulation). */
+void
+gemmChain(const Operands &o)
+{
+    const PimObjId col =
+        pimAllocAssociated(32, o.a, PimDataType::PIM_INT32);
+    for (unsigned jc = 0; jc < 2; ++jc) {
+        pimBroadcastInt(o.d, 0);
+        for (unsigned j = 0; j < 4; ++j) {
+            pimCopyHostToDevice(hostColumn().data(), col);
+            pimScaledAdd(col, o.d, o.d, j + 1);
+        }
+    }
+    pimFree(col);
+    pimSync();
+}
+
 using CmdBody = std::function<void(const Operands &)>;
 
 /** One timed command: name + a body issuing it once over kNumElements. */
@@ -234,6 +289,24 @@ commandSpecs()
          [](const Operands &o) {
              pimBeginFusion();
              dotChain(o);
+             pimEndFusion();
+         }},
+        // Copy-aware fusion micros: the GEMV/GEMM copy+compute
+        // interleave that unfused pays a window flush per column for.
+        {"gemv_chain_unfused",
+         [](const Operands &o) { gemvChain(o, 6); }},
+        {"gemv_chain_fused",
+         [](const Operands &o) {
+             pimBeginFusion();
+             gemvChain(o, 6);
+             pimEndFusion();
+         }},
+        {"gemm_chain_unfused",
+         [](const Operands &o) { gemmChain(o); }},
+        {"gemm_chain_fused",
+         [](const Operands &o) {
+             pimBeginFusion();
+             gemmChain(o);
              pimEndFusion();
          }},
     };

@@ -135,6 +135,9 @@ struct PassMetrics
     uint64_t fusion_temps_elided = 0;
     uint64_t fusion_reduction_chains = 0;
     uint64_t fusion_scalar_folds = 0;
+    uint64_t fusion_host_loads = 0;
+    uint64_t fusion_copy_bytes_fused = 0;
+    uint64_t fusion_copy_elisions = 0;
 };
 
 /** Same worker-count default as PimPipeline (occupancy denominator). */
@@ -191,6 +194,12 @@ collectPassMetrics(double pass_wall_sec)
         metricOr("fusion.reduction_chains", 0.0));
     m.fusion_scalar_folds =
         static_cast<uint64_t>(metricOr("fusion.scalar_folds", 0.0));
+    m.fusion_host_loads =
+        static_cast<uint64_t>(metricOr("fusion.host_loads", 0.0));
+    m.fusion_copy_bytes_fused = static_cast<uint64_t>(
+        metricOr("fusion.copy_bytes_fused", 0.0));
+    m.fusion_copy_elisions =
+        static_cast<uint64_t>(metricOr("fusion.copy_elisions", 0.0));
     return m;
 }
 
@@ -218,7 +227,10 @@ emitPassMetricsJson(std::ostream &os, const char *key,
        << ", \"ops_fused\": " << m.fusion_ops_fused
        << ", \"temps_elided\": " << m.fusion_temps_elided
        << ", \"reduction_chains\": " << m.fusion_reduction_chains
-       << ", \"scalar_folds\": " << m.fusion_scalar_folds << "}\n"
+       << ", \"scalar_folds\": " << m.fusion_scalar_folds
+       << ", \"host_loads\": " << m.fusion_host_loads
+       << ", \"copy_bytes_fused\": " << m.fusion_copy_bytes_fused
+       << ", \"copy_elisions\": " << m.fusion_copy_elisions << "}\n"
        << "  }";
 }
 
@@ -386,6 +398,70 @@ runDotMicro(uint64_t n, unsigned reps)
     return micro;
 }
 
+/**
+ * Time the GEMV copy+compute interleave (per column a full-object H2D
+ * copy into one staging buffer feeding a scaled-add accumulation),
+ * fusion off vs on. Unfused, every copy is a window flush barrier;
+ * fused, the copies capture as tape loads, the staging stores are
+ * WAW-elided, and a window of columns executes as one sweep. Identity
+ * compares the accumulator readbacks bit-for-bit.
+ */
+FusionMicro
+runGemvMicro(uint64_t n, unsigned cols, unsigned reps)
+{
+    FusionMicro micro;
+    std::vector<int> column(n);
+    for (uint64_t i = 0; i < n; ++i)
+        column[i] = static_cast<int>(i % 1000) - 500;
+    std::vector<int> out_unfused(n), out_fused(n);
+
+    const PimObjId obj_col =
+        pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                 PimDataType::PIM_INT32);
+    if (obj_col < 0)
+        return micro;
+    const PimObjId obj_acc =
+        pimAllocAssociated(32, obj_col, PimDataType::PIM_INT32);
+    if (obj_acc < 0) {
+        pimFree(obj_col);
+        return micro;
+    }
+
+    const auto sweep = [&]() {
+        pimBroadcastInt(obj_acc, 0);
+        for (unsigned j = 0; j < cols; ++j) {
+            pimCopyHostToDevice(column.data(), obj_col);
+            pimScaledAdd(obj_col, obj_acc, obj_acc, j + 1);
+        }
+        pimSync();
+    };
+
+    pimSetFusionEnabled(false);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        sweep();
+        if (r > 0)
+            micro.unfused_sec =
+                std::min(micro.unfused_sec, nowSec() - start);
+    }
+    pimCopyDeviceToHost(obj_acc, out_unfused.data());
+
+    pimSetFusionEnabled(true);
+    for (unsigned r = 0; r <= reps; ++r) {
+        const double start = nowSec();
+        sweep();
+        if (r > 0)
+            micro.fused_sec =
+                std::min(micro.fused_sec, nowSec() - start);
+    }
+    pimCopyDeviceToHost(obj_acc, out_fused.data());
+    pimSetFusionEnabled(false);
+    micro.identical = out_unfused == out_fused;
+    pimFree(obj_col);
+    pimFree(obj_acc);
+    return micro;
+}
+
 /** Modeled-stats equality: the bit-identity contract. Host time is
  *  measured wall-clock, so it is excluded. */
 bool
@@ -494,11 +570,13 @@ main()
     const char *trace_base = std::getenv("PIMEVAL_TRACE");
     const bool tracing = trace_base != nullptr && *trace_base != '\0';
     PassMetrics pass_metrics[kNumPasses];
-    FusionMicro axpy_micro, linreg_micro, dot_micro;
+    FusionMicro axpy_micro, linreg_micro, dot_micro, gemv_micro;
     // The microbench needs kernel-dominated sizes (per-command setup
     // would swamp the fused/unfused delta at app tiny scale), so its
     // problem size is independent of the suite scale.
     const uint64_t micro_n = 1ull << 21;
+    const uint64_t gemv_micro_n = 1ull << 20;
+    const unsigned gemv_micro_cols = 6;
 
     for (const auto &[device, target_name] : pimTargets()) {
         if (device != PimDeviceEnum::PIM_DEVICE_FULCRUM)
@@ -516,6 +594,13 @@ main()
         axpy_micro = runFusionMicro(false, micro_n, reps);
         linreg_micro = runFusionMicro(true, micro_n, reps);
         dot_micro = runDotMicro(micro_n, reps);
+        // Captured-copy snapshots live from issue until the window
+        // flushes, so the gemv sweep's live working set is
+        // cols x host bytes. Size it to stay resident in a shared
+        // runner's effective LLC slice (6 x 4 MiB here) — past that
+        // the tape re-reads every snapshot from DRAM and the micro
+        // measures memory bandwidth, not the fusion engine.
+        gemv_micro = runGemvMicro(gemv_micro_n, gemv_micro_cols, reps);
 
         for (size_t p = 0; p < kNumPasses; ++p) {
             const ModePass &pass = kPasses[p];
@@ -770,7 +855,8 @@ main()
                     async_metrics.hazard_war));
     std::printf("fusion (sync pass): %llu chains (%llu reductions, "
                 "%llu scalar folds), %llu ops fused, %llu temps "
-                "elided; micro axpy %.2fx, linreg %.2fx, dot %.2fx "
+                "elided, %llu host loads (%llu copy elisions); micro "
+                "axpy %.2fx, linreg %.2fx, dot %.2fx, gemv %.2fx "
                 "(%llu elements, outputs %s)\n",
                 static_cast<unsigned long long>(
                     pass_metrics[2].fusion_chains),
@@ -782,11 +868,15 @@ main()
                     pass_metrics[2].fusion_ops_fused),
                 static_cast<unsigned long long>(
                     pass_metrics[2].fusion_temps_elided),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_host_loads),
+                static_cast<unsigned long long>(
+                    pass_metrics[2].fusion_copy_elisions),
                 axpy_micro.speedup(), linreg_micro.speedup(),
-                dot_micro.speedup(),
+                dot_micro.speedup(), gemv_micro.speedup(),
                 static_cast<unsigned long long>(micro_n),
                 axpy_micro.identical && linreg_micro.identical &&
-                        dot_micro.identical
+                        dot_micro.identical && gemv_micro.identical
                     ? "identical"
                     : "DIVERGED");
     emitTable(sweep_table);
@@ -880,9 +970,25 @@ main()
              << ",\n"
              << "    \"dot_fused_speedup\": " << dot_micro.speedup()
              << ",\n"
+             << "    \"gemv_unfused_sec\": " << gemv_micro.unfused_sec
+             << ",\n"
+             << "    \"gemv_fused_sec\": " << gemv_micro.fused_sec
+             << ",\n"
+             << "    \"gemv_fused_speedup\": " << gemv_micro.speedup()
+             << ",\n"
+             << "    \"gemv_micro_elements\": " << gemv_micro_n
+             << ",\n"
+             << "    \"gemv_micro_cols\": " << gemv_micro_cols
+             << ",\n"
+             << "    \"host_loads\": "
+             << pass_metrics[2].fusion_host_loads << ",\n"
+             << "    \"copy_bytes_fused\": "
+             << pass_metrics[2].fusion_copy_bytes_fused << ",\n"
+             << "    \"copy_elisions\": "
+             << pass_metrics[2].fusion_copy_elisions << ",\n"
              << "    \"micro_outputs_identical\": "
              << (axpy_micro.identical && linreg_micro.identical &&
-                         dot_micro.identical
+                         dot_micro.identical && gemv_micro.identical
                      ? "true"
                      : "false")
              << "\n  }";
@@ -987,7 +1093,8 @@ main()
                   << " mismatch across exec/fusion passes\n";
         return 1;
     }
-    if (!axpy_micro.identical || !linreg_micro.identical) {
+    if (!axpy_micro.identical || !linreg_micro.identical ||
+        !dot_micro.identical || !gemv_micro.identical) {
         std::cerr << "fusion microbench output mismatch\n";
         return 1;
     }

@@ -13,14 +13,20 @@ namespace pimbench {
 GemvWorkspace::GemvWorkspace(uint64_t m)
 {
     PIM_PROFILE_SCOPE("setup");
+    // Captured copies make rotation pointless: the fused sweep elides
+    // the staging stores outright, so one buffer maximizes WAW
+    // elision while the unfused pipeline keeps its overlap rotation.
+    num_cols_ = pimGetFusionEnabled() ? 1 : kColumnBuffers;
     cols_[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
                         PimDataType::PIM_INT32);
     ok_ = cols_[0] >= 0;
-    for (uint64_t i = 1; i < kColumnBuffers; ++i) {
+    for (uint64_t i = 1; i < num_cols_; ++i) {
         cols_[i] =
             pimAllocAssociated(32, cols_[0], PimDataType::PIM_INT32);
         ok_ = ok_ && cols_[i] >= 0;
     }
+    for (uint64_t i = num_cols_; i < kColumnBuffers; ++i)
+        cols_[i] = -1;
     acc_ = pimAllocAssociated(32, cols_[0], PimDataType::PIM_INT32);
     ok_ = ok_ && acc_ >= 0;
 }
@@ -48,18 +54,27 @@ pimGemvColumnSweep(GemvWorkspace &ws, const std::vector<int> &matrix,
         // is deliberately interleaved with the scaled-adds, and the
         // profiler's modeled split shows its transfer share anyway.
         PIM_PROFILE_SCOPE("compute");
+        // With fusion on, the whole sweep runs as a capture region:
+        // each copy becomes a fused load feeding its scaled-add, the
+        // single staging buffer's stores are WAW-elided, and a window
+        // of K columns executes as one fused sweep.
+        const bool fused = pimGetFusionEnabled();
+        if (fused)
+            pimBeginFusion();
         pimBroadcastInt(ws.acc(), 0);
         for (uint64_t j = 0; j < n; ++j) {
             // Rotating staging buffers: the copy into column j
             // targets a different object than the scaled-add still
             // consuming column j-1, so the async pipeline overlaps
-            // them.
-            const PimObjId col = ws.column(j);
+            // them. Fused sweeps stream through one buffer instead.
+            const PimObjId col = fused ? ws.column(0) : ws.column(j);
             pimCopyHostToDevice(matrix.data() + j * m, col);
             pimScaledAdd(
                 col, ws.acc(), ws.acc(),
                 static_cast<uint64_t>(static_cast<int64_t>(v[j])));
         }
+        if (fused)
+            pimEndFusion();
     }
     {
         PIM_PROFILE_SCOPE("d2h");

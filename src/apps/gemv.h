@@ -35,6 +35,12 @@ AppResult runGemv(const GemvParams &params);
  * buffer, so modeled stats are unchanged); reusing one workspace
  * across sweeps (GEMM, VGG dense layers) also avoids per-sweep
  * alloc/free churn.
+ *
+ * When fusion is enabled at construction the workspace drops to a
+ * single staging buffer: captured copies stream host tiles through
+ * the fused tape, so back-to-back writes to one buffer are
+ * WAW-elided instead of pipelined and extra rotation buffers would
+ * only reduce the elision rate.
  */
 class GemvWorkspace
 {
@@ -50,12 +56,13 @@ class GemvWorkspace
     bool ok() const { return ok_; }
     PimObjId column(uint64_t j) const
     {
-        return cols_[j % kColumnBuffers];
+        return cols_[j % num_cols_];
     }
     PimObjId acc() const { return acc_; }
 
   private:
     PimObjId cols_[kColumnBuffers];
+    uint64_t num_cols_ = kColumnBuffers;
     PimObjId acc_ = -1;
     bool ok_ = false;
 };

@@ -121,7 +121,12 @@ runKmeans(const KmeansParams &params)
 
     pimProfileBegin("compute");
     for (unsigned it = 0; it < params.iterations; ++it) {
-        // Distances per centroid.
+        // Distances per centroid. With fusion enabled the block is a
+        // capture region: [sub,abs] and [sub,abs,add] chains fuse per
+        // centroid and the pre-abs intermediates' stores elide.
+        const bool fused = pimGetFusionEnabled();
+        if (fused)
+            pimBeginFusion();
         for (unsigned c = 0; c < k; ++c) {
             pimSubScalar(obj_x, obj_dist[c],
                          static_cast<uint64_t>(
@@ -133,6 +138,8 @@ runKmeans(const KmeansParams &params)
             pimAbs(obj_dy[c], obj_dy[c]);
             pimAdd(obj_dist[c], obj_dy[c], obj_dist[c]);
         }
+        if (fused)
+            pimEndFusion();
 
         // Running minimum.
         pimCopyDeviceToDevice(obj_dist[0], obj_min);

@@ -93,8 +93,17 @@ convLayerPim(const Planes &input, uint32_t h, uint32_t w,
     // Output accumulators would exceed row capacity at deep layers,
     // so sweep outputs in bounded groups.
     const size_t group = 4;
+    const bool fused = pimGetFusionEnabled();
     for (size_t o_begin = 0; o_begin < cout; o_begin += group) {
         const size_t o_end = std::min(cout, o_begin + group);
+        // Capture region over the whole output-group accumulation:
+        // the nine plane copies fuse into the window with their
+        // scaled-add consumers (multi-consumer planes materialize
+        // once instead of flushing the window nine times per input
+        // channel) and the accumulator's intermediate stores are
+        // WAW-elided.
+        if (fused)
+            pimBeginFusion();
         for (size_t o = o_begin; o < o_end; ++o) {
             obj_out[o] =
                 pimAllocAssociated(32, ref, PimDataType::PIM_INT32);
@@ -114,6 +123,8 @@ convLayerPim(const Planes &input, uint32_t h, uint32_t w,
                 }
             }
         }
+        if (fused)
+            pimEndFusion();
         for (size_t o = o_begin; o < o_end; ++o) {
             pimShiftBitsRight(obj_out[o], obj_out[o], kRescaleShift);
             pimMaxScalar(obj_out[o], obj_out[o], 0); // ReLU
@@ -196,6 +207,12 @@ maxPoolPim(const Planes &input, uint32_t h, uint32_t w)
                 corners[3][o] = input[ch][base + w + 1];
             }
         }
+        // Fused, the four corner copies and the max tree run as one
+        // captured chain: corners whose store is shadowed by the max
+        // writes are elided, the rest fuse without window flushes.
+        const bool fused = pimGetFusionEnabled();
+        if (fused)
+            pimBeginFusion();
         pimCopyHostToDevice(corners[0].data(), o0);
         pimCopyHostToDevice(corners[1].data(), o1);
         pimCopyHostToDevice(corners[2].data(), o2);
@@ -203,6 +220,8 @@ maxPoolPim(const Planes &input, uint32_t h, uint32_t w)
         pimMax(o0, o1, o0);
         pimMax(o2, o3, o2);
         pimMax(o0, o2, o0);
+        if (fused)
+            pimEndFusion();
         output[ch].resize(out_n);
         pimCopyDeviceToHost(o0, output[ch].data());
     }

@@ -25,8 +25,35 @@ BitSerialFusedChain::addInput(const uint64_t *data, size_t n)
 {
     assert(inputs_.empty() || n == n_);
     n_ = n;
-    inputs_.push_back(data);
+    inputs_.push_back({data, nullptr});
     return static_cast<int>(inputs_.size()) - 1;
+}
+
+int
+BitSerialFusedChain::addHostInput(const void *data, size_t n)
+{
+    assert(inputs_.empty() || n == n_);
+    assert(pimHostToDeviceChunkForBits(bits_) != nullptr &&
+           "host inputs need a packed host layout");
+    n_ = n;
+    inputs_.push_back({nullptr, static_cast<const uint8_t *>(data)});
+    return static_cast<int>(inputs_.size()) - 1;
+}
+
+const uint64_t *
+BitSerialFusedChain::tileWords(const Input &in, size_t base,
+                               uint32_t cnt, uint64_t *scratch,
+                               BitSerialFusedStats &stats) const
+{
+    if (in.host == nullptr)
+        return in.words + base;
+    const uint64_t mask =
+        bits_ >= 64 ? ~0ULL : ((1ULL << bits_) - 1);
+    const unsigned stride = pimHostStrideForBits(bits_);
+    pimHostToDeviceChunkForBits(bits_)(in.host + base * stride,
+                                       scratch, 0, cnt, mask);
+    stats.host_elems_in += cnt;
+    return scratch;
 }
 
 void
@@ -122,14 +149,19 @@ BitSerialFusedChain::run(uint64_t *dest)
         static_cast<uint32_t>(inputs_.size() + 2) * bits_;
     BitSerialVm vm(num_rows, tile_cols_);
 
+    std::vector<uint64_t> scratch(tile_cols_);
     for (size_t base = 0; base < n_; base += tile_cols_) {
         const uint32_t cnt = static_cast<uint32_t>(
             std::min<size_t>(tile_cols_, n_ - base));
         // One transpose-in per input per tile; the chain runs on the
         // resident bit-planes, so intermediates never leave the VM.
+        // Host inputs convert through the tile scratch — no
+        // horizontal staging object is ever materialized.
         for (size_t i = 0; i < inputs_.size(); ++i) {
-            vm.writeVerticalBulk(0, inputRow(i), bits_,
-                                 inputs_[i] + base, cnt);
+            vm.writeVerticalBulk(
+                0, inputRow(i), bits_,
+                tileWords(inputs_[i], base, cnt, scratch.data(), stats),
+                cnt);
             stats.elems_in += cnt;
         }
         for (const MicroProgram &program : programs)
@@ -166,12 +198,15 @@ BitSerialFusedChain::runRedSum(bool is_signed, int64_t *sum)
     BitSerialVm vm(num_rows, tile_cols_);
 
     uint64_t acc = 0;
+    std::vector<uint64_t> scratch(tile_cols_);
     for (size_t base = 0; base < n_; base += tile_cols_) {
         const uint32_t cnt = static_cast<uint32_t>(
             std::min<size_t>(tile_cols_, n_ - base));
         for (size_t i = 0; i < inputs_.size(); ++i) {
-            vm.writeVerticalBulk(0, inputRow(i), bits_,
-                                 inputs_[i] + base, cnt);
+            vm.writeVerticalBulk(
+                0, inputRow(i), bits_,
+                tileWords(inputs_[i], base, cnt, scratch.data(), stats),
+                cnt);
             stats.elems_in += cnt;
         }
         for (const MicroProgram &program : programs)
@@ -211,7 +246,27 @@ BitSerialFusedChain::runUnfused(uint64_t *dest)
     const uint32_t dst_row = 2 * bits_;
     BitSerialVm vm(3 * bits_, tile_cols_);
 
-    std::vector<uint64_t> value(inputs_[0], inputs_[0] + n_);
+    // The unfused flow materializes every host input into a
+    // horizontal staging object before any command touches it —
+    // exactly the copy the fused path elides.
+    std::vector<std::vector<uint64_t>> staging;
+    std::vector<const uint64_t *> words(inputs_.size());
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+        const Input &in = inputs_[i];
+        if (in.host == nullptr) {
+            words[i] = in.words;
+            continue;
+        }
+        const uint64_t mask =
+            bits_ >= 64 ? ~0ULL : ((1ULL << bits_) - 1);
+        staging.emplace_back(n_);
+        pimHostToDeviceChunkForBits(bits_)(
+            in.host, staging.back().data(), 0, n_, mask);
+        stats.staged_elems += n_;
+        words[i] = staging.back().data();
+    }
+
+    std::vector<uint64_t> value(words[0], words[0] + n_);
     std::vector<uint64_t> result(n_);
     for (const Step &st : steps_) {
         // Build this command's program with lhs at the conventional
@@ -219,10 +274,10 @@ BitSerialFusedChain::runUnfused(uint64_t *dest)
         BitSerialFusedChain one(bits_, tile_cols_);
         one.addInput(value.data(), n_);
         const uint64_t *rhs_data =
-            st.rhs >= 0 ? inputs_[static_cast<size_t>(st.rhs)]
+            st.rhs >= 0 ? words[static_cast<size_t>(st.rhs)]
                         : nullptr;
         if (rhs_data != nullptr)
-            one.inputs_.push_back(rhs_data);
+            one.inputs_.push_back({rhs_data, nullptr});
         Step local = st;
         if (local.rhs >= 0)
             local.rhs = 1; // rhs is input 1 of this command's layout

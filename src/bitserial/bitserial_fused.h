@@ -28,6 +28,7 @@
 
 #include "bitserial/bitserial_vm.h"
 #include "bitserial/micro_op.h"
+#include "core/pim_host_io.h"
 
 namespace pimeval {
 
@@ -48,10 +49,13 @@ enum class BitSerialFusedOpKind : uint8_t {
 /** I/O and micro-op accounting of one chain execution. */
 struct BitSerialFusedStats
 {
-    uint64_t micro_ops = 0;     ///< row-wide micro-ops executed
-    uint64_t elems_in = 0;      ///< elements transposed into the VM
-    uint64_t elems_out = 0;     ///< elements transposed out
-    uint64_t tiles = 0;         ///< column tiles processed
+    uint64_t micro_ops = 0;      ///< row-wide micro-ops executed
+    uint64_t elems_in = 0;       ///< elements transposed into the VM
+    uint64_t elems_out = 0;      ///< elements transposed out
+    uint64_t tiles = 0;          ///< column tiles processed
+    uint64_t host_elems_in = 0;  ///< host elements converted in-tile
+    uint64_t staged_elems = 0;   ///< host elements horizontally staged
+                                 ///< (unfused baseline only)
 };
 
 /**
@@ -78,6 +82,19 @@ class BitSerialFusedChain
      *  storage). All inputs must be the same length. @return input
      *  index for addStep. Input 0 seeds the chain. */
     int addInput(const uint64_t *data, size_t n);
+
+    /**
+     * Register a host-source input: packed host bytes at the chain's
+     * element width ((bits+7)/8 bytes per element, the
+     * pimCopyHostToDevice layout). run()/runRedSum() convert each
+     * tile slice straight into vertical bit-planes through a
+     * tile-sized scratch — the horizontal staging object an unfused
+     * copy would materialize is skipped entirely. runUnfused() stages
+     * the whole input horizontally first, mirroring the real unfused
+     * copy->compute flow. Requires a packed host layout
+     * (bits in {1,8,16,32,64}).
+     */
+    int addHostInput(const void *data, size_t n);
 
     /** Append a binary step: value = value OP input[rhs_input]. */
     void addStep(BitSerialFusedOpKind kind, int rhs_input);
@@ -114,6 +131,20 @@ class BitSerialFusedChain
         uint64_t scalar = 0;
     };
 
+    /** One registered input: canonical words, or packed host bytes
+     *  converted per tile (host != nullptr). */
+    struct Input
+    {
+        const uint64_t *words = nullptr;
+        const uint8_t *host = nullptr;
+    };
+
+    /** Tile slice of input @p in starting at @p base: canonical words
+     *  directly, or the host slice converted into @p scratch. */
+    const uint64_t *tileWords(const Input &in, size_t base,
+                              uint32_t cnt, uint64_t *scratch,
+                              BitSerialFusedStats &stats) const;
+
     /** Row base of input @p idx (inputs stack bottom-up). */
     uint32_t inputRow(size_t idx) const
     {
@@ -134,7 +165,7 @@ class BitSerialFusedChain
 
     unsigned bits_;
     uint32_t tile_cols_;
-    std::vector<const uint64_t *> inputs_;
+    std::vector<Input> inputs_;
     size_t n_ = 0;
     std::vector<Step> steps_;
 };

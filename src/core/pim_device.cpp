@@ -13,6 +13,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "core/pim_host_io.h"
 #include "core/pim_metrics.h"
 #include "core/pim_trace.h"
 #include "fulcrum/alpu_kernels.h"
@@ -114,73 +115,9 @@ cmdToAlpuOp(PimCmdEnum cmd, AlpuOp &op)
 // (core/pim_fusion.h). See docs/PERFORMANCE.md.
 // ---------------------------------------------------------------------------
 
-/**
- * Host<->device element conversion with the element width hoisted out
- * of the loop: one memcpy of Bytes per element, no per-element width
- * switch. Bool/int8 share the 1-byte kernel (host side stores one
- * byte per element for both).
- */
-template <unsigned Bytes>
-void
-hostToDeviceChunk(const uint8_t *src, uint64_t *dst, size_t lo,
-                  size_t hi, uint64_t mask)
-{
-    for (size_t i = lo; i < hi; ++i) {
-        uint64_t v = 0;
-        std::memcpy(&v, src + i * Bytes, Bytes);
-        dst[i] = v & mask;
-    }
-}
-
-template <unsigned Bytes>
-void
-deviceToHostChunk(const uint64_t *src, uint8_t *dst, size_t lo,
-                  size_t hi)
-{
-    for (size_t i = lo; i < hi; ++i)
-        std::memcpy(dst + i * Bytes, &src[i], Bytes);
-}
-
-using HostToDeviceChunkFn = void (*)(const uint8_t *, uint64_t *,
-                                     size_t, size_t, uint64_t);
-using DeviceToHostChunkFn = void (*)(const uint64_t *, uint8_t *,
-                                     size_t, size_t);
-
-HostToDeviceChunkFn
-hostToDeviceChunkForBits(unsigned bits)
-{
-    switch (bits) {
-      case 1:
-      case 8:
-        return &hostToDeviceChunk<1>;
-      case 16:
-        return &hostToDeviceChunk<2>;
-      case 32:
-        return &hostToDeviceChunk<4>;
-      case 64:
-        return &hostToDeviceChunk<8>;
-      default:
-        return nullptr;
-    }
-}
-
-DeviceToHostChunkFn
-deviceToHostChunkForBits(unsigned bits)
-{
-    switch (bits) {
-      case 1:
-      case 8:
-        return &deviceToHostChunk<1>;
-      case 16:
-        return &deviceToHostChunk<2>;
-      case 32:
-        return &deviceToHostChunk<4>;
-      case 64:
-        return &deviceToHostChunk<8>;
-      default:
-        return nullptr;
-    }
-}
+// Host<->device element conversion kernels live in
+// core/pim_host_io.h, shared with the fusion tape's host-source
+// operands and the bit-serial fused chain's host inputs.
 
 } // namespace
 
@@ -309,6 +246,9 @@ PimDevice::free(PimObjId id)
     if (!fusion_window_.empty()) {
         // A free of a pending dest is deferred to the flush — exactly
         // the alloc -> written -> freed-unread pattern elision needs.
+        // This covers pending *copies* too (captured H2D loads carry
+        // their dest like any compute): freeing a staging column whose
+        // copy is still buffered must not release the storage early.
         // A free of an object the window only reads flushes first.
         if (fusion_window_.noteFree(id))
             return true; // a pending command writes it: defer to flush
@@ -364,7 +304,6 @@ PimStatus
 PimDevice::copyHostToDevice(const void *src, PimObjId dest,
                             uint64_t idx_begin, uint64_t idx_end)
 {
-    flushFusion(); // copies are not fusable: keep issue order
     PimDataObject *obj = resources_.get(dest);
     if (!obj || !src) {
         logError("pimCopyHostToDevice: bad arguments");
@@ -381,9 +320,56 @@ PimDevice::copyHostToDevice(const void *src, PimObjId dest,
     const uint64_t count = idx_end - idx_begin;
     uint64_t *dst = obj->raw().data() + idx_begin;
     const uint64_t mask = obj->elementMask();
-    const HostToDeviceChunkFn kernel = hostToDeviceChunkForBits(bits);
-    const uint64_t host_bytes = count * ((bits + 7) / 8);
+    const PimHostToDeviceChunkFn kernel =
+        pimHostToDeviceChunkForBits(bits);
+    const uint64_t host_bytes = count * pimHostStrideForBits(bits);
     const uint64_t payload = modeledBytes(host_bytes);
+    const auto *first = static_cast<const uint8_t *>(src);
+
+    // A full-object copy with a packed host layout captures as an
+    // is_load window member instead of flushing: the host buffer is
+    // snapshotted here at issue (the caller's pointer need not stay
+    // valid — the same contract as the async pipeline's H2D
+    // snapshot), the planner links copy->consumer RAW chains, and a
+    // staging dest consumed only in-window is elided entirely. The
+    // copy's modeled cost still commits per command in issue order at
+    // the flush, so stats stay bit-identical in sync and async modes.
+    if (fusionCapturing() && kernel && idx_begin == 0 &&
+        idx_end == obj->numElements()) {
+        PimFusedOp fop;
+        fop.cmd = PimCmdEnum::kCopyH2D;
+        fop.dest = dest;
+        fop.pd = dst;
+        fop.is_load = true;
+        // The snapshot buffer is deliberately uninitialized (plain
+        // new[]) and filled by a pool-parallel memcpy: a serial
+        // vector copy would pay first-touch page faults and the full
+        // copy bandwidth on the issuing thread, dominating the fused
+        // sweep it is meant to accelerate.
+        // The snapshot buffer comes from the recycling pool (fresh
+        // multi-megabyte blocks pay mmap page faults dwarfing the
+        // memcpy) and is filled by a pool-parallel copy: on one core
+        // it degrades to a plain memcpy, on many it spreads the
+        // bandwidth the same way the fused sweep itself does.
+        std::shared_ptr<uint8_t[]> snap =
+            snapshot_pool_->acquire(host_bytes);
+        uint8_t *snap_raw = snap.get();
+        pool_.parallelForChunks(
+            0, host_bytes, [snap_raw, first](size_t lo, size_t hi) {
+                std::memcpy(snap_raw + lo, first + lo, hi - lo);
+            });
+        fop.host = std::move(snap);
+        fop.load_kern = kernel;
+        fop.host_stride = pimHostStrideForBits(bits);
+        fop.copy_payload = payload;
+        fop.bits = bits;
+        fop.dmask = mask;
+        fop.n = count;
+        recordFusion(fop);
+        return PimStatus::PIM_OK;
+    }
+    // Ranged and odd-width copies keep the flush barrier.
+    flushFusion();
 
     const auto run = [this, kernel, dst, count, mask,
                       payload](const uint8_t *bytes,
@@ -414,7 +400,6 @@ PimDevice::copyHostToDevice(const void *src, PimObjId dest,
     // hazards from H2D commands. The single-core bypass runs the
     // body before this call returns, so the snapshot is pure
     // overhead there — read the caller's buffer directly instead.
-    const auto *first = static_cast<const uint8_t *>(src);
     if (pipeline_->beginInline()) {
         run(first, nullptr);
         pipeline_->endInline();
@@ -450,7 +435,8 @@ PimDevice::copyDeviceToHost(PimObjId src, void *dest, uint64_t idx_begin,
     const uint64_t count = idx_end - idx_begin;
     auto *bytes = static_cast<uint8_t *>(dest);
     const uint64_t *src_raw = obj->raw().data() + idx_begin;
-    const DeviceToHostChunkFn kernel = deviceToHostChunkForBits(bits);
+    const PimDeviceToHostChunkFn kernel =
+        pimDeviceToHostChunkForBits(bits);
     const uint64_t payload = modeledBytes(count * ((bits + 7) / 8));
 
     // Blocking issue: the host buffer must hold the data when the call
@@ -1150,13 +1136,14 @@ PimDevice::executeBroadcast(PimObjId dest, uint64_t value)
 
 namespace {
 
-/** Interned execution-span name for a fused chain of @p len ops. */
+/** Interned execution-span name for a fused chain of @p len ops
+ *  (loads ride along uncapped, so a chain can span the window). */
 const char *
 fusedTraceName(size_t len)
 {
-    static const char *cache[kMaxFusionChainLen + 1] = {};
-    if (len > kMaxFusionChainLen)
-        len = kMaxFusionChainLen;
+    static const char *cache[kMaxFusionWindowOps + 1] = {};
+    if (len > kMaxFusionWindowOps)
+        len = kMaxFusionWindowOps;
     if (!cache[len])
         cache[len] =
             PimTracer::instance().intern(strCat("fused.x", len));
@@ -1187,7 +1174,13 @@ PimDevice::flushFusion()
         return;
     }
     const std::vector<PimFusedOp> &ops = fusion_window_.ops();
-    std::unordered_set<PimObjId> elided;
+    // Per-id write bookkeeping for the deferred frees: an id may now
+    // collect both elided and materialized writes in one window (WAW
+    // elision), and only an id whose *every* write was elided may
+    // return to the allocator pristine — one materialized write means
+    // the storage was touched.
+    std::unordered_set<PimObjId> written_ids;
+    std::unordered_set<PimObjId> materialized_ids;
     if (!ops.empty()) {
         const std::vector<PimFusionChain> chains =
             fusion_window_.plan();
@@ -1195,9 +1188,17 @@ PimDevice::flushFusion()
         uint64_t fused_ops = 0;
         uint64_t reduction_chains = 0;
         uint64_t scalar_folds = 0;
+        uint64_t host_loads = 0;
+        uint64_t copy_bytes_fused = 0;
+        uint64_t copy_elisions = 0;
         for (const PimFusionChain &chain : chains) {
             if (chain.size() == 1) {
-                runFusedOp(ops[chain.front().op]);
+                const PimFusedOp &op = ops[chain.front().op];
+                if (op.dest >= 0) {
+                    written_ids.insert(op.dest);
+                    materialized_ids.insert(op.dest);
+                }
+                runFusedOp(op);
                 continue;
             }
             ++fused_chains;
@@ -1205,8 +1206,18 @@ PimDevice::flushFusion()
             if (ops[chain.back().op].is_reduce)
                 ++reduction_chains;
             for (const PimFusionStep &st : chain) {
-                if (st.elide_store)
-                    elided.insert(ops[st.op].dest);
+                const PimFusedOp &op = ops[st.op];
+                if (op.dest >= 0) {
+                    written_ids.insert(op.dest);
+                    if (!st.elide_store)
+                        materialized_ids.insert(op.dest);
+                }
+                if (op.is_load) {
+                    ++host_loads;
+                    copy_bytes_fused += op.copy_payload;
+                    if (st.elide_store)
+                        ++copy_elisions;
+                }
             }
             scalar_folds += executeFusedChain(ops, chain);
         }
@@ -1219,27 +1230,57 @@ PimDevice::flushFusion()
                              reduction_chains);
         if (scalar_folds > 0)
             PIM_METRIC_COUNT("fusion.scalar_folds", scalar_folds);
-        if (!elided.empty())
-            PIM_METRIC_COUNT("fusion.temps_elided", elided.size());
+        if (host_loads > 0) {
+            PIM_METRIC_COUNT("fusion.host_loads", host_loads);
+            PIM_METRIC_COUNT("fusion.copy_bytes_fused",
+                             copy_bytes_fused);
+        }
+        if (copy_elisions > 0)
+            PIM_METRIC_COUNT("fusion.copy_elisions", copy_elisions);
     }
-    // Deferred frees: elided temporaries never materialized (and never
-    // entered the pipeline's hazard sets), so their storage goes back
-    // to the allocator pristine. Stored temporaries free normally.
+    // Deferred frees: a temporary whose every write was elided never
+    // materialized (and never entered the pipeline's hazard sets), so
+    // its storage goes back to the allocator pristine. Anything with
+    // a materialized write frees normally.
+    uint64_t temps_elided = 0;
     for (PimObjId id : fusion_window_.deferredFrees()) {
-        if (elided.count(id) > 0) {
+        if (written_ids.count(id) > 0 &&
+            materialized_ids.count(id) == 0) {
             resources_.freeElided(id);
+            ++temps_elided;
         } else {
             if (pipelineActive())
                 pipeline_->waitObject(id);
             resources_.free(id);
         }
     }
+    if (temps_elided > 0)
+        PIM_METRIC_COUNT("fusion.temps_elided", temps_elided);
     fusion_window_.clear();
 }
 
 void
 PimDevice::runFusedOp(const PimFusedOp &op)
 {
+    if (op.is_load) {
+        // Singleton captured copy: the unfused H2D body, fed from the
+        // snapshot taken at capture (the lambda's op copy keeps the
+        // snapshot alive until the pipeline runs it).
+        issue({}, {op.dest}, [op, this](PimStatsDelta *delta) {
+            PIM_TRACE_SCOPE_ARG("copyH2D", "exec", op.copy_payload);
+            PIM_METRIC_COUNT("copy.bytes_h2d", op.copy_payload);
+            const uint8_t *bytes = op.host.get();
+            pool_.parallelForChunks(
+                0, op.n, [&op, bytes](size_t lo, size_t hi) {
+                    op.load_kern(bytes, op.pd, lo, hi, op.dmask);
+                });
+            commitCopy(delta, PimCopyEnum::PIM_COPY_H2D,
+                       op.copy_payload,
+                       model_->costCopy(PimCopyEnum::PIM_COPY_H2D,
+                                        op.copy_payload));
+        });
+        return;
+    }
     if (op.is_reduce) {
         // Singleton reduction: the chain planner found no producer to
         // fuse with, so this is the unfused blocking path verbatim
@@ -1308,23 +1349,62 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
 {
     PimFusedTape tape = pimBuildFusedTape(ops, chain);
 
-    // Hazard sets exclude elided temporaries: they never materialize,
-    // so no command outside this chain can depend on them.
-    std::unordered_set<PimObjId> elided;
-    for (const PimFusionStep &st : chain) {
-        if (st.elide_store)
-            elided.insert(ops[st.op].dest);
-    }
+    // Hazard sets, resolved per step in chain order. A dest enters the
+    // write set only when its store materializes. An operand enters
+    // the read set only when the step actually reads the object's
+    // storage — no earlier in-chain writer. Resolved against an
+    // elided producer, the step consumes the flowing tile or the host
+    // snapshot; against a materialized one, memory this same command
+    // wrote earlier in the tile pass. Neither needs an external
+    // hazard. (An id may mix elided and materialized writes under WAW
+    // elision — per-step resolution keeps the final materialized
+    // write in the set where a whole-id exclusion would drop it.)
+    std::unordered_set<PimObjId> written_in_chain;
     std::vector<PimObjId> reads;
     std::vector<PimObjId> writes;
+
+    // Per-member stats commits in issue order from issue-time
+    // profiles — exactly what the unfused commands would commit.
+    // Captured copies commit their modeled transfer instead of an op
+    // cost, interleaved at their window position.
+    struct ChainCommit
+    {
+        bool is_copy = false;
+        PimStatsMgr::CmdKeyId id = 0;
+        PimOpProfile profile;
+        uint64_t bytes = 0; ///< modeled copy payload (is_copy)
+    };
+    std::vector<ChainCommit> commits;
+    commits.reserve(chain.size());
+    // Keeps every member copy's snapshot alive until the chain runs
+    // (the tape holds raw pointers into them).
+    std::vector<std::shared_ptr<const uint8_t[]>> snapshots;
+
     for (const PimFusionStep &st : chain) {
         const PimFusedOp &op = ops[st.op];
-        if (op.a >= 0 && elided.count(op.a) == 0)
-            reads.push_back(op.a);
-        if (op.b >= 0 && elided.count(op.b) == 0)
-            reads.push_back(op.b);
-        if (op.dest >= 0 && elided.count(op.dest) == 0)
-            writes.push_back(op.dest);
+        if (op.is_load) {
+            snapshots.push_back(op.host);
+            ChainCommit c;
+            c.is_copy = true;
+            c.bytes = op.copy_payload;
+            commits.push_back(c);
+        } else {
+            ChainCommit c;
+            c.id = op.key_id;
+            c.profile = op.profile;
+            commits.push_back(c);
+        }
+        if (!op.is_load && !op.is_fill) {
+            if (op.a >= 0 && written_in_chain.count(op.a) == 0)
+                reads.push_back(op.a);
+            if (op.b >= 0 && written_in_chain.count(op.b) == 0)
+                reads.push_back(op.b);
+        }
+        if (op.dest >= 0) {
+            if (!st.elide_store)
+                writes.push_back(op.dest);
+            written_in_chain.insert(op.dest);
+        }
     }
     const auto dedupe = [](std::vector<PimObjId> &v) {
         std::sort(v.begin(), v.end());
@@ -1332,18 +1412,6 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
     };
     dedupe(reads);
     dedupe(writes);
-
-    // Per-member stats commits in issue order from issue-time
-    // profiles — exactly what the unfused commands would commit.
-    struct ChainCommit
-    {
-        PimStatsMgr::CmdKeyId id;
-        PimOpProfile profile;
-    };
-    std::vector<ChainCommit> commits;
-    commits.reserve(chain.size());
-    for (const PimFusionStep &st : chain)
-        commits.push_back({ops[st.op].key_id, ops[st.op].profile});
 
     // A reduction-terminated chain blocks like the unfused reduction:
     // the scalar result goes back to the host. Per-chunk tape
@@ -1358,8 +1426,9 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
     const size_t n = tape.n;
     const size_t folded = tape.folded_fills;
     issue(reads, writes,
-          [=, this, tape = std::move(tape),
-           commits = std::move(commits)](PimStatsDelta *delta) {
+          [=, this, tape = std::move(tape), commits = std::move(commits),
+           snapshots = std::move(snapshots)](PimStatsDelta *delta) {
+              (void)snapshots; // keeps host snapshots alive for the tape
               PIM_TRACE_SCOPE_ARG(trace_name, "exec", n);
               std::atomic<uint64_t> total{0};
               pool_.parallelForChunks(
@@ -1372,8 +1441,17 @@ PimDevice::executeFusedChain(const std::vector<PimFusedOp> &ops,
               if (red_result)
                   *red_result = static_cast<int64_t>(
                       total.load(std::memory_order_relaxed));
-              for (const ChainCommit &c : commits)
-                  commitCmd(delta, c.id, model_->costOp(c.profile));
+              for (const ChainCommit &c : commits) {
+                  if (c.is_copy) {
+                      PIM_METRIC_COUNT("copy.bytes_h2d", c.bytes);
+                      commitCopy(delta, PimCopyEnum::PIM_COPY_H2D,
+                                 c.bytes,
+                                 model_->costCopy(
+                                     PimCopyEnum::PIM_COPY_H2D, c.bytes));
+                  } else {
+                      commitCmd(delta, c.id, model_->costOp(c.profile));
+                  }
+              }
           },
           /*blocking=*/has_reduce);
     return folded;

@@ -327,6 +327,10 @@ class PimDevice
 
     /** Fusion issue window (issuing thread only). */
     PimFusionWindow fusion_window_;
+    /** Recycles captured-copy snapshot buffers; shared so in-flight
+     *  snapshot deleters outlive the device member. */
+    std::shared_ptr<PimSnapshotPool> snapshot_pool_ =
+        std::make_shared<PimSnapshotPool>();
     bool fusion_on_ = false;
     int fusion_region_depth_ = 0;
 

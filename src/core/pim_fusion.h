@@ -16,6 +16,12 @@
  *    chains of adjacent commands (command j+1 reads command j's dest);
  *    adjacency keeps per-command statistics commits in issue order,
  *    which is what makes fused stats bit-identical to unfused runs.
+ *    Full-object pimCopyHostToDevice calls capture as is_load members
+ *    (host buffer snapshotted at issue), so copy->consumer chains —
+ *    the GEMV/GEMM column-sweep pattern — fuse end-to-end; a staging
+ *    column whose only readers are in-chain is elided and never
+ *    materialized, its consumers reading tile slices straight from
+ *    the snapshot.
  *  - Each chain lowers to an expression tape (post-order op list +
  *    operand slots). The tape interpreter evaluates the whole chain
  *    over one L1-resident tile at a time with the same chunk kernels
@@ -41,10 +47,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "core/perf_energy_model.h"
+#include "core/pim_host_io.h"
 #include "core/pim_stats.h"
 #include "core/pim_types.h"
 #include "fulcrum/alpu_kernels.h"
@@ -52,9 +61,54 @@
 namespace pimeval {
 
 /** Window and chain bounds (small by design: the window only needs to
- *  span one app-loop body between natural flush points). */
+ *  span one app-loop body between natural flush points). The chain cap
+ *  counts compute members only — host loads (captured H2D copies) ride
+ *  along uncapped, so a GEMV window of interleaved copy+scaledAdd
+ *  pairs still lowers to a single sweep. */
 constexpr size_t kMaxFusionWindowOps = 32;
-constexpr size_t kMaxFusionChainLen = 8;
+constexpr size_t kMaxFusionChainLen = 16;
+
+/**
+ * Recycling allocator for capture-time host snapshots.
+ *
+ * A captured H2D copy snapshots the caller's buffer at issue; a GEMV
+ * sweep captures one multi-megabyte snapshot per column. Fresh heap
+ * blocks of that size come straight from mmap, and the first-touch
+ * page faults (plus the unmap when the chain releases the buffer)
+ * cost several times the snapshot memcpy itself. The pool retains
+ * released blocks and hands them back warm, so steady-state sweeps
+ * reuse the same few buffers with no page-fault traffic.
+ *
+ * Thread-safe: async-pipeline workers release buffers while the
+ * issuing thread acquires. The device holds the pool via shared_ptr
+ * and every buffer's deleter keeps a reference, so in-flight
+ * snapshots stay valid through device teardown ordering.
+ */
+class PimSnapshotPool
+    : public std::enable_shared_from_this<PimSnapshotPool>
+{
+  public:
+    /** Get a buffer of at least @p bytes (contents undefined); the
+     *  deleter returns it to the pool. Best-fit over retained blocks,
+     *  falling back to a fresh allocation. */
+    std::shared_ptr<uint8_t[]> acquire(size_t bytes);
+
+  private:
+    void release(uint8_t *p, size_t cap);
+
+    struct Block
+    {
+        size_t cap;
+        std::unique_ptr<uint8_t[]> mem;
+    };
+
+    /** Retention cap: bounds idle memory at a window's worth of
+     *  snapshots (32 ops) without recycling pressure in steady state. */
+    static constexpr size_t kMaxRetained = kMaxFusionWindowOps;
+
+    std::mutex mu_;
+    std::vector<Block> free_;
+};
 
 /**
  * The operand view of one window command, as the chain planner sees
@@ -73,6 +127,11 @@ struct PimFusionOpView
     /** Broadcast fill (pimBroadcast*): writes dest, reads nothing.
      *  May only start a chain. */
     bool is_fill = false;
+    /** Captured H2D copy (pimCopyHostToDevice): writes dest from a
+     *  host snapshot, reads no object. Loads are absorbed into the
+     *  open chain unconditionally; a later compute may link by reading
+     *  any absorbed load's dest (copy->consumer RAW chain). */
+    bool is_load = false;
 };
 
 /** One tape step of a planned chain: window op index + whether its
@@ -89,14 +148,32 @@ using PimFusionChain = std::vector<PimFusionStep>;
  * Greedy linear chain extraction over a command window.
  *
  * Walks the window in issue order; command j+1 joins the open chain
- * when it reads the chain tail's dest (RAW link). Only adjacent
- * commands link — fusing across unrelated commands would reorder
- * per-command stats commits. A reduction (is_reduce) joins a chain as
- * its terminator and never extends further; a fill (is_fill) reads
- * nothing, so it can only open a chain. A non-final step's dest store
- * is elided when the object was born in the window (@p born), freed in
- * the window (@p freed), written by no other window command, and read
- * by no window command except its immediate successor.
+ * when it reads the chain's flow value (the last compute/fill
+ * member's dest) or the dest of a load already absorbed by the chain
+ * (copy->consumer RAW link). Only adjacent commands link — fusing
+ * across unrelated commands would reorder per-command stats commits.
+ * Loads (is_load) are absorbed unconditionally: the tape executes
+ * them in window position, so a run of interleaved copy+compute pairs
+ * stays one chain. A reduction (is_reduce) joins only by reading the
+ * flow, terminates its chain, and never extends further; a fill
+ * (is_fill) reads nothing, so it can only open a chain.
+ *
+ * Store elision is order-aware. For a member writing d at window
+ * index w, let p be the next window command writing d (if any) and R
+ * the set of commands reading d in (w, p] — p included because a
+ * command reads its operands before storing. The store is elided when
+ * the value is dead past the window (p exists, or d was born AND
+ * freed in the window: @p born / @p freed) and every reader in R can
+ * resolve d inside the chain:
+ *  - compute/fill: R must be exactly the chain's next compute member
+ *    (or empty), which consumes the value as the flowing tile; the
+ *    final compute store of a chain always materializes.
+ *  - load: every reader in R must be a later member of the same chain
+ *    (each consumer converts its tile slice straight from the host
+ *    snapshot, so multiple in-chain readers are fine).
+ * This covers both dead temporaries (born+freed) and WAW-dead
+ * rewrites of long-lived objects (a GEMV accumulator only stores its
+ * final value per window).
  *
  * Every window op appears in exactly one chain; unfusable neighbors
  * produce singleton chains (executed exactly like unfused commands).
@@ -142,6 +219,15 @@ struct PimFusedOp
     /** Broadcast fill: writes @p scalar (pre-masked) to every element
      *  of dest; reads nothing. */
     bool is_fill = false;
+    /** Captured H2D copy: the host buffer is snapshotted at issue
+     *  (same semantics as the async pipeline's H2D snapshot — the
+     *  caller's pointer need not outlive the call), and the chain
+     *  execution keeps the snapshot alive until it runs. */
+    bool is_load = false;
+    std::shared_ptr<const uint8_t[]> host;
+    PimHostToDeviceChunkFn load_kern = nullptr;
+    unsigned host_stride = 0;   ///< host bytes per element
+    uint64_t copy_payload = 0;  ///< modeled bytes for the stats commit
     PimOpProfile profile;
     PimStatsMgr::CmdKeyId key_id = 0;
     const char *trace_name = nullptr;
@@ -168,6 +254,33 @@ struct PimFusedTapeStep
     /** Fill step (all kernels null): write @p scalar to every element
      *  of the output; the value then flows like any step result. */
     bool is_fill = false;
+    /** Standalone materialized load: convert the host tile slice and
+     *  store it (host_a + load_a + mask describe the conversion); does
+     *  not touch the flowing value. An *elided* load never becomes a
+     *  step — its consumers carry host-source operands instead. */
+    bool is_load = false;
+    /** Host-source operands: the operand's producer is an elided
+     *  in-window copy, so the step converts its tile slice straight
+     *  from the snapshot (load_* kernel, stride in host bytes, the
+     *  copy dest's element mask) into a scratch tile. */
+    const uint8_t *host_a = nullptr;
+    const uint8_t *host_b = nullptr;
+    PimHostToDeviceChunkFn load_a = nullptr;
+    PimHostToDeviceChunkFn load_b = nullptr;
+    unsigned host_stride_a = 0;
+    unsigned host_stride_b = 0;
+    uint64_t load_mask_a = 0;
+    uint64_t load_mask_b = 0;
+    /** Inline host-source scaledAdd: set when this step is a
+     *  scaledAdd whose A operand is a host snapshot. The kernel
+     *  converts each lane and computes in one pass — no scratch-tile
+     *  round trip — and is bit-identical to load_a followed by
+     *  kern_sa (the lane applies load_mask_a exactly like the
+     *  conversion kernel). Signature: (host_slice, b, scalar, out,
+     *  cnt, bits, mask, load_mask). */
+    void (*kern_hsa)(const uint8_t *, const uint64_t *, uint64_t,
+                     uint64_t *, size_t, unsigned, uint64_t,
+                     uint64_t) = nullptr;
     /** Op metadata mirrored from the source PimFusedOp so fast-path
      *  qualification can run on the lowered (post-folding) steps. */
     AlpuOp op = AlpuOp::kAdd;

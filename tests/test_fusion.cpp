@@ -81,6 +81,17 @@ fillView(PimObjId d)
     return view;
 }
 
+/** Captured-copy view: an is_load head op writing @p d from a host
+ *  snapshot (reads no device object). */
+PimFusionOpView
+loadView(PimObjId d)
+{
+    PimFusionOpView view;
+    view.dest = d;
+    view.is_load = true;
+    return view;
+}
+
 TEST(FusionPlanner, LinearChainFusesWhole)
 {
     // 1 -> 2 -> 3 -> 4: each op reads the previous dest.
@@ -155,13 +166,95 @@ TEST(FusionPlanner, NoElisionWhenReadOutsideTheLink)
     EXPECT_FALSE(chains[0][0].elide_store);
 }
 
-TEST(FusionPlanner, NoElisionWithSecondWriter)
+TEST(FusionPlanner, WawShadowedStoreElided)
 {
-    // A later op rewrites the temporary.
+    // A later op fully rewrites the temporary and the only reader
+    // before the rewrite is the chain's own consumer — the first
+    // store is dead and the planner elides it (order-aware rule).
     const std::vector<PimFusionOpView> ops = {
         opView(1, 2), opView(2, 3), opView(7, 2)};
     const auto chains = pimPlanFusionChains(ops, {2}, {2});
+    EXPECT_TRUE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, NoElisionWhenReaderBetweenWriters)
+{
+    // An out-of-chain op reads the temporary between the chain
+    // consumer and the rewrite — the store must materialize.
+    const std::vector<PimFusionOpView> ops = {
+        opView(1, 2), opView(2, 3), opView(2, 4), opView(7, 2)};
+    const auto chains = pimPlanFusionChains(ops, {2}, {2});
     EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, LoadAbsorbedAndElidedForDeadStagingDest)
+{
+    // copy -> consumer RAW link: the load joins the chain, and a
+    // staging dest born and freed in the window never materializes.
+    const std::vector<PimFusionOpView> ops = {loadView(2),
+                                              opView(2, 3)};
+    const auto chains = pimPlanFusionChains(ops, {2}, {2});
+    ASSERT_EQ(chains.size(), 1u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    EXPECT_TRUE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, LoadMaterializesWhenDestOutlivesWindow)
+{
+    // Same shape, but the staging dest is a long-lived object (not
+    // born/freed here) with no shadowing rewrite: the converted data
+    // must land in memory for whoever reads it after the flush.
+    const std::vector<PimFusionOpView> ops = {loadView(2),
+                                              opView(2, 3)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 1u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, LoadShadowedByNextCopyElides)
+{
+    // The GEMV sweep shape: copy/consume pairs reusing one staging
+    // buffer. Every copy shadowed by the next copy's rewrite elides;
+    // the window's trailing copy (no shadow, long-lived dest)
+    // materializes for the next window.
+    const std::vector<PimFusionOpView> ops = {
+        loadView(2), opView(2, 3, /*b=*/3), loadView(2),
+        opView(2, 3, /*b=*/3)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 1u);
+    ASSERT_EQ(chains[0].size(), 4u);
+    EXPECT_TRUE(chains[0][0].elide_store);  // shadowed by op 2
+    EXPECT_FALSE(chains[0][2].elide_store); // trailing copy
+}
+
+TEST(FusionPlanner, LoadReadBeyondChainMaterializes)
+{
+    // Regression: a captured-copy dest read by a later op the chain
+    // does not absorb must materialize even when born and freed in
+    // the window — the out-of-chain reader needs the memory image.
+    const std::vector<PimFusionOpView> ops = {
+        loadView(2), opView(2, 3), opView(7, 8), opView(2, 5)};
+    const auto chains = pimPlanFusionChains(ops, {2}, {2});
+    ASSERT_GE(chains.size(), 3u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    EXPECT_FALSE(chains[0][0].elide_store);
+}
+
+TEST(FusionPlanner, ReduceDoesNotJoinThroughShadowingLoad)
+{
+    // mul writes t, a captured copy rewrites t, then a reduce reads
+    // t. The reduce consumes the flowing value blindly, so it must
+    // not join a chain whose flow was shadowed by the load — it
+    // would sum the mul's output instead of the copied data.
+    const std::vector<PimFusionOpView> ops = {opView(1, 2),
+                                              loadView(2),
+                                              reduceView(2)};
+    const auto chains = pimPlanFusionChains(ops, {}, {});
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].size(), 2u); // mul + absorbed load
+    ASSERT_EQ(chains[1].size(), 1u);
+    EXPECT_EQ(chains[1][0].op, 2u); // reduce runs standalone
 }
 
 TEST(FusionPlanner, ChainLengthCapped)
@@ -790,14 +883,15 @@ TEST_P(FusionTest, DeadTemporaryElisionAccounting)
     pimFree(d);
 }
 
-TEST_P(FusionTest, NonFusedWriteBlocksElisionAndPristineRecycle)
+TEST_P(FusionTest, MaterializedWriteBlocksElisionAndPristineRecycle)
 {
-    // Regression: an object allocated while fusion captures and then
-    // written by a non-fused path (the host copy flushes a still-empty
-    // window first) must stop counting as born-in-window. Eliding it
-    // later would skip its chain store while freeElided marks the
-    // storage pristine, so the next same-shape allocation would skip
-    // the recycle zero-fill and read back the copied data.
+    // Regression: an object with any materialized write in the window
+    // must not return to the allocator pristine even when other
+    // writes to it elide. Here the captured copy runs as a singleton
+    // chain (its data lands in t's storage) while the chain that
+    // overwrites t elides its store — per-id bookkeeping must see the
+    // materialized write, or the next same-shape allocation would
+    // skip the recycle zero-fill and read back the copied data.
     const uint64_t n = 400;
     const std::vector<int> xs(n, 7), junk(n, 0x5a5a5a);
     const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
@@ -876,6 +970,291 @@ TEST_P(FusionTest, FlushOnIntermediateReadAndWindowOverflow)
     pimFree(t);
 }
 
+namespace {
+
+/** Everything one GEMV column sweep produces, for compare. */
+struct SweepOutcome
+{
+    std::vector<int> y;
+    PimRunStats stats;
+    std::map<std::string, uint64_t> op_mix;
+};
+
+/**
+ * The GEMV column-sweep command stream: broadcast the accumulator,
+ * then per column copy into one staging buffer and scaled-add into
+ * the accumulator. With @p fused the whole sweep is a capture region
+ * (the copies become fused loads and the staging stores elide); the
+ * command stream is identical either way, so modeled stats must be
+ * bit-identical.
+ */
+SweepOutcome
+runGemvSweepWorkload(const std::vector<int> &matrix,
+                     const std::vector<int> &v, uint64_t m, uint64_t n,
+                     bool fused)
+{
+    SweepOutcome o;
+    o.y.assign(m, 0);
+    const PimObjId col = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, m, 32,
+                                  PimDataType::PIM_INT32);
+    const PimObjId acc =
+        pimAllocAssociated(32, col, PimDataType::PIM_INT32);
+    EXPECT_TRUE(col >= 0 && acc >= 0);
+
+    if (fused)
+        pimBeginFusion();
+    pimBroadcastInt(acc, 0);
+    for (uint64_t j = 0; j < n; ++j) {
+        pimCopyHostToDevice(matrix.data() + j * m, col);
+        pimScaledAdd(col, acc, acc,
+                     static_cast<uint64_t>(
+                         static_cast<int64_t>(v[j])));
+    }
+    if (fused)
+        pimEndFusion();
+    pimCopyDeviceToHost(acc, o.y.data());
+
+    pimFree(col);
+    pimFree(acc);
+    o.stats = pimGetStats();
+    o.op_mix = pimGetOpMix();
+    return o;
+}
+
+void
+expectSweepOutcomesIdentical(const SweepOutcome &a,
+                             const SweepOutcome &b)
+{
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.stats.kernel_sec, b.stats.kernel_sec);
+    EXPECT_EQ(a.stats.kernel_j, b.stats.kernel_j);
+    EXPECT_EQ(a.stats.copy_sec, b.stats.copy_sec);
+    EXPECT_EQ(a.stats.copy_j, b.stats.copy_j);
+    EXPECT_EQ(a.stats.bytes_h2d, b.stats.bytes_h2d);
+    EXPECT_EQ(a.stats.bytes_d2h, b.stats.bytes_d2h);
+    EXPECT_EQ(a.op_mix, b.op_mix);
+}
+
+void
+expectSweepCorrect(const SweepOutcome &o, const std::vector<int> &matrix,
+                   const std::vector<int> &v, uint64_t m, uint64_t n)
+{
+    for (uint64_t i = 0; i < m; ++i) {
+        int64_t acc = 0;
+        for (uint64_t j = 0; j < n; ++j)
+            acc += static_cast<int64_t>(matrix[j * m + i]) * v[j];
+        ASSERT_EQ(o.y[i], static_cast<int>(acc)) << "row " << i;
+    }
+}
+
+} // namespace
+
+TEST_P(FusionTest, CopyCaptureSweepBitIdenticalSync)
+{
+    ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+              PimStatus::PIM_OK);
+    // 2048 is tile-divisible; 1537 leaves a 513-element tail. 40
+    // columns = 81 captured commands, crossing the window boundary.
+    const uint64_t n = 40;
+    for (const uint64_t m : {uint64_t{2048}, uint64_t{1537}}) {
+        Prng rng(17);
+        const std::vector<int> matrix =
+            rng.intVector(m * n, -100, 100);
+        const std::vector<int> v = rng.intVector(n, -10, 10);
+
+        pimResetStats();
+        const SweepOutcome unfused =
+            runGemvSweepWorkload(matrix, v, m, n, false);
+        pimResetStats();
+        const SweepOutcome fused =
+            runGemvSweepWorkload(matrix, v, m, n, true);
+
+        expectSweepOutcomesIdentical(unfused, fused);
+        expectSweepCorrect(fused, matrix, v, m, n);
+    }
+}
+
+TEST_P(FusionTest, CopyCaptureSweepBitIdenticalAsync)
+{
+    const uint64_t n = 40;
+    for (const uint64_t m : {uint64_t{2048}, uint64_t{1537}}) {
+        Prng rng(23);
+        const std::vector<int> matrix =
+            rng.intVector(m * n, -100, 100);
+        const std::vector<int> v = rng.intVector(n, -10, 10);
+
+        ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_SYNC),
+                  PimStatus::PIM_OK);
+        pimResetStats();
+        const SweepOutcome unfused_sync =
+            runGemvSweepWorkload(matrix, v, m, n, false);
+
+        ASSERT_EQ(pimSetExecMode(PimExecEnum::PIM_EXEC_ASYNC),
+                  PimStatus::PIM_OK);
+        pimResetStats();
+        const SweepOutcome fused_async =
+            runGemvSweepWorkload(matrix, v, m, n, true);
+
+        expectSweepOutcomesIdentical(unfused_sync, fused_async);
+        expectSweepCorrect(fused_async, matrix, v, m, n);
+    }
+}
+
+TEST_P(FusionTest, CapturedCopySnapshotsHostBufferAtIssue)
+{
+    // The capture must snapshot the host buffer at issue — the
+    // caller may scribble over or free it before the window flushes
+    // (the async pipeline H2D contract).
+    const uint64_t n = 900;
+    const std::vector<int> xs(n, 5);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    {
+        std::vector<int> staged(n, 100);
+        pimCopyHostToDevice(staged.data(), d);
+        std::fill(staged.begin(), staged.end(), -1); // scribble
+        pimAdd(d, x, d);
+    } // staged destroyed while the window is still open
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(d, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], 100 + 5);
+    }
+    pimFree(x);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, CapturedCopyDestReadAfterFlushMaterializes)
+{
+    // Regression: a captured copy whose dest outlives the window must
+    // land the converted data in memory — a later non-fused reader
+    // sees it after the flush.
+    const uint64_t n = 800;
+    Prng rng(31);
+    const std::vector<int> xs = rng.intVector(n, -50, 50);
+    const std::vector<int> hs = rng.intVector(n, -50, 50);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    pimCopyHostToDevice(hs.data(), t);
+    pimAdd(t, x, d); // in-window consumer
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+
+    // Non-fused reads after the flush.
+    std::vector<int> tout(n, 0), dout(n, 0);
+    pimCopyDeviceToHost(t, tout.data());
+    pimCopyDeviceToHost(d, dout.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(tout[i], hs[i]);
+        ASSERT_EQ(dout[i], hs[i] + xs[i]);
+    }
+    pimFree(x);
+    pimFree(t);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, DeferredFreeOfCapturedCopyDestElides)
+{
+    // Regression for the deferred-free path: freeing a staging object
+    // whose pending *copy* writes it must defer to the flush (not
+    // release the storage under the buffered chain), and a staging
+    // dest born, copy-written, consumed, and freed in-window is
+    // elided — its storage returns to the allocator pristine.
+    const uint64_t n = 700;
+    Prng rng(37);
+    const std::vector<int> xs = rng.intVector(n, -50, 50);
+    const std::vector<int> hs = rng.intVector(n, -50, 50);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId d = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(xs.data(), x);
+
+    pimResetMetrics();
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    const PimObjId t = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(hs.data(), t);
+    pimAdd(t, x, d);
+    pimFree(t); // pending copy writes t: must defer, then elide
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(d, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], hs[i] + xs[i]);
+    }
+    EXPECT_GE(metric("fusion.host_loads"), 1.0);
+    EXPECT_GE(metric("fusion.copy_elisions"), 1.0);
+    EXPECT_GE(metric("fusion.temps_elided"), 1.0);
+    EXPECT_GE(metric("freelist.pristine"), 1.0);
+
+    // The pristine-recycled buffer must still read back as zeros.
+    const PimObjId fresh =
+        pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    std::vector<int> zs(n, -1);
+    pimCopyDeviceToHost(fresh, zs.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(zs[i], 0);
+    }
+    pimFree(fresh);
+    pimFree(x);
+    pimFree(d);
+}
+
+TEST_P(FusionTest, CopyFusionMetrics)
+{
+    // fusion.host_loads counts captured copies in multi-op chains,
+    // fusion.copy_bytes_fused their modeled payload (matching what
+    // the same copies commit to bytes_h2d), fusion.copy_elisions the
+    // staging stores that never materialized.
+    const uint64_t n = 600;
+    const std::vector<int> hs(n, 3);
+    const PimObjId x = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                                PimDataType::PIM_INT32);
+    const PimObjId col = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    const PimObjId acc = pimAllocAssociated(32, x, PimDataType::PIM_INT32);
+    pimCopyHostToDevice(hs.data(), x);
+
+    pimResetStats();
+    const uint64_t h2d_before = pimGetStats().bytes_h2d;
+    pimResetMetrics();
+    ASSERT_EQ(pimBeginFusion(), PimStatus::PIM_OK);
+    pimBroadcastInt(acc, 0);
+    // Two copy/consume pairs through one staging buffer: the first
+    // copy is shadowed by the second (elides), the trailing copy
+    // materializes.
+    pimCopyHostToDevice(hs.data(), col);
+    pimScaledAdd(col, acc, acc, 2);
+    pimCopyHostToDevice(hs.data(), col);
+    pimScaledAdd(col, acc, acc, 4);
+    ASSERT_EQ(pimEndFusion(), PimStatus::PIM_OK);
+    pimSync();
+
+    EXPECT_EQ(metric("fusion.host_loads"), 2.0);
+    EXPECT_EQ(metric("fusion.copy_elisions"), 1.0);
+    const uint64_t h2d_fused = pimGetStats().bytes_h2d - h2d_before;
+    EXPECT_EQ(metric("fusion.copy_bytes_fused"),
+              static_cast<double>(h2d_fused));
+
+    std::vector<int> out(n, 0);
+    pimCopyDeviceToHost(acc, out.data());
+    for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], 3 * 2 + 3 * 4);
+    }
+    pimFree(x);
+    pimFree(col);
+    pimFree(acc);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllTargets, FusionTest,
     ::testing::Values(PimDeviceEnum::PIM_DEVICE_BITSIMD_V_AP,
@@ -942,6 +1321,67 @@ TEST(BitSerialFused, ChainMatchesUnfusedAndSavesTransposes)
     // The row-wide compute is the same microprograms either way.
     EXPECT_EQ(fs.micro_ops, us.micro_ops);
     EXPECT_GT(fs.tiles, 0u);
+}
+
+TEST(BitSerialFused, HostInputMatchesWordInputAndSkipsStaging)
+{
+    // A host-source input (packed bytes, the pimCopyHostToDevice
+    // layout) must produce bit-identical results to the same data
+    // registered as canonical words — fused, unfused, and reduced.
+    // Fused it converts per tile straight into the vertical planes
+    // (no horizontal staging object); the unfused baseline stages the
+    // whole input horizontally first.
+    constexpr unsigned kBits = 16;
+    constexpr size_t kN = 1537; // non-divisible tail past the tiles
+    constexpr uint64_t kMask = (1ull << kBits) - 1;
+    Prng rng(9);
+    std::vector<uint64_t> x(kN), y(kN);
+    std::vector<uint16_t> y_host(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        x[i] = rng.next() & kMask;
+        y[i] = rng.next() & kMask;
+        y_host[i] = static_cast<uint16_t>(y[i]);
+    }
+
+    const auto buildChain = [&](BitSerialFusedChain &chain,
+                                bool host_y) {
+        chain.addInput(x.data(), kN);
+        const int in_y = host_y
+            ? chain.addHostInput(y_host.data(), kN)
+            : chain.addInput(y.data(), kN);
+        chain.addScalarStep(BitSerialFusedOpKind::kMulScalar, 5);
+        chain.addStep(BitSerialFusedOpKind::kAdd, in_y);
+        chain.addStep(BitSerialFusedOpKind::kXor, in_y);
+    };
+
+    BitSerialFusedChain words(kBits, /*tile_cols=*/256);
+    BitSerialFusedChain host(kBits, /*tile_cols=*/256);
+    buildChain(words, false);
+    buildChain(host, true);
+
+    std::vector<uint64_t> ref(kN, 0), fused(kN, 0), unfused(kN, 0);
+    words.run(ref.data());
+    const BitSerialFusedStats fs = host.run(fused.data());
+    const BitSerialFusedStats us = host.runUnfused(unfused.data());
+    EXPECT_EQ(fused, ref);
+    EXPECT_EQ(unfused, ref);
+
+    // Fused: every host element converted in-tile, nothing staged.
+    EXPECT_EQ(fs.host_elems_in, kN);
+    EXPECT_EQ(fs.staged_elems, 0u);
+    // Unfused: the host input materializes as a staging object once.
+    EXPECT_EQ(us.staged_elems, kN);
+    EXPECT_EQ(us.host_elems_in, 0u);
+    // The transpose savings are unchanged by the input's source.
+    EXPECT_EQ(fs.elems_in, 2 * kN);
+    EXPECT_GT(us.elems_in, fs.elems_in);
+
+    int64_t sum_words = 0, sum_host = 0;
+    words.runRedSum(false, &sum_words);
+    const BitSerialFusedStats rs = host.runRedSum(false, &sum_host);
+    EXPECT_EQ(sum_host, sum_words);
+    EXPECT_EQ(rs.host_elems_in, kN);
+    EXPECT_EQ(rs.elems_out, 0u);
 }
 
 TEST(BitSerialFused, RedSumMatchesHostSumOfUnfused)
