@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Serving benchmark: open-loop offered-load sweep against the job
+ * API (API v3), batched vs unbatched.
+ *
+ * The bench first calibrates the pool's closed-loop service rate mu
+ * (jobs/sec, coalescing off), then sweeps offered load at fixed
+ * fractions of mu. Each load point runs twice — batching off and
+ * batching on (same specs, same arrival schedule) — submitting
+ * same-shape kVecScaledAdd jobs open-loop: arrivals follow the wall
+ * clock, not the completions, so queueing shows up as latency rather
+ * than reduced load. Per point the report records throughput,
+ * p50/p99 end-to-end latency, the rejection count (admission bound),
+ * and the realized mean batch size.
+ *
+ * The headline A/B is a separate "firehose" point — submit as fast
+ * as admission allows, so the server is saturated regardless of
+ * calibration noise: the batched server coalesces the backlog into
+ * multi-job dispatches and amortizes per-command simulation
+ * overhead, and "saturation.speedup" (batched / unbatched firehose
+ * throughput) is the number CI gates on.
+ *
+ * Output: BENCH_SERVING.json in the current directory (override with
+ * PIMEVAL_BENCH_SERVING_JSON). Knobs: PIMEVAL_BENCH_SERVING_N
+ * (elements per job, default 32 — small on purpose, so per-command
+ * overhead rather than element work dominates service time),
+ * PIMEVAL_BENCH_SERVING_DURATION_MS (per load point, default 400),
+ * PIMEVAL_BENCH_SERVING_MAX_BATCH (default 16).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pim_params.h"
+#include "core/pim_types.h"
+#include "serve/pim_job.h"
+#include "serve/pim_serve.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    const long long parsed = std::atoll(v);
+    return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+PimDeviceConfig
+benchDevice()
+{
+    PimDeviceConfig config;
+    config.device = PimDeviceEnum::PIM_DEVICE_FULCRUM;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 4;
+    config.num_subarrays_per_bank = 4;
+    config.num_rows_per_subarray = 256;
+    config.num_cols_per_row = 256;
+    return config;
+}
+
+PimServeConfig
+serverConfig(bool batched, size_t max_batch)
+{
+    PimServeConfig config;
+    config.device = benchDevice();
+    config.num_workers = 1; // one context: a clean batching A/B
+    config.batching = batched;
+    config.max_batch = batched ? max_batch : 1;
+    config.tenant_queue_cap = 8192;
+    config.fusion = 1; // copy-aware fusion benefits both modes
+    config.label_prefix = batched ? "bserve.b" : "bserve.u";
+    return config;
+}
+
+/** Shared operand pool: every job reuses these buffers (the serve
+ *  layer reads, never writes, operands). */
+struct Workload
+{
+    uint64_t n;
+    std::vector<int32_t> a, b;
+
+    explicit Workload(uint64_t elems) : n(elems), a(elems), b(elems)
+    {
+        Prng rng(17);
+        for (auto &x : a)
+            x = static_cast<int32_t>(rng.next());
+        for (auto &x : b)
+            x = static_cast<int32_t>(rng.next());
+    }
+
+    PimJobSpec
+    spec() const
+    {
+        PimJobSpec s;
+        s.kind = PimJobKind::kVecScaledAdd;
+        s.n = n;
+        s.a = a.data();
+        s.b = b.data();
+        s.scalar = 3;
+        s.tenant = "bench";
+        return s;
+    }
+};
+
+struct PointResult
+{
+    double offered = 0.0;    ///< jobs/sec offered
+    double throughput = 0.0; ///< jobs/sec completed
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_batch = 0.0;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+};
+
+/** Closed-loop service rate of the unbatched server (jobs/sec).
+ *  Max over rounds: scheduler noise on a shared host only ever
+ *  subtracts throughput, so the best round is the least-biased
+ *  capacity estimate, and an underestimate would make every "x mu"
+ *  load point weaker than labeled. */
+double
+calibrate(const Workload &work)
+{
+    auto server = PimServer::create(serverConfig(false, 1));
+    if (!server) {
+        std::cerr << "bench_serving: server creation failed\n";
+        std::exit(1);
+    }
+    // Warm up allocators and cost-model caches.
+    for (int i = 0; i < 8; ++i)
+        server->submit(work.spec()).wait();
+    double best = 0.0;
+    for (int round = 0; round < 3; ++round) {
+        const int jobs = 512;
+        const auto start = Clock::now();
+        std::vector<PimJobHandle> handles;
+        handles.reserve(jobs);
+        for (int i = 0; i < jobs; ++i)
+            handles.push_back(server->submit(work.spec()));
+        for (auto &h : handles)
+            h.wait();
+        best = std::max(best, jobs / secondsSince(start));
+    }
+    return best;
+}
+
+/** One run at offered load @p rate for @p duration_sec. A finite
+ *  rate is open-loop (arrivals follow the wall clock, late arrivals
+ *  burst to catch up). An infinite rate is the firehose: submit as
+ *  fast as admission allows, backing off briefly only on a
+ *  bounded-queue rejection — guaranteed saturating no matter how
+ *  noisy the calibration was. */
+PointResult
+runPoint(const Workload &work, bool batched, size_t max_batch,
+         double rate, double duration_sec)
+{
+    auto server = PimServer::create(serverConfig(batched, max_batch));
+    if (!server) {
+        std::cerr << "bench_serving: server creation failed\n";
+        std::exit(1);
+    }
+    const bool firehose = !std::isfinite(rate);
+    const auto interval =
+        firehose ? Clock::duration::zero()
+                 : std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(1.0 / rate));
+    const auto start = Clock::now();
+    auto next_arrival = start;
+    std::vector<PimJobHandle> handles;
+    while (secondsSince(start) < duration_sec) {
+        if (!firehose) {
+            std::this_thread::sleep_until(next_arrival);
+            next_arrival += interval;
+        }
+        PimJobHandle h = server->submit(work.spec());
+        const bool rejected =
+            h.poll() == PimJobState::kRejected;
+        handles.push_back(std::move(h));
+        if (firehose && rejected)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+    }
+    server->drain();
+    const double elapsed = secondsSince(start);
+
+    PointResult r;
+    r.offered = rate;
+    r.submitted = handles.size();
+    std::vector<double> latencies;
+    double batch_sum = 0.0;
+    for (auto &h : handles) {
+        const PimJobState state = h.wait();
+        if (state == PimJobState::kDone) {
+            ++r.completed;
+            latencies.push_back(static_cast<double>(h.latencyNs()));
+            batch_sum += static_cast<double>(h.batchSize());
+        } else if (state == PimJobState::kRejected) {
+            ++r.rejected;
+        }
+    }
+    r.throughput = r.completed / elapsed;
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        const auto at = [&](double q) {
+            const size_t idx = std::min(
+                latencies.size() - 1,
+                static_cast<size_t>(q * (latencies.size() - 1)));
+            return latencies[idx] / 1e6;
+        };
+        r.p50_ms = at(0.50);
+        r.p99_ms = at(0.99);
+        r.mean_batch = batch_sum / static_cast<double>(r.completed);
+    }
+    return r;
+}
+
+void
+emitPoint(std::ostream &os, const PointResult &r)
+{
+    os << "{\"throughput_jobs_per_sec\": " << r.throughput
+       << ", \"p50_latency_ms\": " << r.p50_ms
+       << ", \"p99_latency_ms\": " << r.p99_ms
+       << ", \"mean_batch_size\": " << r.mean_batch
+       << ", \"submitted\": " << r.submitted
+       << ", \"completed\": " << r.completed
+       << ", \"rejected\": " << r.rejected << "}";
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t n = envU64("PIMEVAL_BENCH_SERVING_N", 32);
+    const uint64_t duration_ms =
+        envU64("PIMEVAL_BENCH_SERVING_DURATION_MS", 400);
+    const uint64_t max_batch =
+        envU64("PIMEVAL_BENCH_SERVING_MAX_BATCH", 16);
+    const char *env = std::getenv("PIMEVAL_BENCH_SERVING_JSON");
+    const std::string json_path =
+        (env && *env) ? env : "BENCH_SERVING.json";
+    const double duration_sec =
+        static_cast<double>(duration_ms) / 1e3;
+
+    const Workload work(n);
+    const double mu = calibrate(work);
+    std::cout << "calibrated service rate: " << mu
+              << " jobs/sec (n = " << n << ")\n";
+
+    const double kLoadFactors[] = {0.3, 0.6, 0.9, 1.2, 1.5};
+    std::vector<double> factors(std::begin(kLoadFactors),
+                                std::end(kLoadFactors));
+    std::vector<PointResult> unbatched, batched;
+    for (const double f : factors) {
+        const double rate = f * mu;
+        unbatched.push_back(
+            runPoint(work, false, max_batch, rate, duration_sec));
+        batched.push_back(
+            runPoint(work, true, max_batch, rate, duration_sec));
+        std::cout << "load " << f << " x mu: unbatched "
+                  << unbatched.back().throughput << " j/s (p99 "
+                  << unbatched.back().p99_ms << " ms), batched "
+                  << batched.back().throughput << " j/s (p99 "
+                  << batched.back().p99_ms << " ms, mean batch "
+                  << batched.back().mean_batch << ")\n";
+    }
+
+    // The headline A/B runs at the firehose, not at a multiple of
+    // the calibrated rate: if calibration underestimates capacity, a
+    // "1.5x mu" point may not saturate at all and the comparison
+    // degenerates to 1.0x on an idle server.
+    const double inf = std::numeric_limits<double>::infinity();
+    const PointResult sat_u =
+        runPoint(work, false, max_batch, inf, duration_sec);
+    const PointResult sat_b =
+        runPoint(work, true, max_batch, inf, duration_sec);
+    const double speedup = sat_u.throughput > 0
+        ? sat_b.throughput / sat_u.throughput
+        : 0.0;
+    std::cout << "saturation (firehose): unbatched "
+              << sat_u.throughput << " j/s, batched "
+              << sat_b.throughput << " j/s (mean batch "
+              << sat_b.mean_batch << ") -> speedup " << speedup
+              << "\n";
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "bench_serving: cannot write " << json_path
+                  << "\n";
+        return 1;
+    }
+    os << "{\n  \"config\": {\"n\": " << n
+       << ", \"duration_ms\": " << duration_ms
+       << ", \"max_batch\": " << max_batch
+       << ", \"calibrated_rate_jobs_per_sec\": " << mu << "},\n";
+    os << "  \"load_points\": [\n";
+    for (size_t i = 0; i < factors.size(); ++i) {
+        os << "    {\"load_factor\": " << factors[i]
+           << ", \"offered_jobs_per_sec\": " << unbatched[i].offered
+           << ",\n     \"unbatched\": ";
+        emitPoint(os, unbatched[i]);
+        os << ",\n     \"batched\": ";
+        emitPoint(os, batched[i]);
+        os << "}" << (i + 1 < factors.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"saturation\": {\"offered\": \"firehose\""
+       << ", \"unbatched_throughput\": " << sat_u.throughput
+       << ", \"batched_throughput\": " << sat_b.throughput
+       << ", \"mean_batch_size\": " << sat_b.mean_batch
+       << ", \"rejected_unbatched\": " << sat_u.rejected
+       << ", \"rejected_batched\": " << sat_b.rejected
+       << ", \"speedup\": " << speedup << "}\n";
+    os << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

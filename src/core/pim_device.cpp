@@ -15,6 +15,7 @@
 
 #include "core/pim_host_io.h"
 #include "core/pim_metrics.h"
+#include "core/pim_runtime_config.h"
 #include "core/pim_trace.h"
 #include "fulcrum/alpu_kernels.h"
 #include "fulcrum/fulcrum_core.h"
@@ -148,12 +149,10 @@ PimDevice::PimDevice(const PimDeviceConfig &config, uint32_t ctx_id,
                    config_.colsPerCore(), " columns."));
     logInfo(strCat("Created thread pool with ", pool_.size(),
                    " threads."));
-    // Fusion defaults off; PIMEVAL_FUSION=1 (any value but "0")
-    // enables it device-wide, mirroring pimSetFusionEnabled.
-    const char *fusion_env = std::getenv("PIMEVAL_FUSION");
-    if (fusion_env && *fusion_env &&
-        std::strcmp(fusion_env, "0") != 0)
-        fusion_on_ = true;
+    // Fusion defaults off; the runtime config (pimSetRuntimeConfig >
+    // PIMEVAL_FUSION) can turn it on device-wide, mirroring
+    // pimSetFusionEnabled.
+    fusion_on_ = pimResolveRuntimeConfig().fusion.value;
 }
 
 PimDevice::~PimDevice()

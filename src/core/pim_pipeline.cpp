@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "core/pim_metrics.h"
+#include "core/pim_runtime_config.h"
 #include "core/pim_trace.h"
 
 namespace pimeval {
@@ -53,11 +54,12 @@ PimPipeline::PimPipeline(PimStatsMgr &stats, size_t num_workers,
     // issuer — handing a hazard-free command to a worker only buys a
     // context-switch round trip per command. Execute such commands
     // inline at enqueue instead (see enqueue()). Overridable for
-    // tests via PIMEVAL_PIPELINE_INLINE=0/1.
-    if (const char *env = std::getenv("PIMEVAL_PIPELINE_INLINE"))
-        inline_when_idle_ = (*env != '0');
-    else
-        inline_when_idle_ = std::thread::hardware_concurrency() <= 1;
+    // tests via PIMEVAL_PIPELINE_INLINE=0/1 (or the runtime config).
+    const int inline_knob =
+        pimResolveRuntimeConfig().pipeline_inline.value;
+    inline_when_idle_ = inline_knob >= 0
+        ? inline_knob != 0
+        : std::thread::hardware_concurrency() <= 1;
     const std::string prefix =
         name_prefix.empty() ? "pipeline-worker-" : name_prefix;
     workers_.reserve(num_workers);

@@ -21,6 +21,7 @@
 #include "core/pim_device.h"
 #include "core/pim_json.h"
 #include "core/pim_metrics.h"
+#include "core/pim_runtime_config.h"
 #include "core/pim_sim.h"
 #include "core/pim_stats.h"
 #include "util/logging.h"
@@ -422,12 +423,8 @@ PimProfiler::start(const std::string &path)
             path_ = path;
         epoch_ = std::chrono::steady_clock::now();
     }
-    sample_period_ms_ = 25.0;
-    if (const char *env = std::getenv("PIMEVAL_PROFILE_SAMPLE_MS");
-        env && *env) {
-        const double v = std::atof(env);
-        sample_period_ms_ = v > 0.0 ? v : 0.0;
-    }
+    sample_period_ms_ =
+        pimResolveRuntimeConfig().profile_sample_ms.value;
     enabled_flag_.store(true, std::memory_order_release);
     if (sample_period_ms_ > 0.0)
         startSampler();

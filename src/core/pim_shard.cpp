@@ -29,6 +29,15 @@ hostElemBytes(PimDataType dtype)
     return (pimBitsOfDataType(dtype) + 7) / 8;
 }
 
+/** Per-shard failure: records @p what and the shard index as the
+ *  thread's last error, preserving the device layer's own detail. */
+PimStatus
+failShard(const char *what, size_t shard)
+{
+    return fail(strCat(what, ": shard ", shard, " failed (",
+                       pimGetLastErrorMessage(), ")"));
+}
+
 } // namespace
 
 std::unique_ptr<PimShardGroup>
@@ -199,8 +208,10 @@ PimStatus
 PimShardGroup::copyHostToDevice(const void *src, PimObjId dest)
 {
     const ShardedObj *so = find(dest, "PimShardGroup::copyH2D");
-    if (!so || !src)
+    if (!so)
         return PimStatus::PIM_ERROR;
+    if (!src)
+        return fail("PimShardGroup::copyH2D: null host source");
     const uint64_t eb = hostElemBytes(so->dtype);
     const auto *bytes = static_cast<const uint8_t *>(src);
     const uint64_t k = shards_.size();
@@ -214,7 +225,7 @@ PimShardGroup::copyHostToDevice(const void *src, PimObjId dest)
             if (shards_[s]->device->copyHostToDevice(
                     bytes + offset * eb, sl.obj, 0, sl.count) !=
                 PimStatus::PIM_OK)
-                return PimStatus::PIM_ERROR;
+                return failShard("PimShardGroup::copyH2D", s);
             offset += sl.count;
         }
         return PimStatus::PIM_OK;
@@ -235,7 +246,7 @@ PimShardGroup::copyHostToDevice(const void *src, PimObjId dest)
         if (shards_[s]->device->copyHostToDevice(
                 staging.data(), sl.obj, 0, sl.count) !=
             PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::copyH2D", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -244,8 +255,10 @@ PimStatus
 PimShardGroup::copyDeviceToHost(PimObjId src, void *dest)
 {
     const ShardedObj *so = find(src, "PimShardGroup::copyD2H");
-    if (!so || !dest)
+    if (!so)
         return PimStatus::PIM_ERROR;
+    if (!dest)
+        return fail("PimShardGroup::copyD2H: null host destination");
     const uint64_t eb = hostElemBytes(so->dtype);
     auto *bytes = static_cast<uint8_t *>(dest);
     const uint64_t k = shards_.size();
@@ -259,7 +272,7 @@ PimShardGroup::copyDeviceToHost(PimObjId src, void *dest)
             if (shards_[s]->device->copyDeviceToHost(
                     sl.obj, bytes + offset * eb, 0, sl.count) !=
                 PimStatus::PIM_OK)
-                return PimStatus::PIM_ERROR;
+                return failShard("PimShardGroup::copyD2H", s);
             offset += sl.count;
         }
         return PimStatus::PIM_OK;
@@ -274,7 +287,7 @@ PimShardGroup::copyDeviceToHost(PimObjId src, void *dest)
         if (shards_[s]->device->copyDeviceToHost(
                 sl.obj, staging.data(), 0, sl.count) !=
             PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::copyD2H", s);
         for (uint64_t j = 0; j < sl.count; ++j)
             std::memcpy(bytes + (j * k + s) * eb,
                         staging.data() + j * eb, eb);
@@ -298,7 +311,7 @@ PimShardGroup::executeBinary(PimCmdEnum cmd, PimObjId a, PimObjId b,
         if (shards_[s]->device->executeBinary(
                 cmd, oa->slices[s].obj, ob->slices[s].obj,
                 od->slices[s].obj) != PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeBinary", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -317,7 +330,7 @@ PimShardGroup::executeUnary(PimCmdEnum cmd, PimObjId a, PimObjId dest)
         if (shards_[s]->device->executeUnary(
                 cmd, oa->slices[s].obj, od->slices[s].obj) !=
             PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeUnary", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -337,7 +350,7 @@ PimShardGroup::executeScalar(PimCmdEnum cmd, PimObjId a, PimObjId dest,
         if (shards_[s]->device->executeScalar(
                 cmd, oa->slices[s].obj, od->slices[s].obj, scalar) !=
             PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeScalar", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -359,7 +372,7 @@ PimShardGroup::executeScaledAdd(PimObjId a, PimObjId b, PimObjId dest,
         if (shards_[s]->device->executeScaledAdd(
                 oa->slices[s].obj, ob->slices[s].obj,
                 od->slices[s].obj, scalar) != PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeScaledAdd", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -376,7 +389,7 @@ PimShardGroup::executeBroadcast(PimObjId dest, uint64_t value)
             continue;
         if (shards_[s]->device->executeBroadcast(
                 od->slices[s].obj, value) != PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeBroadcast", s);
     }
     return PimStatus::PIM_OK;
 }
@@ -385,8 +398,11 @@ PimStatus
 PimShardGroup::executeRedSum(PimObjId a, int64_t *result)
 {
     const ShardedObj *oa = find(a, "PimShardGroup::executeRedSum");
-    if (!oa || !result)
+    if (!oa)
         return PimStatus::PIM_ERROR;
+    if (!result)
+        return fail("PimShardGroup::executeRedSum: null result "
+                    "pointer");
     // Gather per-shard partials; each per-device reduction blocks on
     // its own dependency cone only, so prior async broadcasts keep
     // overlapping until their shard's turn.
@@ -399,7 +415,7 @@ PimShardGroup::executeRedSum(PimObjId a, int64_t *result)
         if (shards_[s]->device->executeRedSum(
                 oa->slices[s].obj, 0, 0, &partial) !=
             PimStatus::PIM_OK)
-            return PimStatus::PIM_ERROR;
+            return failShard("PimShardGroup::executeRedSum", s);
         partials.push_back(partial);
     }
     // Tree combine. Two's-complement addition is associative, so the

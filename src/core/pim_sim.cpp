@@ -13,11 +13,11 @@
 #include "core/pim_sim.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "core/pim_error.h"
 #include "core/pim_metrics.h"
 #include "core/pim_profile.h"
+#include "core/pim_runtime_config.h"
 #include "core/pim_trace.h"
 #include "util/logging.h"
 
@@ -76,21 +76,17 @@ PimSim::createDevice(const PimDeviceConfig &config)
     if (!rec)
         return fail("pimCreateDevice: device creation failed");
 #if PIMEVAL_TRACING_ENABLED
-    // PIMEVAL_TRACE=<path> arms tracing for the device's lifetime;
-    // the trace exports to <path> when the device is deleted.
-    if (const char *path = std::getenv("PIMEVAL_TRACE");
-        path && *path && !PimTracer::enabled()) {
-        env_trace_path_ = path;
+    // A trace/profile path (PIMEVAL_TRACE / PIMEVAL_PROFILE, or the
+    // runtime-config overrides) arms tracing/profiling for the
+    // device's lifetime; the export happens at device deletion.
+    const PimResolvedRuntimeConfig rt = pimResolveRuntimeConfig();
+    if (!rt.trace_path.value.empty() && !PimTracer::enabled()) {
+        env_trace_path_ = rt.trace_path.value;
         PimTracer::instance().begin(env_trace_path_);
-        logInfo("tracing to " + env_trace_path_ +
-                " (PIMEVAL_TRACE)");
+        logInfo("tracing to " + env_trace_path_ + " (PIMEVAL_TRACE)");
     }
-    // PIMEVAL_PROFILE=<path> arms the phase profiler the same way;
-    // PROFILE.json (+ sibling HTML) exports when the device is
-    // deleted.
-    if (const char *path = std::getenv("PIMEVAL_PROFILE");
-        path && *path && !PimProfiler::enabled()) {
-        env_profile_path_ = path;
+    if (!rt.profile_path.value.empty() && !PimProfiler::enabled()) {
+        env_profile_path_ = rt.profile_path.value;
         PimProfiler::instance().start(env_profile_path_);
         logInfo("profiling to " + env_profile_path_ +
                 " (PIMEVAL_PROFILE)");

@@ -8,6 +8,7 @@
 #include "core/pim_trace.h"
 
 #include "core/pim_json.h"
+#include "core/pim_runtime_config.h"
 
 #include <algorithm>
 #include <cctype>
@@ -78,12 +79,8 @@ PimTracer::begin(const std::string &path)
     std::unique_lock<std::shared_mutex> lock(gate_);
     {
         std::lock_guard<std::mutex> reg(registry_mutex_);
-        capacity_ = kDefaultCapacity;
-        if (const char *env = std::getenv("PIMEVAL_TRACE_CAPACITY")) {
-            const long long v = std::atoll(env);
-            if (v > 0)
-                capacity_ = static_cast<size_t>(v);
-        }
+        capacity_ = static_cast<size_t>(
+            pimResolveRuntimeConfig().trace_capacity.value);
         for (auto &buf : buffers_) {
             buf->ring.assign(capacity_, TraceEvent{});
             buf->count.store(0, std::memory_order_relaxed);

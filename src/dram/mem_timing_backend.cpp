@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "core/pim_metrics.h"
+#include "core/pim_runtime_config.h"
 #include "dram/mem_backend_lut.h"
 
 namespace pimeval {
@@ -117,9 +118,12 @@ MemTimingBackend::resolve(PimMemBackend configured,
 {
     if (configured != PimMemBackend::PIM_MEM_BACKEND_DEFAULT)
         return configured;
-    PimMemBackend from_env;
-    if (parseKind(std::getenv("PIMEVAL_MEM_BACKEND"), &from_env))
-        return from_env;
+    // Process-wide selection (pimSetRuntimeConfig override, then
+    // PIMEVAL_MEM_BACKEND) sits below the explicit per-device field.
+    const PimMemBackend from_runtime =
+        pimResolveRuntimeConfig().mem_backend.value;
+    if (from_runtime != PimMemBackend::PIM_MEM_BACKEND_DEFAULT)
+        return from_runtime;
     if (use_dram_timing)
         return PimMemBackend::PIM_MEM_BACKEND_CYCLE;
     return PimMemBackend::PIM_MEM_BACKEND_LUT;

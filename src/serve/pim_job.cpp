@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Job validation, costing, and the direct (unserved) execution path.
+ *
+ * pimJobRunDirect is the reference semantics of every job kind: the
+ * server's unbatched dispatch calls exactly this function, and the
+ * batched paths are tested bit-identical against it.
+ */
+
+#include "serve/pim_job.h"
+
+#include "core/pim_api.h"
+#include "core/pim_error.h"
+#include "util/logging.h"
+
+namespace pimeval {
+
+uint64_t
+pimJobCostElems(const PimJobSpec &spec)
+{
+    if (spec.kind == PimJobKind::kGemv)
+        return spec.n * spec.cols;
+    return spec.n;
+}
+
+bool
+pimJobValidate(const PimJobSpec &spec, std::string *why)
+{
+    const auto reject = [why](const char *reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    if (spec.dtype != PimDataType::PIM_INT32)
+        return reject("only PIM_INT32 jobs are servable");
+    if (spec.n == 0)
+        return reject("zero-element job");
+    if (!spec.a || !spec.b)
+        return reject("null operand pointer");
+    if (spec.kind == PimJobKind::kGemv && spec.cols == 0)
+        return reject("kGemv requires cols > 0");
+    if (spec.tenant.empty())
+        return reject("empty tenant id");
+    return true;
+}
+
+namespace {
+
+/** Signed scalar bit-cast for the pimOpScalar/pimScaledAdd ABI. */
+uint64_t
+sext(int32_t v)
+{
+    return static_cast<uint64_t>(static_cast<int64_t>(v));
+}
+
+/** Frees every valid id (error-path unwinding and the happy path). */
+struct ObjGuard
+{
+    PimObjId ids[3] = {-1, -1, -1};
+    ~ObjGuard()
+    {
+        for (const PimObjId id : ids)
+            if (id >= 0)
+                pimFree(id);
+    }
+};
+
+/** a-vector, b-vector, dest triple (dest associated with a). */
+bool
+allocTriple(uint64_t n, ObjGuard &g)
+{
+    g.ids[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, n, 32,
+                        PimDataType::PIM_INT32);
+    if (g.ids[0] < 0)
+        return false;
+    g.ids[1] =
+        pimAllocAssociated(32, g.ids[0], PimDataType::PIM_INT32);
+    g.ids[2] =
+        pimAllocAssociated(32, g.ids[0], PimDataType::PIM_INT32);
+    return g.ids[1] >= 0 && g.ids[2] >= 0;
+}
+
+PimStatus
+runElementwise(const PimJobSpec &spec, PimJobOutput *out)
+{
+    ObjGuard g;
+    if (!allocTriple(spec.n, g))
+        return PimStatus::PIM_ERROR;
+    const bool fused = pimGetFusionEnabled();
+    if (fused)
+        pimBeginFusion();
+    PimStatus status = pimCopyHostToDevice(spec.a, g.ids[0]);
+    if (status == PimStatus::PIM_OK)
+        status = pimCopyHostToDevice(spec.b, g.ids[1]);
+    if (status == PimStatus::PIM_OK) {
+        switch (spec.kind) {
+          case PimJobKind::kVecAdd:
+            status = pimAdd(g.ids[0], g.ids[1], g.ids[2]);
+            break;
+          case PimJobKind::kVecMul:
+            status = pimMul(g.ids[0], g.ids[1], g.ids[2]);
+            break;
+          default: // kVecScaledAdd
+            status = pimScaledAdd(g.ids[0], g.ids[1], g.ids[2],
+                                  spec.scalar);
+            break;
+        }
+    }
+    if (fused)
+        pimEndFusion();
+    if (status != PimStatus::PIM_OK)
+        return status;
+    out->values.assign(spec.n, 0);
+    return pimCopyDeviceToHost(g.ids[2], out->values.data());
+}
+
+PimStatus
+runDot(const PimJobSpec &spec, PimJobOutput *out)
+{
+    ObjGuard g;
+    if (!allocTriple(spec.n, g))
+        return PimStatus::PIM_ERROR;
+    const bool fused = pimGetFusionEnabled();
+    if (fused)
+        pimBeginFusion();
+    PimStatus status = pimCopyHostToDevice(spec.a, g.ids[0]);
+    if (status == PimStatus::PIM_OK)
+        status = pimCopyHostToDevice(spec.b, g.ids[1]);
+    if (status == PimStatus::PIM_OK)
+        status = pimMul(g.ids[0], g.ids[1], g.ids[2]);
+    int64_t result = 0;
+    if (status == PimStatus::PIM_OK)
+        status = pimRedSum(g.ids[2], &result);
+    if (fused)
+        pimEndFusion(); // deferred reduce results land here
+    if (status == PimStatus::PIM_OK)
+        out->scalar = result;
+    return status;
+}
+
+PimStatus
+runGemv(const PimJobSpec &spec, PimJobOutput *out)
+{
+    ObjGuard g;
+    g.ids[0] = pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, spec.n, 32,
+                        PimDataType::PIM_INT32); // accumulator
+    if (g.ids[0] < 0)
+        return PimStatus::PIM_ERROR;
+    g.ids[1] =
+        pimAllocAssociated(32, g.ids[0], PimDataType::PIM_INT32);
+    if (g.ids[1] < 0)
+        return PimStatus::PIM_ERROR;
+    const bool fused = pimGetFusionEnabled();
+    if (fused)
+        pimBeginFusion();
+    PimStatus status = pimBroadcastInt(g.ids[0], 0);
+    for (uint64_t j = 0; status == PimStatus::PIM_OK && j < spec.cols;
+         ++j) {
+        status = pimCopyHostToDevice(spec.a + j * spec.n, g.ids[1]);
+        if (status == PimStatus::PIM_OK)
+            status = pimScaledAdd(g.ids[1], g.ids[0], g.ids[0],
+                                  sext(spec.b[j]));
+    }
+    if (fused)
+        pimEndFusion();
+    if (status != PimStatus::PIM_OK)
+        return status;
+    out->values.assign(spec.n, 0);
+    return pimCopyDeviceToHost(g.ids[0], out->values.data());
+}
+
+} // namespace
+
+PimStatus
+pimJobRunDirect(const PimJobSpec &spec, PimJobOutput *out)
+{
+    if (!out)
+        return fail("pimJobRunDirect: null output");
+    std::string why;
+    if (!pimJobValidate(spec, &why))
+        return fail("pimJobRunDirect: " + why);
+    switch (spec.kind) {
+      case PimJobKind::kVecAdd:
+      case PimJobKind::kVecMul:
+      case PimJobKind::kVecScaledAdd:
+        return runElementwise(spec, out);
+      case PimJobKind::kDot:
+        return runDot(spec, out);
+      case PimJobKind::kGemv:
+        return runGemv(spec, out);
+    }
+    return fail("pimJobRunDirect: unknown job kind");
+}
+
+} // namespace pimeval

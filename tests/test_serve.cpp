@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests of the serving layer (API v3): bit-identity of served
+ * (batched, sharded) execution against the direct path, admission
+ * control, weighted fair queuing, per-tenant metric isolation,
+ * cancellation, and registry churn under concurrent submission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pim_api.h"
+#include "core/pim_context.h"
+#include "core/pim_error.h"
+#include "serve/pim_job.h"
+#include "serve/pim_serve.h"
+#include "util/prng.h"
+
+using namespace pimeval;
+
+namespace {
+
+PimDeviceConfig
+smallConfig(PimDeviceEnum device = PimDeviceEnum::PIM_DEVICE_FULCRUM)
+{
+    PimDeviceConfig config;
+    config.device = device;
+    config.num_ranks = 1;
+    config.num_banks_per_rank = 4;
+    config.num_subarrays_per_bank = 4;
+    config.num_rows_per_subarray = 256;
+    config.num_cols_per_row = 256;
+    return config;
+}
+
+PimServeConfig
+serveConfig(size_t workers = 2)
+{
+    PimServeConfig config;
+    config.device = smallConfig();
+    config.num_workers = workers;
+    config.label_prefix = "tserve";
+    return config;
+}
+
+/** Deterministic operand pool; keeps pointers stable for job specs. */
+struct Operands
+{
+    std::vector<std::vector<int32_t>> bufs;
+
+    const int32_t *
+    vec(Prng &rng, uint64_t count)
+    {
+        std::vector<int32_t> v(count);
+        for (auto &x : v)
+            x = static_cast<int32_t>(rng.next());
+        bufs.push_back(std::move(v));
+        return bufs.back().data();
+    }
+};
+
+PimJobSpec
+makeSpec(PimJobKind kind, uint64_t n, uint64_t cols, Operands &ops,
+         Prng &rng, const std::string &tenant = "default")
+{
+    PimJobSpec spec;
+    spec.kind = kind;
+    spec.n = n;
+    spec.cols = cols;
+    spec.a = ops.vec(rng, kind == PimJobKind::kGemv ? n * cols : n);
+    spec.b = ops.vec(rng, kind == PimJobKind::kGemv ? cols : n);
+    spec.scalar = static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(rng.next())));
+    spec.tenant = tenant;
+    return spec;
+}
+
+/** Reference result: the direct path on a private context. */
+PimJobOutput
+runReference(const PimJobSpec &spec)
+{
+    PimContext ctx =
+        pimCreateContextFromConfig(smallConfig(), "tserve.ref");
+    EXPECT_NE(ctx, nullptr);
+    PimJobOutput out;
+    {
+        PimContextScope scope(ctx);
+        EXPECT_EQ(pimJobRunDirect(spec, &out), PimStatus::PIM_OK);
+    }
+    pimDestroyContext(ctx);
+    return out;
+}
+
+const PimJobKind kAllKinds[] = {
+    PimJobKind::kVecAdd,   PimJobKind::kVecMul,
+    PimJobKind::kVecScaledAdd, PimJobKind::kDot,
+    PimJobKind::kGemv,
+};
+
+} // namespace
+
+/**
+ * Served results — including coalesced batches with per-job scalars —
+ * are bit-identical to the direct path for every job kind.
+ */
+TEST(PimServe, BatchedBitIdenticalToDirect)
+{
+    auto config = serveConfig(1);
+    config.start_paused = true; // queue everything, force batches
+    config.max_batch = 8;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(7);
+    Operands ops;
+    const uint64_t n = 192;
+    std::vector<PimJobSpec> specs;
+    std::vector<PimJobHandle> handles;
+    for (const PimJobKind kind : kAllKinds) {
+        for (int r = 0; r < 5; ++r)
+            specs.push_back(makeSpec(kind, n, 6, ops, rng));
+    }
+    for (const auto &spec : specs)
+        handles.push_back(server->submit(spec));
+    server->resume();
+    server->drain();
+
+    bool saw_batch = false;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), PimJobState::kDone)
+            << handles[i].error();
+        saw_batch |= handles[i].batchSize() > 1;
+        const PimJobOutput ref = runReference(specs[i]);
+        EXPECT_EQ(handles[i].output().values, ref.values);
+        EXPECT_EQ(handles[i].output().scalar, ref.scalar);
+    }
+    EXPECT_TRUE(saw_batch); // same-shape runs must have coalesced
+
+    const PimServeStats stats = server->stats();
+    EXPECT_EQ(stats.completed, specs.size());
+    EXPECT_GT(stats.batched_jobs, 0u);
+}
+
+/** Same bit-identity over a sharded pool (PimShardGroup workers). */
+TEST(PimServe, ShardedPoolBitIdenticalToDirect)
+{
+    auto config = serveConfig(1);
+    config.shards_per_worker = 2;
+    config.start_paused = true;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(11);
+    Operands ops;
+    std::vector<PimJobSpec> specs;
+    std::vector<PimJobHandle> handles;
+    for (const PimJobKind kind : kAllKinds) {
+        for (int r = 0; r < 3; ++r)
+            specs.push_back(makeSpec(kind, 128, 4, ops, rng));
+    }
+    for (const auto &spec : specs)
+        handles.push_back(server->submit(spec));
+    server->resume();
+    server->drain();
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), PimJobState::kDone)
+            << handles[i].error();
+        const PimJobOutput ref = runReference(specs[i]);
+        EXPECT_EQ(handles[i].output().values, ref.values);
+        EXPECT_EQ(handles[i].output().scalar, ref.scalar);
+    }
+    // Sharded pools expose no single tenant context.
+    EXPECT_EQ(server->tenantContext("default"), nullptr);
+}
+
+/** Queue bound: submits past the cap reject immediately with the
+ *  thread-local last error set, and never block. */
+TEST(PimServe, AdmissionControlRejectsPastBound)
+{
+    auto config = serveConfig(1);
+    config.tenant_queue_cap = 4;
+    config.start_paused = true;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(3);
+    Operands ops;
+    std::vector<PimJobHandle> admitted;
+    for (int i = 0; i < 4; ++i) {
+        auto h = server->submit(
+            makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng));
+        EXPECT_EQ(h.poll(), PimJobState::kQueued);
+        admitted.push_back(h);
+    }
+    pimClearLastError();
+    auto rejected = server->submit(
+        makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng));
+    EXPECT_EQ(rejected.poll(), PimJobState::kRejected);
+    EXPECT_EQ(pimGetLastError(), PimStatus::PIM_ERROR);
+    EXPECT_NE(std::string(pimGetLastErrorMessage())
+                  .find("admission bound"),
+              std::string::npos);
+    EXPECT_NE(std::string(rejected.error()).find("admission bound"),
+              std::string::npos);
+    // A rejected handle is final: wait() must not block.
+    EXPECT_EQ(rejected.wait(), PimJobState::kRejected);
+
+    server->resume();
+    server->drain();
+    for (auto &h : admitted)
+        EXPECT_EQ(h.wait(), PimJobState::kDone);
+    const PimServeStats stats = server->stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.admitted, 4u);
+}
+
+/** Invalid specs reject through the same error contract. */
+TEST(PimServe, InvalidSpecRejects)
+{
+    auto server = PimServer::create(serveConfig(1));
+    ASSERT_NE(server, nullptr);
+    PimJobSpec spec; // null operands, n == 0
+    pimClearLastError();
+    auto h = server->submit(spec);
+    EXPECT_EQ(h.wait(), PimJobState::kRejected);
+    EXPECT_EQ(pimGetLastError(), PimStatus::PIM_ERROR);
+    EXPECT_NE(std::string(h.error()).find("invalid job"),
+              std::string::npos);
+}
+
+/**
+ * Weighted fair queuing: with equal-cost backlogs and weights 2:1 on
+ * one worker, the heavy tenant's jobs finish earlier on average (it
+ * receives two dispatches for each of the light tenant's).
+ */
+TEST(PimServe, WeightedFairQueuing)
+{
+    auto config = serveConfig(1);
+    config.batching = false; // one dispatch per job, visible order
+    config.start_paused = true;
+    config.tenant_queue_cap = 64;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+    ASSERT_EQ(server->setTenantWeight("heavy", 2.0),
+              PimStatus::PIM_OK);
+    ASSERT_EQ(server->setTenantWeight("light", 1.0),
+              PimStatus::PIM_OK);
+
+    Prng rng(23);
+    Operands ops;
+    const int per_tenant = 30;
+    std::vector<PimJobHandle> heavy, light;
+    for (int i = 0; i < per_tenant; ++i) {
+        heavy.push_back(server->submit(
+            makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng, "heavy")));
+        light.push_back(server->submit(
+            makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng, "light")));
+    }
+    server->resume();
+    server->drain();
+
+    double heavy_mean = 0.0, light_mean = 0.0;
+    for (int i = 0; i < per_tenant; ++i) {
+        ASSERT_EQ(heavy[i].wait(), PimJobState::kDone);
+        ASSERT_EQ(light[i].wait(), PimJobState::kDone);
+        heavy_mean += static_cast<double>(heavy[i].completionSeq());
+        light_mean += static_cast<double>(light[i].completionSeq());
+    }
+    heavy_mean /= per_tenant;
+    light_mean /= per_tenant;
+    EXPECT_LT(heavy_mean, light_mean);
+
+    // 2:1 service means the heavy tenant exhausts its backlog around
+    // dispatch 45 of 60; every heavy job must finish by then.
+    for (int i = 0; i < per_tenant; ++i)
+        EXPECT_LE(heavy[i].completionSeq(),
+                  static_cast<uint64_t>(per_tenant * 2));
+}
+
+/**
+ * Per-tenant isolation: with tenants on separate pool contexts,
+ * tenant B's load leaves tenant A's serve.* context metrics (and its
+ * modeled device stats) untouched.
+ */
+TEST(PimServe, TenantMetricIsolation)
+{
+    auto server = PimServer::create(serveConfig(2));
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(5);
+    Operands ops;
+    auto submitN = [&](const std::string &tenant, int count) {
+        std::vector<PimJobHandle> handles;
+        for (int i = 0; i < count; ++i)
+            handles.push_back(server->submit(makeSpec(
+                PimJobKind::kVecMul, 128, 0, ops, rng, tenant)));
+        for (auto &h : handles)
+            EXPECT_EQ(h.wait(), PimJobState::kDone) << h.error();
+    };
+
+    submitN("alice", 6);
+    server->drain();
+    PimContext ctx_a = server->tenantContext("alice");
+    ASSERT_NE(ctx_a, nullptr);
+    auto before = pimContextMetrics(ctx_a);
+    ASSERT_EQ(before.count("serve.completed"), 1u);
+    EXPECT_EQ(before["serve.completed"].value, 6.0);
+
+    submitN("bob", 9);
+    server->drain();
+    PimContext ctx_b = server->tenantContext("bob");
+    ASSERT_NE(ctx_b, nullptr);
+    ASSERT_NE(ctx_a, ctx_b); // 2 tenants, 2 workers: private contexts
+
+    // Alice's whole domain snapshot is unchanged by Bob's load.
+    auto after = pimContextMetrics(ctx_a);
+    EXPECT_EQ(after["serve.completed"].value,
+              before["serve.completed"].value);
+    EXPECT_EQ(after["serve.submitted"].value,
+              before["serve.submitted"].value);
+    EXPECT_EQ(after["serve.queue_ns"].count,
+              before["serve.queue_ns"].count);
+    auto bob = pimContextMetrics(ctx_b);
+    EXPECT_EQ(bob["serve.completed"].value, 9.0);
+
+    const PimServeStats stats = server->stats();
+    EXPECT_EQ(stats.tenants.at("alice").completed, 6u);
+    EXPECT_EQ(stats.tenants.at("bob").completed, 9u);
+}
+
+/** Cancellation: a queued job cancels exactly once, never executes,
+ *  and the server's accounting reflects it. */
+TEST(PimServe, CancelQueuedJob)
+{
+    auto config = serveConfig(1);
+    config.start_paused = true;
+    config.batching = false;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(29);
+    Operands ops;
+    auto h1 = server->submit(
+        makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng));
+    auto h2 = server->submit(
+        makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng));
+    auto h3 = server->submit(
+        makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng));
+    EXPECT_TRUE(h2.cancel());
+    EXPECT_FALSE(h2.cancel()); // second cancel loses
+    EXPECT_EQ(h2.poll(), PimJobState::kCancelled);
+
+    server->resume();
+    server->drain();
+    EXPECT_EQ(h1.wait(), PimJobState::kDone);
+    EXPECT_EQ(h2.wait(), PimJobState::kCancelled);
+    EXPECT_EQ(h3.wait(), PimJobState::kDone);
+    EXPECT_FALSE(h1.cancel()); // finished jobs don't cancel
+
+    const PimServeStats stats = server->stats();
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+/** kInteractive jobs are dispatched alone even when the queue is
+ *  full of coalescable same-shape work. */
+TEST(PimServe, InteractiveJobsNeverBatch)
+{
+    auto config = serveConfig(1);
+    config.start_paused = true;
+    config.max_batch = 16;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    Prng rng(31);
+    Operands ops;
+    std::vector<PimJobHandle> batchable;
+    for (int i = 0; i < 3; ++i)
+        batchable.push_back(server->submit(
+            makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng)));
+    auto interactive_spec =
+        makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng);
+    interactive_spec.deadline = PimJobDeadline::kInteractive;
+    auto interactive = server->submit(interactive_spec);
+    for (int i = 0; i < 3; ++i)
+        batchable.push_back(server->submit(
+            makeSpec(PimJobKind::kVecAdd, 64, 0, ops, rng)));
+
+    server->resume();
+    server->drain();
+    EXPECT_EQ(interactive.wait(), PimJobState::kDone);
+    EXPECT_EQ(interactive.batchSize(), 1u);
+    bool saw_batch = false;
+    for (auto &h : batchable) {
+        EXPECT_EQ(h.wait(), PimJobState::kDone);
+        saw_batch |= h.batchSize() > 1;
+    }
+    EXPECT_TRUE(saw_batch);
+}
+
+/** The process-wide pimServe* surface. */
+TEST(PimServe, GlobalInstanceLifecycle)
+{
+    pimClearLastError();
+    auto orphan = pimServeSubmit(PimJobSpec{});
+    EXPECT_FALSE(orphan.valid());
+    EXPECT_EQ(pimGetLastError(), PimStatus::PIM_ERROR);
+
+    ASSERT_EQ(pimServeStart(serveConfig(1)), PimStatus::PIM_OK);
+    EXPECT_TRUE(pimServeActive());
+    EXPECT_EQ(pimServeStart(serveConfig(1)), PimStatus::PIM_ERROR);
+    ASSERT_NE(pimServeInstance(), nullptr);
+
+    Prng rng(41);
+    Operands ops;
+    const PimJobSpec spec =
+        makeSpec(PimJobKind::kDot, 256, 0, ops, rng);
+    auto h = pimServeSubmit(spec);
+    ASSERT_TRUE(h.valid());
+    EXPECT_EQ(h.wait(), PimJobState::kDone) << h.error();
+    EXPECT_EQ(h.output().scalar, runReference(spec).scalar);
+
+    EXPECT_EQ(pimServeStop(), PimStatus::PIM_OK);
+    EXPECT_FALSE(pimServeActive());
+    EXPECT_EQ(pimServeStop(), PimStatus::PIM_ERROR);
+}
+
+/**
+ * Registry churn stress: contexts created and destroyed from several
+ * threads while submitters keep the server saturated. Nothing may
+ * deadlock, and every admitted job must still complete correctly.
+ */
+TEST(PimServe, RegistryChurnUnderLoad)
+{
+    auto config = serveConfig(2);
+    config.tenant_queue_cap = 512;
+    auto server = PimServer::create(config);
+    ASSERT_NE(server, nullptr);
+
+    constexpr int kChurnThreads = 3;
+    constexpr int kChurnIters = 12;
+    constexpr int kSubmitThreads = 2;
+    constexpr int kJobsPerThread = 40;
+
+    std::atomic<int> bad_contexts{0};
+    std::vector<std::thread> churners;
+    for (int c = 0; c < kChurnThreads; ++c) {
+        churners.emplace_back([&, c] {
+            for (int i = 0; i < kChurnIters; ++i) {
+                const std::string label =
+                    "churn." + std::to_string(c);
+                PimContext ctx = pimCreateContextFromConfig(
+                    smallConfig(), label.c_str());
+                if (!ctx) {
+                    bad_contexts.fetch_add(1);
+                    continue;
+                }
+                PimContextScope scope(ctx);
+                const PimObjId obj =
+                    pimAlloc(PimAllocEnum::PIM_ALLOC_AUTO, 32, 32,
+                             PimDataType::PIM_INT32);
+                if (obj < 0 ||
+                    pimBroadcastInt(obj, 1) != PimStatus::PIM_OK)
+                    bad_contexts.fetch_add(1);
+                pimDestroyContext(ctx);
+            }
+        });
+    }
+
+    std::atomic<int> wrong_results{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitThreads; ++s) {
+        submitters.emplace_back([&, s] {
+            Prng rng(100 + s);
+            Operands ops;
+            const std::string tenant = "sub" + std::to_string(s);
+            std::vector<PimJobSpec> specs;
+            std::vector<PimJobHandle> handles;
+            for (int i = 0; i < kJobsPerThread; ++i) {
+                specs.push_back(makeSpec(PimJobKind::kVecAdd, 64, 0,
+                                         ops, rng, tenant));
+                handles.push_back(server->submit(specs.back()));
+            }
+            for (int i = 0; i < kJobsPerThread; ++i) {
+                if (handles[i].wait() != PimJobState::kDone) {
+                    wrong_results.fetch_add(1);
+                    continue;
+                }
+                const auto &got = handles[i].output().values;
+                for (uint64_t k = 0; k < specs[i].n; ++k) {
+                    const int32_t want = static_cast<int32_t>(
+                        static_cast<uint32_t>(specs[i].a[k]) +
+                        static_cast<uint32_t>(specs[i].b[k]));
+                    if (got[k] != want) {
+                        wrong_results.fetch_add(1);
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    for (auto &t : churners)
+        t.join();
+    for (auto &t : submitters)
+        t.join();
+    server->drain();
+    EXPECT_EQ(bad_contexts.load(), 0);
+    EXPECT_EQ(wrong_results.load(), 0);
+    const PimServeStats stats = server->stats();
+    EXPECT_EQ(stats.completed,
+              static_cast<uint64_t>(kSubmitThreads * kJobsPerThread));
+}
